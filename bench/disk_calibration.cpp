@@ -1,0 +1,58 @@
+// Disk calibration (Section 3.2.2 / 4.1 in-text): the paper calibrates its
+// Fujitsu-M2266-style disk model by separate simulation runs to roughly
+// 3.5 ms per page sequential and 11.8 ms per page random. This harness
+// performs the same calibration runs against our disk model.
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/report.h"
+#include "sim/disk.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+using namespace dimsum;
+
+namespace {
+
+sim::Process SequentialReader(sim::Simulator& s, sim::Disk& disk, int count,
+                              double* per_page) {
+  const double begin = s.now();
+  for (int i = 0; i < count; ++i) co_await disk.Read(i);
+  *per_page = (s.now() - begin) / count;
+}
+
+sim::Process RandomReader(sim::Simulator& s, sim::Disk& disk, int count,
+                          double* per_page) {
+  Rng rng(4242);
+  const double begin = s.now();
+  for (int i = 0; i < count; ++i) {
+    co_await disk.Read(rng.UniformInt(0, disk.params().total_pages() - 1));
+  }
+  *per_page = (s.now() - begin) / count;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==== Disk calibration (paper Section 3.2.2) ====\n\n";
+  double seq = 0.0;
+  double rnd = 0.0;
+  {
+    sim::Simulator s;
+    sim::Disk disk(s, "calib", sim::DiskParams{});
+    s.Spawn(SequentialReader(s, disk, 5000, &seq));
+    s.Run();
+  }
+  {
+    sim::Simulator s;
+    sim::Disk disk(s, "calib", sim::DiskParams{});
+    s.Spawn(RandomReader(s, disk, 8000, &rnd));
+    s.Run();
+  }
+  ReportTable table({"pattern", "measured [ms/page]", "paper target"});
+  table.AddRow({"sequential", Fmt(seq), "3.5"});
+  table.AddRow({"random", Fmt(rnd), "11.8"});
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension (the paper's stated future work, Section 7): multi-query
+// workloads sharing the system's aggregate resources. N identical 2-way
+// joins run concurrently; under query-shipping they pile onto the server
+// disk, while under data-shipping with warm client caches they scale
+// independently -- the aggregate-memory argument for data-shipping made
+// concrete. (The paper modeled multiple clients only as synthetic server
+// load; here the queries are simulated in full.)
+
+#include <iostream>
+#include <vector>
+
+#include "core/report.h"
+#include "exec/executor.h"
+#include "plan/binding.h"
+#include "workload/benchmark.h"
+
+using namespace dimsum;
+
+namespace {
+
+double Makespan(int n_queries, SiteAnnotation scan, SiteAnnotation join,
+                double cached, BufAlloc alloc, int num_servers = 1) {
+  Catalog catalog;
+  for (int i = 0; i < 2 * n_queries; ++i) {
+    catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(i, ServerSite(i % num_servers));
+    catalog.SetCachedFraction(i, cached);
+  }
+  SystemConfig config;
+  config.num_servers = num_servers;
+  config.params.buf_alloc = alloc;
+  std::vector<Plan> plans;
+  std::vector<QueryGraph> queries;
+  plans.reserve(n_queries);
+  queries.reserve(n_queries);
+  for (int q = 0; q < n_queries; ++q) {
+    queries.push_back(QueryGraph::Chain({2 * q, 2 * q + 1}));
+    plans.emplace_back(MakeDisplay(MakeJoin(MakeScan(2 * q, scan),
+                                            MakeScan(2 * q + 1, scan), join)));
+    BindSites(plans.back(), catalog);
+  }
+  std::vector<WorkloadQuery> batch;
+  for (int q = 0; q < n_queries; ++q) {
+    batch.push_back(WorkloadQuery{&plans[q], &queries[q]});
+  }
+  return ExecuteConcurrent(batch, catalog, config).makespan_ms / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==== Extension: multi-query workloads (future work, "
+               "Section 7) ====\n"
+            << "N concurrent 2-way joins over disjoint relations, one "
+               "server, max allocation;\nmakespan [s]\n\n";
+  ReportTable table({"queries", "QS, 1 server", "QS, 4 servers",
+                     "DS warm cache (1 client)"});
+  for (int n : {1, 2, 4, 8}) {
+    table.AddRow(
+        {std::to_string(n),
+         Fmt(Makespan(n, SiteAnnotation::kPrimaryCopy,
+                      SiteAnnotation::kInnerRel, 0.0, BufAlloc::kMaximum)),
+         Fmt(Makespan(n, SiteAnnotation::kPrimaryCopy,
+                      SiteAnnotation::kInnerRel, 0.0, BufAlloc::kMaximum,
+                      /*num_servers=*/4)),
+         Fmt(Makespan(n, SiteAnnotation::kClient, SiteAnnotation::kConsumer,
+                      1.0, BufAlloc::kMaximum))});
+  }
+  table.Print(std::cout);
+  std::cout << "\nConcurrent scans interleaving on one disk destroy each "
+               "other's sequential\nread-ahead (the Figure 3 interference, "
+               "now *between* queries), so a single\nsite -- server or "
+               "client -- saturates super-linearly. Spreading the batch "
+               "over\nfour server disks restores scaling; a single cached "
+               "client cannot, which is\nwhy the paper's data-shipping "
+               "scalability argument rests on *each new client\nbringing "
+               "its own resources*.\n";
+  return 0;
+}

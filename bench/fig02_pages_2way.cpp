@@ -1,0 +1,38 @@
+// Figure 2: Pages Sent, 2-Way Join -- 1 server, varying the cached portion
+// of the base relations at the client. The optimizer minimizes
+// communication. Paper shape: DS falls linearly from 500 to 0; QS is flat
+// at the 250-page result; HY matches the better policy everywhere, with the
+// crossover at 50% for the functional join.
+
+#include "harness.h"
+
+using namespace dimsum;
+using namespace dimsum::bench;
+
+int main() {
+  PrintHeader("Figure 2: Pages Sent, 2-Way Join",
+              "1 server, vary client caching; optimizer minimizes pages "
+              "sent");
+  ReportTable table({"cached %", "DS", "QS", "HY"});
+  for (double cached : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    WorkloadSpec spec;
+    spec.num_relations = 2;
+    spec.num_servers = 1;
+    spec.cached_fraction = cached;
+    std::vector<std::string> row{Fmt(cached * 100.0, 0)};
+    for (ShippingPolicy policy :
+         {ShippingPolicy::kDataShipping, ShippingPolicy::kQueryShipping,
+          ShippingPolicy::kHybridShipping}) {
+      row.push_back(MeasurePoint(spec, policy, Measure::kPagesSent,
+                                 /*server_load_per_sec=*/0.0,
+                                 BufAlloc::kMaximum,
+                                 /*random_placement=*/false,
+                                 /*precision=*/0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper: DS 500->0 linear, QS flat 250, HY = min(DS, QS), "
+               "crossover at 50%\n";
+  return 0;
+}

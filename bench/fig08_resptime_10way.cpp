@@ -1,0 +1,38 @@
+// Figure 8: Response Time, 10-Way Join -- vary the number of servers, no
+// caching, minimum allocation; optimizer minimizes response time. Paper
+// shape: DS roughly flat (all joins on the one client disk); QS improves
+// sharply with added servers (parallel disks); HY beats both for small
+// server populations by using client AND servers, converging to QS beyond
+// ~3 servers.
+
+#include "harness.h"
+
+using namespace dimsum;
+using namespace dimsum::bench;
+
+int main() {
+  PrintHeader("Figure 8: Response Time, 10-Way Join",
+              "vary servers, no caching, minimum allocation [s]; random "
+              "placements (mean +- 90% CI)");
+  ReportTable table({"servers", "DS", "QS", "HY"});
+  for (int servers : {1, 2, 3, 4, 5, 6, 8, 10}) {
+    WorkloadSpec spec;
+    spec.num_relations = 10;
+    spec.num_servers = servers;
+    std::vector<std::string> row{std::to_string(servers)};
+    for (ShippingPolicy policy :
+         {ShippingPolicy::kDataShipping, ShippingPolicy::kQueryShipping,
+          ShippingPolicy::kHybridShipping}) {
+      row.push_back(MeasurePoint(spec, policy, Measure::kResponseSeconds,
+                                 /*server_load_per_sec=*/0.0,
+                                 BufAlloc::kMinimum,
+                                 /*random_placement=*/true,
+                                 /*precision=*/1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper: DS ~flat; QS falls steeply to ~4 servers; HY best "
+               "at 1-3 servers, then ~QS\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 10: Relative Response Time, 10-Way Join -- static and 2-step
+// plans, deep and bushy shapes, versus an ideal full-knowledge plan, as the
+// number of servers varies. Paper shape: deep static pays a large penalty
+// (all joins on one site under the centralized assumption); deep 2-step
+// recovers some but cannot exploit independent parallelism; bushy static
+// suffers at both ends; bushy 2-step stays near the ideal everywhere.
+
+#include "fig10_common.h"
+
+int main() {
+  dimsum::bench::RunFig10Sweep(
+      "Figure 10: Relative Response Time, 10-Way Join (moderate selectivity)",
+      /*selectivity=*/1.0,
+      "paper: deep static worst (up to ~3x); deep 2-step better but above "
+      "bushy with\nmany servers; bushy 2-step ~1.0 throughout");
+  return 0;
+}

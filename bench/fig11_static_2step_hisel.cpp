@@ -1,0 +1,16 @@
+// Figure 11: Relative Response Time, HiSel 10-Way Join (only 20% of each
+// input participates in a join result). Paper shape: bushy plans do the
+// extra work of larger intermediate results and perform poorly with few
+// servers, but the bushy 2-step plan recovers as servers are added because
+// its extra work is spread across many sites in parallel.
+
+#include "fig10_common.h"
+
+int main() {
+  dimsum::bench::RunFig10Sweep(
+      "Figure 11: Relative Response Time, HiSel 10-Way Join",
+      /*selectivity=*/0.2,
+      "paper: bushy plans poor at few servers; bushy 2-step approaches the "
+      "ideal as\nservers are added");
+  return 0;
+}

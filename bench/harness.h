@@ -1,0 +1,87 @@
+#ifndef DIMSUM_BENCH_HARNESS_H_
+#define DIMSUM_BENCH_HARNESS_H_
+
+// Shared plumbing for the experiment harnesses that regenerate the paper's
+// tables and figures. Each fig*/table* binary prints the same rows or
+// series the paper reports (means with 90% confidence intervals where the
+// experiment is randomized). Absolute values depend on the calibrated
+// simulator; the *shape* -- who wins, by what factor, where crossovers
+// fall -- is the reproduction target (see EXPERIMENTS.md).
+
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/system.h"
+#include "workload/benchmark.h"
+
+namespace dimsum::bench {
+
+/// Optimizer effort used throughout the harnesses: enough to find
+/// "reasonable rather than truly optimal" plans (the paper's own bar)
+/// while keeping full sweeps fast.
+inline OptimizerConfig HarnessOptimizer() {
+  OptimizerConfig config;
+  config.ii_starts = 12;
+  config.ii_patience = 48;
+  config.sa_stage_moves_per_join = 8;
+  return config;
+}
+
+/// One optimize+execute trial; returns the requested measurement.
+enum class Measure { kPagesSent, kResponseSeconds };
+
+inline double RunTrial(const WorkloadSpec& spec, ShippingPolicy policy,
+                       Measure measure, uint64_t seed,
+                       double server_load_per_sec = 0.0,
+                       BufAlloc alloc = BufAlloc::kMinimum,
+                       bool random_placement = true) {
+  Rng rng(seed);
+  BenchmarkWorkload workload = random_placement
+                                   ? MakeChainWorkload(spec, rng)
+                                   : MakeChainWorkloadRoundRobin(spec);
+  SystemConfig config;
+  config.num_servers = spec.num_servers;
+  config.params.buf_alloc = alloc;
+  if (server_load_per_sec > 0.0) {
+    for (int s = 0; s < spec.num_servers; ++s) {
+      config.server_disk_load_per_sec[ServerSite(s)] = server_load_per_sec;
+    }
+  }
+  ClientServerSystem system(std::move(workload.catalog), config);
+  const OptimizerConfig opt = HarnessOptimizer();
+  const OptimizeMetric metric = (measure == Measure::kPagesSent)
+                                    ? OptimizeMetric::kPagesSent
+                                    : OptimizeMetric::kResponseTime;
+  auto result = system.Run(workload.query, policy, metric, seed, &opt);
+  return measure == Measure::kPagesSent
+             ? static_cast<double>(result.execute.data_pages_sent)
+             : result.execute.response_ms / 1000.0;
+}
+
+/// Replicated measurement over seeds (different random placements and
+/// optimizer streams), reported as mean with its 90% CI half-width.
+inline std::string MeasurePoint(const WorkloadSpec& spec,
+                                ShippingPolicy policy, Measure measure,
+                                double server_load_per_sec = 0.0,
+                                BufAlloc alloc = BufAlloc::kMinimum,
+                                bool random_placement = true,
+                                int precision = 2,
+                                const ReplicationOptions& reps = {}) {
+  RunningStat stat = Replicate(
+      [&](uint64_t seed) {
+        return RunTrial(spec, policy, measure, seed, server_load_per_sec,
+                        alloc, random_placement);
+      },
+      reps);
+  return FmtCi(stat.mean(), stat.ConfidenceHalfWidth90(), precision);
+}
+
+inline void PrintHeader(const std::string& title, const std::string& setup) {
+  std::cout << "==== " << title << " ====\n" << setup << "\n\n";
+}
+
+}  // namespace dimsum::bench
+
+#endif  // DIMSUM_BENCH_HARNESS_H_

@@ -1,0 +1,106 @@
+// Optimizer micro-benchmarks (google-benchmark). Section 3.1.1 of the
+// paper reports ~40 s on a 1995 SPARCstation 5 for join ordering + site
+// selection of a 10-way join over 10 servers; this measures the same
+// operation on modern hardware, plus the building blocks (plan evaluation,
+// random moves, site selection, and a full simulated execution).
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.h"
+#include "opt/optimizer.h"
+#include "plan/binding.h"
+#include "workload/benchmark.h"
+
+namespace dimsum {
+namespace {
+
+BenchmarkWorkload TenWayWorkload() {
+  WorkloadSpec spec;
+  spec.num_relations = 10;
+  spec.num_servers = 10;
+  return MakeChainWorkloadRoundRobin(spec);
+}
+
+void BM_Optimize10Way10Servers(benchmark::State& state) {
+  const ShippingPolicy policy = static_cast<ShippingPolicy>(state.range(0));
+  BenchmarkWorkload w = TenWayWorkload();
+  CostModel model(w.catalog, CostParams{});
+  OptimizerConfig config;
+  config.policy = policy;
+  config.metric = OptimizeMetric::kResponseTime;
+  TwoPhaseOptimizer optimizer(model, config);
+  Rng rng(1);
+  for (auto _ : state) {
+    OptimizeResult result = optimizer.Optimize(w.query, rng);
+    benchmark::DoNotOptimize(result.cost);
+  }
+}
+BENCHMARK(BM_Optimize10Way10Servers)
+    ->Arg(static_cast<int>(ShippingPolicy::kDataShipping))
+    ->Arg(static_cast<int>(ShippingPolicy::kQueryShipping))
+    ->Arg(static_cast<int>(ShippingPolicy::kHybridShipping))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SiteSelect10Way(benchmark::State& state) {
+  BenchmarkWorkload w = TenWayWorkload();
+  CostModel model(w.catalog, CostParams{});
+  OptimizerConfig config;
+  config.metric = OptimizeMetric::kResponseTime;
+  TwoPhaseOptimizer optimizer(model, config);
+  Rng rng(2);
+  OptimizeResult full = optimizer.Optimize(w.query, rng);
+  for (auto _ : state) {
+    OptimizeResult result = optimizer.SiteSelect(full.plan, w.query, rng);
+    benchmark::DoNotOptimize(result.cost);
+  }
+}
+BENCHMARK(BM_SiteSelect10Way)->Unit(benchmark::kMillisecond);
+
+void BM_PlanCostEvaluation(benchmark::State& state) {
+  BenchmarkWorkload w = TenWayWorkload();
+  CostModel model(w.catalog, CostParams{});
+  TransformConfig transform;
+  Rng rng(3);
+  Plan plan = RandomPlan(w.query, transform, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.PlanCost(plan, w.query, OptimizeMetric::kResponseTime));
+  }
+}
+BENCHMARK(BM_PlanCostEvaluation);
+
+void BM_RandomMove(benchmark::State& state) {
+  BenchmarkWorkload w = TenWayWorkload();
+  TransformConfig transform;
+  Rng rng(4);
+  Plan plan = RandomPlan(w.query, transform, rng);
+  for (auto _ : state) {
+    auto next = TryRandomMove(plan, w.query, transform, rng);
+    if (next.has_value()) plan = std::move(*next);
+  }
+}
+BENCHMARK(BM_RandomMove);
+
+void BM_Simulate2WayJoin(benchmark::State& state) {
+  WorkloadSpec spec;
+  spec.num_relations = 2;
+  spec.num_servers = 1;
+  BenchmarkWorkload w = MakeChainWorkloadRoundRobin(spec);
+  SystemConfig config;
+  config.num_servers = 1;
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kInnerRel);
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, w.catalog);
+  for (auto _ : state) {
+    ExecMetrics metrics = ExecutePlan(plan, w.catalog, w.query, config);
+    benchmark::DoNotOptimize(metrics.response_ms);
+  }
+}
+BENCHMARK(BM_Simulate2WayJoin)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dimsum
+
+BENCHMARK_MAIN();

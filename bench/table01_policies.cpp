@@ -1,0 +1,43 @@
+// Table 1: Site Selection for Operators -- the annotations each policy
+// allows, printed from the same PolicySpace definitions that drive the
+// optimizer's move restrictions (so this output is the implementation's
+// ground truth, asserted additionally by tests/plan/plan_test.cc).
+
+#include <iostream>
+#include <sstream>
+
+#include "core/report.h"
+#include "plan/policy.h"
+
+using namespace dimsum;
+
+namespace {
+
+std::string Allowed(ShippingPolicy policy, OpType type) {
+  const PolicySpace space = PolicySpace::For(policy);
+  std::ostringstream out;
+  bool first = true;
+  for (SiteAnnotation annotation : space.AllowedFor(type)) {
+    if (!first) out << ", ";
+    out << ToString(annotation);
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==== Table 1: Site Selection for Operators ====\n\n";
+  ReportTable table(
+      {"operator", "data shipping", "query shipping", "hybrid shipping"});
+  for (OpType type :
+       {OpType::kDisplay, OpType::kJoin, OpType::kSelect, OpType::kScan}) {
+    table.AddRow({std::string(ToString(type)),
+                  Allowed(ShippingPolicy::kDataShipping, type),
+                  Allowed(ShippingPolicy::kQueryShipping, type),
+                  Allowed(ShippingPolicy::kHybridShipping, type)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 2: Simulator Parameters and Default Settings -- printed from the
+// live defaults, plus the derived disk-model calibration values.
+
+#include <iostream>
+
+#include "core/report.h"
+#include "cost/params.h"
+#include "sim/disk.h"
+
+using namespace dimsum;
+
+int main() {
+  std::cout << "==== Table 2: Simulator Parameters and Default Settings "
+               "====\n\n";
+  const CostParams p;
+  ReportTable table({"parameter", "value", "description"});
+  table.AddRow({"Mips", Fmt(p.mips, 0), "CPU speed (10^6 instr/sec)"});
+  table.AddRow({"NumDisks", std::to_string(p.num_disks),
+                "number of disks on a site"});
+  table.AddRow({"DiskInst", Fmt(p.disk_inst, 0),
+                "instr. to read a page from disk"});
+  table.AddRow({"PageSize", std::to_string(p.page_bytes),
+                "size of one data page (bytes)"});
+  table.AddRow({"NetBw", Fmt(p.net_bandwidth_mbps, 0),
+                "network bandwidth (Mbit/sec)"});
+  table.AddRow({"MsgInst", Fmt(p.msg_inst, 0),
+                "instr. to send/receive a message"});
+  table.AddRow({"PerSizeMI", Fmt(p.per_size_mi, 0),
+                "instr. to send/receive 4096 bytes"});
+  table.AddRow({"Display", Fmt(p.display_inst, 0),
+                "instr. to display a tuple"});
+  table.AddRow({"Compare", Fmt(p.compare_inst, 0),
+                "instr. to apply a predicate"});
+  table.AddRow({"HashInst", Fmt(p.hash_inst, 0), "instr. to hash a tuple"});
+  table.AddRow({"MoveInst", Fmt(p.move_inst, 0), "instr. to copy 4 bytes"});
+  table.AddRow({"BufAlloc", ToString(p.buf_alloc),
+                "buffer allocated to a join (min or max)"});
+  table.Print(std::cout);
+
+  const sim::DiskParams d;
+  std::cout << "\ndisk model (calibrated to ~3.5 ms/page sequential, "
+               "~11.8 ms/page random):\n";
+  ReportTable disk({"parameter", "value"});
+  disk.AddRow({"rotation", Fmt(d.rotation_ms) + " ms"});
+  disk.AddRow({"pages/track", std::to_string(d.pages_per_track)});
+  disk.AddRow({"pages/cylinder", std::to_string(d.pages_per_cylinder)});
+  disk.AddRow({"cylinders", std::to_string(d.num_cylinders)});
+  disk.AddRow({"settle", Fmt(d.settle_ms) + " ms"});
+  disk.AddRow({"seek factor", Fmt(d.seek_factor_ms, 4) + " ms/sqrt(cyl)"});
+  disk.AddRow({"controller overhead", Fmt(d.controller_overhead_ms) + " ms"});
+  disk.AddRow({"read-ahead", std::to_string(d.readahead_pages) + " pages"});
+  disk.AddRow({"controller cache", std::to_string(d.cache_pages) + " pages"});
+  disk.Print(std::cout);
+  return 0;
+}

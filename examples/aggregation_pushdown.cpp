@@ -1,0 +1,101 @@
+// Aggregation/projection pushdown: the hybrid architecture decides *where*
+// reducing operators run. Shipping the 250-page relation to the client and
+// aggregating there (data-shipping style) versus aggregating at the server
+// and shipping one page of groups (query-shipping style) -- and what the
+// hybrid optimizer picks when the client caches the data.
+//
+// (The paper treats aggregations as select-like operators, footnote 4;
+// modern engines call this operator pushdown.)
+
+#include <iostream>
+
+#include "core/report.h"
+#include "core/system.h"
+#include "exec/executor.h"
+#include "plan/binding.h"
+#include "plan/printer.h"
+#include "workload/benchmark.h"
+
+using namespace dimsum;
+
+namespace {
+
+double RunPlan(const Catalog& catalog, const QueryGraph& query, Plan& plan,
+               int64_t* pages) {
+  SystemConfig config;
+  config.num_servers = 1;
+  config.params.buf_alloc = BufAlloc::kMaximum;
+  BindSites(plan, catalog);
+  ExecMetrics metrics = ExecutePlan(plan, catalog, query, config);
+  *pages = metrics.data_pages_sent;
+  return metrics.response_ms / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  WorkloadSpec spec;
+  spec.num_relations = 1;
+  spec.num_servers = 1;
+  BenchmarkWorkload w = MakeChainWorkloadRoundRobin(spec);
+
+  std::cout << "SELECT group, COUNT(*) over one 250-page relation "
+               "(100 groups)\n\n";
+
+  ReportTable table({"strategy", "response [s]", "pages sent"});
+  int64_t pages = 0;
+
+  // Query-shipping style: aggregate at the server (producer annotation).
+  auto pushed = MakeAggregate(MakeScan(0, SiteAnnotation::kPrimaryCopy), 100,
+                              SiteAnnotation::kProducer);
+  Plan pushed_plan(MakeDisplay(std::move(pushed)));
+  double t = RunPlan(w.catalog, w.query, pushed_plan, &pages);
+  table.AddRow({"aggregate at server (pushdown)", Fmt(t), std::to_string(pages)});
+
+  // Data-shipping style: fault the relation in, aggregate at the client.
+  auto faulted = MakeAggregate(MakeScan(0, SiteAnnotation::kClient), 100,
+                               SiteAnnotation::kConsumer);
+  Plan faulted_plan(MakeDisplay(std::move(faulted)));
+  t = RunPlan(w.catalog, w.query, faulted_plan, &pages);
+  table.AddRow({"fault data, aggregate at client", Fmt(t), std::to_string(pages)});
+
+  // Cached client copy: aggregating locally needs no communication at all.
+  Catalog cached = w.catalog;
+  cached.SetCachedFraction(0, 1.0);
+  auto local = MakeAggregate(MakeScan(0, SiteAnnotation::kClient), 100,
+                             SiteAnnotation::kConsumer);
+  Plan local_plan(MakeDisplay(std::move(local)));
+  t = RunPlan(cached, w.query, local_plan, &pages);
+  table.AddRow({"aggregate over cached client copy", Fmt(t), std::to_string(pages)});
+  table.Print(std::cout);
+
+  std::cout << "\nWhat does a hybrid, communication-minimizing optimizer "
+               "pick? With no cache\nit pushes the aggregate to the server; "
+               "with a warm cache it reads locally:\n\n";
+  // Build the query with an aggregate on top by constructing the plan space
+  // by hand: show both optimizer decisions.
+  for (double cache : {0.0, 1.0}) {
+    Catalog catalog = w.catalog;
+    catalog.SetCachedFraction(0, cache);
+    CostModel model(catalog, CostParams{});
+    double best_cost = 0.0;
+    Plan best;
+    for (SiteAnnotation scan :
+         {SiteAnnotation::kClient, SiteAnnotation::kPrimaryCopy}) {
+      for (SiteAnnotation agg :
+           {SiteAnnotation::kConsumer, SiteAnnotation::kProducer}) {
+        Plan candidate(MakeDisplay(
+            MakeAggregate(MakeScan(0, scan), 100, agg)));
+        const double cost =
+            model.PlanCost(candidate, w.query, OptimizeMetric::kPagesSent);
+        if (best.empty() || cost < best_cost) {
+          best = std::move(candidate);
+          best_cost = cost;
+        }
+      }
+    }
+    std::cout << "cache " << Fmt(cache * 100, 0) << "%:\n"
+              << PlanToString(best);
+  }
+  return 0;
+}

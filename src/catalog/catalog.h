@@ -1,0 +1,96 @@
+#ifndef DIMSUM_CATALOG_CATALOG_H_
+#define DIMSUM_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace dimsum {
+
+/// System catalog: relations, their placement on servers, and the client's
+/// disk-cache state.
+///
+/// Per the paper: the primary copy of each relation resides on a single
+/// server (no declustering, no replication); the client stores no primary
+/// copies; client caching holds a contiguous prefix of each relation on the
+/// client's local disk.
+class Catalog {
+ public:
+  /// Registers a relation; returns its id.
+  RelationId AddRelation(std::string name, int64_t num_tuples,
+                         int tuple_bytes) {
+    const RelationId id = static_cast<RelationId>(relations_.size());
+    relations_.push_back(
+        Relation{id, std::move(name), num_tuples, tuple_bytes});
+    primary_sites_.push_back(kUnboundSite);
+    cached_fractions_.push_back(0.0);
+    return id;
+  }
+
+  int64_t num_relations() const {
+    return static_cast<int64_t>(relations_.size());
+  }
+
+  const Relation& relation(RelationId id) const {
+    DIMSUM_CHECK_GE(id, 0);
+    DIMSUM_CHECK_LT(id, num_relations());
+    return relations_[id];
+  }
+
+  /// Sets the server holding the primary copy. Must be a server site.
+  void PlaceRelation(RelationId id, SiteId server) {
+    DIMSUM_CHECK_NE(server, kClientSite);
+    DIMSUM_CHECK_GT(server, 0);
+    MutableEntry(id);
+    primary_sites_[id] = server;
+  }
+
+  SiteId PrimarySite(RelationId id) const {
+    DIMSUM_CHECK_GE(id, 0);
+    DIMSUM_CHECK_LT(id, num_relations());
+    DIMSUM_CHECK_NE(primary_sites_[id], kUnboundSite)
+        << "relation " << id << " has not been placed";
+    return primary_sites_[id];
+  }
+
+  /// Sets the fraction [0,1] of the relation cached (contiguous prefix) on
+  /// the client's disk.
+  void SetCachedFraction(RelationId id, double fraction) {
+    DIMSUM_CHECK_GE(fraction, 0.0);
+    DIMSUM_CHECK_LE(fraction, 1.0);
+    MutableEntry(id);
+    cached_fractions_[id] = fraction;
+  }
+
+  double CachedFraction(RelationId id) const {
+    DIMSUM_CHECK_GE(id, 0);
+    DIMSUM_CHECK_LT(id, num_relations());
+    return cached_fractions_[id];
+  }
+
+  /// Number of pages of the relation resident in the client cache
+  /// (the first `floor(fraction * pages)` pages).
+  int64_t CachedPages(RelationId id, int page_bytes) const {
+    const int64_t pages = relation(id).Pages(page_bytes);
+    return static_cast<int64_t>(cached_fractions_[id] *
+                                static_cast<double>(pages));
+  }
+
+ private:
+  void MutableEntry(RelationId id) {
+    DIMSUM_CHECK_GE(id, 0);
+    DIMSUM_CHECK_LT(id, num_relations());
+  }
+
+  std::vector<Relation> relations_;
+  std::vector<SiteId> primary_sites_;
+  std::vector<double> cached_fractions_;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_CATALOG_CATALOG_H_

@@ -1,0 +1,37 @@
+#ifndef DIMSUM_CATALOG_RELATION_H_
+#define DIMSUM_CATALOG_RELATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace dimsum {
+
+/// Schema-level description of a base relation. The paper's benchmark
+/// relations have 10,000 tuples of 100 bytes (250 pages of 4 KB).
+struct Relation {
+  RelationId id = kInvalidRelation;
+  std::string name;
+  int64_t num_tuples = 0;
+  int tuple_bytes = 0;
+
+  /// Tuples that fit on one page of `page_bytes`.
+  int64_t TuplesPerPage(int page_bytes) const {
+    DIMSUM_CHECK_GT(tuple_bytes, 0);
+    const int64_t per_page = page_bytes / tuple_bytes;
+    DIMSUM_CHECK_GT(per_page, 0);
+    return per_page;
+  }
+
+  /// Size of the relation in pages (ceiling).
+  int64_t Pages(int page_bytes) const {
+    const int64_t per_page = TuplesPerPage(page_bytes);
+    return (num_tuples + per_page - 1) / per_page;
+  }
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_CATALOG_RELATION_H_

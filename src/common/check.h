@@ -1,0 +1,64 @@
+#ifndef DIMSUM_COMMON_CHECK_H_
+#define DIMSUM_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace dimsum {
+namespace internal {
+
+/// Prints a fatal-error message with source location and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream-style message collector used by the CHECK macros.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dimsum
+
+/// Aborts with a diagnostic if `condition` is false. Usable in any build
+/// mode; the simulator relies on these invariants holding.
+#define DIMSUM_CHECK(condition)                                         \
+  if (condition) {                                                      \
+  } else /* NOLINT */                                                   \
+    ::dimsum::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define DIMSUM_CHECK_EQ(a, b) \
+  DIMSUM_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DIMSUM_CHECK_NE(a, b) \
+  DIMSUM_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DIMSUM_CHECK_LT(a, b) \
+  DIMSUM_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DIMSUM_CHECK_LE(a, b) \
+  DIMSUM_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DIMSUM_CHECK_GT(a, b) \
+  DIMSUM_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DIMSUM_CHECK_GE(a, b) \
+  DIMSUM_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// Marks an unreachable code path.
+#define DIMSUM_UNREACHABLE() \
+  ::dimsum::internal::CheckMessageBuilder(__FILE__, __LINE__, "unreachable")
+
+#endif  // DIMSUM_COMMON_CHECK_H_

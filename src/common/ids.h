@@ -1,0 +1,28 @@
+#ifndef DIMSUM_COMMON_IDS_H_
+#define DIMSUM_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace dimsum {
+
+/// Identifies a machine in the client-server system. By convention the
+/// client is site 0 and servers are sites 1..num_servers.
+using SiteId = int32_t;
+
+/// The (single) client site. Queries are always submitted and displayed here.
+inline constexpr SiteId kClientSite = 0;
+
+/// Sentinel for "site not yet bound".
+inline constexpr SiteId kUnboundSite = -1;
+
+/// Identifies a base relation in the catalog.
+using RelationId = int32_t;
+
+inline constexpr RelationId kInvalidRelation = -1;
+
+/// Returns the server site id for the i-th server (0-based index).
+inline constexpr SiteId ServerSite(int index) { return index + 1; }
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COMMON_IDS_H_

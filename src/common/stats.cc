@@ -1,0 +1,67 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace dimsum {
+
+void RunningStat::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::ConfidenceHalfWidth90() const {
+  if (count_ < 2) return 0.0;
+  const double se = stddev() / std::sqrt(static_cast<double>(count_));
+  return StudentT90(count_ - 1) * se;
+}
+
+bool RunningStat::WithinRelativeError(double fraction,
+                                      int64_t min_samples) const {
+  if (count_ < min_samples) return false;
+  const double m = std::fabs(mean());
+  if (m == 0.0) return variance() == 0.0;
+  return ConfidenceHalfWidth90() <= fraction * m;
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          total;
+  count_ += other.count_;
+}
+
+double StudentT90(int64_t df) {
+  // Two-sided 90% critical values (alpha/2 = 0.05 per tail).
+  static constexpr double kTable[] = {
+      6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+      1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+      1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+  if (df < 1) return kTable[0];
+  if (df <= 30) return kTable[df - 1];
+  if (df <= 40) return 1.684;
+  if (df <= 60) return 1.671;
+  if (df <= 120) return 1.658;
+  return 1.645;
+}
+
+}  // namespace dimsum

@@ -1,0 +1,42 @@
+#ifndef DIMSUM_COMMON_STATS_H_
+#define DIMSUM_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace dimsum {
+
+/// Online mean/variance accumulator (Welford's algorithm) with a
+/// Student-t 90% confidence-interval helper, mirroring the paper's
+/// methodology ("90% confidence intervals ... within 5%").
+class RunningStat {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Half-width of the 90% confidence interval for the mean.
+  double ConfidenceHalfWidth90() const;
+
+  /// True once the 90% CI half-width is within `fraction` of the mean
+  /// (and at least `min_samples` samples have been collected).
+  bool WithinRelativeError(double fraction, int64_t min_samples = 3) const;
+
+  void Merge(const RunningStat& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-sided Student-t critical value for 90% confidence with `df` degrees
+/// of freedom (df >= 1); falls back to the normal value for large df.
+double StudentT90(int64_t df);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COMMON_STATS_H_

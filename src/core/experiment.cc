@@ -1,0 +1,18 @@
+#include "core/experiment.h"
+
+namespace dimsum {
+
+RunningStat Replicate(const std::function<double(uint64_t)>& trial,
+                      const ReplicationOptions& options, uint64_t base_seed) {
+  RunningStat stat;
+  for (int i = 0; i < options.max_replications; ++i) {
+    stat.Add(trial(base_seed + static_cast<uint64_t>(i)));
+    if (i + 1 >= options.min_replications &&
+        stat.WithinRelativeError(options.relative_error)) {
+      break;
+    }
+  }
+  return stat;
+}
+
+}  // namespace dimsum

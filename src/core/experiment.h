@@ -1,0 +1,29 @@
+#ifndef DIMSUM_CORE_EXPERIMENT_H_
+#define DIMSUM_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.h"
+
+namespace dimsum {
+
+/// Replication control, mirroring the paper's methodology: "experiments
+/// were executed repeatedly so that the 90% confidence intervals for all
+/// results were within 5%".
+struct ReplicationOptions {
+  int min_replications = 3;
+  int max_replications = 24;
+  double relative_error = 0.05;  // CI half-width / mean
+};
+
+/// Runs `trial(seed)` with seeds base_seed, base_seed+1, ... until the 90%
+/// confidence interval is within the requested relative error (or the
+/// replication cap is reached) and returns the accumulated statistics.
+RunningStat Replicate(const std::function<double(uint64_t)>& trial,
+                      const ReplicationOptions& options = {},
+                      uint64_t base_seed = 1);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_CORE_EXPERIMENT_H_

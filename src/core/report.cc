@@ -1,0 +1,46 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dimsum {
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  DIMSUM_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string FmtCi(double mean, double ci, int precision) {
+  std::ostringstream out;
+  out << Fmt(mean, precision) << " +-" << Fmt(ci, precision);
+  return out.str();
+}
+
+}  // namespace dimsum

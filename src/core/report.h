@@ -1,0 +1,33 @@
+#ifndef DIMSUM_CORE_REPORT_H_
+#define DIMSUM_CORE_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dimsum {
+
+/// Minimal aligned-column table writer for the benchmark harnesses that
+/// regenerate the paper's figures as text series.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string Fmt(double value, int precision = 2);
+
+/// Formats "mean +- ci" for a measurement.
+std::string FmtCi(double mean, double ci, int precision = 2);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_CORE_REPORT_H_

@@ -1,0 +1,132 @@
+#include "core/result_cache.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "cost/cardinality.h"
+#include "plan/binding.h"
+#include "sim/disk.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace dimsum {
+
+std::string ResultCache::Signature(const QueryGraph& query) {
+  std::ostringstream out;
+  std::vector<RelationId> relations = query.relations;
+  std::sort(relations.begin(), relations.end());
+  out << "R:";
+  for (RelationId id : relations) out << id << ",";
+  std::vector<std::pair<RelationId, RelationId>> edges = query.edges;
+  for (auto& [a, b] : edges) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  out << "E:";
+  for (const auto& [a, b] : edges) out << a << "-" << b << ",";
+  out << "S:" << query.selectivity_factor << ";";
+  for (double s : query.scan_selectivities) out << s << ",";
+  return out.str();
+}
+
+bool ResultCache::Lookup(const QueryGraph& query) {
+  auto it = index_.find(Signature(query));
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void ResultCache::Insert(const QueryGraph& query, int64_t pages) {
+  DIMSUM_CHECK_GE(pages, 0);
+  if (pages > capacity_pages_) return;  // not admitted
+  const std::string signature = Signature(query);
+  auto it = index_.find(signature);
+  if (it != index_.end()) {
+    used_pages_ -= it->second->pages;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  used_pages_ += pages;
+  lru_.push_front(Entry{signature, pages});
+  index_[signature] = lru_.begin();
+  Evict();
+}
+
+void ResultCache::Evict() {
+  while (used_pages_ > capacity_pages_) {
+    DIMSUM_CHECK(!lru_.empty());
+    used_pages_ -= lru_.back().pages;
+    index_.erase(lru_.back().signature);
+    lru_.pop_back();
+  }
+}
+
+namespace {
+
+sim::Process ReadResult(sim::Disk& disk, sim::Resource& cpu, int64_t pages,
+                        double cpu_per_page, double display_per_page) {
+  for (int64_t i = 0; i < pages; ++i) {
+    co_await cpu.Use(cpu_per_page);
+    co_await disk.Read(i);
+    co_await cpu.Use(display_per_page);
+  }
+}
+
+}  // namespace
+
+double CachingSession::ServeFromCache(int64_t pages, int64_t tuples) const {
+  const CostParams& params = system_.config().params;
+  sim::Simulator sim;
+  sim::Disk disk(sim, "client-cache", system_.config().disk_params);
+  sim::Resource cpu(sim, "client-cpu", params.CpuTimeFactor(kClientSite));
+  const double display_per_page =
+      pages > 0 ? params.InstrMs(params.display_inst) *
+                      static_cast<double>(tuples) / static_cast<double>(pages)
+                : 0.0;
+  sim.Spawn(
+      ReadResult(disk, cpu, pages, params.DiskCpuMs(), display_per_page));
+  sim.Run();
+  return sim.now();
+}
+
+CachingSession::Outcome CachingSession::Run(const QueryGraph& query,
+                                            ShippingPolicy policy,
+                                            OptimizeMetric metric,
+                                            uint64_t seed,
+                                            const OptimizerConfig* opt) {
+  Outcome outcome;
+  if (cache_.Lookup(query)) {
+    // Answer from the client's cached result: no optimization, no servers,
+    // no communication ("light-weight interaction"). Size the result from
+    // a trivial left-deep plan (cardinalities are plan-shape independent
+    // for connected orders).
+    std::unique_ptr<PlanNode> tree =
+        MakeScan(query.relations.front(), SiteAnnotation::kClient);
+    for (size_t i = 1; i < query.relations.size(); ++i) {
+      tree = MakeJoin(std::move(tree),
+                      MakeScan(query.relations[i], SiteAnnotation::kClient),
+                      SiteAnnotation::kConsumer);
+    }
+    Plan sizing(MakeDisplay(std::move(tree)));
+    PlanStats stats = ComputeStats(sizing, system_.catalog(), query,
+                                   system_.config().params);
+    const StreamStats& result = stats.at(sizing.root());
+    outcome.cache_hit = true;
+    outcome.response_ms = ServeFromCache(result.pages, result.tuples);
+    outcome.data_pages_sent = 0;
+    return outcome;
+  }
+  auto run = system_.Run(query, policy, metric, seed, opt);
+  outcome.cache_hit = false;
+  outcome.response_ms = run.execute.response_ms;
+  outcome.data_pages_sent = run.execute.data_pages_sent;
+  // Cache the result for future matching queries.
+  PlanStats stats = ComputeStats(run.optimize.plan, system_.catalog(), query,
+                                 system_.config().params);
+  cache_.Insert(query, stats.at(run.optimize.plan.root()).pages);
+  return outcome;
+}
+
+}  // namespace dimsum

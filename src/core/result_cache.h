@@ -1,0 +1,87 @@
+#ifndef DIMSUM_CORE_RESULT_CACHE_H_
+#define DIMSUM_CORE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "core/system.h"
+#include "plan/query.h"
+
+namespace dimsum {
+
+/// ADMS-style client-side query-result cache (paper Section 6: "ADMS is an
+/// example of a system that uses an extended query-shipping architecture:
+/// query results are cached at clients, and a query can be answered at the
+/// client if it matches the cached results of a previous query; if it does
+/// not match, the query is executed at the servers").
+///
+/// Results are identified by a canonical signature of the query graph and
+/// evicted LRU by page count.
+class ResultCache {
+ public:
+  explicit ResultCache(int64_t capacity_pages)
+      : capacity_pages_(capacity_pages) {}
+
+  /// Canonical signature of a query (relations, predicates, selectivities).
+  static std::string Signature(const QueryGraph& query);
+
+  /// True if the query's result is cached (refreshes LRU position).
+  bool Lookup(const QueryGraph& query);
+
+  /// Caches a result of `pages` pages, evicting LRU entries as needed.
+  /// Results larger than the whole cache are not admitted.
+  void Insert(const QueryGraph& query, int64_t pages);
+
+  int64_t used_pages() const { return used_pages_; }
+  int64_t capacity_pages() const { return capacity_pages_; }
+  int64_t entries() const { return static_cast<int64_t>(index_.size()); }
+
+ private:
+  struct Entry {
+    std::string signature;
+    int64_t pages;
+  };
+
+  void Evict();
+
+  int64_t capacity_pages_;
+  int64_t used_pages_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+/// A query session against a ClientServerSystem with an ADMS-style result
+/// cache in front of it: repeated queries are answered from the client's
+/// disk without optimizer or server involvement.
+class CachingSession {
+ public:
+  struct Outcome {
+    bool cache_hit = false;
+    double response_ms = 0.0;
+    int64_t data_pages_sent = 0;
+  };
+
+  CachingSession(const ClientServerSystem& system, int64_t cache_pages)
+      : system_(system), cache_(cache_pages) {}
+
+  /// Runs (or answers from cache) one query.
+  Outcome Run(const QueryGraph& query, ShippingPolicy policy,
+              OptimizeMetric metric, uint64_t seed,
+              const OptimizerConfig* opt = nullptr);
+
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  /// Simulated time to deliver a cached result: a sequential scan of the
+  /// result pages from the client disk plus per-tuple display cost.
+  double ServeFromCache(int64_t pages, int64_t tuples) const;
+
+  const ClientServerSystem& system_;
+  ResultCache cache_;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_CORE_RESULT_CACHE_H_

@@ -1,0 +1,39 @@
+#include "core/system.h"
+
+#include <algorithm>
+
+namespace dimsum {
+
+std::map<SiteId, double> ClientServerSystem::ServerDiskUtilization() const {
+  std::map<SiteId, double> utilization;
+  for (const auto& [site, rate] : config_.server_disk_load_per_sec) {
+    // Each external request is a random single-page read.
+    const double service_ms = config_.params.rand_page_ms;
+    utilization[site] = std::min(0.95, rate * service_ms / 1000.0);
+  }
+  return utilization;
+}
+
+OptimizeResult ClientServerSystem::Optimize(const QueryGraph& query,
+                                            ShippingPolicy policy,
+                                            OptimizeMetric metric, Rng& rng,
+                                            const OptimizerConfig* base) const {
+  OptimizerConfig config = (base != nullptr) ? *base : OptimizerConfig{};
+  config.policy = policy;
+  config.metric = metric;
+  const CostModel model = MakeCostModel();
+  TwoPhaseOptimizer optimizer(model, config);
+  return optimizer.Optimize(query, rng);
+}
+
+ClientServerSystem::RunResult ClientServerSystem::Run(
+    const QueryGraph& query, ShippingPolicy policy, OptimizeMetric metric,
+    uint64_t seed, const OptimizerConfig* base) const {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  RunResult result;
+  result.optimize = Optimize(query, policy, metric, rng, base);
+  result.execute = Execute(result.optimize.plan, query, seed);
+  return result;
+}
+
+}  // namespace dimsum

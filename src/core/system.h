@@ -1,0 +1,75 @@
+#ifndef DIMSUM_CORE_SYSTEM_H_
+#define DIMSUM_CORE_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "opt/optimizer.h"
+#include "plan/policy.h"
+
+namespace dimsum {
+
+/// Top-level facade: a client-server database system consisting of a
+/// catalog (placement + caching state), a system configuration (Table 2
+/// parameters, disks, external load), a randomized query optimizer, and the
+/// detailed execution simulator.
+///
+/// Typical use:
+///   ClientServerSystem system(workload.catalog, config);
+///   auto result = system.Run(workload.query,
+///                            ShippingPolicy::kHybridShipping,
+///                            OptimizeMetric::kResponseTime, seed);
+///   result.optimize.cost;         // the optimizer's estimate
+///   result.execute.response_ms;   // the simulator's measurement
+class ClientServerSystem {
+ public:
+  ClientServerSystem(Catalog catalog, SystemConfig config)
+      : catalog_(std::move(catalog)), config_(std::move(config)) {}
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog& mutable_catalog() { return catalog_; }
+  const SystemConfig& config() const { return config_; }
+  SystemConfig& mutable_config() { return config_; }
+
+  /// Per-site external disk utilization implied by the configured load
+  /// rates (used by the optimizer's cost model to anticipate contention).
+  std::map<SiteId, double> ServerDiskUtilization() const;
+
+  /// Cost model reflecting the current catalog and load state.
+  CostModel MakeCostModel() const {
+    return CostModel(catalog_, config_.params, ServerDiskUtilization());
+  }
+
+  /// Optimizes `query` in the given policy's plan space, minimizing
+  /// `metric`. `base` overrides the default optimizer knobs.
+  OptimizeResult Optimize(const QueryGraph& query, ShippingPolicy policy,
+                          OptimizeMetric metric, Rng& rng,
+                          const OptimizerConfig* base = nullptr) const;
+
+  /// Executes a bound plan on the detailed simulator.
+  ExecMetrics Execute(const Plan& plan, const QueryGraph& query,
+                      uint64_t seed = 0) const {
+    return ExecutePlan(plan, catalog_, query, config_, seed);
+  }
+
+  struct RunResult {
+    OptimizeResult optimize;
+    ExecMetrics execute;
+  };
+
+  /// Optimizes and then executes the query.
+  RunResult Run(const QueryGraph& query, ShippingPolicy policy,
+                OptimizeMetric metric, uint64_t seed = 0,
+                const OptimizerConfig* base = nullptr) const;
+
+ private:
+  Catalog catalog_;
+  SystemConfig config_;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_CORE_SYSTEM_H_

@@ -1,0 +1,95 @@
+#include "cost/cardinality.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dimsum {
+namespace {
+
+int64_t PagesFor(int64_t tuples, int tuple_bytes, int page_bytes) {
+  if (tuples == 0) return 0;
+  const int64_t per_page = std::max<int64_t>(1, page_bytes / tuple_bytes);
+  return (tuples + per_page - 1) / per_page;
+}
+
+StreamStats Annotate(const PlanNode& node, const Catalog& catalog,
+                     const QueryGraph& query, const CostParams& params,
+                     PlanStats* stats) {
+  StreamStats out;
+  switch (node.type) {
+    case OpType::kScan: {
+      const Relation& rel = catalog.relation(node.relation);
+      out.tuples = rel.num_tuples;
+      out.tuple_bytes = rel.tuple_bytes;
+      break;
+    }
+    case OpType::kSelect: {
+      StreamStats in = Annotate(*node.left, catalog, query, params, stats);
+      out.tuples = static_cast<int64_t>(node.selectivity *
+                                        static_cast<double>(in.tuples));
+      out.tuple_bytes = in.tuple_bytes;
+      break;
+    }
+    case OpType::kProject: {
+      StreamStats in = Annotate(*node.left, catalog, query, params, stats);
+      out.tuples = in.tuples;
+      out.tuple_bytes = std::max(
+          1, static_cast<int>(node.width_factor *
+                              static_cast<double>(in.tuple_bytes)));
+      break;
+    }
+    case OpType::kAggregate: {
+      StreamStats in = Annotate(*node.left, catalog, query, params, stats);
+      out.tuples = std::min(node.num_groups, in.tuples);
+      out.tuple_bytes = in.tuple_bytes;
+      break;
+    }
+    case OpType::kSort: {
+      out = Annotate(*node.left, catalog, query, params, stats);
+      break;
+    }
+    case OpType::kUnion: {
+      StreamStats l = Annotate(*node.left, catalog, query, params, stats);
+      StreamStats r = Annotate(*node.right, catalog, query, params, stats);
+      out.tuples = l.tuples + r.tuples;
+      out.tuple_bytes = std::max(l.tuple_bytes, r.tuple_bytes);
+      break;
+    }
+    case OpType::kJoin: {
+      StreamStats l = Annotate(*node.left, catalog, query, params, stats);
+      StreamStats r = Annotate(*node.right, catalog, query, params, stats);
+      const auto left_rels = Plan::RelationsBelow(*node.left);
+      const auto right_rels = Plan::RelationsBelow(*node.right);
+      if (query.Connects(left_rels, right_rels)) {
+        out.tuples = static_cast<int64_t>(
+            query.selectivity_factor *
+            static_cast<double>(std::min(l.tuples, r.tuples)));
+      } else {
+        out.tuples = l.tuples * r.tuples;  // Cartesian product
+      }
+      out.tuple_bytes = std::max(l.tuple_bytes, r.tuple_bytes);
+      break;
+    }
+    case OpType::kDisplay: {
+      out = Annotate(*node.left, catalog, query, params, stats);
+      break;
+    }
+  }
+  DIMSUM_CHECK_GT(out.tuple_bytes, 0);
+  out.pages = PagesFor(out.tuples, out.tuple_bytes, params.page_bytes);
+  (*stats)[&node] = out;
+  return out;
+}
+
+}  // namespace
+
+PlanStats ComputeStats(const Plan& plan, const Catalog& catalog,
+                       const QueryGraph& query, const CostParams& params) {
+  DIMSUM_CHECK(!plan.empty());
+  PlanStats stats;
+  Annotate(*plan.root(), catalog, query, params, &stats);
+  return stats;
+}
+
+}  // namespace dimsum

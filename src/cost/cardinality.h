@@ -1,0 +1,41 @@
+#ifndef DIMSUM_COST_CARDINALITY_H_
+#define DIMSUM_COST_CARDINALITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "cost/params.h"
+#include "plan/plan.h"
+#include "plan/query.h"
+
+namespace dimsum {
+
+/// Size statistics of an operator's output stream.
+struct StreamStats {
+  int64_t tuples = 0;
+  int tuple_bytes = 0;
+  int64_t pages = 0;
+};
+
+/// Per-node output statistics keyed by node pointer.
+using PlanStats = std::unordered_map<const PlanNode*, StreamStats>;
+
+/// Derives output cardinalities bottom-up:
+///  - scan: the relation's tuples;
+///  - select: selectivity * input;
+///  - join: query.selectivity_factor * min(left, right) tuples (the paper's
+///    functional-join model; 1.0 keeps intermediate results at base-relation
+///    size, 0.2 is the HiSel query), or left * right for Cartesian products;
+///  - project: tuples unchanged, width scaled by width_factor;
+///  - aggregate: min(num_groups, input tuples);
+///  - union: sum of the inputs (bag union);
+///  - display: passes through.
+/// Join results are projected to the max input tuple width (the paper
+/// projects all temporaries back to 100 bytes).
+PlanStats ComputeStats(const Plan& plan, const Catalog& catalog,
+                       const QueryGraph& query, const CostParams& params);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COST_CARDINALITY_H_

@@ -1,0 +1,46 @@
+#include "cost/comm_cost.h"
+
+#include "common/check.h"
+#include "plan/binding.h"
+
+namespace dimsum {
+namespace {
+
+void Visit(const PlanNode& node, const PlanNode* parent,
+           const Catalog& catalog, const CostParams& params,
+           const PlanStats& stats, CommCost* cost) {
+  DIMSUM_CHECK_NE(node.bound_site, kUnboundSite);
+  if (parent != nullptr && parent->bound_site != node.bound_site) {
+    const StreamStats& out = stats.at(&node);
+    cost->pages += out.pages;
+    cost->bytes += out.pages * params.page_bytes;
+    cost->messages += out.pages;
+  }
+  if (node.type == OpType::kScan &&
+      node.annotation == SiteAnnotation::kClient) {
+    // Pages not in the client cache are faulted in from the relation's
+    // server, one request/response per page.
+    const int64_t total = catalog.relation(node.relation).Pages(params.page_bytes);
+    const int64_t cached = catalog.CachedPages(node.relation, params.page_bytes);
+    const int64_t faulted = total - cached;
+    DIMSUM_CHECK_GE(faulted, 0);
+    cost->pages += faulted;
+    cost->bytes += faulted * (params.page_bytes + params.fault_request_bytes);
+    cost->messages += 2 * faulted;
+  }
+  if (node.left) Visit(*node.left, &node, catalog, params, stats, cost);
+  if (node.right) Visit(*node.right, &node, catalog, params, stats, cost);
+}
+
+}  // namespace
+
+CommCost ComputeCommCost(const Plan& plan, const Catalog& catalog,
+                         const QueryGraph& query, const CostParams& params) {
+  DIMSUM_CHECK(IsFullyBound(plan));
+  const PlanStats stats = ComputeStats(plan, catalog, query, params);
+  CommCost cost;
+  Visit(*plan.root(), nullptr, catalog, params, stats, &cost);
+  return cost;
+}
+
+}  // namespace dimsum

@@ -1,0 +1,34 @@
+#ifndef DIMSUM_COST_COMM_COST_H_
+#define DIMSUM_COST_COMM_COST_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "cost/cardinality.h"
+#include "cost/params.h"
+#include "plan/plan.h"
+#include "plan/query.h"
+
+namespace dimsum {
+
+/// Analytic communication cost of a *bound* plan.
+struct CommCost {
+  /// Data pages shipped over the network: operator streams crossing sites
+  /// plus pages faulted in by client scans. This is the paper's
+  /// "pages sent" metric.
+  int64_t pages = 0;
+  /// Total bytes on the wire including fault request messages.
+  int64_t bytes = 0;
+  /// Number of messages (page transfers + fault requests).
+  int64_t messages = 0;
+};
+
+/// Computes communication requirements of `plan` (must be bound; see
+/// BindSites). Client scans fault in only the uncached suffix of their
+/// relation.
+CommCost ComputeCommCost(const Plan& plan, const Catalog& catalog,
+                         const QueryGraph& query, const CostParams& params);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COST_COMM_COST_H_

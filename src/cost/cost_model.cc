@@ -1,0 +1,24 @@
+#include "cost/cost_model.h"
+
+#include "plan/binding.h"
+
+namespace dimsum {
+
+double CostModel::PlanCost(Plan& plan, const QueryGraph& query,
+                           OptimizeMetric metric) const {
+  BindSites(plan, catalog_);
+  switch (metric) {
+    case OptimizeMetric::kPagesSent:
+      return static_cast<double>(
+          ComputeCommCost(plan, catalog_, query, params_).pages);
+    case OptimizeMetric::kResponseTime:
+      return EstimateTime(plan, catalog_, query, params_, server_disk_load_)
+          .response_ms;
+    case OptimizeMetric::kTotalCost:
+      return EstimateTime(plan, catalog_, query, params_, server_disk_load_)
+          .total_ms;
+  }
+  DIMSUM_UNREACHABLE();
+}
+
+}  // namespace dimsum

@@ -1,0 +1,46 @@
+#include "cost/hash_join_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dimsum {
+
+HashJoinModel ComputeHashJoinModel(int64_t inner_pages, BufAlloc alloc,
+                                   double fudge_factor) {
+  DIMSUM_CHECK_GE(inner_pages, 0);
+  DIMSUM_CHECK_GE(fudge_factor, 1.0);
+  HashJoinModel model;
+  const double needed =
+      fudge_factor * static_cast<double>(std::max<int64_t>(inner_pages, 1));
+  if (alloc == BufAlloc::kMaximum) {
+    model.memory_frames = static_cast<int64_t>(std::ceil(needed));
+    model.num_partitions = 0;
+    model.spill_fraction = 0.0;
+    return model;
+  }
+  // Minimum allocation: sqrt(F * M) frames.
+  model.memory_frames =
+      std::max<int64_t>(2, static_cast<int64_t>(std::ceil(std::sqrt(needed))));
+  if (static_cast<double>(model.memory_frames) >= needed) {
+    // Tiny inner relation: fits anyway.
+    model.num_partitions = 0;
+    model.spill_fraction = 0.0;
+    return model;
+  }
+  const double m = static_cast<double>(model.memory_frames);
+  // B partitions, one output frame each; the rest of memory holds the
+  // memory-resident part of the hash table (partition 0).
+  int64_t partitions =
+      static_cast<int64_t>(std::ceil((needed - m) / (m - 1.0)));
+  partitions = std::max<int64_t>(1, partitions);
+  const double resident_frames =
+      std::max(0.0, m - static_cast<double>(partitions));
+  model.num_partitions = static_cast<int>(partitions);
+  model.spill_fraction =
+      std::clamp(1.0 - resident_frames / needed, 0.0, 1.0);
+  return model;
+}
+
+}  // namespace dimsum

@@ -1,0 +1,40 @@
+#ifndef DIMSUM_COST_HASH_JOIN_MODEL_H_
+#define DIMSUM_COST_HASH_JOIN_MODEL_H_
+
+#include <cstdint>
+
+#include "cost/params.h"
+
+namespace dimsum {
+
+/// Memory/partitioning plan for a hybrid-hash join [Sha86]. Shared by the
+/// analytic cost model and the execution engine so their I/O counts agree.
+struct HashJoinModel {
+  /// Buffer frames allocated to the join at its site.
+  int64_t memory_frames = 0;
+  /// Number of spilled partitions (0 = inner fits fully in memory).
+  int num_partitions = 0;
+  /// Fraction of each input written to and re-read from temporary storage.
+  double spill_fraction = 0.0;
+
+  bool in_memory() const { return num_partitions == 0; }
+
+  /// Temp pages written (and later read back) for an input of `pages`.
+  int64_t SpillPages(int64_t pages) const {
+    return static_cast<int64_t>(spill_fraction * static_cast<double>(pages) +
+                                0.5);
+  }
+};
+
+/// Computes the hybrid-hash configuration for an inner (build) input of
+/// `inner_pages` under the given allocation policy:
+///  - maximum: F * inner_pages frames, no spilling;
+///  - minimum: ceil(sqrt(F * inner_pages)) frames; B partitions such that
+///    each spilled partition later fits in memory; partition 0 keeps the
+///    leftover frames resident.
+HashJoinModel ComputeHashJoinModel(int64_t inner_pages, BufAlloc alloc,
+                                   double fudge_factor);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COST_HASH_JOIN_MODEL_H_

@@ -1,0 +1,85 @@
+#ifndef DIMSUM_COST_PARAMS_H_
+#define DIMSUM_COST_PARAMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/ids.h"
+
+namespace dimsum {
+
+/// Join memory allocation policy (Shapiro [Sha86], Section 4.1 of the
+/// paper): maximum allocation lets the inner relation's hash table reside
+/// fully in memory; minimum allocation reserves sqrt(F * M) buffer frames
+/// and partitions both inputs to temporary storage.
+enum class BufAlloc { kMinimum, kMaximum };
+
+inline const char* ToString(BufAlloc alloc) {
+  return alloc == BufAlloc::kMinimum ? "min" : "max";
+}
+
+/// Simulation / cost parameters (Table 2 of the paper) plus the calibrated
+/// per-page disk costs used by the analytic optimizer cost model.
+struct CostParams {
+  double mips = 50.0;             // CPU speed, 10^6 instructions/sec
+  int num_disks = 1;              // disks per site
+  double disk_inst = 5000.0;      // instructions per disk I/O request
+  int page_bytes = 4096;          // data page size
+  double net_bandwidth_mbps = 100.0;  // network bandwidth, Mbit/sec
+  double msg_inst = 20000.0;      // instructions to send/receive a message
+  double per_size_mi = 12000.0;   // instructions per 4096 bytes sent/recv'd
+  double display_inst = 0.0;      // instructions to display a tuple
+  double compare_inst = 2.0;      // instructions to apply a predicate
+  double hash_inst = 9.0;         // instructions to hash a tuple
+  double move_inst = 1.0;         // instructions to copy 4 bytes
+  BufAlloc buf_alloc = BufAlloc::kMinimum;  // join memory allocation
+  double hash_fudge = 1.2;        // Shapiro's fudge factor F
+
+  /// Calibrated disk costs (obtained by separate simulation runs, exactly
+  /// as the paper calibrated its optimizer against its simulator).
+  double seq_page_ms = 3.5;
+  double rand_page_ms = 11.8;
+
+  /// Size of a page-fault request message (client-cache misses).
+  int fault_request_bytes = 128;
+
+  /// Per-site CPU speed overrides (10^6 instr/sec). Sites absent from the
+  /// map run at `mips`. The paper's system is "heterogeneous,
+  /// peer-to-peer"; this models e.g. resource-poor client machines.
+  std::map<SiteId, double> site_mips;
+
+  // --- derived helpers ---------------------------------------------------
+  /// CPU speed of `site`, honoring overrides.
+  double MipsOf(SiteId site) const {
+    auto it = site_mips.find(site);
+    return it != site_mips.end() ? it->second : mips;
+  }
+  /// Multiplier turning default-speed CPU milliseconds into `site`'s
+  /// milliseconds (2.0 for a half-speed site).
+  double CpuTimeFactor(SiteId site) const { return mips / MipsOf(site); }
+  /// Milliseconds to execute `instructions` CPU instructions (at the
+  /// default speed; scale by CpuTimeFactor for a specific site).
+  double InstrMs(double instructions) const {
+    return instructions / (mips * 1000.0);
+  }
+  /// CPU milliseconds to send or receive one message of `bytes`.
+  double MsgCpuMs(int64_t bytes) const {
+    return InstrMs(msg_inst +
+                   per_size_mi * static_cast<double>(bytes) / 4096.0);
+  }
+  /// Time on the wire for `bytes`, ms.
+  double WireMs(int64_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / (net_bandwidth_mbps * 1000.0);
+  }
+  /// CPU milliseconds to copy one tuple of `tuple_bytes`.
+  double MoveTupleMs(int tuple_bytes) const {
+    return InstrMs(move_inst * static_cast<double>(tuple_bytes) / 4.0);
+  }
+  /// CPU milliseconds charged per disk I/O request.
+  double DiskCpuMs() const { return InstrMs(disk_inst); }
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COST_PARAMS_H_

@@ -1,0 +1,500 @@
+#include "cost/response_time.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/check.h"
+#include "cost/cardinality.h"
+#include "cost/hash_join_model.h"
+#include "plan/binding.h"
+
+namespace dimsum {
+namespace {
+
+/// Resource identity for phase demand accounting.
+struct ResKey {
+  enum Kind { kCpu, kDisk, kNet, kChain } kind;
+  SiteId site;   // cpu/disk owner; 0 for net
+  int chain_id;  // unique id for kChain
+
+  bool operator<(const ResKey& other) const {
+    return std::tie(kind, site, chain_id) <
+           std::tie(other.kind, other.site, other.chain_id);
+  }
+};
+
+ResKey Cpu(SiteId s) { return ResKey{ResKey::kCpu, s, 0}; }
+/// A site's disks are distinguished by a sub-index so that the model can
+/// credit multi-disk sites (Table 2's NumDisks) with intra-site I/O
+/// parallelism: base relations hash to one arm, temp I/O stripes over all.
+ResKey DiskOf(SiteId s, int sub = 0) { return ResKey{ResKey::kDisk, s, sub}; }
+ResKey Net() { return ResKey{ResKey::kNet, 0, 0}; }
+ResKey Chain(int id) { return ResKey{ResKey::kChain, 0, id}; }
+
+/// DAG of pipelined phases with union-find merging. A phase's duration is
+/// the maximum of its per-resource demands (full-overlap assumption); its
+/// finish time is its duration plus the latest finish of its predecessors.
+///
+/// Interference: sequential scan I/O in a phase whose disk also serves
+/// temporary (join partition) I/O loses its sequentiality (the simulator's
+/// read-ahead is destroyed by interleaved requests), so such scan demand is
+/// inflated to the random-I/O rate via `seq_to_rand_factor`.
+class PhaseGraph {
+ public:
+  explicit PhaseGraph(double seq_to_rand_factor)
+      : seq_to_rand_factor_(seq_to_rand_factor) {}
+  int NewPhase() {
+    phases_.emplace_back();
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return static_cast<int>(phases_.size()) - 1;
+  }
+
+  void AddUsage(int phase, ResKey key, double ms) {
+    if (ms <= 0.0) return;
+    phases_[Find(phase)].usage[key] += ms;
+  }
+
+  /// Adds sequential-scan disk demand, eligible for the interference
+  /// inflation when the same phase also has temp I/O on that disk.
+  void AddScanDisk(int phase, ResKey key, double ms) {
+    if (ms <= 0.0) return;
+    Phase& p = phases_[Find(phase)];
+    p.usage[key] += ms;
+    p.scan_seq_ms[key] += ms;
+  }
+
+  /// Marks temp (partition) I/O on a disk within the phase.
+  void AddTempDisk(int phase, ResKey key, double ms) {
+    if (ms <= 0.0) return;
+    Phase& p = phases_[Find(phase)];
+    p.usage[key] += ms;
+    p.temp_disks.insert(key);
+  }
+
+  void AddDep(int phase, int before) {
+    phases_[Find(phase)].deps.push_back(Find(before));
+  }
+
+  /// Folds `b` into `a`; both ids remain usable and resolve to the merged
+  /// phase. Returns the representative.
+  int Merge(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return a;
+    for (const auto& [key, ms] : phases_[b].usage) phases_[a].usage[key] += ms;
+    for (const auto& [key, ms] : phases_[b].scan_seq_ms) {
+      phases_[a].scan_seq_ms[key] += ms;
+    }
+    phases_[a].temp_disks.insert(phases_[b].temp_disks.begin(),
+                                 phases_[b].temp_disks.end());
+    for (int dep : phases_[b].deps) phases_[a].deps.push_back(dep);
+    phases_[b].usage.clear();
+    phases_[b].scan_seq_ms.clear();
+    phases_[b].temp_disks.clear();
+    phases_[b].deps.clear();
+    parent_[b] = a;
+    return a;
+  }
+
+  double PhaseDuration(int phase) const {
+    const Phase& p = phases_[phase];
+    double duration = 0.0;
+    for (const auto& [key, ms] : p.usage) {
+      double effective = ms;
+      if (key.kind == ResKey::kDisk && p.temp_disks.count(key) > 0) {
+        auto it = p.scan_seq_ms.find(key);
+        if (it != p.scan_seq_ms.end()) {
+          effective += it->second * (seq_to_rand_factor_ - 1.0);
+        }
+      }
+      duration = std::max(duration, effective);
+    }
+    return duration;
+  }
+
+  /// Critical-path finish time over all phases.
+  double CriticalPath() {
+    finish_.assign(phases_.size(), -1.0);
+    double result = 0.0;
+    for (int i = 0; i < static_cast<int>(phases_.size()); ++i) {
+      if (Find(i) == i) result = std::max(result, Finish(i));
+    }
+    return result;
+  }
+
+  /// Sum of all resource demands, excluding chain pseudo-resources (their
+  /// components are also charged to the real resources) but including the
+  /// interference surcharge, which represents real extra disk time.
+  double TotalUsage() const {
+    double total = 0.0;
+    for (const auto& phase : phases_) {
+      for (const auto& [key, ms] : phase.usage) {
+        if (key.kind == ResKey::kChain) continue;
+        double effective = ms;
+        if (key.kind == ResKey::kDisk && phase.temp_disks.count(key) > 0) {
+          auto it = phase.scan_seq_ms.find(key);
+          if (it != phase.scan_seq_ms.end()) {
+            effective += it->second * (seq_to_rand_factor_ - 1.0);
+          }
+        }
+        total += effective;
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct Phase {
+    std::map<ResKey, double> usage;
+    std::map<ResKey, double> scan_seq_ms;  // interference-eligible demand
+    std::set<ResKey> temp_disks;           // disks with temp I/O this phase
+    std::vector<int> deps;
+  };
+
+  int Find(int i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+
+  double Finish(int i) {
+    i = Find(i);
+    if (finish_[i] >= 0.0) return finish_[i];
+    finish_[i] = 0.0;  // guards against (impossible) cycles
+    double start = 0.0;
+    for (int dep : phases_[i].deps) {
+      const int d = Find(dep);
+      if (d != i) start = std::max(start, Finish(d));
+    }
+    finish_[i] = start + PhaseDuration(i);
+    return finish_[i];
+  }
+
+  double seq_to_rand_factor_;
+  std::vector<Phase> phases_;
+  std::vector<int> parent_;
+  std::vector<double> finish_;
+};
+
+class Builder {
+ public:
+  Builder(const Catalog& catalog, const QueryGraph& query,
+          const CostParams& params,
+          const std::map<SiteId, double>& server_disk_load,
+          const PlanStats& stats)
+      : catalog_(catalog),
+        query_(query),
+        params_(params),
+        load_(server_disk_load),
+        stats_(stats),
+        graph_(params.rand_page_ms / params.seq_page_ms) {}
+
+  PhaseGraph& graph() { return graph_; }
+
+  /// Builds the phases of the subtree rooted at `node`; returns the id of
+  /// the phase producing the node's output stream.
+  int Build(const PlanNode& node) {
+    switch (node.type) {
+      case OpType::kScan:
+        return BuildScan(node);
+      case OpType::kSelect:
+        return BuildSelect(node);
+      case OpType::kProject:
+        return BuildProject(node);
+      case OpType::kAggregate:
+        return BuildAggregate(node);
+      case OpType::kSort:
+        return BuildSort(node);
+      case OpType::kJoin:
+        return BuildJoin(node);
+      case OpType::kUnion:
+        return BuildUnion(node);
+      case OpType::kDisplay:
+        return BuildDisplay(node);
+    }
+    DIMSUM_UNREACHABLE();
+  }
+
+ private:
+  /// Disk-demand inflation under external load at `site`.
+  double LoadFactor(SiteId site) const {
+    auto it = load_.find(site);
+    if (it == load_.end()) return 1.0;
+    DIMSUM_CHECK_LT(it->second, 1.0);
+    return 1.0 / (1.0 - it->second);
+  }
+
+  const StreamStats& Out(const PlanNode& node) const {
+    return stats_.at(&node);
+  }
+
+  int NumDisks() const { return std::max(1, params_.num_disks); }
+
+  /// Adds CPU demand at `site`, honoring per-site speed overrides.
+  void AddCpu(int phase, SiteId site, double default_speed_ms) {
+    graph_.AddUsage(phase, Cpu(site),
+                    default_speed_ms * params_.CpuTimeFactor(site));
+  }
+
+  /// Disk sub-index a relation's extent maps to (round-robin placement).
+  int DiskSub(RelationId relation) const {
+    return static_cast<int>(relation % NumDisks());
+  }
+
+  /// Spreads temp (partition) I/O demand evenly over a site's disks.
+  void AddTempSpread(int phase, SiteId site, double total_ms) {
+    const int n = NumDisks();
+    for (int d = 0; d < n; ++d) {
+      graph_.AddTempDisk(phase, DiskOf(site, d), total_ms / n);
+    }
+  }
+
+  int BuildScan(const PlanNode& node) {
+    const int phase = graph_.NewPhase();
+    const int64_t pages =
+        catalog_.relation(node.relation).Pages(params_.page_bytes);
+    if (node.annotation == SiteAnnotation::kPrimaryCopy) {
+      const SiteId server = node.bound_site;
+      graph_.AddScanDisk(phase, DiskOf(server, DiskSub(node.relation)),
+                         static_cast<double>(pages) * params_.seq_page_ms *
+                             LoadFactor(server));
+      AddCpu(phase, server,
+                      static_cast<double>(pages) * params_.DiskCpuMs());
+      return phase;
+    }
+    // Client scan: cached prefix from the client disk, the rest faulted in
+    // from the relation's server one page at a time, synchronously.
+    const SiteId client = node.bound_site;
+    const SiteId server = catalog_.PrimarySite(node.relation);
+    const int64_t cached = catalog_.CachedPages(node.relation, params_.page_bytes);
+    const int64_t faulted = pages - cached;
+    graph_.AddScanDisk(phase, DiskOf(client, DiskSub(node.relation)),
+                       static_cast<double>(cached) * params_.seq_page_ms *
+                           LoadFactor(client));
+    AddCpu(phase, client,
+                    static_cast<double>(cached) * params_.DiskCpuMs());
+    if (faulted > 0) {
+      const double request_cpu = params_.MsgCpuMs(params_.fault_request_bytes);
+      const double page_cpu = params_.MsgCpuMs(params_.page_bytes);
+      const double server_disk = params_.seq_page_ms * LoadFactor(server);
+      const double round_trip =
+          request_cpu +                            // client sends request
+          params_.WireMs(params_.fault_request_bytes) +
+          request_cpu +                            // server receives request
+          params_.DiskCpuMs() + server_disk +      // server reads the page
+          page_cpu +                               // server sends the page
+          params_.WireMs(params_.page_bytes) +     //
+          page_cpu;                                // client receives the page
+      const double f = static_cast<double>(faulted);
+      graph_.AddUsage(phase, Chain(next_chain_id_++), f * round_trip);
+      AddCpu(phase, client, f * (request_cpu + page_cpu));
+      AddCpu(phase, server,
+                      f * (request_cpu + page_cpu + params_.DiskCpuMs()));
+      graph_.AddUsage(phase, DiskOf(server, DiskSub(node.relation)),
+                      f * server_disk);
+      graph_.AddUsage(
+          phase, Net(),
+          f * (params_.WireMs(params_.fault_request_bytes) +
+               params_.WireMs(params_.page_bytes)));
+    }
+    return phase;
+  }
+
+  /// Adds pipelined network-transfer demand for a stream of `pages` flowing
+  /// from `from` to `to` into `phase`.
+  void AddNetEdge(int phase, SiteId from, SiteId to, int64_t pages) {
+    if (from == to || pages == 0) return;
+    const double page_cpu = params_.MsgCpuMs(params_.page_bytes);
+    const double p = static_cast<double>(pages);
+    AddCpu(phase, from, p * page_cpu);
+    AddCpu(phase, to, p * page_cpu);
+    graph_.AddUsage(phase, Net(), p * params_.WireMs(params_.page_bytes));
+  }
+
+  int BuildSelect(const PlanNode& node) {
+    const int phase = Build(*node.left);
+    AddNetEdge(phase, node.left->bound_site, node.bound_site,
+               Out(*node.left).pages);
+    const StreamStats& in = Out(*node.left);
+    AddCpu(phase, node.bound_site,
+                    static_cast<double>(in.tuples) *
+                        params_.InstrMs(params_.compare_inst));
+    return phase;
+  }
+
+  int BuildProject(const PlanNode& node) {
+    const int phase = Build(*node.left);
+    AddNetEdge(phase, node.left->bound_site, node.bound_site,
+               Out(*node.left).pages);
+    // Copy every input tuple at the (narrower) output width.
+    AddCpu(phase, node.bound_site,
+                    static_cast<double>(Out(*node.left).tuples) *
+                        params_.MoveTupleMs(Out(node).tuple_bytes));
+    return phase;
+  }
+
+  int BuildAggregate(const PlanNode& node) {
+    // Hash aggregation is blocking: the input pipeline completes before any
+    // group is emitted, so the output starts a new phase.
+    const int input = Build(*node.left);
+    AddNetEdge(input, node.left->bound_site, node.bound_site,
+               Out(*node.left).pages);
+    AddCpu(input, node.bound_site,
+                    static_cast<double>(Out(*node.left).tuples) *
+                        (params_.InstrMs(params_.hash_inst) +
+                         params_.InstrMs(params_.compare_inst)));
+    const int output = graph_.NewPhase();
+    graph_.AddDep(output, input);
+    AddCpu(output, node.bound_site,
+                    static_cast<double>(Out(node).tuples) *
+                        params_.MoveTupleMs(Out(node).tuple_bytes));
+    return output;
+  }
+
+  int BuildSort(const PlanNode& node) {
+    // External merge sort: blocking. With maximum allocation the input is
+    // sorted in memory; with minimum allocation sorted runs are written to
+    // temp storage and merged back in one pass (the sqrt-sized allocation
+    // guarantees a single merge level, as with hybrid hash).
+    const StreamStats& in = Out(*node.left);
+    const SiteId site = node.bound_site;
+    const int input = Build(*node.left);
+    AddNetEdge(input, node.left->bound_site, site, in.pages);
+    const double log_n =
+        in.tuples > 1 ? std::log2(static_cast<double>(in.tuples)) : 1.0;
+    AddCpu(input, site,
+           static_cast<double>(in.tuples) *
+               params_.InstrMs(params_.compare_inst) * log_n);
+    const bool spills = params_.buf_alloc == BufAlloc::kMinimum;
+    if (spills) {
+      graph_.AddTempDisk(input, DiskOf(site, 0),
+                         static_cast<double>(in.pages) * params_.rand_page_ms *
+                             LoadFactor(site));
+      AddCpu(input, site, static_cast<double>(in.pages) * params_.DiskCpuMs());
+    }
+    const int output = graph_.NewPhase();
+    graph_.AddDep(output, input);
+    if (spills) {
+      // Merge pass: read the runs back.
+      AddTempSpread(output, site,
+                    static_cast<double>(in.pages) * params_.seq_page_ms *
+                        LoadFactor(site));
+      AddCpu(output, site, static_cast<double>(in.pages) * params_.DiskCpuMs());
+    }
+    AddCpu(output, site,
+           static_cast<double>(in.tuples) *
+               params_.MoveTupleMs(in.tuple_bytes));
+    return output;
+  }
+
+  int BuildUnion(const PlanNode& node) {
+    // Bag union streams both inputs through; no blocking boundary.
+    const int left = Build(*node.left);
+    AddNetEdge(left, node.left->bound_site, node.bound_site,
+               Out(*node.left).pages);
+    const int right = Build(*node.right);
+    AddNetEdge(right, node.right->bound_site, node.bound_site,
+               Out(*node.right).pages);
+    const int phase = graph_.Merge(left, right);
+    AddCpu(phase, node.bound_site,
+                    static_cast<double>(Out(node).tuples) *
+                        params_.MoveTupleMs(Out(node).tuple_bytes));
+    return phase;
+  }
+
+  int BuildJoin(const PlanNode& node) {
+    const SiteId site = node.bound_site;
+    const StreamStats& inner = Out(*node.left);
+    const StreamStats& outer = Out(*node.right);
+    const StreamStats& out = Out(node);
+    const HashJoinModel hj = ComputeHashJoinModel(
+        inner.pages, params_.buf_alloc, params_.hash_fudge);
+
+    // Build phase: consume the inner stream, hash it, spill partitions.
+    const int build = Build(*node.left);
+    AddNetEdge(build, node.left->bound_site, site, inner.pages);
+    AddCpu(build, site,
+                    static_cast<double>(inner.tuples) *
+                        (params_.InstrMs(params_.hash_inst) +
+                         params_.MoveTupleMs(inner.tuple_bytes)));
+    const int64_t inner_spill = hj.SpillPages(inner.pages);
+    AddTempSpread(build, site,
+                  static_cast<double>(inner_spill) * params_.rand_page_ms *
+                      LoadFactor(site));
+    AddCpu(build, site,
+                    static_cast<double>(inner_spill) * params_.DiskCpuMs());
+
+    // Probe phase: consume the outer stream; spill its partitions; then
+    // re-read both spilled sides and join them. Output flows downstream
+    // within this phase.
+    int probe = graph_.NewPhase();
+    graph_.AddDep(probe, build);
+    const int outer_phase = Build(*node.right);
+    probe = graph_.Merge(probe, outer_phase);
+    AddNetEdge(probe, node.right->bound_site, site, outer.pages);
+    AddCpu(probe, site,
+                    static_cast<double>(outer.tuples) *
+                        (params_.InstrMs(params_.hash_inst) +
+                         params_.InstrMs(params_.compare_inst)));
+    const int64_t outer_spill = hj.SpillPages(outer.pages);
+    // Writes of outer partitions (random-ish) plus re-reads of both sides
+    // (sequential per partition).
+    AddTempSpread(probe, site,
+                  (static_cast<double>(outer_spill) * params_.rand_page_ms +
+                   static_cast<double>(inner_spill + outer_spill) *
+                       params_.seq_page_ms) *
+                      LoadFactor(site));
+    AddCpu(probe, site,
+                    static_cast<double>(inner_spill + 2 * outer_spill) *
+                        params_.DiskCpuMs());
+    // Spilled inner tuples are re-hashed when their partition is joined.
+    AddCpu(probe, site,
+                    hj.spill_fraction * static_cast<double>(inner.tuples) *
+                        params_.InstrMs(params_.hash_inst));
+    // Result construction.
+    AddCpu(probe, site,
+                    static_cast<double>(out.tuples) *
+                        params_.MoveTupleMs(out.tuple_bytes));
+    return probe;
+  }
+
+  int BuildDisplay(const PlanNode& node) {
+    const int phase = Build(*node.left);
+    AddNetEdge(phase, node.left->bound_site, node.bound_site,
+               Out(*node.left).pages);
+    AddCpu(phase, node.bound_site,
+                    static_cast<double>(Out(node).tuples) *
+                        params_.InstrMs(params_.display_inst));
+    return phase;
+  }
+
+  const Catalog& catalog_;
+  const QueryGraph& query_;
+  const CostParams& params_;
+  const std::map<SiteId, double>& load_;
+  const PlanStats& stats_;
+  PhaseGraph graph_;
+  int next_chain_id_ = 0;
+};
+
+}  // namespace
+
+TimeEstimate EstimateTime(const Plan& plan, const Catalog& catalog,
+                          const QueryGraph& query, const CostParams& params,
+                          const std::map<SiteId, double>& server_disk_load) {
+  DIMSUM_CHECK(IsFullyBound(plan));
+  const PlanStats stats = ComputeStats(plan, catalog, query, params);
+  Builder builder(catalog, query, params, server_disk_load, stats);
+  builder.Build(*plan.root());
+  TimeEstimate estimate;
+  estimate.response_ms = builder.graph().CriticalPath();
+  estimate.total_ms = builder.graph().TotalUsage();
+  return estimate;
+}
+
+}  // namespace dimsum

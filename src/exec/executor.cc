@@ -1,0 +1,184 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "cost/cardinality.h"
+#include "exec/operators.h"
+#include "plan/binding.h"
+#include "sim/simulator.h"
+
+namespace dimsum {
+namespace {
+
+/// Channel capacity on operator edges: the producer side of an edge can run
+/// one page ahead of its consumer (Section 3.2.1 of the paper).
+constexpr size_t kPipelineDepth = 1;
+
+/// Executes a batch of (one or more) bound plans concurrently on a fresh
+/// simulated cluster. All queries start at time zero and share the sites'
+/// CPUs, disks, buffer pools, and the network.
+class BatchExecution {
+ public:
+  BatchExecution(const std::vector<WorkloadQuery>& batch,
+                 const Catalog& catalog, const SystemConfig& config,
+                 uint64_t seed)
+      : batch_(batch),
+        catalog_(catalog),
+        config_(config),
+        seed_(seed),
+        system_(sim_, config),
+        remaining_(static_cast<int>(batch.size())) {}
+
+  ConcurrentResult Run() {
+    system_.LoadData(catalog_);
+    for (const WorkloadQuery& wq : batch_) {
+      DIMSUM_CHECK(wq.plan != nullptr);
+      DIMSUM_CHECK(wq.query != nullptr);
+      DIMSUM_CHECK(IsFullyBound(*wq.plan));
+      auto state = std::make_unique<QueryState>();
+      state->stats =
+          ComputeStats(*wq.plan, catalog_, *wq.query, config_.params);
+      state->ctx = std::make_unique<ExecContext>(
+          ExecContext{sim_, system_, catalog_, config_.params, state->stats,
+                      state->metrics});
+      state->ctx->batch_remaining = &remaining_;
+      state->ctx->batch_done = &all_done_;
+      per_query_.push_back(std::move(state));
+    }
+    // Spawn every query's operator tree.
+    for (size_t q = 0; q < batch_.size(); ++q) {
+      QueryState& state = *per_query_[q];
+      const Plan& plan = *batch_[q].plan;
+      PageChannel& result = BuildNode(state, *plan.root()->left, kClientSite);
+      sim_.Spawn(DisplayProcess(*state.ctx, *plan.root(), result));
+    }
+    // External load generators run until the whole batch completes.
+    uint64_t load_seed = seed_ * 7919 + 17;
+    for (const auto& [site, rate] : config_.server_disk_load_per_sec) {
+      if (rate > 0.0) {
+        sim_.Spawn(LoadGeneratorProcess(sim_, system_.site(site),
+                                        config_.params, rate, load_seed++,
+                                        &all_done_));
+      }
+    }
+
+    sim_.Run();
+    DIMSUM_CHECK(all_done_) << "some query did not complete";
+
+    ConcurrentResult result;
+    for (auto& state : per_query_) {
+      // System-wide resource usage is attached to every entry.
+      state->metrics.bytes_sent = system_.network().bytes_sent();
+      state->metrics.network_busy_ms = system_.network().busy_ms();
+      for (int s = 0; s < system_.num_sites(); ++s) {
+        state->metrics.cpu_busy_ms[s] = system_.site(s).cpu.busy_ms();
+        state->metrics.disk_busy_ms[s] = system_.site(s).TotalDiskBusyMs();
+      }
+      result.makespan_ms =
+          std::max(result.makespan_ms, state->metrics.response_ms);
+      result.per_query.push_back(state->metrics);
+    }
+    return result;
+  }
+
+ private:
+  struct QueryState {
+    PlanStats stats;
+    ExecMetrics metrics;
+    std::unique_ptr<ExecContext> ctx;
+  };
+
+  PageChannel& NewChannel() {
+    channels_.push_back(std::make_unique<PageChannel>(sim_, kPipelineDepth));
+    return *channels_.back();
+  }
+
+  /// Spawns the processes computing `node`; returns the channel delivering
+  /// its output at `consumer_site`.
+  PageChannel& BuildNode(QueryState& state, const PlanNode& node,
+                         SiteId consumer_site) {
+    ExecContext& ctx = *state.ctx;
+    PageChannel& out = NewChannel();
+    switch (node.type) {
+      case OpType::kScan:
+        sim_.Spawn(ScanProcess(ctx, node, out));
+        break;
+      case OpType::kSelect: {
+        PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+        sim_.Spawn(SelectProcess(ctx, node, in, out));
+        break;
+      }
+      case OpType::kProject: {
+        PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+        sim_.Spawn(ProjectProcess(ctx, node, in, out));
+        break;
+      }
+      case OpType::kAggregate: {
+        PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+        sim_.Spawn(AggregateProcess(ctx, node, in, out));
+        break;
+      }
+      case OpType::kSort: {
+        PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+        sim_.Spawn(SortProcess(ctx, node, in, out));
+        break;
+      }
+      case OpType::kUnion: {
+        PageChannel& l = BuildNode(state, *node.left, node.bound_site);
+        PageChannel& r = BuildNode(state, *node.right, node.bound_site);
+        sim_.Spawn(UnionProcess(ctx, node, l, r, out));
+        break;
+      }
+      case OpType::kJoin: {
+        PageChannel& inner = BuildNode(state, *node.left, node.bound_site);
+        PageChannel& outer = BuildNode(state, *node.right, node.bound_site);
+        sim_.Spawn(HashJoinProcess(ctx, node, inner, outer, out));
+        break;
+      }
+      case OpType::kDisplay:
+        DIMSUM_UNREACHABLE() << "display is handled by Run()";
+    }
+    if (node.bound_site == consumer_site) return out;
+    // Crossing edge: insert the network operator pair.
+    PageChannel& wire = NewChannel();
+    PageChannel& delivered = NewChannel();
+    sim_.Spawn(NetSendProcess(ctx, node.bound_site, out, wire));
+    sim_.Spawn(NetRecvProcess(ctx, consumer_site, wire, delivered));
+    return delivered;
+  }
+
+  const std::vector<WorkloadQuery>& batch_;
+  const Catalog& catalog_;
+  SystemConfig config_;
+  uint64_t seed_;
+  sim::Simulator sim_;
+  ExecSystem system_;
+  int remaining_;
+  bool all_done_ = false;
+  std::vector<std::unique_ptr<QueryState>> per_query_;
+  std::vector<std::unique_ptr<PageChannel>> channels_;
+};
+
+}  // namespace
+
+ExecMetrics ExecutePlan(const Plan& plan, const Catalog& catalog,
+                        const QueryGraph& query, const SystemConfig& config,
+                        uint64_t seed) {
+  std::vector<WorkloadQuery> batch{WorkloadQuery{&plan, &query}};
+  BatchExecution execution(batch, catalog, config, seed);
+  ConcurrentResult result = execution.Run();
+  return result.per_query.front();
+}
+
+ConcurrentResult ExecuteConcurrent(const std::vector<WorkloadQuery>& batch,
+                                   const Catalog& catalog,
+                                   const SystemConfig& config, uint64_t seed) {
+  DIMSUM_CHECK(!batch.empty());
+  BatchExecution execution(batch, catalog, config, seed);
+  return execution.Run();
+}
+
+}  // namespace dimsum

@@ -1,0 +1,55 @@
+#ifndef DIMSUM_EXEC_EXECUTOR_H_
+#define DIMSUM_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/metrics.h"
+#include "exec/runtime.h"
+#include "plan/plan.h"
+#include "plan/query.h"
+
+namespace dimsum {
+
+/// Executes a bound plan on the detailed simulator and returns the measured
+/// metrics. Builds a fresh simulated cluster (per `config`), loads the
+/// catalog's data layout, instantiates one coroutine process per operator
+/// (with network operator pairs on site-crossing edges, so producers stay a
+/// page ahead of their consumers), runs external disk load generators if
+/// configured, and drives the simulation to completion.
+///
+/// `seed` controls the load generators' randomness; query execution itself
+/// is deterministic.
+ExecMetrics ExecutePlan(const Plan& plan, const Catalog& catalog,
+                        const QueryGraph& query, const SystemConfig& config,
+                        uint64_t seed = 0);
+
+/// One query of a concurrent batch.
+struct WorkloadQuery {
+  const Plan* plan = nullptr;        // bound plan
+  const QueryGraph* query = nullptr;
+};
+
+/// Result of executing a batch of queries concurrently on one system.
+struct ConcurrentResult {
+  /// Per-query metrics; response_ms is each query's own completion time
+  /// (all queries start at time 0).
+  std::vector<ExecMetrics> per_query;
+  /// Time until the last query completes.
+  double makespan_ms = 0.0;
+};
+
+/// Multi-query execution (the paper's Section 7 future work: "the impact
+/// of caching and the use of the aggregate main memory of the system in
+/// multi-query workloads"). All queries start together and share the
+/// simulated sites -- CPUs, disks, the network, and each site's buffer
+/// pool (maximum-allocation joins queue for memory when it runs short).
+ConcurrentResult ExecuteConcurrent(const std::vector<WorkloadQuery>& batch,
+                                   const Catalog& catalog,
+                                   const SystemConfig& config,
+                                   uint64_t seed = 0);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_EXEC_EXECUTOR_H_

@@ -1,0 +1,32 @@
+#ifndef DIMSUM_EXEC_METRICS_H_
+#define DIMSUM_EXEC_METRICS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/ids.h"
+
+namespace dimsum {
+
+/// Measured results of one simulated query execution.
+struct ExecMetrics {
+  /// Elapsed virtual time from query initiation until the last result tuple
+  /// is displayed at the client (the paper's response-time metric), ms.
+  double response_ms = 0.0;
+  /// Data pages shipped over the network, including pages faulted in by
+  /// client scans (the paper's "pages sent" metric).
+  int64_t data_pages_sent = 0;
+  /// All network messages (data pages + fault requests).
+  int64_t messages = 0;
+  /// Total bytes on the wire.
+  int64_t bytes_sent = 0;
+  /// Network busy time, ms.
+  double network_busy_ms = 0.0;
+  /// Per-site resource usage, ms.
+  std::map<SiteId, double> cpu_busy_ms;
+  std::map<SiteId, double> disk_busy_ms;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_EXEC_METRICS_H_

@@ -1,0 +1,433 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "cost/hash_join_model.h"
+
+namespace dimsum {
+namespace {
+
+/// Emits all complete pages accumulated in `acc`, charging the move cost of
+/// result construction at `site`.
+sim::Task<void> EmitFullPages(SiteRuntime& site, OutputAccumulator& acc,
+                              double move_ms_per_tuple, PageChannel& out) {
+  while (acc.HasFullPage()) {
+    Page page = acc.PopFullPage();
+    co_await site.cpu.Use(move_ms_per_tuple * page.tuples);
+    co_await out.Put(page);
+  }
+}
+
+sim::Task<void> EmitRemainder(SiteRuntime& site, OutputAccumulator& acc,
+                              double move_ms_per_tuple, PageChannel& out) {
+  co_await EmitFullPages(site, acc, move_ms_per_tuple, out);
+  if (acc.HasRemainder()) {
+    Page page = acc.PopRemainder();
+    co_await site.cpu.Use(move_ms_per_tuple * page.tuples);
+    co_await out.Put(page);
+  }
+}
+
+}  // namespace
+
+sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
+                         PageChannel& out) {
+  const Relation& rel = ctx.catalog.relation(node.relation);
+  const int64_t tuples_per_page = rel.TuplesPerPage(ctx.params.page_bytes);
+  const int64_t total_pages = rel.Pages(ctx.params.page_bytes);
+  const double disk_cpu = ctx.params.DiskCpuMs();
+
+  auto tuples_on_page = [&](int64_t index) {
+    const int64_t before = index * tuples_per_page;
+    return static_cast<double>(
+        std::min(tuples_per_page, rel.num_tuples - before));
+  };
+
+  if (node.annotation == SiteAnnotation::kPrimaryCopy) {
+    SiteRuntime& server = ctx.system.site(node.bound_site);
+    const DiskExtent extent = ctx.system.RelationExtent(node.relation);
+    for (int64_t i = 0; i < total_pages; ++i) {
+      co_await server.cpu.Use(disk_cpu);
+      co_await server.disk(extent.disk).Read(extent.start + i);
+      co_await out.Put(Page{tuples_on_page(i)});
+    }
+    out.Close();
+    co_return;
+  }
+
+  // Client scan: cached prefix from the client disk, remainder faulted in
+  // synchronously, one page per round trip.
+  DIMSUM_CHECK_EQ(node.bound_site, kClientSite);
+  SiteRuntime& client = ctx.system.site(kClientSite);
+  SiteRuntime& server = ctx.system.site(ctx.catalog.PrimarySite(node.relation));
+  const int64_t cached =
+      ctx.catalog.CachedPages(node.relation, ctx.params.page_bytes);
+  const DiskExtent server_extent = ctx.system.RelationExtent(node.relation);
+  const double request_cpu = ctx.params.MsgCpuMs(ctx.params.fault_request_bytes);
+  const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
+
+  for (int64_t i = 0; i < total_pages; ++i) {
+    if (i < cached) {
+      const DiskExtent cache_extent = ctx.system.CacheExtent(node.relation);
+      co_await client.cpu.Use(disk_cpu);
+      co_await client.disk(cache_extent.disk).Read(cache_extent.start + i);
+    } else {
+      // Page fault: request to the server, server disk read, page back.
+      co_await client.cpu.Use(request_cpu);
+      co_await ctx.system.network().Transfer(ctx.params.fault_request_bytes);
+      co_await server.cpu.Use(request_cpu);
+      co_await server.cpu.Use(disk_cpu);
+      co_await server.disk(server_extent.disk).Read(server_extent.start + i);
+      co_await server.cpu.Use(page_cpu);
+      co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+      co_await client.cpu.Use(page_cpu);
+      ++ctx.metrics.data_pages_sent;
+      ctx.metrics.messages += 2;
+    }
+    co_await out.Put(Page{tuples_on_page(i)});
+  }
+  out.Close();
+}
+
+sim::Process SelectProcess(ExecContext& ctx, const PlanNode& node,
+                           PageChannel& in, PageChannel& out) {
+  SiteRuntime& site = ctx.system.site(node.bound_site);
+  const StreamStats& out_stats = ctx.stats.at(&node);
+  const int64_t tuples_per_page =
+      std::max<int64_t>(1, ctx.params.page_bytes / out_stats.tuple_bytes);
+  OutputAccumulator acc(tuples_per_page);
+  const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
+  const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  while (true) {
+    std::optional<Page> page = co_await in.Get();
+    if (!page.has_value()) break;
+    co_await site.cpu.Use(compare * page->tuples);
+    acc.Add(page->tuples * node.selectivity);
+    co_await EmitFullPages(site, acc, move, out);
+  }
+  co_await EmitRemainder(site, acc, move, out);
+  out.Close();
+}
+
+sim::Process ProjectProcess(ExecContext& ctx, const PlanNode& node,
+                            PageChannel& in, PageChannel& out) {
+  SiteRuntime& site = ctx.system.site(node.bound_site);
+  const StreamStats& out_stats = ctx.stats.at(&node);
+  const int64_t tuples_per_page =
+      std::max<int64_t>(1, ctx.params.page_bytes / out_stats.tuple_bytes);
+  OutputAccumulator acc(tuples_per_page);
+  const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  while (true) {
+    std::optional<Page> page = co_await in.Get();
+    if (!page.has_value()) break;
+    acc.Add(page->tuples);
+    co_await EmitFullPages(site, acc, move, out);
+  }
+  co_await EmitRemainder(site, acc, move, out);
+  out.Close();
+}
+
+sim::Process AggregateProcess(ExecContext& ctx, const PlanNode& node,
+                              PageChannel& in, PageChannel& out) {
+  SiteRuntime& site = ctx.system.site(node.bound_site);
+  const StreamStats& out_stats = ctx.stats.at(&node);
+  const double hash = ctx.params.InstrMs(ctx.params.hash_inst);
+  const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
+  // Blocking phase: hash every input tuple into the group table.
+  while (true) {
+    std::optional<Page> page = co_await in.Get();
+    if (!page.has_value()) break;
+    co_await site.cpu.Use((hash + compare) * page->tuples);
+  }
+  // Emit the groups.
+  const int64_t tuples_per_page =
+      std::max<int64_t>(1, ctx.params.page_bytes / out_stats.tuple_bytes);
+  OutputAccumulator acc(tuples_per_page);
+  const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  acc.Add(static_cast<double>(out_stats.tuples));
+  co_await EmitRemainder(site, acc, move, out);
+  out.Close();
+}
+
+sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
+                         PageChannel& in, PageChannel& out) {
+  SiteRuntime& site = ctx.system.site(node.bound_site);
+  const StreamStats& in_stats = ctx.stats.at(node.left.get());
+  const StreamStats& out_stats = ctx.stats.at(&node);
+  const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
+  const double disk_cpu = ctx.params.DiskCpuMs();
+  const double log_n =
+      in_stats.tuples > 1 ? std::log2(static_cast<double>(in_stats.tuples))
+                          : 1.0;
+  const bool spills = ctx.params.buf_alloc == BufAlloc::kMinimum;
+
+  // Memory: in-memory sort needs the whole input; run generation needs the
+  // sqrt-sized allocation that guarantees a one-pass merge.
+  const int64_t frames =
+      spills ? std::max<int64_t>(
+                   2, static_cast<int64_t>(std::ceil(std::sqrt(
+                          ctx.params.hash_fudge *
+                          static_cast<double>(std::max<int64_t>(
+                              in_stats.pages, 1))))))
+             : std::max<int64_t>(1, in_stats.pages);
+  co_await site.memory.Acquire(frames);
+
+  DiskExtent runs{};
+  int64_t run_pages = 0;
+  if (spills && in_stats.pages > 0) {
+    runs = site.AllocateTempOn(0, in_stats.pages + 2);
+  }
+  // Run-generation phase: consume the input, sort, spill runs.
+  while (true) {
+    std::optional<Page> page = co_await in.Get();
+    if (!page.has_value()) break;
+    co_await site.cpu.Use(compare * log_n * page->tuples);
+    if (spills) {
+      co_await site.cpu.Use(disk_cpu);
+      co_await site.disk(runs.disk).Write(runs.start + run_pages++);
+    }
+  }
+  if (spills) {
+    co_await site.disk(runs.disk).Flush();
+  }
+  // Merge/output phase: read the runs back and emit sorted pages.
+  const int64_t tuples_per_page =
+      std::max<int64_t>(1, ctx.params.page_bytes / out_stats.tuple_bytes);
+  OutputAccumulator acc(tuples_per_page);
+  const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  if (spills) {
+    for (int64_t i = 0; i < run_pages; ++i) {
+      co_await site.cpu.Use(disk_cpu);
+      co_await site.disk(runs.disk).Read(runs.start + i);
+      acc.Add(static_cast<double>(out_stats.tuples) /
+              std::max<int64_t>(run_pages, 1));
+      co_await EmitFullPages(site, acc, move, out);
+    }
+  } else {
+    acc.Add(static_cast<double>(out_stats.tuples));
+  }
+  co_await EmitRemainder(site, acc, move, out);
+  out.Close();
+  site.memory.Release(frames);
+}
+
+sim::Process UnionProcess(ExecContext& ctx, const PlanNode& node,
+                          PageChannel& left, PageChannel& right,
+                          PageChannel& out) {
+  SiteRuntime& site = ctx.system.site(node.bound_site);
+  const StreamStats& out_stats = ctx.stats.at(&node);
+  const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  for (PageChannel* input : {&left, &right}) {
+    while (true) {
+      std::optional<Page> page = co_await input->Get();
+      if (!page.has_value()) break;
+      co_await site.cpu.Use(move * page->tuples);
+      co_await out.Put(*page);
+    }
+  }
+  out.Close();
+}
+
+sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
+                             PageChannel& inner, PageChannel& outer,
+                             PageChannel& out) {
+  SiteRuntime& site = ctx.system.site(node.bound_site);
+  const StreamStats& inner_stats = ctx.stats.at(node.left.get());
+  const StreamStats& outer_stats = ctx.stats.at(node.right.get());
+  const StreamStats& out_stats = ctx.stats.at(&node);
+  const HashJoinModel hj = ComputeHashJoinModel(
+      inner_stats.pages, ctx.params.buf_alloc, ctx.params.hash_fudge);
+
+  const double hash = ctx.params.InstrMs(ctx.params.hash_inst);
+  const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
+  const double move_in = ctx.params.MoveTupleMs(inner_stats.tuple_bytes);
+  const double move_out = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  const double disk_cpu = ctx.params.DiskCpuMs();
+
+  co_await site.memory.Acquire(hj.memory_frames);
+
+  // Temp extents: one per partition and side, so partition writes hop
+  // between extents (seeks) while partition reads are sequential runs.
+  const int partitions = std::max(1, hj.num_partitions);
+  const int64_t inner_spill_total = hj.SpillPages(inner_stats.pages);
+  const int64_t outer_spill_total = hj.SpillPages(outer_stats.pages);
+  std::vector<DiskExtent> inner_extent(partitions), outer_extent(partitions);
+  std::vector<int64_t> inner_written(partitions, 0), outer_written(partitions, 0);
+  if (!hj.in_memory()) {
+    const int64_t inner_cap = inner_spill_total / partitions + 2;
+    const int64_t outer_cap = outer_spill_total / partitions + 2;
+    for (int p = 0; p < partitions; ++p) {
+      // Stripe partitions over the site's disks; a partition's inner and
+      // outer halves share an arm (they are read back to back anyway).
+      inner_extent[p] = site.AllocateTempOn(p, inner_cap);
+      outer_extent[p] = site.AllocateTempOn(p, outer_cap);
+    }
+  }
+
+  // --- build phase: consume the inner input -----------------------------
+  double spill_acc = 0.0;  // fractional pages destined for temp storage
+  int next_partition = 0;
+  while (true) {
+    std::optional<Page> page = co_await inner.Get();
+    if (!page.has_value()) break;
+    co_await site.cpu.Use((hash + move_in) * page->tuples);
+    if (!hj.in_memory()) {
+      spill_acc += hj.spill_fraction;
+      while (spill_acc >= 1.0) {
+        spill_acc -= 1.0;
+        const int p = next_partition;
+        next_partition = (next_partition + 1) % partitions;
+        co_await site.cpu.Use(disk_cpu);
+        co_await site.disk(inner_extent[p].disk)
+            .Write(inner_extent[p].start + inner_written[p]++);
+      }
+    }
+  }
+  if (!hj.in_memory()) {
+    for (int d = 0; d < site.num_disks(); ++d) {
+      co_await site.disk(d).Flush();
+    }
+  }
+
+  // --- probe phase: stream the outer input ------------------------------
+  const int64_t out_tuples_per_page =
+      std::max<int64_t>(1, ctx.params.page_bytes / out_stats.tuple_bytes);
+  OutputAccumulator acc(out_tuples_per_page);
+  const double resident_fraction = 1.0 - hj.spill_fraction;
+  const double resident_out_per_outer_tuple =
+      outer_stats.tuples > 0
+          ? static_cast<double>(out_stats.tuples) * resident_fraction /
+                static_cast<double>(outer_stats.tuples)
+          : 0.0;
+  spill_acc = 0.0;
+  next_partition = 0;
+  while (true) {
+    std::optional<Page> page = co_await outer.Get();
+    if (!page.has_value()) break;
+    co_await site.cpu.Use((hash + compare) * page->tuples);
+    acc.Add(page->tuples * resident_out_per_outer_tuple);
+    co_await EmitFullPages(site, acc, move_out, out);
+    if (!hj.in_memory()) {
+      spill_acc += hj.spill_fraction;
+      while (spill_acc >= 1.0) {
+        spill_acc -= 1.0;
+        const int p = next_partition;
+        next_partition = (next_partition + 1) % partitions;
+        co_await site.cpu.Use(disk_cpu);
+        co_await site.disk(outer_extent[p].disk)
+            .Write(outer_extent[p].start + outer_written[p]++);
+      }
+    }
+  }
+
+  // --- partition phase: join the spilled partition pairs ----------------
+  if (!hj.in_memory()) {
+    for (int d = 0; d < site.num_disks(); ++d) {
+      co_await site.disk(d).Flush();
+    }
+    const int64_t inner_tpp =
+        std::max<int64_t>(1, ctx.params.page_bytes / inner_stats.tuple_bytes);
+    const int64_t outer_tpp =
+        std::max<int64_t>(1, ctx.params.page_bytes / outer_stats.tuple_bytes);
+    const double spilled_out_total =
+        static_cast<double>(out_stats.tuples) * hj.spill_fraction;
+    for (int p = 0; p < partitions; ++p) {
+      // Rebuild the hash table from the spilled inner partition.
+      for (int64_t i = 0; i < inner_written[p]; ++i) {
+        co_await site.cpu.Use(disk_cpu);
+        co_await site.disk(inner_extent[p].disk).Read(inner_extent[p].start + i);
+        co_await site.cpu.Use((hash + move_in) *
+                              static_cast<double>(inner_tpp));
+      }
+      // Probe with the spilled outer partition.
+      for (int64_t i = 0; i < outer_written[p]; ++i) {
+        co_await site.cpu.Use(disk_cpu);
+        co_await site.disk(outer_extent[p].disk).Read(outer_extent[p].start + i);
+        co_await site.cpu.Use((hash + compare) *
+                              static_cast<double>(outer_tpp));
+      }
+      acc.Add(spilled_out_total / partitions);
+      co_await EmitFullPages(site, acc, move_out, out);
+    }
+  }
+
+  co_await EmitRemainder(site, acc, move_out, out);
+  out.Close();
+  site.memory.Release(hj.memory_frames);
+}
+
+sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
+                            PageChannel& in) {
+  SiteRuntime& client = ctx.system.site(node.bound_site);
+  const double display = ctx.params.InstrMs(ctx.params.display_inst);
+  while (true) {
+    std::optional<Page> page = co_await in.Get();
+    if (!page.has_value()) break;
+    co_await client.cpu.Use(display * page->tuples);
+  }
+  ctx.metrics.response_ms = ctx.sim.now();
+  ctx.query_done = true;
+  if (ctx.batch_remaining != nullptr && --*ctx.batch_remaining == 0 &&
+      ctx.batch_done != nullptr) {
+    *ctx.batch_done = true;
+  }
+}
+
+sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
+                            PageChannel& wire) {
+  SiteRuntime& site = ctx.system.site(from);
+  const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
+  while (true) {
+    std::optional<Page> page = co_await in.Get();
+    if (!page.has_value()) break;
+    co_await site.cpu.Use(page_cpu);
+    co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+    ++ctx.metrics.data_pages_sent;
+    ++ctx.metrics.messages;
+    co_await wire.Put(*page);
+  }
+  wire.Close();
+}
+
+sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
+                            PageChannel& out) {
+  SiteRuntime& site = ctx.system.site(to);
+  const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
+  while (true) {
+    std::optional<Page> page = co_await wire.Get();
+    if (!page.has_value()) break;
+    co_await site.cpu.Use(page_cpu);
+    co_await out.Put(*page);
+  }
+  out.Close();
+}
+
+sim::Process LoadGeneratorProcess(sim::Simulator& sim, SiteRuntime& site,
+                                  const CostParams& params,
+                                  double requests_per_sec, uint64_t seed,
+                                  const bool* stop) {
+  DIMSUM_CHECK_GT(requests_per_sec, 0.0);
+  Rng rng(seed);
+  const double mean_gap_ms = 1000.0 / requests_per_sec;
+  const int64_t pages = site.disk(0).params().total_pages();
+  struct OneRead {
+    static sim::Process Run(SiteRuntime& site, int disk, int64_t block,
+                            double disk_cpu) {
+      co_await site.cpu.Use(disk_cpu);
+      co_await site.disk(disk).Read(block);
+    }
+  };
+  while (!*stop) {
+    co_await sim.Delay(rng.Exponential(mean_gap_ms));
+    if (*stop) break;
+    const int disk =
+        static_cast<int>(rng.UniformInt(0, site.num_disks() - 1));
+    sim.Spawn(OneRead::Run(site, disk, rng.UniformInt(0, pages - 1),
+                           params.DiskCpuMs()));
+  }
+}
+
+}  // namespace dimsum

@@ -1,0 +1,111 @@
+#ifndef DIMSUM_EXEC_OPERATORS_H_
+#define DIMSUM_EXEC_OPERATORS_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "cost/cardinality.h"
+#include "cost/params.h"
+#include "exec/metrics.h"
+#include "exec/page.h"
+#include "exec/runtime.h"
+#include "plan/plan.h"
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace dimsum {
+
+using PageChannel = sim::Channel<Page>;
+
+/// Shared state of one query execution, referenced by all operator
+/// processes. Owned by the executor; must outlive the simulation run.
+struct ExecContext {
+  sim::Simulator& sim;
+  ExecSystem& system;
+  const Catalog& catalog;
+  const CostParams& params;
+  const PlanStats& stats;
+  ExecMetrics& metrics;
+  /// Set when the display operator has consumed the last result tuple;
+  /// read by the external load generator to wind down.
+  bool query_done = false;
+
+  /// Multi-query batches: countdown of still-running queries and the flag
+  /// to raise when the whole batch is done (both may be null).
+  int* batch_remaining = nullptr;
+  bool* batch_done = nullptr;
+};
+
+/// Scan of a base relation (Volcano-style, page at a time).
+///
+/// Annotated `primary copy`: sequential reads from the server's disk.
+/// Annotated `client`: the cached prefix is read from the client disk; the
+/// remaining pages are faulted in from the relation's server with one
+/// synchronous request/response round trip per page (the paper's
+/// non-overlapped page faulting).
+sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
+                         PageChannel& out);
+
+/// Applies the node's predicate; charges Compare per input tuple.
+sim::Process SelectProcess(ExecContext& ctx, const PlanNode& node,
+                           PageChannel& in, PageChannel& out);
+
+/// Projects tuples to a narrower width; charges a move per output tuple.
+sim::Process ProjectProcess(ExecContext& ctx, const PlanNode& node,
+                            PageChannel& in, PageChannel& out);
+
+/// Hash aggregation: consumes its whole input (blocking), then emits the
+/// groups. Charges Hash + Compare per input tuple and a move per group.
+sim::Process AggregateProcess(ExecContext& ctx, const PlanNode& node,
+                              PageChannel& in, PageChannel& out);
+
+/// External merge sort: consumes its whole input (blocking). Under
+/// minimum allocation, sorted runs are written to the site's temp region
+/// and merged back in a single pass; under maximum allocation the sort
+/// happens in memory. Charges Compare * log2(n) per tuple plus a move per
+/// output tuple.
+sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
+                         PageChannel& in, PageChannel& out);
+
+/// Bag union: forwards the left input, then the right.
+sim::Process UnionProcess(ExecContext& ctx, const PlanNode& node,
+                          PageChannel& left, PageChannel& right,
+                          PageChannel& out);
+
+/// Hybrid-hash join [Sha86]. Consumes the inner (left) input to build,
+/// spilling partitions to the site's temp disk region under minimum
+/// allocation (write-behind, flushed at phase end); then streams the outer
+/// input, probing the memory-resident part and spilling the rest; finally
+/// joins the spilled partition pairs. Memory is acquired from the site's
+/// buffer pool for the duration.
+sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
+                             PageChannel& inner, PageChannel& outer,
+                             PageChannel& out);
+
+/// Root operator: consumes the result at the client, charges Display per
+/// tuple, records the response time, and flags query completion.
+sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
+                            PageChannel& in);
+
+/// Sending half of the network operator pair: charges send CPU at `from`,
+/// occupies the wire, counts the page, and forwards it. With capacity-1
+/// channels the producer stays about one page ahead of its consumer.
+sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
+                            PageChannel& wire);
+
+/// Receiving half: charges receive CPU at `to` and forwards the page.
+sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
+                            PageChannel& out);
+
+/// External load: open-loop Poisson random single-page reads against a
+/// server's disks (the paper's model of additional clients), winding down
+/// once `*stop` becomes true (the query or batch completed).
+sim::Process LoadGeneratorProcess(sim::Simulator& sim, SiteRuntime& site,
+                                  const CostParams& params,
+                                  double requests_per_sec, uint64_t seed,
+                                  const bool* stop);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_EXEC_OPERATORS_H_

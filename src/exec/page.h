@@ -1,0 +1,63 @@
+#ifndef DIMSUM_EXEC_PAGE_H_
+#define DIMSUM_EXEC_PAGE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dimsum {
+
+/// Unit of data flow in the execution engine: one page's worth of tuples.
+/// The engine simulates costs at page granularity; tuple counts drive the
+/// per-tuple CPU charges.
+struct Page {
+  double tuples = 0.0;
+};
+
+/// Accumulates (possibly fractional) result tuples and packages them into
+/// pages of `tuples_per_page`. Operators that reduce or expand cardinality
+/// (selects, joins) use this so their output page counts agree with the
+/// analytic cardinality model.
+class OutputAccumulator {
+ public:
+  explicit OutputAccumulator(int64_t tuples_per_page)
+      : tuples_per_page_(static_cast<double>(tuples_per_page)) {
+    DIMSUM_CHECK_GT(tuples_per_page, 0);
+  }
+
+  void Add(double tuples) {
+    DIMSUM_CHECK_GE(tuples, 0.0);
+    pending_ += tuples;
+  }
+
+  /// True if a full page is ready to emit (with a small tolerance so that
+  /// accumulated fractions like 100 x 0.4 still fill a 40-tuple page).
+  bool HasFullPage() const { return pending_ >= tuples_per_page_ - 1e-9; }
+
+  /// Removes and returns one full page.
+  Page PopFullPage() {
+    DIMSUM_CHECK(HasFullPage());
+    pending_ = std::max(0.0, pending_ - tuples_per_page_);
+    return Page{tuples_per_page_};
+  }
+
+  /// Removes and returns the final partial page (empty optional if none).
+  bool HasRemainder() const { return pending_ > 1e-9; }
+  Page PopRemainder() {
+    DIMSUM_CHECK(HasRemainder());
+    Page page{pending_};
+    pending_ = 0.0;
+    return page;
+  }
+
+  double pending() const { return pending_; }
+
+ private:
+  double tuples_per_page_;
+  double pending_ = 0.0;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_EXEC_PAGE_H_

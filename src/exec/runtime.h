@@ -1,0 +1,139 @@
+#ifndef DIMSUM_EXEC_RUNTIME_H_
+#define DIMSUM_EXEC_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/ids.h"
+#include "cost/params.h"
+#include "exec/buffer_pool.h"
+#include "exec/layout.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace dimsum {
+
+/// Runtime configuration of the simulated client-server system.
+struct SystemConfig {
+  CostParams params;                  // Table 2 settings (incl. NumDisks)
+  sim::DiskParams disk_params;        // calibrated disk model
+  int num_servers = 1;
+  /// Buffer frames per site. The default comfortably fits maximum-
+  /// allocation joins on the benchmark relations; restrict it to model
+  /// memory pressure from other clients.
+  int64_t site_memory_frames = 4096;
+  /// External random-read load per server, requests/second (the paper's
+  /// multi-client load model; 40/60/70 in Figure 4). Requests are spread
+  /// over the server's disks.
+  std::map<SiteId, double> server_disk_load_per_sec;
+};
+
+/// Location of a contiguous on-disk extent within a site.
+struct DiskExtent {
+  int disk = 0;        // disk index within the site
+  int64_t start = 0;   // first block
+};
+
+/// One machine: CPU, NumDisks disks, space management, and a buffer pool.
+struct SiteRuntime {
+  SiteRuntime(sim::Simulator& sim, SiteId id, const SystemConfig& config)
+      : id(id),
+        cpu(sim, "cpu" + std::to_string(id),
+            config.params.CpuTimeFactor(id)),
+        memory(sim, config.site_memory_frames) {
+    const int num_disks = std::max(1, config.params.num_disks);
+    for (int d = 0; d < num_disks; ++d) {
+      disks.push_back(std::make_unique<sim::Disk>(
+          sim, "disk" + std::to_string(id) + "." + std::to_string(d),
+          config.disk_params));
+      spaces.emplace_back(config.disk_params);
+    }
+  }
+
+  int num_disks() const { return static_cast<int>(disks.size()); }
+  sim::Disk& disk(int index) {
+    DIMSUM_CHECK_GE(index, 0);
+    DIMSUM_CHECK_LT(index, num_disks());
+    return *disks[index];
+  }
+
+  /// Allocates a base-data extent on a specific disk.
+  DiskExtent AllocateBase(int disk_index, int64_t pages) {
+    DIMSUM_CHECK_LT(disk_index, num_disks());
+    return DiskExtent{disk_index, spaces[disk_index].AllocateBase(pages)};
+  }
+
+  /// Allocates a temp extent, striping across the site's disks.
+  DiskExtent AllocateTemp(int64_t pages) {
+    const int d = next_temp_disk_;
+    next_temp_disk_ = (next_temp_disk_ + 1) % num_disks();
+    return AllocateTempOn(d, pages);
+  }
+
+  /// Allocates a temp extent on a specific disk (modulo the disk count);
+  /// used to stripe join partitions so that a partition's build and probe
+  /// halves share an arm while different partitions use different arms.
+  DiskExtent AllocateTempOn(int disk_index, int64_t pages) {
+    const int d = disk_index % num_disks();
+    return DiskExtent{d, spaces[d].AllocateTemp(pages)};
+  }
+
+  double TotalDiskBusyMs() const {
+    double total = 0.0;
+    for (const auto& disk : disks) total += disk->busy_ms();
+    return total;
+  }
+
+  SiteId id;
+  sim::Resource cpu;
+  std::vector<std::unique_ptr<sim::Disk>> disks;
+  std::vector<DiskSpace> spaces;
+  BufferPool memory;
+
+ private:
+  int next_temp_disk_ = 0;
+};
+
+/// The simulated cluster: one client (site 0), `num_servers` servers, and
+/// a shared network. Loads base relations onto server disks (round-robin
+/// across a site's disks) and cached prefixes onto the client disk(s) per
+/// the catalog.
+class ExecSystem {
+ public:
+  ExecSystem(sim::Simulator& sim, const SystemConfig& config);
+
+  /// Places base extents and client-cache extents per `catalog`.
+  void LoadData(const Catalog& catalog);
+
+  SiteRuntime& site(SiteId id) {
+    DIMSUM_CHECK_GE(id, 0);
+    DIMSUM_CHECK_LT(id, static_cast<SiteId>(sites_.size()));
+    return *sites_[id];
+  }
+  sim::Network& network() { return network_; }
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+
+  /// Extent of the relation's primary copy (on its server).
+  DiskExtent RelationExtent(RelationId id) const {
+    return relation_extents_.at(id);
+  }
+  /// Extent of the relation's cached prefix on the client (only valid when
+  /// the catalog caches a non-zero prefix).
+  DiskExtent CacheExtent(RelationId id) const { return cache_extents_.at(id); }
+
+ private:
+  std::vector<std::unique_ptr<SiteRuntime>> sites_;
+  sim::Network network_;
+  std::map<RelationId, DiskExtent> relation_extents_;
+  std::map<RelationId, DiskExtent> cache_extents_;
+  int page_bytes_;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_EXEC_RUNTIME_H_

@@ -1,0 +1,145 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dimsum {
+
+std::pair<Plan, double> TwoPhaseOptimizer::ImproveToLocalMin(
+    Plan start, const QueryGraph& query, const TransformConfig& transform,
+    Rng& rng, int* evaluations) const {
+  double cost = model_.PlanCost(start, query, config_.metric);
+  ++*evaluations;
+  int failures = 0;
+  while (failures < config_.ii_patience) {
+    auto neighbor = TryRandomMove(start, query, transform, rng);
+    if (!neighbor.has_value()) {
+      ++failures;
+      continue;
+    }
+    const double neighbor_cost =
+        model_.PlanCost(*neighbor, query, config_.metric);
+    ++*evaluations;
+    if (neighbor_cost < cost) {
+      start = std::move(*neighbor);
+      cost = neighbor_cost;
+      failures = 0;
+    } else {
+      ++failures;
+    }
+  }
+  return {std::move(start), cost};
+}
+
+OptimizeResult TwoPhaseOptimizer::Anneal(Plan start, double start_cost,
+                                         const QueryGraph& query,
+                                         const TransformConfig& transform,
+                                         Rng& rng, int* evaluations) const {
+  Plan best = start.Clone();
+  double best_cost = start_cost;
+  Plan current = std::move(start);
+  double current_cost = start_cost;
+
+  const int joins = std::max(1, query.num_relations() - 1);
+  const int stage_moves = config_.sa_stage_moves_per_join * joins;
+  double temperature =
+      std::max(config_.sa_initial_temp_factor * start_cost, 1e-9);
+  const double freeze_temp = temperature * config_.sa_freeze_temp_ratio;
+  int stages_without_improvement = 0;
+
+  while (true) {
+    bool improved = false;
+    for (int i = 0; i < stage_moves; ++i) {
+      auto neighbor = TryRandomMove(current, query, transform, rng);
+      if (!neighbor.has_value()) continue;
+      const double neighbor_cost =
+          model_.PlanCost(*neighbor, query, config_.metric);
+      ++*evaluations;
+      const double delta = neighbor_cost - current_cost;
+      if (delta <= 0.0 ||
+          rng.NextDouble() < std::exp(-delta / temperature)) {
+        current = std::move(*neighbor);
+        current_cost = neighbor_cost;
+        if (current_cost < best_cost) {
+          best = current.Clone();
+          best_cost = current_cost;
+          improved = true;
+        }
+      }
+    }
+    temperature *= config_.sa_temp_decay;
+    stages_without_improvement = improved ? 0 : stages_without_improvement + 1;
+    if (temperature < freeze_temp &&
+        stages_without_improvement >= config_.sa_freeze_stages) {
+      break;
+    }
+  }
+  OptimizeResult result;
+  // Re-bind under the model's catalog (the plan may have been cloned from
+  // an intermediate state).
+  result.cost = model_.PlanCost(best, query, config_.metric);
+  result.plan = std::move(best);
+  result.plans_evaluated = *evaluations;
+  return result;
+}
+
+OptimizeResult TwoPhaseOptimizer::Optimize(const QueryGraph& query,
+                                           Rng& rng) const {
+  const TransformConfig transform = config_.MakeTransformConfig();
+  int evaluations = 0;
+  Plan best;
+  double best_cost = 0.0;
+  const int starts = config_.enable_ii ? config_.ii_starts : 1;
+  for (int start = 0; start < starts; ++start) {
+    Plan initial = RandomPlan(query, transform, rng);
+    if (config_.enable_ii) {
+      auto [local, local_cost] = ImproveToLocalMin(
+          std::move(initial), query, transform, rng, &evaluations);
+      if (best.empty() || local_cost < best_cost) {
+        best = std::move(local);
+        best_cost = local_cost;
+      }
+    } else {
+      best_cost = model_.PlanCost(initial, query, config_.metric);
+      ++evaluations;
+      best = std::move(initial);
+    }
+  }
+  if (!config_.enable_sa) {
+    OptimizeResult result;
+    result.cost = model_.PlanCost(best, query, config_.metric);
+    result.plan = std::move(best);
+    result.plans_evaluated = evaluations;
+    return result;
+  }
+  return Anneal(std::move(best), best_cost, query, transform, rng,
+                &evaluations);
+}
+
+OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
+                                             const QueryGraph& query,
+                                             Rng& rng) const {
+  DIMSUM_CHECK(!start.empty());
+  TransformConfig transform = config_.MakeTransformConfig();
+  transform.join_order_moves = false;
+  transform.allow_commute = false;
+  int evaluations = 0;
+  Plan best;
+  double best_cost = 0.0;
+  for (int attempt = 0; attempt < config_.ii_starts; ++attempt) {
+    Plan initial = start.Clone();
+    if (attempt > 0) RandomizeAnnotations(initial, transform.space, rng);
+    auto [local, local_cost] = ImproveToLocalMin(
+        std::move(initial), query, transform, rng, &evaluations);
+    if (best.empty() || local_cost < best_cost) {
+      best = std::move(local);
+      best_cost = local_cost;
+    }
+  }
+  return Anneal(std::move(best), best_cost, query, transform, rng,
+                &evaluations);
+}
+
+}  // namespace dimsum

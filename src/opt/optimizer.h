@@ -1,0 +1,108 @@
+#ifndef DIMSUM_OPT_OPTIMIZER_H_
+#define DIMSUM_OPT_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "plan/policy.h"
+#include "plan/query.h"
+#include "plan/transforms.h"
+
+namespace dimsum {
+
+/// Configuration of the randomized two-phase optimizer (2PO) [IK90]:
+/// iterative improvement over random starting plans, followed by simulated
+/// annealing from the best plan found.
+struct OptimizerConfig {
+  ShippingPolicy policy = ShippingPolicy::kHybridShipping;
+  OptimizeMetric metric = OptimizeMetric::kResponseTime;
+
+  /// Enables join-order moves 1-4 (disable for site-selection-only
+  /// optimization, the run-time phase of 2-step optimization).
+  bool join_order_moves = true;
+  /// Extra commutativity move (see TransformConfig).
+  bool allow_commute = true;
+  /// Constrain the search to linear (left-deep) join trees.
+  bool require_linear = false;
+
+  /// Phase toggles (both on = 2PO; used by the optimizer-phase ablation,
+  /// mirroring [IK90]'s comparison of II, SA, and 2PO).
+  bool enable_ii = true;
+  bool enable_sa = true;
+
+  // --- iterative improvement (II) ---------------------------------------
+  /// Number of random starting plans.
+  int ii_starts = 10;
+  /// A plan is declared a local minimum after this many consecutive
+  /// non-improving random neighbors.
+  int ii_patience = 48;
+
+  // --- simulated annealing (SA) -----------------------------------------
+  /// Initial temperature as a fraction of the II result's cost ([IK90]
+  /// found a low starting temperature best for 2PO).
+  double sa_initial_temp_factor = 0.1;
+  /// Multiplicative temperature decay per stage.
+  double sa_temp_decay = 0.9;
+  /// Moves attempted per temperature stage, per join in the query.
+  int sa_stage_moves_per_join = 8;
+  /// The system is frozen once the temperature falls below this fraction
+  /// of its initial value and the best plan stopped improving.
+  double sa_freeze_temp_ratio = 0.01;
+  /// ... for this many consecutive stages.
+  int sa_freeze_stages = 4;
+
+  TransformConfig MakeTransformConfig() const {
+    TransformConfig config;
+    config.space = PolicySpace::For(policy);
+    config.join_order_moves = join_order_moves;
+    config.allow_commute = allow_commute && join_order_moves;
+    config.require_linear = require_linear;
+    return config;
+  }
+};
+
+/// Result of an optimization run.
+struct OptimizeResult {
+  Plan plan;             // bound under the cost model's catalog
+  double cost = 0.0;     // in the units of the configured metric
+  int plans_evaluated = 0;
+};
+
+/// Randomized two-phase query optimizer. Search space and cost metric are
+/// set by the config; the policy restricts annotations per Table 1 so the
+/// same machinery optimizes DS, QS, and HY plans.
+class TwoPhaseOptimizer {
+ public:
+  TwoPhaseOptimizer(const CostModel& model, const OptimizerConfig& config)
+      : model_(model), config_(config) {}
+
+  /// Full optimization: join ordering and site selection.
+  OptimizeResult Optimize(const QueryGraph& query, Rng& rng) const;
+
+  /// Improves only the site annotations of `start` (join order kept),
+  /// restarting from random annotation assignments. Used for the run-time
+  /// phase of 2-step optimization, and for evaluating statically compiled
+  /// join orders.
+  OptimizeResult SiteSelect(const Plan& start, const QueryGraph& query,
+                            Rng& rng) const;
+
+ private:
+  OptimizeResult Anneal(Plan start, double start_cost,
+                        const QueryGraph& query,
+                        const TransformConfig& transform, Rng& rng,
+                        int* evaluations) const;
+  /// Runs II from `start`; returns the local minimum reached.
+  std::pair<Plan, double> ImproveToLocalMin(Plan start,
+                                            const QueryGraph& query,
+                                            const TransformConfig& transform,
+                                            Rng& rng, int* evaluations) const;
+
+  const CostModel& model_;
+  OptimizerConfig config_;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_OPT_OPTIMIZER_H_

@@ -1,0 +1,57 @@
+#include "opt/two_step.h"
+
+#include "common/check.h"
+#include "plan/binding.h"
+
+namespace dimsum {
+
+Catalog AssumedCatalog(const Catalog& real, const QueryGraph& query,
+                       PlacementAssumption assumption) {
+  Catalog assumed;
+  // Recreate all relations with their real schemas (ids must match).
+  for (RelationId id = 0; id < real.num_relations(); ++id) {
+    const Relation& rel = real.relation(id);
+    const RelationId copy =
+        assumed.AddRelation(rel.name, rel.num_tuples, rel.tuple_bytes);
+    DIMSUM_CHECK_EQ(copy, id);
+  }
+  int server_index = 0;
+  for (RelationId id : query.relations) {
+    switch (assumption) {
+      case PlacementAssumption::kCentralized:
+        assumed.PlaceRelation(id, ServerSite(0));
+        break;
+      case PlacementAssumption::kFullyDistributed:
+        assumed.PlaceRelation(id, ServerSite(server_index++));
+        break;
+    }
+  }
+  return assumed;
+}
+
+OptimizeResult CompilePlan(const CostModel& assumed_model,
+                           const QueryGraph& query,
+                           const OptimizerConfig& config, Rng& rng) {
+  TwoPhaseOptimizer optimizer(assumed_model, config);
+  return optimizer.Optimize(query, rng);
+}
+
+OptimizeResult EvaluateStatic(const CostModel& true_model,
+                              const Plan& compiled, const QueryGraph& query,
+                              OptimizeMetric metric) {
+  OptimizeResult result;
+  result.plan = compiled.Clone();
+  result.cost = true_model.PlanCost(result.plan, query, metric);
+  result.plans_evaluated = 1;
+  return result;
+}
+
+OptimizeResult TwoStepSiteSelection(const CostModel& true_model,
+                                    const Plan& compiled,
+                                    const QueryGraph& query,
+                                    const OptimizerConfig& config, Rng& rng) {
+  TwoPhaseOptimizer optimizer(true_model, config);
+  return optimizer.SiteSelect(compiled, query, rng);
+}
+
+}  // namespace dimsum

@@ -1,0 +1,52 @@
+#ifndef DIMSUM_OPT_TWO_STEP_H_
+#define DIMSUM_OPT_TWO_STEP_H_
+
+#include "catalog/catalog.h"
+#include "opt/optimizer.h"
+
+namespace dimsum {
+
+/// Static and 2-step query optimization (Section 5 of the paper).
+///
+/// Both strategies pre-compile a plan under *assumed* knowledge of the
+/// system state (data placement, caching). A *static* plan is used as-is at
+/// run time: its logical annotations re-bind to wherever the data actually
+/// lives, but neither the join order nor the annotations change. A *2-step*
+/// plan keeps the compiled join ordering but re-runs site selection
+/// (annotation-only optimization) against the true run-time state.
+
+/// Compile-time placement assumptions used in the paper's Section 5.2
+/// experiments.
+enum class PlacementAssumption {
+  kCentralized,       // the whole database on a single server
+  kFullyDistributed,  // every relation on its own server
+};
+
+/// Builds a fictitious catalog realizing `assumption` for the relations of
+/// `query` (same schemas as in `real`, no client caching assumed).
+Catalog AssumedCatalog(const Catalog& real, const QueryGraph& query,
+                       PlacementAssumption assumption);
+
+/// Compiles a plan for `query` under the assumed system state described by
+/// `assumed_model` (join ordering and site selection both happen at compile
+/// time, as a static optimizer would).
+OptimizeResult CompilePlan(const CostModel& assumed_model,
+                           const QueryGraph& query,
+                           const OptimizerConfig& config, Rng& rng);
+
+/// Evaluates a statically compiled plan under the true system state: the
+/// plan is re-bound (logical annotations follow migrated data) and costed.
+/// Returns the bound plan and its true cost.
+OptimizeResult EvaluateStatic(const CostModel& true_model, const Plan& compiled,
+                              const QueryGraph& query, OptimizeMetric metric);
+
+/// Runs the 2-step optimizer's execution-time phase: site selection on the
+/// compiled join order under the true system state.
+OptimizeResult TwoStepSiteSelection(const CostModel& true_model,
+                                    const Plan& compiled,
+                                    const QueryGraph& query,
+                                    const OptimizerConfig& config, Rng& rng);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_OPT_TWO_STEP_H_

@@ -1,0 +1,90 @@
+#ifndef DIMSUM_PLAN_ANNOTATION_H_
+#define DIMSUM_PLAN_ANNOTATION_H_
+
+#include <string_view>
+
+namespace dimsum {
+
+/// Kind of query operator in an execution plan.
+///
+/// Per the paper's footnotes 3 and 4: binary operators other than join
+/// (set operations such as union) are annotated like joins, and unary
+/// operators other than select (projections, aggregations) are annotated
+/// like selections.
+enum class OpType {
+  kDisplay,    // root; presents results at the client
+  kJoin,       // binary equijoin (hybrid hash)
+  kUnion,      // binary bag union (concatenation of two compatible inputs)
+  kSelect,     // unary predicate filter
+  kProject,    // unary column projection (shrinks tuples)
+  kAggregate,  // unary hash aggregation (shrinks cardinality; blocking)
+  kSort,       // unary external merge sort (blocking; spills runs)
+  kScan,       // leaf; produces all tuples of a relation
+};
+
+/// True for operators with two inputs (annotated like joins).
+inline bool IsBinaryOp(OpType type) {
+  return type == OpType::kJoin || type == OpType::kUnion;
+}
+
+/// True for non-root operators with one input (annotated like selects).
+inline bool IsUnaryOp(OpType type) {
+  return type == OpType::kSelect || type == OpType::kProject ||
+         type == OpType::kAggregate || type == OpType::kSort;
+}
+
+/// Logical site annotation of an operator (Section 2.1 of the paper).
+/// Annotations name logical sites and are bound to physical machines only
+/// at execution time.
+enum class SiteAnnotation {
+  kClient,       // display (always), or a scan run at the client cache
+  kPrimaryCopy,  // scan at the server holding the relation's primary copy
+  kConsumer,     // run at the site of the consuming (parent) operator
+  kProducer,     // select: run at the site of its child
+  kInnerRel,     // join: run at the site producing its left-hand input
+  kOuterRel,     // join: run at the site producing its right-hand input
+};
+
+inline std::string_view ToString(OpType type) {
+  switch (type) {
+    case OpType::kDisplay:
+      return "display";
+    case OpType::kJoin:
+      return "join";
+    case OpType::kUnion:
+      return "union";
+    case OpType::kSelect:
+      return "select";
+    case OpType::kProject:
+      return "project";
+    case OpType::kAggregate:
+      return "aggregate";
+    case OpType::kSort:
+      return "sort";
+    case OpType::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
+inline std::string_view ToString(SiteAnnotation annotation) {
+  switch (annotation) {
+    case SiteAnnotation::kClient:
+      return "client";
+    case SiteAnnotation::kPrimaryCopy:
+      return "primary copy";
+    case SiteAnnotation::kConsumer:
+      return "consumer";
+    case SiteAnnotation::kProducer:
+      return "producer";
+    case SiteAnnotation::kInnerRel:
+      return "inner relation";
+    case SiteAnnotation::kOuterRel:
+      return "outer relation";
+  }
+  return "?";
+}
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_PLAN_ANNOTATION_H_

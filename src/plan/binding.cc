@@ -1,0 +1,89 @@
+#include "plan/binding.h"
+
+#include "common/check.h"
+#include "plan/validate.h"
+
+namespace dimsum {
+namespace {
+
+/// One resolution pass; returns the number of nodes newly bound.
+/// `parent_site` is the (possibly still unbound) site of the parent.
+int ResolvePass(PlanNode& node, SiteId parent_site, const Catalog& catalog,
+                SiteId client) {
+  int bound = 0;
+  if (node.bound_site == kUnboundSite) {
+    if (node.type == OpType::kDisplay) {
+      node.bound_site = client;
+      ++bound;
+    } else if (node.type == OpType::kScan) {
+      node.bound_site = (node.annotation == SiteAnnotation::kClient)
+                            ? client
+                            : catalog.PrimarySite(node.relation);
+      ++bound;
+    } else if (IsUnaryOp(node.type)) {
+      if (node.annotation == SiteAnnotation::kConsumer) {
+        if (parent_site != kUnboundSite) {
+          node.bound_site = parent_site;
+          ++bound;
+        }
+      } else {  // producer
+        if (node.left->bound_site != kUnboundSite) {
+          node.bound_site = node.left->bound_site;
+          ++bound;
+        }
+      }
+    } else {  // binary operators (join, union)
+      if (node.annotation == SiteAnnotation::kConsumer) {
+        if (parent_site != kUnboundSite) {
+          node.bound_site = parent_site;
+          ++bound;
+        }
+      } else if (node.annotation == SiteAnnotation::kInnerRel) {
+        if (node.left->bound_site != kUnboundSite) {
+          node.bound_site = node.left->bound_site;
+          ++bound;
+        }
+      } else {  // outer relation
+        if (node.right->bound_site != kUnboundSite) {
+          node.bound_site = node.right->bound_site;
+          ++bound;
+        }
+      }
+    }
+  }
+  if (node.left) bound += ResolvePass(*node.left, node.bound_site, catalog, client);
+  if (node.right) {
+    bound += ResolvePass(*node.right, node.bound_site, catalog, client);
+  }
+  return bound;
+}
+
+}  // namespace
+
+void BindSites(Plan& plan, const Catalog& catalog, SiteId client) {
+  DIMSUM_CHECK(IsStructurallyValid(plan));
+  DIMSUM_CHECK(IsWellFormed(plan));
+  ClearBinding(plan);
+  // Each pass binds at least one node of any unresolved chain (the chains
+  // are acyclic by well-formedness), so at most Size() passes are needed.
+  const int size = plan.Size();
+  for (int pass = 0; pass < size; ++pass) {
+    if (ResolvePass(*plan.root(), kUnboundSite, catalog, client) == 0) break;
+  }
+  DIMSUM_CHECK(IsFullyBound(plan)) << "binding did not reach a fixpoint";
+}
+
+bool IsFullyBound(const Plan& plan) {
+  bool all = true;
+  plan.ForEach([&](const PlanNode& node) {
+    if (node.bound_site == kUnboundSite) all = false;
+  });
+  return all;
+}
+
+void ClearBinding(Plan& plan) {
+  plan.ForEachMutable(
+      [](PlanNode& node) { node.bound_site = kUnboundSite; });
+}
+
+}  // namespace dimsum

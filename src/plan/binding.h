@@ -1,0 +1,27 @@
+#ifndef DIMSUM_PLAN_BINDING_H_
+#define DIMSUM_PLAN_BINDING_H_
+
+#include "catalog/catalog.h"
+#include "plan/plan.h"
+
+namespace dimsum {
+
+/// Binds the logical site annotations of `plan` to physical sites
+/// (Section 2.1): the display and scan locations are resolved first
+/// (client / primary copy / client cache), then consumer, inner-relation,
+/// outer-relation and producer annotations are propagated to a fixpoint.
+///
+/// Requires a structurally valid, well-formed plan; checks-fails otherwise.
+/// Sets PlanNode::bound_site on every node.
+void BindSites(Plan& plan, const Catalog& catalog,
+               SiteId client = kClientSite);
+
+/// Returns true if every node of the plan has a bound site.
+bool IsFullyBound(const Plan& plan);
+
+/// Clears bound sites (useful before re-binding under a new placement).
+void ClearBinding(Plan& plan);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_PLAN_BINDING_H_

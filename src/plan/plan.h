@@ -1,0 +1,92 @@
+#ifndef DIMSUM_PLAN_PLAN_H_
+#define DIMSUM_PLAN_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "plan/annotation.h"
+
+namespace dimsum {
+
+/// Node of a query execution plan. Plans are binary trees whose root is a
+/// display operator; joins have two children (left = inner/build input,
+/// right = outer/probe input), selects and display have one, scans none.
+struct PlanNode {
+  OpType type = OpType::kScan;
+  SiteAnnotation annotation = SiteAnnotation::kClient;
+
+  /// For scans: the relation produced.
+  RelationId relation = kInvalidRelation;
+  /// For selects: fraction of input tuples surviving the predicate.
+  double selectivity = 1.0;
+  /// For projects: fraction of the input tuple width kept.
+  double width_factor = 1.0;
+  /// For aggregates: number of output groups.
+  int64_t num_groups = 1;
+
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  /// Physical site; set by BindSites, kUnboundSite before.
+  SiteId bound_site = kUnboundSite;
+
+  bool is_leaf() const { return type == OpType::kScan; }
+
+  std::unique_ptr<PlanNode> Clone() const;
+};
+
+/// A complete plan: owns the display root.
+class Plan {
+ public:
+  Plan() = default;
+  explicit Plan(std::unique_ptr<PlanNode> root) : root_(std::move(root)) {}
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+
+  bool empty() const { return root_ == nullptr; }
+  PlanNode* root() { return root_.get(); }
+  const PlanNode* root() const { return root_.get(); }
+
+  Plan Clone() const { return root_ ? Plan(root_->Clone()) : Plan(); }
+
+  /// Pre-order traversal.
+  void ForEach(const std::function<void(const PlanNode&)>& fn) const;
+  void ForEachMutable(const std::function<void(PlanNode&)>& fn);
+
+  /// Number of nodes.
+  int Size() const;
+
+  /// Relations scanned in the subtree rooted at `node` (pre-order).
+  static std::vector<RelationId> RelationsBelow(const PlanNode& node);
+
+ private:
+  std::unique_ptr<PlanNode> root_;
+};
+
+/// Convenience constructors for building plans by hand (tests, examples).
+std::unique_ptr<PlanNode> MakeScan(RelationId relation,
+                                   SiteAnnotation annotation);
+std::unique_ptr<PlanNode> MakeSelect(std::unique_ptr<PlanNode> child,
+                                     double selectivity,
+                                     SiteAnnotation annotation);
+std::unique_ptr<PlanNode> MakeProject(std::unique_ptr<PlanNode> child,
+                                      double width_factor,
+                                      SiteAnnotation annotation);
+std::unique_ptr<PlanNode> MakeAggregate(std::unique_ptr<PlanNode> child,
+                                        int64_t num_groups,
+                                        SiteAnnotation annotation);
+std::unique_ptr<PlanNode> MakeSort(std::unique_ptr<PlanNode> child,
+                                   SiteAnnotation annotation);
+std::unique_ptr<PlanNode> MakeUnion(std::unique_ptr<PlanNode> left,
+                                    std::unique_ptr<PlanNode> right,
+                                    SiteAnnotation annotation);
+std::unique_ptr<PlanNode> MakeJoin(std::unique_ptr<PlanNode> inner,
+                                   std::unique_ptr<PlanNode> outer,
+                                   SiteAnnotation annotation);
+std::unique_ptr<PlanNode> MakeDisplay(std::unique_ptr<PlanNode> child);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_PLAN_PLAN_H_

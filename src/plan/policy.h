@@ -1,0 +1,75 @@
+#ifndef DIMSUM_PLAN_POLICY_H_
+#define DIMSUM_PLAN_POLICY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "plan/annotation.h"
+
+namespace dimsum {
+
+/// The three execution policies of the paper. Each is defined by the
+/// restrictions it places on operator site annotations (Table 1).
+enum class ShippingPolicy {
+  kDataShipping,   // everything at the client
+  kQueryShipping,  // scans at primary copies, operators at producers
+  kHybridShipping, // any annotation allowed by DS or QS, per operator
+};
+
+inline std::string_view ToString(ShippingPolicy policy) {
+  switch (policy) {
+    case ShippingPolicy::kDataShipping:
+      return "DS";
+    case ShippingPolicy::kQueryShipping:
+      return "QS";
+    case ShippingPolicy::kHybridShipping:
+      return "HY";
+  }
+  return "?";
+}
+
+/// Allowed annotations per operator kind for a policy (Table 1).
+struct PolicySpace {
+  std::vector<SiteAnnotation> scan;
+  std::vector<SiteAnnotation> select;
+  std::vector<SiteAnnotation> join;
+
+  static PolicySpace For(ShippingPolicy policy) {
+    using SA = SiteAnnotation;
+    switch (policy) {
+      case ShippingPolicy::kDataShipping:
+        return PolicySpace{{SA::kClient}, {SA::kConsumer}, {SA::kConsumer}};
+      case ShippingPolicy::kQueryShipping:
+        return PolicySpace{{SA::kPrimaryCopy},
+                           {SA::kProducer},
+                           {SA::kInnerRel, SA::kOuterRel}};
+      case ShippingPolicy::kHybridShipping:
+        return PolicySpace{{SA::kClient, SA::kPrimaryCopy},
+                           {SA::kConsumer, SA::kProducer},
+                           {SA::kConsumer, SA::kInnerRel, SA::kOuterRel}};
+    }
+    DIMSUM_UNREACHABLE();
+  }
+
+  const std::vector<SiteAnnotation>& AllowedFor(OpType type) const {
+    static const std::vector<SiteAnnotation> kDisplayOnly = {
+        SiteAnnotation::kClient};
+    if (type == OpType::kDisplay) return kDisplayOnly;
+    if (type == OpType::kScan) return scan;
+    if (IsUnaryOp(type)) return select;     // footnote 4: like selections
+    if (IsBinaryOp(type)) return join;      // footnote 3: like joins
+    DIMSUM_UNREACHABLE();
+  }
+
+  bool Allows(OpType type, SiteAnnotation annotation) const {
+    for (SiteAnnotation allowed : AllowedFor(type)) {
+      if (allowed == annotation) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_PLAN_POLICY_H_

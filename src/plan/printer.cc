@@ -1,0 +1,31 @@
+#include "plan/printer.h"
+
+#include <sstream>
+
+namespace dimsum {
+namespace {
+
+void Render(const PlanNode& node, int depth, std::ostringstream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << ToString(node.type);
+  if (node.type == OpType::kScan) out << " R" << node.relation;
+  if (node.type == OpType::kSelect) out << " sel=" << node.selectivity;
+  if (node.type == OpType::kProject) out << " width=" << node.width_factor;
+  if (node.type == OpType::kAggregate) out << " groups=" << node.num_groups;
+  out << " [" << ToString(node.annotation) << "]";
+  if (node.bound_site != kUnboundSite) out << " @" << node.bound_site;
+  out << "\n";
+  if (node.left) Render(*node.left, depth + 1, out);
+  if (node.right) Render(*node.right, depth + 1, out);
+}
+
+}  // namespace
+
+std::string PlanToString(const Plan& plan) {
+  if (plan.empty()) return "(empty plan)\n";
+  std::ostringstream out;
+  Render(*plan.root(), 0, out);
+  return out.str();
+}
+
+}  // namespace dimsum

@@ -1,0 +1,20 @@
+#ifndef DIMSUM_PLAN_PRINTER_H_
+#define DIMSUM_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace dimsum {
+
+/// Renders the plan as an indented tree, e.g.
+///   display [client] @0
+///     join [consumer] @0
+///       scan R0 [client] @0
+///       scan R1 [primary copy] @1
+/// Bound sites are printed when present.
+std::string PlanToString(const Plan& plan);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_PLAN_PRINTER_H_

@@ -1,0 +1,304 @@
+#include "plan/transforms.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "plan/validate.h"
+
+namespace dimsum {
+namespace {
+
+enum class MoveKind {
+  kAssocLL,     // (A B) C -> A (B C)     [move 1]
+  kAssocLR,     // (A B) C -> B (A C)     [move 2]
+  kAssocRL,     // A (B C) -> (A B) C     [move 3]
+  kAssocRR,     // A (B C) -> (A C) B     [move 4]
+  kCommute,     // A B -> B A             [extra, see TransformConfig]
+  kAnnotation,  // change a node's site annotation [moves 5-7]
+};
+
+struct Candidate {
+  int node_index;  // pre-order index
+  MoveKind kind;
+  SiteAnnotation annotation;  // for kAnnotation
+};
+
+/// Pre-order enumeration of owning slots (skips the display root, which is
+/// never transformed).
+void CollectSlots(std::unique_ptr<PlanNode>& slot,
+                  std::vector<std::unique_ptr<PlanNode>*>* slots) {
+  if (slot == nullptr) return;
+  slots->push_back(&slot);
+  CollectSlots(slot->left, slots);
+  CollectSlots(slot->right, slots);
+}
+
+std::vector<std::unique_ptr<PlanNode>*> Slots(Plan& plan) {
+  std::vector<std::unique_ptr<PlanNode>*> slots;
+  DIMSUM_CHECK(!plan.empty());
+  // Index 0 is the display's child (the real plan root).
+  CollectSlots(plan.root()->left, &slots);
+  return slots;
+}
+
+std::vector<Candidate> EnumerateCandidates(Plan& plan,
+                                           const TransformConfig& config) {
+  std::vector<Candidate> candidates;
+  auto slots = Slots(plan);
+  for (int i = 0; i < static_cast<int>(slots.size()); ++i) {
+    PlanNode& node = **slots[i];
+    if (node.type == OpType::kJoin && config.join_order_moves) {
+      if (node.left->type == OpType::kJoin) {
+        candidates.push_back({i, MoveKind::kAssocLL, {}});
+        candidates.push_back({i, MoveKind::kAssocLR, {}});
+      }
+      if (node.right->type == OpType::kJoin) {
+        candidates.push_back({i, MoveKind::kAssocRL, {}});
+        candidates.push_back({i, MoveKind::kAssocRR, {}});
+      }
+      if (config.allow_commute) {
+        candidates.push_back({i, MoveKind::kCommute, {}});
+      }
+    }
+    for (SiteAnnotation annotation : config.space.AllowedFor(node.type)) {
+      if (annotation != node.annotation) {
+        candidates.push_back({i, MoveKind::kAnnotation, annotation});
+      }
+    }
+  }
+  return candidates;
+}
+
+void ApplyMove(Plan& plan, const Candidate& candidate) {
+  auto slots = Slots(plan);
+  DIMSUM_CHECK_LT(candidate.node_index, static_cast<int>(slots.size()));
+  std::unique_ptr<PlanNode>& slot = *slots[candidate.node_index];
+  PlanNode& node = *slot;
+  switch (candidate.kind) {
+    case MoveKind::kAnnotation:
+      node.annotation = candidate.annotation;
+      return;
+    case MoveKind::kCommute:
+      std::swap(node.left, node.right);
+      return;
+    case MoveKind::kAssocLL: {
+      // (A JOIN_Y B) JOIN_X C -> A JOIN_X (B JOIN_Y C)
+      auto y = std::move(node.left);
+      auto c = std::move(node.right);
+      auto a = std::move(y->left);
+      auto b = std::move(y->right);
+      y->left = std::move(b);
+      y->right = std::move(c);
+      node.left = std::move(a);
+      node.right = std::move(y);
+      return;
+    }
+    case MoveKind::kAssocLR: {
+      // (A JOIN_Y B) JOIN_X C -> B JOIN_X (A JOIN_Y C)
+      auto y = std::move(node.left);
+      auto c = std::move(node.right);
+      auto a = std::move(y->left);
+      auto b = std::move(y->right);
+      y->left = std::move(a);
+      y->right = std::move(c);
+      node.left = std::move(b);
+      node.right = std::move(y);
+      return;
+    }
+    case MoveKind::kAssocRL: {
+      // A JOIN_X (B JOIN_Y C) -> (A JOIN_Y B) JOIN_X C
+      auto a = std::move(node.left);
+      auto y = std::move(node.right);
+      auto b = std::move(y->left);
+      auto c = std::move(y->right);
+      y->left = std::move(a);
+      y->right = std::move(b);
+      node.left = std::move(y);
+      node.right = std::move(c);
+      return;
+    }
+    case MoveKind::kAssocRR: {
+      // A JOIN_X (B JOIN_Y C) -> (A JOIN_Y C) JOIN_X B
+      auto a = std::move(node.left);
+      auto y = std::move(node.right);
+      auto b = std::move(y->left);
+      auto c = std::move(y->right);
+      y->left = std::move(a);
+      y->right = std::move(c);
+      node.left = std::move(y);
+      node.right = std::move(b);
+      return;
+    }
+  }
+  DIMSUM_UNREACHABLE();
+}
+
+bool PlanIsLegal(const Plan& plan, const QueryGraph& query,
+                 const TransformConfig& config) {
+  if (!IsStructurallyValid(plan)) return false;
+  if (!IsWellFormed(plan)) return false;
+  if (!InPolicySpace(plan, config.space)) return false;
+  if (!MatchesQuery(plan, query, config.allow_cartesian)) return false;
+  if (config.require_linear && !IsLinear(plan)) return false;
+  return true;
+}
+
+/// Repairs two-node annotation cycles by re-drawing the child's annotation
+/// to one that does not point at the parent.
+void RepairWellFormedness(Plan& plan, const PolicySpace& space, Rng& rng) {
+  for (int guard = 0; guard < plan.Size() + 8; ++guard) {
+    if (IsWellFormed(plan)) return;
+    // Find one violating edge and fix the child.
+    bool fixed = false;
+    const std::function<void(PlanNode&)> visit = [&](PlanNode& parent) {
+      if (fixed) return;
+      for (int side = 0; side < 2; ++side) {
+        PlanNode* child =
+            (side == 0) ? parent.left.get() : parent.right.get();
+        if (child == nullptr) continue;
+        const bool parent_points =
+            (IsBinaryOp(parent.type) &&
+             ((parent.annotation == SiteAnnotation::kInnerRel && side == 0) ||
+              (parent.annotation == SiteAnnotation::kOuterRel &&
+               side == 1))) ||
+            (IsUnaryOp(parent.type) &&
+             parent.annotation == SiteAnnotation::kProducer);
+        const bool child_points =
+            (IsBinaryOp(child->type) || IsUnaryOp(child->type)) &&
+            child->annotation == SiteAnnotation::kConsumer;
+        if (parent_points && child_points) {
+          std::vector<SiteAnnotation> options;
+          for (SiteAnnotation a : space.AllowedFor(child->type)) {
+            if (a != SiteAnnotation::kConsumer) options.push_back(a);
+          }
+          DIMSUM_CHECK(!options.empty())
+              << "cannot repair annotation cycle within policy space";
+          child->annotation = options[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(options.size()) - 1))];
+          fixed = true;
+          return;
+        }
+      }
+      if (parent.left) visit(*parent.left);
+      if (parent.right) visit(*parent.right);
+    };
+    visit(*plan.root());
+    DIMSUM_CHECK(fixed);
+  }
+  DIMSUM_CHECK(IsWellFormed(plan));
+}
+
+SiteAnnotation PickAnnotation(const PolicySpace& space, OpType type,
+                              Rng& rng) {
+  const auto& allowed = space.AllowedFor(type);
+  DIMSUM_CHECK(!allowed.empty());
+  return allowed[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(allowed.size()) - 1))];
+}
+
+}  // namespace
+
+std::optional<Plan> TryRandomMove(const Plan& plan, const QueryGraph& query,
+                                  const TransformConfig& config, Rng& rng) {
+  Plan working = plan.Clone();
+  auto candidates = EnumerateCandidates(working, config);
+  if (candidates.empty()) return std::nullopt;
+  const Candidate& chosen = candidates[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+  ApplyMove(working, chosen);
+  if (!PlanIsLegal(working, query, config)) return std::nullopt;
+  return working;
+}
+
+Plan RandomPlan(const QueryGraph& query, const TransformConfig& config,
+                Rng& rng) {
+  DIMSUM_CHECK_GT(query.num_relations(), 0);
+  // Build leaves (scan, optionally wrapped in a select).
+  struct Component {
+    std::unique_ptr<PlanNode> tree;
+    std::vector<RelationId> relations;
+  };
+  std::vector<Component> forest;
+  for (RelationId rel : query.relations) {
+    auto leaf = MakeScan(rel, PickAnnotation(config.space, OpType::kScan, rng));
+    const double selectivity = query.ScanSelectivity(rel);
+    std::unique_ptr<PlanNode> tree = std::move(leaf);
+    if (selectivity < 1.0) {
+      tree = MakeSelect(std::move(tree), selectivity,
+                        PickAnnotation(config.space, OpType::kSelect, rng));
+    }
+    forest.push_back(Component{std::move(tree), {rel}});
+  }
+  // Randomly combine joinable components into one tree. Under the linear
+  // constraint, grow a single tree by always merging the current largest
+  // component with a single-relation component (otherwise disjoint
+  // multi-relation components could strand the construction).
+  while (forest.size() > 1) {
+    // Enumerate joinable pairs.
+    std::vector<std::pair<int, int>> pairs;
+    int largest = 0;
+    for (int i = 1; i < static_cast<int>(forest.size()); ++i) {
+      if (forest[i].relations.size() > forest[largest].relations.size()) {
+        largest = i;
+      }
+    }
+    for (int i = 0; i < static_cast<int>(forest.size()); ++i) {
+      for (int j = i + 1; j < static_cast<int>(forest.size()); ++j) {
+        if (!config.allow_cartesian &&
+            !query.Connects(forest[i].relations, forest[j].relations)) {
+          continue;
+        }
+        if (config.require_linear) {
+          const bool i_multi = forest[i].relations.size() > 1;
+          const bool j_multi = forest[j].relations.size() > 1;
+          if (i_multi && j_multi) continue;
+          // Once a multi-relation tree exists, it must take part in every
+          // merge so exactly one tree grows.
+          if ((i_multi || j_multi) && i != largest && j != largest) continue;
+          if (!i_multi && !j_multi &&
+              forest[largest].relations.size() > 1) {
+            continue;
+          }
+        }
+        pairs.emplace_back(i, j);
+      }
+    }
+    DIMSUM_CHECK(!pairs.empty()) << "query graph is disconnected";
+    auto [i, j] = pairs[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pairs.size()) - 1))];
+    // Random orientation.
+    if (rng.Bernoulli(0.5)) std::swap(i, j);
+    Component merged;
+    merged.tree =
+        MakeJoin(std::move(forest[i].tree), std::move(forest[j].tree),
+                 PickAnnotation(config.space, OpType::kJoin, rng));
+    merged.relations = forest[i].relations;
+    merged.relations.insert(merged.relations.end(),
+                            forest[j].relations.begin(),
+                            forest[j].relations.end());
+    // Remove the two inputs (erase larger index first) and add the merge.
+    if (i < j) std::swap(i, j);
+    forest.erase(forest.begin() + i);
+    forest.erase(forest.begin() + j);
+    forest.push_back(std::move(merged));
+  }
+  Plan plan(MakeDisplay(std::move(forest.front().tree)));
+  RepairWellFormedness(plan, config.space, rng);
+  DIMSUM_CHECK(PlanIsLegal(plan, query, config));
+  return plan;
+}
+
+void RandomizeAnnotations(Plan& plan, const PolicySpace& space, Rng& rng) {
+  plan.ForEachMutable([&](PlanNode& node) {
+    if (node.type == OpType::kDisplay) return;
+    node.annotation = PickAnnotation(space, node.type, rng);
+  });
+  RepairWellFormedness(plan, space, rng);
+}
+
+int CountMoveCandidates(const Plan& plan, const TransformConfig& config) {
+  Plan working = plan.Clone();
+  return static_cast<int>(EnumerateCandidates(working, config).size());
+}
+
+}  // namespace dimsum

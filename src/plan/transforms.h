@@ -1,0 +1,64 @@
+#ifndef DIMSUM_PLAN_TRANSFORMS_H_
+#define DIMSUM_PLAN_TRANSFORMS_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "plan/plan.h"
+#include "plan/policy.h"
+#include "plan/query.h"
+
+namespace dimsum {
+
+/// Configuration of the plan-transformation space (Section 3.1.1). The
+/// paper's moves are:
+///   1. (A  B)  C -> A  (B  C)
+///   2. (A  B)  C -> B  (A  C)
+///   3. A  (B  C) -> (A  B)  C
+///   4. A  (B  C) -> (A  C)  B
+///   5. change a join's site annotation
+///   6. change a select's site annotation
+///   7. change a scan's site annotation
+/// Restricting `space` to a policy's allowed annotations implements the
+/// paper's per-policy enabling/disabling of moves 5-7 (Table 1).
+struct TransformConfig {
+  PolicySpace space = PolicySpace::For(ShippingPolicy::kHybridShipping);
+  /// Enables moves 1-4. Disabled in the 2-step optimizer's run-time phase,
+  /// which performs site selection only.
+  bool join_order_moves = true;
+  /// Extra join-commutativity move (swap build/probe inputs). The paper
+  /// lists only moves 1-4; commutativity is standard in [IK90] and is kept
+  /// behind this flag (see DESIGN.md).
+  bool allow_commute = true;
+  /// Permit Cartesian-product joins in the search space. The paper's
+  /// optimizer never joins unconnected subtrees.
+  bool allow_cartesian = false;
+  /// Constrain the search to linear (left-deep) join trees; used to obtain
+  /// the "deep" compile-time plans of Section 5.2.
+  bool require_linear = false;
+};
+
+/// Applies one uniformly-chosen legal transformation. Returns the
+/// transformed plan, or nullopt if the chosen candidate produced an invalid
+/// plan (Cartesian product / ill-formed / shape violation) or no candidate
+/// exists. The input plan is unchanged.
+std::optional<Plan> TryRandomMove(const Plan& plan, const QueryGraph& query,
+                                  const TransformConfig& config, Rng& rng);
+
+/// Generates a random plan for `query` within the configured space:
+/// a random (connected) join tree with random allowed annotations,
+/// repaired to be well-formed.
+Plan RandomPlan(const QueryGraph& query, const TransformConfig& config,
+                Rng& rng);
+
+/// Re-draws every operator's annotation uniformly from the allowed sets and
+/// repairs two-node cycles. Join order is preserved.
+void RandomizeAnnotations(Plan& plan, const PolicySpace& space, Rng& rng);
+
+/// Number of distinct single-move neighbors of `plan` (used by tests and
+/// by the annealing schedule).
+int CountMoveCandidates(const Plan& plan, const TransformConfig& config);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_PLAN_TRANSFORMS_H_

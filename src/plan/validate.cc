@@ -1,0 +1,147 @@
+#include "plan/validate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dimsum {
+namespace {
+
+bool StructurallyValidNode(const PlanNode& node, bool is_root) {
+  if (node.type == OpType::kDisplay) {
+    if (!is_root) return false;
+    if (node.annotation != SiteAnnotation::kClient) return false;
+    if (node.left == nullptr || node.right != nullptr) return false;
+  } else if (IsBinaryOp(node.type)) {
+    if (node.left == nullptr || node.right == nullptr) return false;
+    if (node.annotation != SiteAnnotation::kConsumer &&
+        node.annotation != SiteAnnotation::kInnerRel &&
+        node.annotation != SiteAnnotation::kOuterRel) {
+      return false;
+    }
+  } else if (IsUnaryOp(node.type)) {
+    if (node.left == nullptr || node.right != nullptr) return false;
+    if (node.annotation != SiteAnnotation::kConsumer &&
+        node.annotation != SiteAnnotation::kProducer) {
+      return false;
+    }
+  } else {  // scan
+    if (node.left != nullptr || node.right != nullptr) return false;
+    if (node.relation == kInvalidRelation) return false;
+    if (node.annotation != SiteAnnotation::kClient &&
+        node.annotation != SiteAnnotation::kPrimaryCopy) {
+      return false;
+    }
+  }
+  bool valid = true;
+  if (node.left) valid &= StructurallyValidNode(*node.left, false);
+  if (node.right) valid &= StructurallyValidNode(*node.right, false);
+  return valid;
+}
+
+/// True if the parent's annotation points at this particular child.
+bool ParentPointsAtChild(const PlanNode& parent, bool child_is_left) {
+  if (IsBinaryOp(parent.type)) {
+    return (parent.annotation == SiteAnnotation::kInnerRel &&
+            child_is_left) ||
+           (parent.annotation == SiteAnnotation::kOuterRel && !child_is_left);
+  }
+  if (IsUnaryOp(parent.type)) {
+    return parent.annotation == SiteAnnotation::kProducer;
+  }
+  return false;
+}
+
+/// True if the child's annotation points at its parent.
+bool ChildPointsAtParent(const PlanNode& child) {
+  return (IsBinaryOp(child.type) || IsUnaryOp(child.type)) &&
+         child.annotation == SiteAnnotation::kConsumer;
+}
+
+bool WellFormedNode(const PlanNode& node) {
+  for (int side = 0; side < 2; ++side) {
+    const PlanNode* child = (side == 0) ? node.left.get() : node.right.get();
+    if (child == nullptr) continue;
+    if (ChildPointsAtParent(*child) && ParentPointsAtChild(node, side == 0)) {
+      return false;  // two-node annotation cycle
+    }
+    if (!WellFormedNode(*child)) return false;
+  }
+  return true;
+}
+
+bool NoCartesianProducts(const PlanNode& node, const QueryGraph& query) {
+  if (node.type == OpType::kJoin) {
+    const auto left = Plan::RelationsBelow(*node.left);
+    const auto right = Plan::RelationsBelow(*node.right);
+    if (!query.Connects(left, right)) return false;
+  }
+  bool ok = true;
+  if (node.left) ok &= NoCartesianProducts(*node.left, query);
+  if (node.right) ok &= NoCartesianProducts(*node.right, query);
+  return ok;
+}
+
+bool LinearNode(const PlanNode& node) {
+  if (node.type == OpType::kJoin) {
+    const auto has_join = [](const PlanNode& sub) {
+      bool found = false;
+      const std::function<void(const PlanNode&)> visit =
+          [&](const PlanNode& n) {
+            if (n.type == OpType::kJoin) found = true;
+            if (n.left) visit(*n.left);
+            if (n.right) visit(*n.right);
+          };
+      visit(sub);
+      return found;
+    };
+    if (has_join(*node.left) && has_join(*node.right)) return false;
+  }
+  bool ok = true;
+  if (node.left) ok &= LinearNode(*node.left);
+  if (node.right) ok &= LinearNode(*node.right);
+  return ok;
+}
+
+}  // namespace
+
+bool IsStructurallyValid(const Plan& plan) {
+  if (plan.empty()) return false;
+  if (plan.root()->type != OpType::kDisplay) return false;
+  return StructurallyValidNode(*plan.root(), true);
+}
+
+bool IsWellFormed(const Plan& plan) {
+  if (plan.empty()) return false;
+  return WellFormedNode(*plan.root());
+}
+
+bool InPolicySpace(const Plan& plan, const PolicySpace& space) {
+  bool ok = true;
+  plan.ForEach([&](const PlanNode& node) {
+    if (!space.Allows(node.type, node.annotation)) ok = false;
+  });
+  return ok;
+}
+
+bool MatchesQuery(const Plan& plan, const QueryGraph& query,
+                  bool allow_cartesian) {
+  if (plan.empty()) return false;
+  // The plan must scan each query relation exactly once.
+  std::vector<RelationId> scanned = Plan::RelationsBelow(*plan.root());
+  std::vector<RelationId> expected = query.relations;
+  std::sort(scanned.begin(), scanned.end());
+  std::sort(expected.begin(), expected.end());
+  if (scanned != expected) return false;
+  if (!allow_cartesian && !NoCartesianProducts(*plan.root(), query)) {
+    return false;
+  }
+  return true;
+}
+
+bool IsLinear(const Plan& plan) {
+  DIMSUM_CHECK(!plan.empty());
+  return LinearNode(*plan.root());
+}
+
+}  // namespace dimsum

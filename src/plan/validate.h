@@ -1,0 +1,44 @@
+#ifndef DIMSUM_PLAN_VALIDATE_H_
+#define DIMSUM_PLAN_VALIDATE_H_
+
+#include "plan/plan.h"
+#include "plan/policy.h"
+#include "plan/query.h"
+
+namespace dimsum {
+
+/// Structural checks on plans.
+///
+/// A plan is *well-formed* (Section 2.2.3) when no two adjacent operators
+/// point their site annotations at each other: a child annotated
+/// `consumer` while its parent is annotated with the child's side
+/// (`inner relation` / `outer relation` for joins, `producer` for selects)
+/// forms a two-node cycle that cannot be bound to physical sites. Because
+/// plans are trees, only two-node cycles can occur.
+
+/// True if the plan is a structurally valid operator tree (display root at
+/// the client, joins binary, selects/display unary, scans leaves).
+bool IsStructurallyValid(const Plan& plan);
+
+/// True if no annotation cycle exists (see above). Assumes structural
+/// validity.
+bool IsWellFormed(const Plan& plan);
+
+/// True if every operator's annotation is allowed by `space` (Table 1).
+bool InPolicySpace(const Plan& plan, const PolicySpace& space);
+
+/// True if every join in the plan joins subtrees connected by a join
+/// predicate of `query` (i.e., the plan contains no Cartesian products),
+/// and the plan scans exactly the relations of `query` once each.
+bool MatchesQuery(const Plan& plan, const QueryGraph& query,
+                  bool allow_cartesian = false);
+
+/// True if no join has joins in both subtrees (left-deep / linear shape).
+bool IsLinear(const Plan& plan);
+
+/// True if some join has joins in both subtrees.
+inline bool IsBushy(const Plan& plan) { return !IsLinear(plan); }
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_PLAN_VALIDATE_H_

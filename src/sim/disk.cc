@@ -1,0 +1,196 @@
+#include "sim/disk.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dimsum::sim {
+
+Disk::Disk(Simulator& sim, std::string name, const DiskParams& params)
+    : sim_(sim), name_(std::move(name)), params_(params) {
+  DIMSUM_CHECK_GT(params_.pages_per_track, 0);
+  DIMSUM_CHECK_GE(params_.pages_per_cylinder, params_.pages_per_track);
+  DIMSUM_CHECK_GT(params_.num_cylinders, 0);
+  DIMSUM_CHECK_GT(params_.rotation_ms, 0.0);
+}
+
+void Disk::ResetStats() {
+  reads_ = 0;
+  writes_ = 0;
+  cache_hits_ = 0;
+  busy_ms_ = 0.0;
+}
+
+void Disk::SubmitRead(int64_t block, std::coroutine_handle<> handle) {
+  DIMSUM_CHECK_GE(block, 0);
+  DIMSUM_CHECK_LT(block, params_.total_pages());
+  ++reads_;
+  auto it = cache_.find(block);
+  if (it != cache_.end()) {
+    // Controller cache hit: served without the arm.
+    ++cache_hits_;
+    const double wait = std::max(0.0, it->second - sim_.now());
+    ExtendReadAhead(block, std::max(it->second, sim_.now()));
+    sim_.Resume(
+        wait + params_.transfer_ms() + params_.controller_overhead_ms,
+        handle);
+    return;
+  }
+  EnqueueArm(ArmRequest{block, /*is_write=*/false, handle, sim_.now()});
+}
+
+void Disk::SubmitWrite(int64_t block) {
+  DIMSUM_CHECK_GE(block, 0);
+  DIMSUM_CHECK_LT(block, params_.total_pages());
+  ++writes_;
+  ++pending_writes_;
+  // A write makes any cached copy of this page stale.
+  if (cache_.erase(block) > 0) {
+    for (auto it = cache_fifo_.begin(); it != cache_fifo_.end(); ++it) {
+      if (*it == block) {
+        cache_fifo_.erase(it);
+        break;
+      }
+    }
+  }
+  EnqueueArm(ArmRequest{block, /*is_write=*/true, {}, sim_.now()});
+}
+
+void Disk::EnqueueArm(ArmRequest request) {
+  arm_queue_.emplace(Cylinder(request.block), std::move(request));
+  DispatchArm();
+}
+
+void Disk::DispatchArm() {
+  if (arm_busy_ || arm_queue_.empty()) return;
+  // Elevator (SCAN): continue in the sweep direction; reverse at the end.
+  auto it = arm_queue_.end();
+  if (sweep_up_) {
+    it = arm_queue_.lower_bound(head_cylinder_);
+    if (it == arm_queue_.end()) {
+      sweep_up_ = false;
+      it = std::prev(arm_queue_.end());
+    }
+  } else {
+    it = arm_queue_.upper_bound(head_cylinder_);
+    if (it == arm_queue_.begin()) {
+      sweep_up_ = true;
+      it = arm_queue_.begin();
+    } else {
+      it = std::prev(it);
+    }
+  }
+  ArmRequest request = std::move(it->second);
+  arm_queue_.erase(it);
+  arm_busy_ = true;
+
+  // A non-contiguous arm operation aborts read-ahead in progress: pages the
+  // controller has not finished prefetching never arrive.
+  if (request.block != stream_next_) AbortPendingReadAhead();
+
+  const double service = ArmServiceTime(request.block);
+  busy_ms_ += service;
+  head_cylinder_ = Cylinder(request.block);
+  sim_.Call(service, [this, request] {
+    arm_busy_ = false;
+    CompleteArm(request);
+    DispatchArm();
+  });
+}
+
+double Disk::ArmServiceTime(int64_t block) const {
+  const int cylinder = Cylinder(block);
+  const int distance = std::abs(cylinder - head_cylinder_);
+  double seek = 0.0;
+  if (distance > 0) {
+    seek = params_.settle_ms +
+           params_.seek_factor_ms * std::sqrt(static_cast<double>(distance));
+  }
+  // Rotational latency from the platter's angular position when the head
+  // arrives, to the start angle of the target page on its track.
+  const double arrive = sim_.now() + seek;
+  const double angle_now =
+      std::fmod(arrive, params_.rotation_ms) / params_.rotation_ms;
+  const double target =
+      static_cast<double>(block % params_.pages_per_track) /
+      static_cast<double>(params_.pages_per_track);
+  double rotation_frac = target - angle_now;
+  if (rotation_frac < 0.0) rotation_frac += 1.0;
+  const double latency = rotation_frac * params_.rotation_ms;
+  return seek + latency + params_.transfer_ms() +
+         params_.controller_overhead_ms;
+}
+
+void Disk::CompleteArm(const ArmRequest& request) {
+  if (request.is_write) {
+    DIMSUM_CHECK_GT(pending_writes_, 0);
+    --pending_writes_;
+    // Admit one blocked writer, if any.
+    if (!write_waiters_.empty()) {
+      WriteWaiter waiter = write_waiters_.front();
+      write_waiters_.pop_front();
+      SubmitWrite(waiter.block);
+      sim_.Resume(0.0, waiter.handle);
+    }
+    if (pending_writes_ == 0) {
+      for (auto handle : flush_waiters_) sim_.Resume(0.0, handle);
+      flush_waiters_.clear();
+    }
+    return;
+  }
+  // Read miss completed: start a fresh read-ahead stream behind it.
+  CacheInsert(request.block, sim_.now());
+  stream_next_ = request.block + 1;
+  stream_time_ = sim_.now() + params_.transfer_ms();
+  ExtendReadAhead(request.block, sim_.now());
+  sim_.Resume(0.0, request.handle);
+}
+
+void Disk::ExtendReadAhead(int64_t block, double from_time) {
+  if (stream_next_ < 0 || params_.readahead_pages <= 0) return;
+  // Only extend when `block` belongs to the active stream's recent window.
+  if (stream_next_ <= block || stream_next_ - block > params_.readahead_pages + 1) {
+    return;
+  }
+  if (stream_time_ < from_time) stream_time_ = from_time;
+  const int64_t limit =
+      std::min(block + params_.readahead_pages, params_.total_pages() - 1);
+  while (stream_next_ <= limit) {
+    CacheInsert(stream_next_, stream_time_);
+    ++stream_next_;
+    stream_time_ += params_.transfer_ms();
+  }
+}
+
+void Disk::AbortPendingReadAhead() {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second > sim_.now()) {
+      const int64_t block = it->first;
+      it = cache_.erase(it);
+      for (auto fifo = cache_fifo_.begin(); fifo != cache_fifo_.end(); ++fifo) {
+        if (*fifo == block) {
+          cache_fifo_.erase(fifo);
+          break;
+        }
+      }
+    } else {
+      ++it;
+    }
+  }
+  stream_next_ = -1;
+}
+
+void Disk::CacheInsert(int64_t block, double available_at) {
+  auto [it, inserted] = cache_.emplace(block, available_at);
+  if (!inserted) {
+    it->second = std::min(it->second, available_at);
+    return;
+  }
+  cache_fifo_.push_back(block);
+  while (static_cast<int>(cache_fifo_.size()) > params_.cache_pages) {
+    cache_.erase(cache_fifo_.front());
+    cache_fifo_.pop_front();
+  }
+}
+
+}  // namespace dimsum::sim

@@ -1,0 +1,184 @@
+#ifndef DIMSUM_SIM_DISK_H_
+#define DIMSUM_SIM_DISK_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dimsum::sim {
+
+/// Disk geometry and timing parameters. The defaults are calibrated (see
+/// tests/sim/disk_test.cc and bench/disk_calibration.cc) so that, as in the
+/// paper's Fujitsu M2266 configuration [PCV94], a page read costs roughly
+/// 3.5 ms sequential and 11.8 ms random.
+struct DiskParams {
+  /// Pages on one track; the transfer time of a page is
+  /// rotation_ms / pages_per_track.
+  int pages_per_track = 4;
+  /// Pages per cylinder (pages_per_track x tracks per cylinder).
+  int pages_per_cylinder = 60;
+  int num_cylinders = 5000;
+  /// One full platter rotation, ms (~5000 rpm).
+  double rotation_ms = 12.0;
+  /// Head settle time charged on any seek, ms.
+  double settle_ms = 1.0;
+  /// Seek time is settle_ms + seek_factor_ms * sqrt(cylinder distance).
+  double seek_factor_ms = 0.0345;
+  /// Fixed controller/command overhead per request, ms.
+  double controller_overhead_ms = 0.5;
+  /// Number of pages the controller reads ahead of a sequential stream.
+  int readahead_pages = 8;
+  /// Controller cache capacity in pages.
+  int cache_pages = 64;
+  /// Host-side write-behind quota: Write() suspends once this many writes
+  /// are outstanding.
+  int max_pending_writes = 16;
+
+  int64_t total_pages() const {
+    return static_cast<int64_t>(num_cylinders) * pages_per_cylinder;
+  }
+  double transfer_ms() const { return rotation_ms / pages_per_track; }
+};
+
+/// Detailed single-arm disk. Models elevator (SCAN) scheduling, seek as a
+/// settle + sqrt(distance) curve, rotational latency derived from the
+/// platter's angular position, a controller cache with streaming
+/// read-ahead, and host-side write-behind with a flush barrier.
+///
+/// Reads that hit the controller cache are served without moving the arm
+/// but still pay the page transfer serially (so a synchronous sequential
+/// reader sees the calibrated per-request cost, ~3.5 ms/page, even when a
+/// think-time gap separates its requests). An intervening non-contiguous
+/// arm operation aborts not-yet-complete read-ahead (this is what destroys
+/// a scan's sequential pattern when join temp I/O interleaves with it --
+/// the paper's interference effect).
+class Disk {
+ public:
+  Disk(Simulator& sim, std::string name, const DiskParams& params);
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  const std::string& name() const { return name_; }
+  const DiskParams& params() const { return params_; }
+
+  /// Reads one page; resumes the caller when the data is available.
+  auto Read(int64_t block) {
+    struct Awaiter {
+      Disk& disk;
+      int64_t block;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        disk.SubmitRead(block, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, block};
+  }
+
+  /// Write-behind page write: completes as soon as the request is accepted
+  /// (suspends only when the pending-write quota is exhausted). Use Flush()
+  /// to wait for durability.
+  auto Write(int64_t block) {
+    struct Awaiter {
+      Disk& disk;
+      int64_t block;
+      bool await_ready() {
+        if (disk.pending_writes_ < disk.params_.max_pending_writes) {
+          disk.SubmitWrite(block);
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        disk.write_waiters_.push_back({h, block});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, block};
+  }
+
+  /// Waits until all accepted writes have reached the platter.
+  auto Flush() {
+    struct Awaiter {
+      Disk& disk;
+      bool await_ready() const noexcept { return disk.pending_writes_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        disk.flush_waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  // --- statistics -------------------------------------------------------
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  /// Time the arm was busy (excludes cache-hit service).
+  double busy_ms() const { return busy_ms_; }
+  double Utilization(double horizon_ms) const {
+    return horizon_ms > 0.0 ? busy_ms_ / horizon_ms : 0.0;
+  }
+  void ResetStats();
+
+ private:
+  struct ArmRequest {
+    int64_t block;
+    bool is_write;
+    std::coroutine_handle<> handle;  // null for writes
+    double enqueue_time;
+  };
+  struct WriteWaiter {
+    std::coroutine_handle<> handle;
+    int64_t block;
+  };
+
+  void SubmitRead(int64_t block, std::coroutine_handle<> handle);
+  void SubmitWrite(int64_t block);
+  void EnqueueArm(ArmRequest request);
+  void DispatchArm();
+  void CompleteArm(const ArmRequest& request);
+  double ArmServiceTime(int64_t block) const;
+  void ExtendReadAhead(int64_t block, double from_time);
+  void AbortPendingReadAhead();
+  void CacheInsert(int64_t block, double available_at);
+
+  int Cylinder(int64_t block) const {
+    return static_cast<int>(block / params_.pages_per_cylinder);
+  }
+
+  Simulator& sim_;
+  std::string name_;
+  DiskParams params_;
+
+  // Arm/elevator state.
+  bool arm_busy_ = false;
+  int head_cylinder_ = 0;
+  bool sweep_up_ = true;
+  std::multimap<int, ArmRequest> arm_queue_;  // keyed by cylinder
+
+  // Controller cache: block -> time the page is (or becomes) available.
+  std::map<int64_t, double> cache_;
+  std::deque<int64_t> cache_fifo_;
+  int64_t stream_next_ = -1;   // next block the read-ahead stream will load
+  double stream_time_ = 0.0;   // when stream_next_ becomes available
+
+  // Write-behind bookkeeping.
+  int pending_writes_ = 0;
+  std::deque<WriteWaiter> write_waiters_;
+  std::vector<std::coroutine_handle<>> flush_waiters_;
+
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t cache_hits_ = 0;
+  double busy_ms_ = 0.0;
+};
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_DISK_H_

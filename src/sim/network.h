@@ -1,0 +1,51 @@
+#ifndef DIMSUM_SIM_NETWORK_H_
+#define DIMSUM_SIM_NETWORK_H_
+
+#include <cstdint>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace dimsum::sim {
+
+/// Shared network link, modeled (as in the paper) as a single FIFO queue
+/// with a fixed bandwidth; technology details (Ethernet, ATM, ...) are not
+/// modeled. Per-message CPU costs are charged by the caller at the sending
+/// and receiving sites' CPUs, not here.
+class Network {
+ public:
+  Network(Simulator& sim, double bandwidth_mbit_per_sec)
+      : link_(sim, "network"), bandwidth_mbps_(bandwidth_mbit_per_sec) {}
+
+  /// Time on the wire for a message of `bytes`, in ms.
+  double TransferTimeMs(int64_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / (bandwidth_mbps_ * 1000.0);
+  }
+
+  /// Occupies the link for the message's time-on-the-wire.
+  auto Transfer(int64_t bytes) {
+    ++messages_;
+    bytes_sent_ += bytes;
+    return link_.Use(TransferTimeMs(bytes));
+  }
+
+  double bandwidth_mbps() const { return bandwidth_mbps_; }
+  uint64_t messages() const { return messages_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+  double busy_ms() const { return link_.busy_ms(); }
+  void ResetStats() {
+    messages_ = 0;
+    bytes_sent_ = 0;
+    link_.ResetStats();
+  }
+
+ private:
+  Resource link_;
+  double bandwidth_mbps_;
+  uint64_t messages_ = 0;
+  int64_t bytes_sent_ = 0;
+};
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_NETWORK_H_

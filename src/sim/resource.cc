@@ -1,0 +1,25 @@
+#include "sim/resource.h"
+
+namespace dimsum::sim {
+
+void Resource::Enqueue(std::coroutine_handle<> handle, double service_ms) {
+  queue_.push_back(Request{handle, service_ms, sim_.now()});
+  ++total_requests_;
+  Dispatch();
+}
+
+void Resource::Dispatch() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  Request request = queue_.front();
+  queue_.pop_front();
+  wait_ms_ += sim_.now() - request.enqueue_time;
+  busy_ms_ += request.service_ms;
+  sim_.Call(request.service_ms, [this, request] {
+    busy_ = false;
+    sim_.Resume(0.0, request.handle);
+    Dispatch();
+  });
+}
+
+}  // namespace dimsum::sim

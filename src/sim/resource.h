@@ -1,0 +1,79 @@
+#ifndef DIMSUM_SIM_RESOURCE_H_
+#define DIMSUM_SIM_RESOURCE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace dimsum::sim {
+
+/// Single-server FIFO queueing resource (the paper models CPUs and the
+/// network this way). `co_await resource.Use(t)` waits for the server,
+/// holds it for `t` ms of virtual time, and resumes the caller when done.
+class Resource {
+ public:
+  /// `service_scale` multiplies every requested service time; a half-speed
+  /// CPU is a Resource with scale 2.0.
+  Resource(Simulator& sim, std::string name, double service_scale = 1.0)
+      : sim_(sim), name_(std::move(name)), service_scale_(service_scale) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  const std::string& name() const { return name_; }
+  double service_scale() const { return service_scale_; }
+
+  auto Use(double service_ms) {
+    service_ms *= service_scale_;
+    struct Awaiter {
+      Resource& resource;
+      double service_ms;
+      bool await_ready() const noexcept { return service_ms <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        resource.Enqueue(h, service_ms);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, service_ms};
+  }
+
+  // --- statistics -------------------------------------------------------
+  uint64_t total_requests() const { return total_requests_; }
+  double busy_ms() const { return busy_ms_; }
+  /// Total time requests spent waiting for the server (excludes service).
+  double wait_ms() const { return wait_ms_; }
+  /// Fraction of [0, horizon_ms] the server was busy.
+  double Utilization(double horizon_ms) const {
+    return horizon_ms > 0.0 ? busy_ms_ / horizon_ms : 0.0;
+  }
+  void ResetStats() {
+    total_requests_ = 0;
+    busy_ms_ = 0.0;
+    wait_ms_ = 0.0;
+  }
+
+ private:
+  struct Request {
+    std::coroutine_handle<> handle;
+    double service_ms;
+    double enqueue_time;
+  };
+
+  void Enqueue(std::coroutine_handle<> handle, double service_ms);
+  void Dispatch();
+
+  Simulator& sim_;
+  std::string name_;
+  double service_scale_ = 1.0;
+  bool busy_ = false;
+  std::deque<Request> queue_;
+  uint64_t total_requests_ = 0;
+  double busy_ms_ = 0.0;
+  double wait_ms_ = 0.0;
+};
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_RESOURCE_H_

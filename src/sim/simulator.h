@@ -1,0 +1,97 @@
+#ifndef DIMSUM_SIM_SIMULATOR_H_
+#define DIMSUM_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dimsum::sim {
+
+class Process;
+
+/// Discrete-event simulation kernel.
+///
+/// Keeps a virtual clock (milliseconds) and a priority queue of events.
+/// Events are either coroutine resumptions or plain callbacks. Ties are
+/// broken by insertion order, so runs are fully deterministic.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in milliseconds.
+  double now() const { return now_; }
+
+  /// Schedules `handle` to be resumed `delay` ms from now.
+  void Resume(double delay, std::coroutine_handle<> handle) {
+    DIMSUM_CHECK_GE(delay, 0.0);
+    DIMSUM_CHECK(handle);
+    queue_.push(Entry{now_ + delay, next_seq_++, handle, nullptr});
+  }
+
+  /// Schedules `fn` to run `delay` ms from now.
+  void Call(double delay, std::function<void()> fn) {
+    DIMSUM_CHECK_GE(delay, 0.0);
+    queue_.push(Entry{now_ + delay, next_seq_++, nullptr, std::move(fn)});
+  }
+
+  /// Starts a detached process; see sim/task.h.
+  void Spawn(Process process);
+
+  /// Starts a detached process and invokes `on_done` when it completes.
+  void Spawn(Process process, std::function<void()> on_done);
+
+  /// Processes the next event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until no events remain.
+  void Run();
+
+  /// Runs until the clock reaches `time` (events at exactly `time` are
+  /// processed) or the queue empties.
+  void RunUntil(double time);
+
+  /// Number of events processed so far.
+  uint64_t processed_events() const { return processed_; }
+
+  /// Suspends the awaiting coroutine for `delay` ms of virtual time.
+  /// A non-positive delay does not suspend.
+  auto Delay(double delay) {
+    struct Awaiter {
+      Simulator& sim;
+      double delay;
+      bool await_ready() const noexcept { return delay <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) { sim.Resume(delay, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, delay};
+  }
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_SIMULATOR_H_

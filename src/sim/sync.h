@@ -1,0 +1,88 @@
+#ifndef DIMSUM_SIM_SYNC_H_
+#define DIMSUM_SIM_SYNC_H_
+
+#include <coroutine>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace dimsum::sim {
+
+/// One-shot broadcast event. Waiters suspend until Set() is called; setting
+/// schedules all waiters for resumption at the current virtual time.
+class Signal {
+ public:
+  explicit Signal(Simulator& sim) : sim_(sim) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  bool is_set() const { return set_; }
+
+  void Set() {
+    if (set_) return;
+    set_ = true;
+    for (auto handle : waiters_) sim_.Resume(0.0, handle);
+    waiters_.clear();
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      Signal& signal;
+      bool await_ready() const noexcept { return signal.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        signal.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counter with the ability to await the value dropping to zero. Used for
+/// flush barriers (e.g., waiting for all write-behind disk I/O to finish).
+class ZeroCounter {
+ public:
+  explicit ZeroCounter(Simulator& sim) : sim_(sim) {}
+  ZeroCounter(const ZeroCounter&) = delete;
+  ZeroCounter& operator=(const ZeroCounter&) = delete;
+
+  int64_t value() const { return value_; }
+
+  void Increment() { ++value_; }
+
+  void Decrement() {
+    DIMSUM_CHECK_GT(value_, 0);
+    if (--value_ == 0) {
+      for (auto handle : waiters_) sim_.Resume(0.0, handle);
+      waiters_.clear();
+    }
+  }
+
+  /// Suspends until the counter is zero (ready immediately if it already is).
+  auto AwaitZero() {
+    struct Awaiter {
+      ZeroCounter& counter;
+      bool await_ready() const noexcept { return counter.value_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        counter.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  int64_t value_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_SYNC_H_

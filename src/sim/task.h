@@ -1,0 +1,186 @@
+#ifndef DIMSUM_SIM_TASK_H_
+#define DIMSUM_SIM_TASK_H_
+
+#include <coroutine>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dimsum::sim {
+
+/// Lazily-started coroutine returning a value of type T. `Task` is the
+/// building block for nested simulation logic: an operator's `Next()`
+/// returns a Task which the caller co_awaits. Resuming the innermost
+/// suspended leaf (a Delay, Resource grant, or Channel hand-off) resumes
+/// the whole logical call stack via symmetric transfer.
+///
+/// Exceptions are not supported (the library does not use them); an
+/// escaping exception terminates the program.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) const noexcept {
+      auto continuation = h.promise().continuation;
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::optional<T> value;
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  T await_resume() {
+    DIMSUM_CHECK(handle_.promise().value.has_value());
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  explicit Task(Handle handle) : handle_(handle) {}
+  Handle handle_;
+};
+
+/// Task<void> specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) const noexcept {
+      auto continuation = h.promise().continuation;
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit Task(Handle handle) : handle_(handle) {}
+  Handle handle_;
+};
+
+/// Detached top-level coroutine. A Process is created suspended and is
+/// started by Simulator::Spawn; once running, its frame self-destructs on
+/// completion (after invoking the optional on_done callback installed by
+/// Spawn). A Process that is never spawned is destroyed with its token.
+class Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    promise_type* promise;
+    // Runs the completion hook, then lets the coroutine finish without
+    // suspending so the frame is destroyed automatically.
+    bool await_ready() const noexcept;
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::function<void()> on_done;
+
+    Process get_return_object() { return Process(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return FinalAwaiter{this}; }
+    void return_void() const noexcept {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Process() {
+    if (handle_) handle_.destroy();
+  }
+
+  /// Releases ownership of the coroutine handle (used by Spawn). After the
+  /// handle is resumed the frame manages its own lifetime.
+  Handle Release() { return std::exchange(handle_, {}); }
+
+ private:
+  explicit Process(Handle handle) : handle_(handle) {}
+  Handle handle_;
+};
+
+inline bool Process::FinalAwaiter::await_ready() const noexcept {
+  if (promise->on_done) promise->on_done();
+  return true;  // never suspend: frame is destroyed on return
+}
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_TASK_H_

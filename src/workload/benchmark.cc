@@ -1,0 +1,67 @@
+#include "workload/benchmark.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace dimsum {
+namespace {
+
+Catalog MakeRelations(const WorkloadSpec& spec) {
+  Catalog catalog;
+  for (int i = 0; i < spec.num_relations; ++i) {
+    const RelationId id = catalog.AddRelation(
+        "R" + std::to_string(i), spec.tuples_per_relation, spec.tuple_bytes);
+    catalog.SetCachedFraction(
+        id, i < spec.fully_cached_relations ? 1.0 : spec.cached_fraction);
+  }
+  return catalog;
+}
+
+std::vector<RelationId> AllRelations(const WorkloadSpec& spec) {
+  std::vector<RelationId> rels;
+  for (int i = 0; i < spec.num_relations; ++i) rels.push_back(i);
+  return rels;
+}
+
+}  // namespace
+
+BenchmarkWorkload MakeChainWorkload(const WorkloadSpec& spec, Rng& rng) {
+  DIMSUM_CHECK_GE(spec.num_relations, spec.num_servers)
+      << "each server must hold at least one relation";
+  BenchmarkWorkload workload;
+  workload.catalog = MakeRelations(spec);
+  // Random placement with the constraint that every server holds at least
+  // one relation: shuffle the relations, deal the first num_servers out to
+  // distinct servers, place the rest uniformly at random.
+  std::vector<RelationId> order = AllRelations(spec);
+  rng.Shuffle(order);
+  for (int i = 0; i < spec.num_relations; ++i) {
+    const SiteId server =
+        (i < spec.num_servers)
+            ? ServerSite(i)
+            : ServerSite(static_cast<int>(
+                  rng.UniformInt(0, spec.num_servers - 1)));
+    workload.catalog.PlaceRelation(order[i], server);
+  }
+  workload.query = QueryGraph::Chain(AllRelations(spec), spec.selectivity);
+  return workload;
+}
+
+BenchmarkWorkload MakeChainWorkloadRoundRobin(const WorkloadSpec& spec) {
+  BenchmarkWorkload workload;
+  workload.catalog = MakeRelations(spec);
+  for (int i = 0; i < spec.num_relations; ++i) {
+    workload.catalog.PlaceRelation(i, ServerSite(i % spec.num_servers));
+  }
+  workload.query = QueryGraph::Chain(AllRelations(spec), spec.selectivity);
+  return workload;
+}
+
+BenchmarkWorkload MakeCompleteWorkloadRoundRobin(const WorkloadSpec& spec) {
+  BenchmarkWorkload workload = MakeChainWorkloadRoundRobin(spec);
+  workload.query = QueryGraph::Complete(AllRelations(spec), spec.selectivity);
+  return workload;
+}
+
+}  // namespace dimsum

@@ -1,0 +1,73 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+constexpr int kPageBytes = 4096;
+
+TEST(RelationTest, PaperBenchmarkRelationIs250Pages) {
+  Relation r{0, "A", 10000, 100};
+  EXPECT_EQ(r.TuplesPerPage(kPageBytes), 40);
+  EXPECT_EQ(r.Pages(kPageBytes), 250);
+}
+
+TEST(RelationTest, PagesRoundUp) {
+  Relation r{0, "A", 41, 100};
+  EXPECT_EQ(r.Pages(kPageBytes), 2);
+  Relation exact{0, "B", 40, 100};
+  EXPECT_EQ(exact.Pages(kPageBytes), 1);
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  const RelationId b = catalog.AddRelation("B", 20000, 200);
+  EXPECT_EQ(catalog.num_relations(), 2);
+  EXPECT_EQ(catalog.relation(a).name, "A");
+  EXPECT_EQ(catalog.relation(b).num_tuples, 20000);
+  EXPECT_NE(a, b);
+}
+
+TEST(CatalogTest, PlacementRoundTrip) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  catalog.PlaceRelation(a, ServerSite(0));
+  EXPECT_EQ(catalog.PrimarySite(a), 1);
+  catalog.PlaceRelation(a, ServerSite(4));  // relations can migrate
+  EXPECT_EQ(catalog.PrimarySite(a), 5);
+}
+
+TEST(CatalogTest, CachedFractionDefaultsToZero) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  EXPECT_EQ(catalog.CachedFraction(a), 0.0);
+  EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 0);
+}
+
+TEST(CatalogTest, CachedPagesIsContiguousPrefix) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  catalog.SetCachedFraction(a, 0.25);
+  EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 62);  // floor(0.25 * 250)
+  catalog.SetCachedFraction(a, 0.5);
+  EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 125);
+  catalog.SetCachedFraction(a, 1.0);
+  EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 250);
+}
+
+TEST(CatalogDeathTest, UnplacedRelationFails) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  EXPECT_DEATH(catalog.PrimarySite(a), "has not been placed");
+}
+
+TEST(CatalogDeathTest, ClientCannotHoldPrimaryCopies) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  EXPECT_DEATH(catalog.PlaceRelation(a, kClientSite), "check failed");
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,82 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+TEST(RunningStatTest, EmptyStat) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.ConfidenceHalfWidth90(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, SingleValueHasZeroVariance) {
+  RunningStat stat;
+  stat.Add(3.5);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.5);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, ConfidenceIntervalShrinksWithSamples) {
+  RunningStat small;
+  RunningStat large;
+  // Same alternating data, different sample counts.
+  for (int i = 0; i < 4; ++i) small.Add(i % 2 == 0 ? 9.0 : 11.0);
+  for (int i = 0; i < 400; ++i) large.Add(i % 2 == 0 ? 9.0 : 11.0);
+  EXPECT_GT(small.ConfidenceHalfWidth90(), large.ConfidenceHalfWidth90());
+}
+
+TEST(RunningStatTest, WithinRelativeError) {
+  RunningStat stat;
+  for (int i = 0; i < 100; ++i) stat.Add(i % 2 == 0 ? 99.0 : 101.0);
+  EXPECT_TRUE(stat.WithinRelativeError(0.05));
+  RunningStat wild;
+  wild.Add(1.0);
+  wild.Add(100.0);
+  wild.Add(0.5);
+  EXPECT_FALSE(wild.WithinRelativeError(0.05));
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0 + i * 0.1;
+    all.Add(v);
+    (i < 20 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(StudentT90Test, KnownValues) {
+  EXPECT_NEAR(StudentT90(1), 6.314, 1e-3);
+  EXPECT_NEAR(StudentT90(10), 1.812, 1e-3);
+  EXPECT_NEAR(StudentT90(30), 1.697, 1e-3);
+  EXPECT_NEAR(StudentT90(10000), 1.645, 1e-3);
+}
+
+TEST(StudentT90Test, MonotonicallyDecreasing) {
+  for (int df = 1; df < 35; ++df) {
+    EXPECT_GE(StudentT90(df), StudentT90(df + 1)) << "df=" << df;
+  }
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,47 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+TEST(ReportTableTest, AlignsColumns) {
+  ReportTable table({"a", "long header", "x"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"10000", "2", "3"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  // Three lines, each ending in newline.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  // Header present and rows align under it.
+  EXPECT_NE(text.find("long header"), std::string::npos);
+  std::istringstream lines(text);
+  std::string header, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.size(), row1.size());
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(ReportTableDeathTest, WrongArityRejected) {
+  ReportTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "check failed");
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 0), "3");
+  EXPECT_EQ(Fmt(1000.0, 1), "1000.0");
+}
+
+TEST(FmtCiTest, MeanPlusMinus) {
+  EXPECT_EQ(FmtCi(12.5, 0.25, 2), "12.50 +-0.25");
+  EXPECT_EQ(FmtCi(100.0, 0.0, 0), "100 +-0");
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,113 @@
+#include "core/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.h"
+
+namespace dimsum {
+namespace {
+
+TEST(ResultCacheTest, SignatureCanonicalizesOrder) {
+  QueryGraph a = QueryGraph::Chain({0, 1, 2});
+  QueryGraph b;
+  b.relations = {2, 0, 1};
+  b.edges = {{1, 0}, {2, 1}};
+  b.selectivity_factor = 1.0;
+  EXPECT_EQ(ResultCache::Signature(a), ResultCache::Signature(b));
+}
+
+TEST(ResultCacheTest, SignatureDistinguishesQueries) {
+  QueryGraph chain = QueryGraph::Chain({0, 1, 2});
+  QueryGraph complete = QueryGraph::Complete({0, 1, 2});
+  QueryGraph hisel = QueryGraph::Chain({0, 1, 2}, 0.2);
+  EXPECT_NE(ResultCache::Signature(chain), ResultCache::Signature(complete));
+  EXPECT_NE(ResultCache::Signature(chain), ResultCache::Signature(hisel));
+}
+
+TEST(ResultCacheTest, LookupAfterInsert) {
+  ResultCache cache(1000);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  EXPECT_FALSE(cache.Lookup(query));
+  cache.Insert(query, 250);
+  EXPECT_TRUE(cache.Lookup(query));
+  EXPECT_EQ(cache.used_pages(), 250);
+}
+
+TEST(ResultCacheTest, LruEvictionByPages) {
+  ResultCache cache(500);
+  QueryGraph q1 = QueryGraph::Chain({0, 1});
+  QueryGraph q2 = QueryGraph::Chain({2, 3});
+  QueryGraph q3 = QueryGraph::Chain({4, 5});
+  cache.Insert(q1, 250);
+  cache.Insert(q2, 250);
+  EXPECT_TRUE(cache.Lookup(q1));  // refreshes q1; q2 is now LRU
+  cache.Insert(q3, 250);          // evicts q2
+  EXPECT_TRUE(cache.Lookup(q1));
+  EXPECT_FALSE(cache.Lookup(q2));
+  EXPECT_TRUE(cache.Lookup(q3));
+  EXPECT_LE(cache.used_pages(), 500);
+}
+
+TEST(ResultCacheTest, OversizedResultNotAdmitted) {
+  ResultCache cache(100);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  cache.Insert(query, 250);
+  EXPECT_FALSE(cache.Lookup(query));
+  EXPECT_EQ(cache.used_pages(), 0);
+}
+
+TEST(CachingSessionTest, RepeatedQueryIsServedLocally) {
+  WorkloadSpec spec;
+  spec.num_relations = 2;
+  spec.num_servers = 1;
+  BenchmarkWorkload w = MakeChainWorkloadRoundRobin(spec);
+  SystemConfig config;
+  config.num_servers = 1;
+  config.params.buf_alloc = BufAlloc::kMaximum;
+  ClientServerSystem system(std::move(w.catalog), config);
+  CachingSession session(system, /*cache_pages=*/1000);
+
+  OptimizerConfig opt;
+  opt.ii_starts = 4;
+  opt.ii_patience = 24;
+  auto first = session.Run(w.query, ShippingPolicy::kQueryShipping,
+                           OptimizeMetric::kResponseTime, 1, &opt);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.data_pages_sent, 0);
+
+  auto second = session.Run(w.query, ShippingPolicy::kQueryShipping,
+                            OptimizeMetric::kResponseTime, 2, &opt);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.data_pages_sent, 0);
+  // Reading 250 result pages locally beats re-running the join.
+  EXPECT_LT(second.response_ms, first.response_ms * 0.7);
+  EXPECT_GT(second.response_ms, 0.0);
+}
+
+TEST(CachingSessionTest, DifferentQueryMisses) {
+  WorkloadSpec spec;
+  spec.num_relations = 4;
+  spec.num_servers = 1;
+  BenchmarkWorkload w = MakeChainWorkloadRoundRobin(spec);
+  SystemConfig config;
+  config.num_servers = 1;
+  config.params.buf_alloc = BufAlloc::kMaximum;
+  ClientServerSystem system(std::move(w.catalog), config);
+  CachingSession session(system, 1000);
+  OptimizerConfig opt;
+  opt.ii_starts = 4;
+  opt.ii_patience = 24;
+
+  QueryGraph q1 = QueryGraph::Chain({0, 1});
+  QueryGraph q2 = QueryGraph::Chain({2, 3});
+  auto first = session.Run(q1, ShippingPolicy::kQueryShipping,
+                           OptimizeMetric::kResponseTime, 1, &opt);
+  auto other = session.Run(q2, ShippingPolicy::kQueryShipping,
+                           OptimizeMetric::kResponseTime, 2, &opt);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(other.cache_hit);
+  EXPECT_EQ(session.cache().entries(), 2);
+}
+
+}  // namespace
+}  // namespace dimsum

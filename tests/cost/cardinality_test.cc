@@ -1,0 +1,115 @@
+#include "cost/cardinality.h"
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+Catalog PaperCatalog(int relations) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id =
+        catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(id, ServerSite(0));
+  }
+  return catalog;
+}
+
+TEST(CardinalityTest, ScanProducesWholeRelation) {
+  Catalog catalog = PaperCatalog(1);
+  QueryGraph query = QueryGraph::Chain({0});
+  Plan plan(MakeDisplay(MakeScan(0, SiteAnnotation::kClient)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  const StreamStats& scan = stats.at(plan.root()->left.get());
+  EXPECT_EQ(scan.tuples, 10000);
+  EXPECT_EQ(scan.tuple_bytes, 100);
+  EXPECT_EQ(scan.pages, 250);
+}
+
+TEST(CardinalityTest, ModerateJoinKeepsBaseRelationSize) {
+  // The paper's functional join: result has the size and cardinality of one
+  // base relation.
+  Catalog catalog = PaperCatalog(2);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kClient),
+                       MakeScan(1, SiteAnnotation::kClient),
+                       SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(join)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  const StreamStats& out = stats.at(plan.root()->left.get());
+  EXPECT_EQ(out.tuples, 10000);
+  EXPECT_EQ(out.tuple_bytes, 100);  // projected back to 100 bytes
+  EXPECT_EQ(out.pages, 250);
+}
+
+TEST(CardinalityTest, TenWayChainIntermediatesStayBaseSized) {
+  Catalog catalog = PaperCatalog(10);
+  std::vector<RelationId> rels;
+  for (int i = 0; i < 10; ++i) rels.push_back(i);
+  QueryGraph query = QueryGraph::Chain(rels);
+  // Left-deep plan.
+  std::unique_ptr<PlanNode> tree = MakeScan(0, SiteAnnotation::kClient);
+  for (int i = 1; i < 10; ++i) {
+    tree = MakeJoin(std::move(tree), MakeScan(i, SiteAnnotation::kClient),
+                    SiteAnnotation::kConsumer);
+  }
+  Plan plan(MakeDisplay(std::move(tree)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  plan.ForEach([&](const PlanNode& node) {
+    if (node.type == OpType::kJoin) {
+      EXPECT_EQ(stats.at(&node).tuples, 10000);
+    }
+  });
+}
+
+TEST(CardinalityTest, HiSelJoinShrinksResult) {
+  Catalog catalog = PaperCatalog(2);
+  QueryGraph query = QueryGraph::Chain({0, 1}, /*selectivity_factor=*/0.2);
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kClient),
+                       MakeScan(1, SiteAnnotation::kClient),
+                       SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(join)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  EXPECT_EQ(stats.at(plan.root()->left.get()).tuples, 2000);
+  EXPECT_EQ(stats.at(plan.root()->left.get()).pages, 50);
+}
+
+TEST(CardinalityTest, SelectReducesCardinality) {
+  Catalog catalog = PaperCatalog(1);
+  QueryGraph query = QueryGraph::Chain({0});
+  auto select = MakeSelect(MakeScan(0, SiteAnnotation::kClient), 0.1,
+                           SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(select)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  EXPECT_EQ(stats.at(plan.root()->left.get()).tuples, 1000);
+  EXPECT_EQ(stats.at(plan.root()->left.get()).pages, 25);
+}
+
+TEST(CardinalityTest, CartesianProductMultiplies) {
+  Catalog catalog = PaperCatalog(3);
+  QueryGraph query = QueryGraph::Chain({0, 1, 2});
+  // R0 x R2 (no predicate connects them directly).
+  auto cross = MakeJoin(MakeScan(0, SiteAnnotation::kClient),
+                        MakeScan(2, SiteAnnotation::kClient),
+                        SiteAnnotation::kConsumer);
+  auto join = MakeJoin(std::move(cross), MakeScan(1, SiteAnnotation::kClient),
+                       SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(join)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  const PlanNode* cross_node = plan.root()->left->left.get();
+  EXPECT_EQ(stats.at(cross_node).tuples, 100000000LL);
+  // The paper quotes ~5 million pages for this Cartesian product; 10^8
+  // tuples at 40 tuples/page is 2.5M pages -- same order of magnitude.
+  EXPECT_EQ(stats.at(cross_node).pages, 2500000LL);
+}
+
+TEST(CardinalityTest, DisplayPassesThrough) {
+  Catalog catalog = PaperCatalog(1);
+  QueryGraph query = QueryGraph::Chain({0});
+  Plan plan(MakeDisplay(MakeScan(0, SiteAnnotation::kClient)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  EXPECT_EQ(stats.at(plan.root()).tuples, 10000);
+}
+
+}  // namespace
+}  // namespace dimsum

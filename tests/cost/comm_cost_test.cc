@@ -1,0 +1,144 @@
+#include "cost/comm_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/binding.h"
+
+namespace dimsum {
+namespace {
+
+Catalog PaperCatalog(int relations, int servers) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id =
+        catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(id, ServerSite(i % servers));
+  }
+  return catalog;
+}
+
+Plan TwoWayPlan(SiteAnnotation scan_annotation, SiteAnnotation join_annotation) {
+  auto join = MakeJoin(MakeScan(0, scan_annotation),
+                       MakeScan(1, scan_annotation), join_annotation);
+  return Plan(MakeDisplay(std::move(join)));
+}
+
+// Figure 2, left end: DS with an empty cache faults in both relations.
+TEST(CommCostTest, DataShippingNoCacheSends500Pages) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  Plan plan = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  BindSites(plan, catalog);
+  CommCost cost = ComputeCommCost(plan, catalog, query, CostParams{});
+  EXPECT_EQ(cost.pages, 500);
+}
+
+// Figure 2: QS always ships exactly the 250-page result.
+TEST(CommCostTest, QueryShippingSends250PagesRegardlessOfCache) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  for (double cached : {0.0, 0.25, 0.5, 1.0}) {
+    catalog.SetCachedFraction(0, cached);
+    catalog.SetCachedFraction(1, cached);
+    Plan plan =
+        TwoWayPlan(SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel);
+    BindSites(plan, catalog);
+    CommCost cost = ComputeCommCost(plan, catalog, query, CostParams{});
+    EXPECT_EQ(cost.pages, 250) << "cached=" << cached;
+  }
+}
+
+// Figure 2: DS decreases linearly with caching; crossover at 50%.
+TEST(CommCostTest, DataShippingDecreasesLinearlyWithCache) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  const std::vector<std::pair<double, int64_t>> expectations = {
+      {0.0, 500}, {0.25, 376}, {0.5, 250}, {0.75, 126}, {1.0, 0}};
+  for (const auto& [cached, pages] : expectations) {
+    catalog.SetCachedFraction(0, cached);
+    catalog.SetCachedFraction(1, cached);
+    Plan plan = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+    BindSites(plan, catalog);
+    CommCost cost = ComputeCommCost(plan, catalog, query, CostParams{});
+    EXPECT_EQ(cost.pages, pages) << "cached=" << cached;
+  }
+}
+
+// Figure 6, left end: QS with one server sends only the result.
+TEST(CommCostTest, TenWayQueryShippingOneServer) {
+  Catalog catalog = PaperCatalog(10, 1);
+  std::vector<RelationId> rels;
+  for (int i = 0; i < 10; ++i) rels.push_back(i);
+  QueryGraph query = QueryGraph::Chain(rels);
+  std::unique_ptr<PlanNode> tree = MakeScan(0, SiteAnnotation::kPrimaryCopy);
+  for (int i = 1; i < 10; ++i) {
+    tree = MakeJoin(std::move(tree), MakeScan(i, SiteAnnotation::kPrimaryCopy),
+                    SiteAnnotation::kInnerRel);
+  }
+  Plan plan(MakeDisplay(std::move(tree)));
+  BindSites(plan, catalog);
+  CommCost cost = ComputeCommCost(plan, catalog, query, CostParams{});
+  EXPECT_EQ(cost.pages, 250);
+}
+
+// Figure 6, right end: DS always ships all ten relations.
+TEST(CommCostTest, TenWayDataShippingSends2500Pages) {
+  for (int servers : {1, 5, 10}) {
+    Catalog catalog = PaperCatalog(10, servers);
+    std::vector<RelationId> rels;
+    for (int i = 0; i < 10; ++i) rels.push_back(i);
+    QueryGraph query = QueryGraph::Chain(rels);
+    std::unique_ptr<PlanNode> tree = MakeScan(0, SiteAnnotation::kClient);
+    for (int i = 1; i < 10; ++i) {
+      tree = MakeJoin(std::move(tree), MakeScan(i, SiteAnnotation::kClient),
+                      SiteAnnotation::kConsumer);
+    }
+    Plan plan(MakeDisplay(std::move(tree)));
+    BindSites(plan, catalog);
+    CommCost cost = ComputeCommCost(plan, catalog, query, CostParams{});
+    EXPECT_EQ(cost.pages, 2500) << servers << " servers";
+  }
+}
+
+// Server-server shipping: a join at R0's server pulls R1 from its server,
+// then ships the result to the client.
+TEST(CommCostTest, ServerToServerTransferCounted) {
+  Catalog catalog = PaperCatalog(2, 2);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  Plan plan =
+      TwoWayPlan(SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel);
+  BindSites(plan, catalog);
+  CommCost cost = ComputeCommCost(plan, catalog, query, CostParams{});
+  EXPECT_EQ(cost.pages, 250 + 250);  // R1 to server 1, result to client
+}
+
+// Hybrid plans may ship cached data from the client to a server.
+TEST(CommCostTest, ClientToServerShipmentCounted) {
+  Catalog catalog = PaperCatalog(2, 2);
+  catalog.SetCachedFraction(0, 1.0);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  // Scan R0 at the client (fully cached: no faults), join at R1's server.
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kClient),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kOuterRel);
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  CommCost cost = ComputeCommCost(plan, catalog, query, CostParams{});
+  // R0's 250 pages flow client -> server 2; the result flows back.
+  EXPECT_EQ(cost.pages, 500);
+}
+
+TEST(CommCostTest, MessageAndByteAccounting) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  CostParams params;
+  Plan plan = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  BindSites(plan, catalog);
+  CommCost cost = ComputeCommCost(plan, catalog, query, params);
+  EXPECT_EQ(cost.messages, 2 * 500);  // request + response per faulted page
+  EXPECT_EQ(cost.bytes,
+            500 * (params.page_bytes + params.fault_request_bytes));
+}
+
+}  // namespace
+}  // namespace dimsum

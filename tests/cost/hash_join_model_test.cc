@@ -1,0 +1,78 @@
+#include "cost/hash_join_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+TEST(HashJoinModelTest, MaximumAllocationNeverSpills) {
+  HashJoinModel m = ComputeHashJoinModel(250, BufAlloc::kMaximum, 1.2);
+  EXPECT_TRUE(m.in_memory());
+  EXPECT_EQ(m.memory_frames, 300);  // F * M
+  EXPECT_EQ(m.spill_fraction, 0.0);
+  EXPECT_EQ(m.SpillPages(250), 0);
+}
+
+TEST(HashJoinModelTest, MinimumAllocationPaperRelation) {
+  // Paper relation: 250 pages, F = 1.2 -> sqrt(300) ~ 17.3 -> 18 frames.
+  HashJoinModel m = ComputeHashJoinModel(250, BufAlloc::kMinimum, 1.2);
+  EXPECT_FALSE(m.in_memory());
+  EXPECT_EQ(m.memory_frames, 18);
+  EXPECT_EQ(m.num_partitions, 17);  // ceil((300-18)/17)
+  // Nearly everything spills: only one frame stays resident.
+  EXPECT_GT(m.spill_fraction, 0.95);
+  EXPECT_LT(m.spill_fraction, 1.0);
+  // Spilled partitions must individually fit in memory for the join phase.
+  const double partition_pages =
+      1.2 * 250.0 * m.spill_fraction / m.num_partitions;
+  EXPECT_LE(partition_pages, static_cast<double>(m.memory_frames));
+}
+
+TEST(HashJoinModelTest, OnePageInnerFitsEvenWithMinimum) {
+  // ceil(sqrt(1.2)) = 2 frames >= 1.2 needed frames: no spilling.
+  HashJoinModel m = ComputeHashJoinModel(1, BufAlloc::kMinimum, 1.2);
+  EXPECT_TRUE(m.in_memory());
+  EXPECT_EQ(m.spill_fraction, 0.0);
+}
+
+TEST(HashJoinModelTest, SmallInnerStillSpillsUnderMinimum) {
+  // Minimum allocation is sqrt(F*M) by definition; 3 pages do not fit in
+  // ceil(sqrt(3.6)) = 2 frames, so the join partitions.
+  HashJoinModel m = ComputeHashJoinModel(3, BufAlloc::kMinimum, 1.2);
+  EXPECT_FALSE(m.in_memory());
+}
+
+TEST(HashJoinModelTest, SpillPagesScaleWithInput) {
+  HashJoinModel m = ComputeHashJoinModel(250, BufAlloc::kMinimum, 1.2);
+  const int64_t inner_spill = m.SpillPages(250);
+  const int64_t outer_spill = m.SpillPages(500);
+  EXPECT_GT(inner_spill, 200);
+  EXPECT_LE(inner_spill, 250);
+  EXPECT_NEAR(static_cast<double>(outer_spill),
+              2.0 * static_cast<double>(inner_spill), 2.0);
+}
+
+TEST(HashJoinModelTest, ZeroPagesInput) {
+  HashJoinModel m = ComputeHashJoinModel(0, BufAlloc::kMinimum, 1.2);
+  EXPECT_TRUE(m.in_memory());
+  EXPECT_EQ(m.SpillPages(0), 0);
+}
+
+TEST(HashJoinModelTest, MinimumAllocationSpillsMostOfLargeInputs) {
+  // With sqrt(F*M) frames the resident part of the hash table is at most a
+  // handful of frames, so nearly everything spills -- but never more than
+  // everything, and each spilled partition must fit in memory.
+  for (int64_t pages : {10, 50, 250, 1000, 5000}) {
+    HashJoinModel m = ComputeHashJoinModel(pages, BufAlloc::kMinimum, 1.2);
+    EXPECT_GT(m.spill_fraction, 0.9) << pages << " pages";
+    EXPECT_LE(m.spill_fraction, 1.0) << pages << " pages";
+    ASSERT_GT(m.num_partitions, 0);
+    const double partition_pages =
+        1.2 * static_cast<double>(pages) / m.num_partitions;
+    EXPECT_LE(partition_pages, static_cast<double>(m.memory_frames) + 1.0)
+        << pages << " pages";
+  }
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,160 @@
+// Focused tests of the response-time model's structure: phase boundaries,
+// the serial fault chain, the interference term, and load inflation.
+
+#include <gtest/gtest.h>
+
+#include "cost/response_time.h"
+#include "plan/binding.h"
+
+namespace dimsum {
+namespace {
+
+Catalog MakeCatalog(int relations, int servers, double cached = 0.0) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(i, ServerSite(i % servers));
+    catalog.SetCachedFraction(i, cached);
+  }
+  return catalog;
+}
+
+TEST(ResponseModelTest, SingleScanIsDiskBound) {
+  Catalog catalog = MakeCatalog(1, 1);
+  QueryGraph query = QueryGraph::Chain({0});
+  CostParams params;
+  Plan plan(MakeDisplay(MakeScan(0, SiteAnnotation::kPrimaryCopy)));
+  BindSites(plan, catalog);
+  TimeEstimate estimate = EstimateTime(plan, catalog, query, params);
+  // 250 sequential pages dominate; everything else overlaps.
+  EXPECT_NEAR(estimate.response_ms, 250 * params.seq_page_ms, 100.0);
+}
+
+TEST(ResponseModelTest, FaultChainIsSerial) {
+  // The faulting scan's chain pseudo-resource makes its estimate the SUM
+  // of per-page round-trip components, well above any single resource.
+  Catalog catalog = MakeCatalog(1, 1);
+  QueryGraph query = QueryGraph::Chain({0});
+  CostParams params;
+  Plan plan(MakeDisplay(MakeScan(0, SiteAnnotation::kClient)));
+  BindSites(plan, catalog);
+  TimeEstimate estimate = EstimateTime(plan, catalog, query, params);
+  const double disk_only = 250 * params.seq_page_ms;
+  EXPECT_GT(estimate.response_ms, disk_only * 1.4);
+}
+
+TEST(ResponseModelTest, CachedScanHasNoChain) {
+  Catalog catalog = MakeCatalog(1, 1, /*cached=*/1.0);
+  QueryGraph query = QueryGraph::Chain({0});
+  CostParams params;
+  Plan plan(MakeDisplay(MakeScan(0, SiteAnnotation::kClient)));
+  BindSites(plan, catalog);
+  TimeEstimate estimate = EstimateTime(plan, catalog, query, params);
+  EXPECT_NEAR(estimate.response_ms, 250 * params.seq_page_ms, 100.0);
+}
+
+TEST(ResponseModelTest, InterferenceTermChargesScansAtRandomRate) {
+  // QS 2-way with min allocation: scan and temp I/O share the server disk
+  // in the same phases, so scan demand is inflated toward rand_page_ms.
+  Catalog catalog = MakeCatalog(2, 1);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  CostParams min_alloc;
+  min_alloc.buf_alloc = BufAlloc::kMinimum;
+  Plan plan(MakeDisplay(MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                                 MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                                 SiteAnnotation::kInnerRel)));
+  BindSites(plan, catalog);
+  const double with_temp =
+      EstimateTime(plan, catalog, query, min_alloc).response_ms;
+
+  CostParams max_alloc;
+  max_alloc.buf_alloc = BufAlloc::kMaximum;
+  const double without_temp =
+      EstimateTime(plan, catalog, query, max_alloc).response_ms;
+  // Temp I/O itself adds ~1000 page I/Os, but the interference term adds
+  // even more: the scans alone are re-rated 3.5 -> 11.8 (2075 ms extra).
+  EXPECT_GT(with_temp, without_temp + 2000.0);
+}
+
+TEST(ResponseModelTest, LoadInflatesOnlyLoadedSites) {
+  Catalog catalog = MakeCatalog(2, 2);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  CostParams params;
+  // Join at R1's server; R0's server only scans.
+  Plan plan(MakeDisplay(MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                                 MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                                 SiteAnnotation::kOuterRel)));
+  BindSites(plan, catalog);
+  const double base = EstimateTime(plan, catalog, query, params).response_ms;
+  // Loading the scan-only server inflates its (non-critical) scan; loading
+  // the join server inflates the critical path more.
+  const double load_scan_server =
+      EstimateTime(plan, catalog, query, params, {{ServerSite(0), 0.8}})
+          .response_ms;
+  const double load_join_server =
+      EstimateTime(plan, catalog, query, params, {{ServerSite(1), 0.8}})
+          .response_ms;
+  EXPECT_GE(load_scan_server, base);
+  EXPECT_GT(load_join_server, load_scan_server);
+}
+
+TEST(ResponseModelTest, IndependentSubtreesOverlap) {
+  // A bushy 4-way join over 4 servers: the two bottom joins' builds draw
+  // from different disks, so the estimate is far below the serial sum.
+  Catalog catalog = MakeCatalog(4, 4);
+  QueryGraph query = QueryGraph::Complete({0, 1, 2, 3});
+  CostParams params;
+  params.buf_alloc = BufAlloc::kMaximum;
+  auto bushy = MakeJoin(
+      MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+               MakeScan(1, SiteAnnotation::kPrimaryCopy),
+               SiteAnnotation::kInnerRel),
+      MakeJoin(MakeScan(2, SiteAnnotation::kPrimaryCopy),
+               MakeScan(3, SiteAnnotation::kPrimaryCopy),
+               SiteAnnotation::kInnerRel),
+      SiteAnnotation::kInnerRel);
+  Plan plan(MakeDisplay(std::move(bushy)));
+  BindSites(plan, catalog);
+  TimeEstimate estimate = EstimateTime(plan, catalog, query, params);
+  const double one_scan = 250 * params.seq_page_ms;
+  // Serial would be >= 4 scans (3500 ms); with overlap the critical path
+  // is exactly three pipeline stages deep: max(build AB, build CD), then
+  // probe AB feeding the top build, then probe CD feeding the top probe.
+  EXPECT_LE(estimate.response_ms, 3.0 * one_scan + 100.0);
+  EXPECT_GE(estimate.response_ms, 1.9 * one_scan);
+}
+
+TEST(ResponseModelTest, TotalIsSumResponseIsPath) {
+  Catalog catalog = MakeCatalog(2, 2);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  CostParams params;
+  Plan plan(MakeDisplay(MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                                 MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                                 SiteAnnotation::kInnerRel)));
+  BindSites(plan, catalog);
+  TimeEstimate estimate = EstimateTime(plan, catalog, query, params);
+  EXPECT_GT(estimate.total_ms, estimate.response_ms);
+  // Total cost covers both scans' disk time plus network and CPU.
+  EXPECT_GT(estimate.total_ms, 2 * 250 * params.seq_page_ms);
+}
+
+TEST(ResponseModelTest, MoreServersNeverWorseForQueryShipping) {
+  // Splitting the same QS plan's relations across two servers can only
+  // help the estimate (disk parallelism).
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  CostParams params;
+  params.buf_alloc = BufAlloc::kMinimum;
+  Catalog one = MakeCatalog(2, 1);
+  Catalog two = MakeCatalog(2, 2);
+  Plan p1(MakeDisplay(MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                               MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                               SiteAnnotation::kInnerRel)));
+  Plan p2 = p1.Clone();
+  BindSites(p1, one);
+  BindSites(p2, two);
+  EXPECT_LE(EstimateTime(p2, two, query, params).response_ms,
+            EstimateTime(p1, one, query, params).response_ms);
+}
+
+}  // namespace
+}  // namespace dimsum

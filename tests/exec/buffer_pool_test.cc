@@ -1,0 +1,66 @@
+#include "exec/buffer_pool.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+
+namespace dimsum {
+namespace {
+
+sim::Process AcquireHoldRelease(sim::Simulator& sim, BufferPool& pool,
+                                int64_t frames, double hold_ms,
+                                std::vector<double>* acquired_at) {
+  co_await pool.Acquire(frames);
+  acquired_at->push_back(sim.now());
+  co_await sim.Delay(hold_ms);
+  pool.Release(frames);
+}
+
+TEST(BufferPoolTest, ImmediateWhenAvailable) {
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  std::vector<double> acquired;
+  sim.Spawn(AcquireHoldRelease(sim, pool, 60, 5.0, &acquired));
+  sim.Run();
+  EXPECT_EQ(acquired, (std::vector<double>{0.0}));
+  EXPECT_EQ(pool.free_frames(), 100);
+}
+
+TEST(BufferPoolTest, WaitsForRelease) {
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  std::vector<double> acquired;
+  sim.Spawn(AcquireHoldRelease(sim, pool, 80, 10.0, &acquired));
+  sim.Spawn(AcquireHoldRelease(sim, pool, 80, 1.0, &acquired));
+  sim.Run();
+  ASSERT_EQ(acquired.size(), 2u);
+  EXPECT_EQ(acquired[0], 0.0);
+  EXPECT_EQ(acquired[1], 10.0);  // waits for the first to release
+}
+
+TEST(BufferPoolTest, FifoOrderPreserved) {
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  std::vector<double> acquired;
+  sim.Spawn(AcquireHoldRelease(sim, pool, 100, 5.0, &acquired));
+  sim.Spawn(AcquireHoldRelease(sim, pool, 10, 5.0, &acquired));
+  sim.Spawn(AcquireHoldRelease(sim, pool, 90, 5.0, &acquired));
+  sim.Run();
+  ASSERT_EQ(acquired.size(), 3u);
+  // Second and third both fit after the first releases at t=5.
+  EXPECT_EQ(acquired[1], 5.0);
+  EXPECT_EQ(acquired[2], 5.0);
+}
+
+TEST(BufferPoolDeathTest, OversizedRequestFails) {
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  std::vector<double> acquired;
+  sim.Spawn(AcquireHoldRelease(sim, pool, 101, 1.0, &acquired));
+  EXPECT_DEATH(sim.Run(), "exceeds physical memory");
+}
+
+}  // namespace
+}  // namespace dimsum

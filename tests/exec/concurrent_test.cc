@@ -1,0 +1,154 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/binding.h"
+
+namespace dimsum {
+namespace {
+
+Catalog OneServerCatalog(int relations) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(i, ServerSite(0));
+  }
+  return catalog;
+}
+
+Plan QsJoin(RelationId a, RelationId b) {
+  return Plan(MakeDisplay(MakeJoin(MakeScan(a, SiteAnnotation::kPrimaryCopy),
+                                   MakeScan(b, SiteAnnotation::kPrimaryCopy),
+                                   SiteAnnotation::kInnerRel)));
+}
+
+Plan DsJoin(RelationId a, RelationId b) {
+  return Plan(MakeDisplay(MakeJoin(MakeScan(a, SiteAnnotation::kClient),
+                                   MakeScan(b, SiteAnnotation::kClient),
+                                   SiteAnnotation::kConsumer)));
+}
+
+TEST(ConcurrentTest, SingleQueryBatchMatchesExecutePlan) {
+  Catalog catalog = OneServerCatalog(2);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  SystemConfig config;
+  config.num_servers = 1;
+  Plan plan = QsJoin(0, 1);
+  BindSites(plan, catalog);
+  ExecMetrics single = ExecutePlan(plan, catalog, query, config);
+  ConcurrentResult batch = ExecuteConcurrent(
+      {WorkloadQuery{&plan, &query}}, catalog, config);
+  EXPECT_EQ(batch.per_query.size(), 1u);
+  EXPECT_EQ(batch.per_query[0].response_ms, single.response_ms);
+  EXPECT_EQ(batch.makespan_ms, single.response_ms);
+}
+
+TEST(ConcurrentTest, TwoQueriesContendSuperLinearly) {
+  // Two QS joins over disjoint relations on the same server: their scans
+  // interleave on the shared disk and destroy each other's sequential
+  // read-ahead (the same interference effect as Figure 3), so the makespan
+  // is *more* than twice a solo run.
+  Catalog catalog = OneServerCatalog(4);
+  QueryGraph q1 = QueryGraph::Chain({0, 1});
+  QueryGraph q2 = QueryGraph::Chain({2, 3});
+  SystemConfig config;
+  config.num_servers = 1;
+  config.params.buf_alloc = BufAlloc::kMaximum;
+  Plan p1 = QsJoin(0, 1);
+  Plan p2 = QsJoin(2, 3);
+  BindSites(p1, catalog);
+  BindSites(p2, catalog);
+
+  const double solo = ExecutePlan(p1, catalog, q1, config).response_ms;
+  ConcurrentResult both = ExecuteConcurrent(
+      {WorkloadQuery{&p1, &q1}, WorkloadQuery{&p2, &q2}}, catalog, config);
+  EXPECT_GT(both.makespan_ms, solo * 2.0);
+  // ... though never worse than if every read went fully random.
+  EXPECT_LT(both.makespan_ms, solo * 8.0);
+}
+
+TEST(ConcurrentTest, MemoryAdmissionSerializesAndAvoidsThrashing) {
+  // Two maximum-allocation joins need 300 frames each; with a ~300-frame
+  // pool the second join waits for the first to release its memory. The
+  // buffer pool thus acts as admission control: the serialized schedule
+  // avoids the disk interference of running both scans at once, and the
+  // makespan is the *sum* of two clean runs -- which here beats running
+  // both concurrently (a classic thrashing-vs-admission effect).
+  Catalog catalog = OneServerCatalog(4);
+  QueryGraph q1 = QueryGraph::Chain({0, 1});
+  QueryGraph q2 = QueryGraph::Chain({2, 3});
+  SystemConfig roomy;
+  roomy.num_servers = 1;
+  roomy.params.buf_alloc = BufAlloc::kMaximum;
+  roomy.site_memory_frames = 4096;
+  SystemConfig tight = roomy;
+  tight.site_memory_frames = 310;
+
+  Plan p1 = DsJoin(0, 1);
+  Plan p2 = DsJoin(2, 3);
+  BindSites(p1, catalog);
+  BindSites(p2, catalog);
+
+  const double solo = ExecutePlan(p1, catalog, q1, roomy).response_ms;
+  ConcurrentResult with_room = ExecuteConcurrent(
+      {WorkloadQuery{&p1, &q1}, WorkloadQuery{&p2, &q2}}, catalog, roomy);
+  ConcurrentResult squeezed = ExecuteConcurrent(
+      {WorkloadQuery{&p1, &q1}, WorkloadQuery{&p2, &q2}}, catalog, tight);
+  // Serialized: roughly two back-to-back solo runs.
+  EXPECT_NEAR(squeezed.makespan_ms, 2.0 * solo, 0.25 * solo);
+  // Admission control beats thrashing in this configuration.
+  EXPECT_LT(squeezed.makespan_ms, with_room.makespan_ms);
+  // And one query clearly finished before the other started heavy work.
+  const double first = std::min(squeezed.per_query[0].response_ms,
+                                squeezed.per_query[1].response_ms);
+  EXPECT_LT(first, solo * 1.5);
+}
+
+TEST(ConcurrentTest, ClientCacheServesManyQueriesWithoutServer) {
+  // Three DS queries over fully cached relations never touch the network.
+  Catalog catalog = OneServerCatalog(2);
+  catalog.SetCachedFraction(0, 1.0);
+  catalog.SetCachedFraction(1, 1.0);
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  SystemConfig config;
+  config.num_servers = 1;
+  config.params.buf_alloc = BufAlloc::kMaximum;
+  Plan p1 = DsJoin(0, 1);
+  Plan p2 = DsJoin(0, 1);
+  Plan p3 = DsJoin(0, 1);
+  BindSites(p1, catalog);
+  BindSites(p2, catalog);
+  BindSites(p3, catalog);
+  ConcurrentResult result = ExecuteConcurrent(
+      {WorkloadQuery{&p1, &query}, WorkloadQuery{&p2, &query},
+       WorkloadQuery{&p3, &query}},
+      catalog, config);
+  for (const ExecMetrics& m : result.per_query) {
+    EXPECT_EQ(m.data_pages_sent, 0);
+  }
+  EXPECT_EQ(result.per_query[0].bytes_sent, 0);
+}
+
+TEST(ConcurrentTest, DeterministicBatchReplay) {
+  Catalog catalog = OneServerCatalog(4);
+  QueryGraph q1 = QueryGraph::Chain({0, 1});
+  QueryGraph q2 = QueryGraph::Chain({2, 3});
+  SystemConfig config;
+  config.num_servers = 1;
+  config.server_disk_load_per_sec[ServerSite(0)] = 30.0;
+  Plan p1 = QsJoin(0, 1);
+  Plan p2 = DsJoin(2, 3);
+  BindSites(p1, catalog);
+  BindSites(p2, catalog);
+  ConcurrentResult a = ExecuteConcurrent(
+      {WorkloadQuery{&p1, &q1}, WorkloadQuery{&p2, &q2}}, catalog, config, 5);
+  ConcurrentResult b = ExecuteConcurrent(
+      {WorkloadQuery{&p1, &q1}, WorkloadQuery{&p2, &q2}}, catalog, config, 5);
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+  EXPECT_EQ(a.per_query[0].response_ms, b.per_query[0].response_ms);
+  EXPECT_EQ(a.per_query[1].response_ms, b.per_query[1].response_ms);
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,249 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/comm_cost.h"
+#include "plan/binding.h"
+
+namespace dimsum {
+namespace {
+
+Catalog PaperCatalog(int relations, int servers, double cached = 0.0) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id =
+        catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(id, ServerSite(i % servers));
+    catalog.SetCachedFraction(id, cached);
+  }
+  return catalog;
+}
+
+QueryGraph ChainQuery(int n, double selectivity = 1.0) {
+  std::vector<RelationId> rels;
+  for (int i = 0; i < n; ++i) rels.push_back(i);
+  return QueryGraph::Chain(std::move(rels), selectivity);
+}
+
+Plan TwoWayPlan(SiteAnnotation scan, SiteAnnotation join) {
+  return Plan(
+      MakeDisplay(MakeJoin(MakeScan(0, scan), MakeScan(1, scan), join)));
+}
+
+/// Left-deep plan in the natural hash-join shape: each new base relation is
+/// the build (inner) input, the accumulated result streams through as the
+/// probe input -- so all builds can proceed in parallel while the probe
+/// pipeline flows through every join.
+Plan LeftDeepPlan(int n, SiteAnnotation scan, SiteAnnotation join) {
+  std::unique_ptr<PlanNode> tree = MakeScan(0, scan);
+  for (int i = 1; i < n; ++i) {
+    tree = MakeJoin(MakeScan(i, scan), std::move(tree), join);
+  }
+  return Plan(MakeDisplay(std::move(tree)));
+}
+
+SystemConfig Config(int servers, BufAlloc alloc) {
+  SystemConfig config;
+  config.num_servers = servers;
+  config.params.buf_alloc = alloc;
+  return config;
+}
+
+TEST(ExecutorTest, TwoWayJoinCompletes) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph query = ChainQuery(2);
+  Plan plan = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  BindSites(plan, catalog);
+  ExecMetrics metrics =
+      ExecutePlan(plan, catalog, query, Config(1, BufAlloc::kMinimum));
+  EXPECT_GT(metrics.response_ms, 0.0);
+  EXPECT_EQ(metrics.data_pages_sent, 500);
+}
+
+// The simulator's measured pages must agree with the analytic
+// communication-cost model on the same bound plan.
+TEST(ExecutorTest, PagesSentMatchesAnalyticModel) {
+  struct Case {
+    SiteAnnotation scan;
+    SiteAnnotation join;
+    double cached;
+  };
+  for (const Case& c :
+       {Case{SiteAnnotation::kClient, SiteAnnotation::kConsumer, 0.0},
+        Case{SiteAnnotation::kClient, SiteAnnotation::kConsumer, 0.5},
+        Case{SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel, 0.0},
+        Case{SiteAnnotation::kPrimaryCopy, SiteAnnotation::kOuterRel, 0.25}}) {
+    Catalog catalog = PaperCatalog(2, 2, c.cached);
+    QueryGraph query = ChainQuery(2);
+    Plan plan = TwoWayPlan(c.scan, c.join);
+    BindSites(plan, catalog);
+    SystemConfig config = Config(2, BufAlloc::kMaximum);
+    CommCost analytic = ComputeCommCost(plan, catalog, query, config.params);
+    ExecMetrics measured = ExecutePlan(plan, catalog, query, config);
+    EXPECT_EQ(measured.data_pages_sent, analytic.pages)
+        << "cached=" << c.cached;
+  }
+}
+
+TEST(ExecutorTest, DeterministicReplay) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph query = ChainQuery(2);
+  Plan plan = TwoWayPlan(SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel);
+  BindSites(plan, catalog);
+  SystemConfig config = Config(1, BufAlloc::kMinimum);
+  config.server_disk_load_per_sec[ServerSite(0)] = 40.0;
+  ExecMetrics a = ExecutePlan(plan, catalog, query, config, /*seed=*/7);
+  ExecMetrics b = ExecutePlan(plan, catalog, query, config, /*seed=*/7);
+  EXPECT_EQ(a.response_ms, b.response_ms);
+  EXPECT_EQ(a.data_pages_sent, b.data_pages_sent);
+}
+
+// Figure 3 at 0% caching: QS (scan + join temp I/O on one server disk)
+// loses to DS (scan I/O at the server, join temp I/O at the client).
+TEST(ExecutorTest, MinAllocInterferenceHurtsQueryShipping) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph query = ChainQuery(2);
+  SystemConfig config = Config(1, BufAlloc::kMinimum);
+  Plan ds = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  Plan qs = TwoWayPlan(SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel);
+  BindSites(ds, catalog);
+  BindSites(qs, catalog);
+  const double t_ds = ExecutePlan(ds, catalog, query, config).response_ms;
+  const double t_qs = ExecutePlan(qs, catalog, query, config).response_ms;
+  EXPECT_LT(t_ds, t_qs);
+}
+
+// Figure 3's right end: with everything cached, DS suffers the same
+// scan/temp interference on the *client* disk and loses its advantage.
+TEST(ExecutorTest, MinAllocCachingDegradesDataShipping) {
+  QueryGraph query = ChainQuery(2);
+  SystemConfig config = Config(1, BufAlloc::kMinimum);
+  Catalog uncached = PaperCatalog(2, 1, 0.0);
+  Catalog cached = PaperCatalog(2, 1, 1.0);
+  Plan ds0 = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  Plan ds1 = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  BindSites(ds0, uncached);
+  BindSites(ds1, cached);
+  const double t0 = ExecutePlan(ds0, uncached, query, config).response_ms;
+  const double t1 = ExecutePlan(ds1, cached, query, config).response_ms;
+  EXPECT_GT(t1, t0);  // caching *hurts* DS under minimum allocation
+}
+
+// Figure 5: with maximum allocation there is no temp I/O; DS with a full
+// cache beats QS (local reads, no communication), DS with an empty cache
+// loses to QS (serial page faulting vs pipelined shipping).
+TEST(ExecutorTest, MaxAllocCachingCrossover) {
+  QueryGraph query = ChainQuery(2);
+  SystemConfig config = Config(1, BufAlloc::kMaximum);
+  Catalog uncached = PaperCatalog(2, 1, 0.0);
+  Catalog cached = PaperCatalog(2, 1, 1.0);
+
+  Plan qs = TwoWayPlan(SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel);
+  BindSites(qs, uncached);
+  const double t_qs = ExecutePlan(qs, uncached, query, config).response_ms;
+
+  Plan ds0 = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  BindSites(ds0, uncached);
+  const double t_ds0 = ExecutePlan(ds0, uncached, query, config).response_ms;
+
+  Plan ds1 = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  BindSites(ds1, cached);
+  const double t_ds1 = ExecutePlan(ds1, cached, query, config).response_ms;
+
+  EXPECT_GT(t_ds0, t_qs);  // faulting everything is worse than QS
+  EXPECT_LT(t_ds1, t_qs);  // full cache beats QS
+}
+
+// Figure 4: under heavy server-disk load, client caching turns from a
+// liability into a win for DS.
+TEST(ExecutorTest, ServerLoadMakesCachingPayOff) {
+  QueryGraph query = ChainQuery(2);
+  SystemConfig config = Config(1, BufAlloc::kMinimum);
+  config.server_disk_load_per_sec[ServerSite(0)] = 70.0;  // ~90% utilization
+  Catalog uncached = PaperCatalog(2, 1, 0.0);
+  Catalog cached = PaperCatalog(2, 1, 1.0);
+  Plan ds0 = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  Plan ds1 = TwoWayPlan(SiteAnnotation::kClient, SiteAnnotation::kConsumer);
+  BindSites(ds0, uncached);
+  BindSites(ds1, cached);
+  const double t0 = ExecutePlan(ds0, uncached, query, config, 3).response_ms;
+  const double t1 = ExecutePlan(ds1, cached, query, config, 3).response_ms;
+  EXPECT_LT(t1, t0);  // with a loaded server, caching helps
+}
+
+// Figure 8's driving effect: QS over more servers spreads scan and temp
+// I/O across disks; DS stays bottlenecked on the client disk.
+TEST(ExecutorTest, QueryShippingExploitsMultipleServers) {
+  QueryGraph query = ChainQuery(10);
+  SystemConfig one = Config(1, BufAlloc::kMinimum);
+  SystemConfig five = Config(5, BufAlloc::kMinimum);
+
+  Catalog catalog1 = PaperCatalog(10, 1);
+  Plan qs1 = LeftDeepPlan(10, SiteAnnotation::kPrimaryCopy,
+                          SiteAnnotation::kInnerRel);
+  BindSites(qs1, catalog1);
+  const double t1 = ExecutePlan(qs1, catalog1, query, one).response_ms;
+
+  Catalog catalog5 = PaperCatalog(10, 5);
+  Plan qs5 = LeftDeepPlan(10, SiteAnnotation::kPrimaryCopy,
+                          SiteAnnotation::kInnerRel);
+  BindSites(qs5, catalog5);
+  const double t5 = ExecutePlan(qs5, catalog5, query, five).response_ms;
+
+  EXPECT_LT(t5, t1 * 0.75);
+
+  Catalog catalog_ds1 = PaperCatalog(10, 1);
+  Plan ds1 = LeftDeepPlan(10, SiteAnnotation::kClient,
+                          SiteAnnotation::kConsumer);
+  BindSites(ds1, catalog_ds1);
+  const double tds1 = ExecutePlan(ds1, catalog_ds1, query, one).response_ms;
+  Catalog catalog_ds5 = PaperCatalog(10, 5);
+  Plan ds5 = LeftDeepPlan(10, SiteAnnotation::kClient,
+                          SiteAnnotation::kConsumer);
+  BindSites(ds5, catalog_ds5);
+  const double tds5 = ExecutePlan(ds5, catalog_ds5, query, five).response_ms;
+  // DS barely benefits from extra servers (joins stay on the client disk).
+  EXPECT_GT(tds5, tds1 * 0.75);
+}
+
+TEST(ExecutorTest, SelectionReducesShippedPages) {
+  Catalog catalog = PaperCatalog(1, 1);
+  QueryGraph query = ChainQuery(1);
+  query.scan_selectivities = {0.2};
+  // Select at the server (producer): only the filtered stream crosses.
+  auto select = MakeSelect(MakeScan(0, SiteAnnotation::kPrimaryCopy), 0.2,
+                           SiteAnnotation::kProducer);
+  Plan plan(MakeDisplay(std::move(select)));
+  BindSites(plan, catalog);
+  ExecMetrics metrics =
+      ExecutePlan(plan, catalog, query, Config(1, BufAlloc::kMaximum));
+  EXPECT_EQ(metrics.data_pages_sent, 50);  // 2000 tuples = 50 pages
+}
+
+TEST(ExecutorTest, InMemoryJoinDoesNoTempIo) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph query = ChainQuery(2);
+  Plan plan = TwoWayPlan(SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel);
+  BindSites(plan, catalog);
+  ExecMetrics metrics =
+      ExecutePlan(plan, catalog, query, Config(1, BufAlloc::kMaximum));
+  // Server disk reads the two base relations and writes nothing.
+  EXPECT_EQ(metrics.disk_busy_ms.at(kClientSite), 0.0);
+  EXPECT_GT(metrics.disk_busy_ms.at(ServerSite(0)), 0.0);
+}
+
+TEST(ExecutorTest, HiSelQueryProducesSmallerResult) {
+  Catalog catalog = PaperCatalog(2, 1);
+  QueryGraph moderate = ChainQuery(2, 1.0);
+  QueryGraph hisel = ChainQuery(2, 0.2);
+  SystemConfig config = Config(1, BufAlloc::kMaximum);
+  Plan p1 = TwoWayPlan(SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel);
+  Plan p2 = TwoWayPlan(SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel);
+  BindSites(p1, catalog);
+  BindSites(p2, catalog);
+  EXPECT_EQ(ExecutePlan(p1, catalog, moderate, config).data_pages_sent, 250);
+  EXPECT_EQ(ExecutePlan(p2, catalog, hisel, config).data_pages_sent, 50);
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "cost/cardinality.h"
+#include "cost/comm_cost.h"
+#include "cost/response_time.h"
+#include "exec/executor.h"
+#include "plan/binding.h"
+
+namespace dimsum {
+namespace {
+
+Catalog TwoServerCatalog() {
+  Catalog catalog;
+  catalog.AddRelation("R0", 10000, 100);
+  catalog.AddRelation("R1", 10000, 100);
+  catalog.PlaceRelation(0, ServerSite(0));
+  catalog.PlaceRelation(1, ServerSite(1));
+  return catalog;
+}
+
+SystemConfig TwoServerConfig() {
+  SystemConfig config;
+  config.num_servers = 2;
+  config.params.buf_alloc = BufAlloc::kMaximum;
+  return config;
+}
+
+TEST(ExtendedCardinalityTest, ProjectShrinksWidthNotCount) {
+  Catalog catalog = TwoServerCatalog();
+  QueryGraph query = QueryGraph::Chain({0});
+  auto project = MakeProject(MakeScan(0, SiteAnnotation::kPrimaryCopy), 0.2,
+                             SiteAnnotation::kProducer);
+  Plan plan(MakeDisplay(std::move(project)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  const StreamStats& out = stats.at(plan.root()->left.get());
+  EXPECT_EQ(out.tuples, 10000);
+  EXPECT_EQ(out.tuple_bytes, 20);
+  EXPECT_EQ(out.pages, 50);  // 204 tuples/page -> ceil(10000/204)
+}
+
+TEST(ExtendedCardinalityTest, AggregateShrinksCount) {
+  Catalog catalog = TwoServerCatalog();
+  QueryGraph query = QueryGraph::Chain({0});
+  auto agg = MakeAggregate(MakeScan(0, SiteAnnotation::kPrimaryCopy), 80,
+                           SiteAnnotation::kProducer);
+  Plan plan(MakeDisplay(std::move(agg)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  EXPECT_EQ(stats.at(plan.root()->left.get()).tuples, 80);
+  EXPECT_EQ(stats.at(plan.root()->left.get()).pages, 2);
+}
+
+TEST(ExtendedCardinalityTest, UnionAddsCounts) {
+  Catalog catalog = TwoServerCatalog();
+  QueryGraph query;
+  query.relations = {0, 1};
+  auto uni = MakeUnion(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kInnerRel);
+  Plan plan(MakeDisplay(std::move(uni)));
+  PlanStats stats = ComputeStats(plan, catalog, query, CostParams{});
+  EXPECT_EQ(stats.at(plan.root()->left.get()).tuples, 20000);
+  EXPECT_EQ(stats.at(plan.root()->left.get()).pages, 500);
+}
+
+TEST(ExtendedExecTest, ProjectionPushdownReducesCommunication) {
+  // Project at the producer (server): only 20% of the bytes cross the
+  // wire -- the classic pushdown the hybrid architecture enables.
+  Catalog catalog = TwoServerCatalog();
+  QueryGraph query = QueryGraph::Chain({0});
+  SystemConfig config = TwoServerConfig();
+
+  auto pushed = MakeProject(MakeScan(0, SiteAnnotation::kPrimaryCopy), 0.2,
+                            SiteAnnotation::kProducer);
+  Plan pushed_plan(MakeDisplay(std::move(pushed)));
+  BindSites(pushed_plan, catalog);
+  ExecMetrics pushed_metrics = ExecutePlan(pushed_plan, catalog, query, config);
+
+  auto pulled = MakeProject(MakeScan(0, SiteAnnotation::kPrimaryCopy), 0.2,
+                            SiteAnnotation::kConsumer);
+  Plan pulled_plan(MakeDisplay(std::move(pulled)));
+  BindSites(pulled_plan, catalog);
+  ExecMetrics pulled_metrics = ExecutePlan(pulled_plan, catalog, query, config);
+
+  EXPECT_EQ(pushed_metrics.data_pages_sent, 50);
+  EXPECT_EQ(pulled_metrics.data_pages_sent, 250);
+  // Response time is disk-bound in both cases (the network overlaps with
+  // the scan), so only the communication differs here.
+}
+
+TEST(ExtendedExecTest, AggregatePushdownShipsOnlyGroups) {
+  Catalog catalog = TwoServerCatalog();
+  QueryGraph query = QueryGraph::Chain({0});
+  SystemConfig config = TwoServerConfig();
+  auto agg = MakeAggregate(MakeScan(0, SiteAnnotation::kPrimaryCopy), 40,
+                           SiteAnnotation::kProducer);
+  Plan plan(MakeDisplay(std::move(agg)));
+  BindSites(plan, catalog);
+  ExecMetrics metrics = ExecutePlan(plan, catalog, query, config);
+  EXPECT_EQ(metrics.data_pages_sent, 1);  // 40 groups fit on one page
+}
+
+TEST(ExtendedExecTest, UnionDeliversBothInputs) {
+  Catalog catalog = TwoServerCatalog();
+  QueryGraph query;
+  query.relations = {0, 1};
+  SystemConfig config = TwoServerConfig();
+  auto uni = MakeUnion(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kConsumer);  // executed at the client
+  Plan plan(MakeDisplay(std::move(uni)));
+  BindSites(plan, catalog);
+  ExecMetrics metrics = ExecutePlan(plan, catalog, query, config);
+  EXPECT_EQ(metrics.data_pages_sent, 500);  // both relations cross
+  EXPECT_GT(metrics.response_ms, 0.0);
+}
+
+TEST(ExtendedExecTest, AggregateIsBlockingInTheModelToo) {
+  // The response-time model puts the aggregate's output in a phase that
+  // depends on the input phase; response must cover the full input scan.
+  Catalog catalog = TwoServerCatalog();
+  QueryGraph query = QueryGraph::Chain({0});
+  CostParams params;
+  auto agg = MakeAggregate(MakeScan(0, SiteAnnotation::kPrimaryCopy), 10,
+                           SiteAnnotation::kProducer);
+  Plan plan(MakeDisplay(std::move(agg)));
+  BindSites(plan, catalog);
+  TimeEstimate estimate = EstimateTime(plan, catalog, query, params);
+  // At least the 250-page sequential scan.
+  EXPECT_GE(estimate.response_ms, 250 * params.seq_page_ms * 0.99);
+}
+
+TEST(ExtendedExecTest, ExecutionMatchesCardinalityModel) {
+  // Pages measured on the wire == analytic pages for a plan mixing all the
+  // new operators.
+  Catalog catalog = TwoServerCatalog();
+  QueryGraph query;
+  query.relations = {0, 1};
+  SystemConfig config = TwoServerConfig();
+  auto left = MakeProject(MakeScan(0, SiteAnnotation::kPrimaryCopy), 0.5,
+                          SiteAnnotation::kProducer);
+  auto right = MakeSelect(MakeScan(1, SiteAnnotation::kPrimaryCopy), 0.5,
+                          SiteAnnotation::kProducer);
+  auto uni =
+      MakeUnion(std::move(left), std::move(right), SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(uni)));
+  BindSites(plan, catalog);
+  const CommCost analytic = ComputeCommCost(plan, catalog, query, config.params);
+  ExecMetrics metrics = ExecutePlan(plan, catalog, query, config);
+  EXPECT_EQ(metrics.data_pages_sent, analytic.pages);
+  EXPECT_GT(metrics.data_pages_sent, 200);  // both reduced inputs cross
+}
+
+}  // namespace
+}  // namespace dimsum

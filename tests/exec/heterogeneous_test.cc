@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "cost/response_time.h"
+#include "exec/executor.h"
+#include "plan/binding.h"
+#include "sim/task.h"
+
+namespace dimsum {
+namespace {
+
+// The paper's intro: query-shipping's benefits include "the ability to
+// tolerate resource-poor (i.e., low cost) client machines", data-shipping's
+// include "exploiting the resources of powerful client machines". Per-site
+// CPU speeds make both claims testable.
+
+Catalog OneServerCatalog() {
+  Catalog catalog;
+  catalog.AddRelation("R0", 10000, 100);
+  catalog.AddRelation("R1", 10000, 100);
+  catalog.PlaceRelation(0, ServerSite(0));
+  catalog.PlaceRelation(1, ServerSite(0));
+  return catalog;
+}
+
+Plan DsPlan() {
+  return Plan(MakeDisplay(MakeJoin(MakeScan(0, SiteAnnotation::kClient),
+                                   MakeScan(1, SiteAnnotation::kClient),
+                                   SiteAnnotation::kConsumer)));
+}
+
+Plan QsPlan() {
+  return Plan(MakeDisplay(MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                                   MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                                   SiteAnnotation::kInnerRel)));
+}
+
+TEST(HeterogeneousTest, SlowClientHurtsDataShippingOnly) {
+  Catalog catalog = OneServerCatalog();
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  SystemConfig fast;
+  fast.num_servers = 1;
+  fast.params.buf_alloc = BufAlloc::kMaximum;
+  SystemConfig slow_client = fast;
+  slow_client.params.site_mips[kClientSite] = 2.0;  // 25x slower client
+
+  Plan ds1 = DsPlan();
+  Plan ds2 = DsPlan();
+  Plan qs1 = QsPlan();
+  Plan qs2 = QsPlan();
+  BindSites(ds1, catalog);
+  BindSites(ds2, catalog);
+  BindSites(qs1, catalog);
+  BindSites(qs2, catalog);
+
+  const double ds_fast = ExecutePlan(ds1, catalog, query, fast).response_ms;
+  const double ds_slow =
+      ExecutePlan(ds2, catalog, query, slow_client).response_ms;
+  const double qs_fast = ExecutePlan(qs1, catalog, query, fast).response_ms;
+  const double qs_slow =
+      ExecutePlan(qs2, catalog, query, slow_client).response_ms;
+
+  // Both policies touch the client (QS still delivers the result there),
+  // but DS, which runs every operator and faults every page through the
+  // slow CPU, suffers far more.
+  const double ds_slowdown = ds_slow / ds_fast;
+  const double qs_slowdown = qs_slow / qs_fast;
+  EXPECT_GT(ds_slowdown, 1.5);
+  EXPECT_GT(ds_slowdown, 1.5 * qs_slowdown);
+}
+
+TEST(HeterogeneousTest, CostModelSeesSlowClient) {
+  Catalog catalog = OneServerCatalog();
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  CostParams fast;
+  fast.buf_alloc = BufAlloc::kMaximum;
+  CostParams slow = fast;
+  slow.site_mips[kClientSite] = 2.0;
+  Plan plan = DsPlan();
+  BindSites(plan, catalog);
+  const double est_fast = EstimateTime(plan, catalog, query, fast).response_ms;
+  const double est_slow = EstimateTime(plan, catalog, query, slow).response_ms;
+  EXPECT_GT(est_slow, est_fast * 1.5);
+}
+
+TEST(HeterogeneousTest, CpuTimeFactorHelpers) {
+  CostParams params;
+  EXPECT_EQ(params.MipsOf(kClientSite), 50.0);
+  EXPECT_EQ(params.CpuTimeFactor(kClientSite), 1.0);
+  params.site_mips[kClientSite] = 25.0;
+  EXPECT_EQ(params.MipsOf(kClientSite), 25.0);
+  EXPECT_EQ(params.CpuTimeFactor(kClientSite), 2.0);
+  EXPECT_EQ(params.CpuTimeFactor(ServerSite(0)), 1.0);
+}
+
+TEST(HeterogeneousTest, ResourceServiceScale) {
+  sim::Simulator sim;
+  sim::Resource slow(sim, "slow", 2.0);
+  struct Run {
+    static sim::Process Use(sim::Resource& r, double ms, double* done,
+                            sim::Simulator& s) {
+      co_await r.Use(ms);
+      *done = s.now();
+    }
+  };
+  double done = 0.0;
+  sim.Spawn(Run::Use(slow, 4.0, &done, sim));
+  sim.Run();
+  EXPECT_EQ(done, 8.0);  // 4 ms of work at half speed
+}
+
+}  // namespace
+}  // namespace dimsum

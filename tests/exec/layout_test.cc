@@ -1,0 +1,43 @@
+#include "exec/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+TEST(DiskSpaceTest, BaseExtentsAreContiguousFromZero) {
+  DiskSpace space{sim::DiskParams{}};
+  EXPECT_EQ(space.AllocateBase(250), 0);
+  EXPECT_EQ(space.AllocateBase(250), 250);
+  EXPECT_EQ(space.base_pages_used(), 500);
+}
+
+TEST(DiskSpaceTest, TempRegionStartsAtMidDisk) {
+  sim::DiskParams params;
+  DiskSpace space{params};
+  const int64_t temp = space.AllocateTemp(10);
+  EXPECT_EQ(temp, params.total_pages() / 2);
+  EXPECT_GT(temp, space.AllocateBase(100));
+}
+
+TEST(DiskSpaceTest, ResetTempReleasesTempOnly) {
+  DiskSpace space{sim::DiskParams{}};
+  space.AllocateBase(100);
+  const int64_t first = space.AllocateTemp(50);
+  space.AllocateTemp(50);
+  EXPECT_EQ(space.temp_pages_used(), 100);
+  space.ResetTemp();
+  EXPECT_EQ(space.temp_pages_used(), 0);
+  EXPECT_EQ(space.AllocateTemp(10), first);
+  EXPECT_EQ(space.base_pages_used(), 100);
+}
+
+TEST(DiskSpaceDeathTest, OverflowingBaseRegionFails) {
+  sim::DiskParams params;
+  params.num_cylinders = 10;  // tiny disk
+  DiskSpace space{params};
+  EXPECT_DEATH(space.AllocateBase(params.total_pages()), "disk full");
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,49 @@
+#include "exec/page.h"
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+TEST(OutputAccumulatorTest, PackagesFullPages) {
+  OutputAccumulator acc(40);
+  acc.Add(100.0);
+  ASSERT_TRUE(acc.HasFullPage());
+  EXPECT_EQ(acc.PopFullPage().tuples, 40.0);
+  ASSERT_TRUE(acc.HasFullPage());
+  EXPECT_EQ(acc.PopFullPage().tuples, 40.0);
+  EXPECT_FALSE(acc.HasFullPage());
+  ASSERT_TRUE(acc.HasRemainder());
+  EXPECT_EQ(acc.PopRemainder().tuples, 20.0);
+  EXPECT_FALSE(acc.HasRemainder());
+}
+
+TEST(OutputAccumulatorTest, FractionalTuplesAccumulate) {
+  OutputAccumulator acc(40);
+  for (int i = 0; i < 100; ++i) acc.Add(0.4);
+  ASSERT_TRUE(acc.HasFullPage());
+  EXPECT_NEAR(acc.PopFullPage().tuples, 40.0, 1e-9);
+  EXPECT_FALSE(acc.HasRemainder());
+}
+
+TEST(OutputAccumulatorTest, TotalConserved) {
+  OutputAccumulator acc(40);
+  double total_in = 0.0;
+  for (int i = 1; i <= 57; ++i) {
+    acc.Add(i * 0.77);
+    total_in += i * 0.77;
+  }
+  double total_out = 0.0;
+  while (acc.HasFullPage()) total_out += acc.PopFullPage().tuples;
+  if (acc.HasRemainder()) total_out += acc.PopRemainder().tuples;
+  EXPECT_NEAR(total_out, total_in, 1e-6);
+}
+
+TEST(OutputAccumulatorTest, EmptyHasNothing) {
+  OutputAccumulator acc(40);
+  EXPECT_FALSE(acc.HasFullPage());
+  EXPECT_FALSE(acc.HasRemainder());
+}
+
+}  // namespace
+}  // namespace dimsum

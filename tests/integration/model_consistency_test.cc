@@ -1,0 +1,104 @@
+// Property tests tying the analytic models to the simulator: for random
+// legal plans in any policy space, the communication-cost model must agree
+// exactly with the pages the simulator ships, and the response-time model
+// must stay within a calibration band of the measurement.
+
+#include <gtest/gtest.h>
+
+#include "cost/comm_cost.h"
+#include "cost/response_time.h"
+#include "exec/executor.h"
+#include "plan/binding.h"
+#include "plan/printer.h"
+#include "plan/transforms.h"
+#include "workload/benchmark.h"
+
+namespace dimsum {
+namespace {
+
+struct Scenario {
+  int relations;
+  int servers;
+  double cached;
+  ShippingPolicy policy;
+};
+
+class ModelConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ModelConsistencyTest, CommCostMatchesSimulatedPages) {
+  const auto [seed, scenario_index] = GetParam();
+  static constexpr Scenario kScenarios[] = {
+      {2, 1, 0.0, ShippingPolicy::kHybridShipping},
+      {4, 2, 0.5, ShippingPolicy::kHybridShipping},
+      {5, 3, 0.25, ShippingPolicy::kQueryShipping},
+      {4, 2, 0.75, ShippingPolicy::kDataShipping},
+  };
+  const Scenario& scenario = kScenarios[scenario_index];
+
+  WorkloadSpec spec;
+  spec.num_relations = scenario.relations;
+  spec.num_servers = scenario.servers;
+  spec.cached_fraction = scenario.cached;
+  Rng rng(static_cast<uint64_t>(seed) * 131 + scenario_index);
+  BenchmarkWorkload w = MakeChainWorkload(spec, rng);
+
+  TransformConfig transform;
+  transform.space = PolicySpace::For(scenario.policy);
+  Plan plan = RandomPlan(w.query, transform, rng);
+  // Walk a few random moves to decorrelate from the generator.
+  for (int i = 0; i < 10; ++i) {
+    auto next = TryRandomMove(plan, w.query, transform, rng);
+    if (next.has_value()) plan = std::move(*next);
+  }
+  BindSites(plan, w.catalog);
+
+  SystemConfig config;
+  config.num_servers = scenario.servers;
+  config.params.buf_alloc = BufAlloc::kMaximum;
+  const CommCost analytic =
+      ComputeCommCost(plan, w.catalog, w.query, config.params);
+  const ExecMetrics measured = ExecutePlan(plan, w.catalog, w.query, config);
+  EXPECT_EQ(measured.data_pages_sent, analytic.pages)
+      << PlanToString(plan);
+  EXPECT_EQ(measured.messages, analytic.messages) << PlanToString(plan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndScenarios, ModelConsistencyTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 4)));
+
+class ResponseBandTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResponseBandTest, EstimateWithinCalibrationBand) {
+  const int seed = GetParam();
+  WorkloadSpec spec;
+  spec.num_relations = 4;
+  spec.num_servers = 2;
+  Rng rng(static_cast<uint64_t>(seed) * 977 + 3);
+  BenchmarkWorkload w = MakeChainWorkload(spec, rng);
+
+  TransformConfig transform;  // hybrid space
+  Plan plan = RandomPlan(w.query, transform, rng);
+  BindSites(plan, w.catalog);
+
+  for (BufAlloc alloc : {BufAlloc::kMinimum, BufAlloc::kMaximum}) {
+    SystemConfig config;
+    config.num_servers = 2;
+    config.params.buf_alloc = alloc;
+    const double estimate =
+        EstimateTime(plan, w.catalog, w.query, config.params).response_ms;
+    const double measured =
+        ExecutePlan(plan, w.catalog, w.query, config).response_ms;
+    const double ratio = estimate / measured;
+    // The model is optimistic about overlap and pessimistic about
+    // interference; random plans should still land within a 4x band.
+    EXPECT_GT(ratio, 0.25) << ToString(alloc) << "\n" << PlanToString(plan);
+    EXPECT_LT(ratio, 4.0) << ToString(alloc) << "\n" << PlanToString(plan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResponseBandTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,139 @@
+#include "plan/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/validate.h"
+
+namespace dimsum {
+namespace {
+
+Catalog MakeCatalog(int relations, int servers) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id = catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(id, ServerSite(i % servers));
+  }
+  return catalog;
+}
+
+TEST(BindingTest, DataShippingBindsEverythingToClient) {
+  Catalog catalog = MakeCatalog(2, 2);
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kClient),
+                       MakeScan(1, SiteAnnotation::kClient),
+                       SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  plan.ForEach([](const PlanNode& node) {
+    EXPECT_EQ(node.bound_site, kClientSite) << ToString(node.type);
+  });
+}
+
+TEST(BindingTest, QueryShippingBindsToServers) {
+  Catalog catalog = MakeCatalog(2, 2);  // R0 -> site 1, R1 -> site 2
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kInnerRel);
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->bound_site, kClientSite);          // display
+  EXPECT_EQ(plan.root()->left->bound_site, 1);              // join at inner
+  EXPECT_EQ(plan.root()->left->left->bound_site, 1);        // scan R0
+  EXPECT_EQ(plan.root()->left->right->bound_site, 2);       // scan R1
+}
+
+TEST(BindingTest, OuterRelationAnnotationFollowsRightChild) {
+  Catalog catalog = MakeCatalog(2, 2);
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kOuterRel);
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->left->bound_site, 2);
+}
+
+TEST(BindingTest, ConsumerChainPropagatesFromDisplay) {
+  Catalog catalog = MakeCatalog(3, 3);
+  // join(consumer) over join(consumer): both end up at the client because
+  // the display is there.
+  auto inner = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                        MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                        SiteAnnotation::kConsumer);
+  auto outer = MakeJoin(std::move(inner),
+                        MakeScan(2, SiteAnnotation::kPrimaryCopy),
+                        SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(outer)));
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->left->bound_site, kClientSite);
+  EXPECT_EQ(plan.root()->left->left->bound_site, kClientSite);
+  // Scans stay at their primary copies.
+  EXPECT_EQ(plan.root()->left->left->left->bound_site, 1);
+}
+
+TEST(BindingTest, MixedChainInnerThenConsumer) {
+  Catalog catalog = MakeCatalog(3, 3);
+  // Hybrid plan: bottom join runs at R0's server; the upper join is
+  // annotated inner-relation, so it follows the bottom join's site.
+  auto bottom = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                         MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                         SiteAnnotation::kInnerRel);
+  auto top = MakeJoin(std::move(bottom),
+                      MakeScan(2, SiteAnnotation::kPrimaryCopy),
+                      SiteAnnotation::kInnerRel);
+  Plan plan(MakeDisplay(std::move(top)));
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->left->bound_site, 1);
+  EXPECT_EQ(plan.root()->left->left->bound_site, 1);
+}
+
+TEST(BindingTest, SelectProducerFollowsScan) {
+  Catalog catalog = MakeCatalog(2, 2);
+  auto select = MakeSelect(MakeScan(1, SiteAnnotation::kPrimaryCopy), 0.2,
+                           SiteAnnotation::kProducer);
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kClient), std::move(select),
+                       SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  const PlanNode* join_node = plan.root()->left.get();
+  EXPECT_EQ(join_node->bound_site, kClientSite);
+  EXPECT_EQ(join_node->right->bound_site, 2);  // select at R1's server
+}
+
+TEST(BindingTest, SelectConsumerFollowsParent) {
+  Catalog catalog = MakeCatalog(2, 2);
+  auto select = MakeSelect(MakeScan(1, SiteAnnotation::kPrimaryCopy), 0.2,
+                           SiteAnnotation::kConsumer);
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kClient), std::move(select),
+                       SiteAnnotation::kConsumer);
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->left->right->bound_site, kClientSite);
+}
+
+TEST(BindingTest, RebindingAfterMigrationChangesSites) {
+  Catalog catalog = MakeCatalog(2, 2);
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kInnerRel);
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->left->bound_site, 1);
+  // The relation migrates; logical annotations rebind to the new site.
+  catalog.PlaceRelation(0, ServerSite(1));
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->left->bound_site, 2);
+}
+
+TEST(BindingDeathTest, IllFormedPlanRefusesToBind) {
+  Catalog catalog = MakeCatalog(3, 2);
+  auto inner = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                        MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                        SiteAnnotation::kConsumer);
+  auto outer = MakeJoin(std::move(inner),
+                        MakeScan(2, SiteAnnotation::kPrimaryCopy),
+                        SiteAnnotation::kInnerRel);  // cycle with inner
+  Plan plan(MakeDisplay(std::move(outer)));
+  EXPECT_DEATH(BindSites(plan, catalog), "check failed");
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,218 @@
+#include "sim/disk.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace dimsum::sim {
+namespace {
+
+Process SequentialReader(Simulator& sim, Disk& disk, int64_t start, int count,
+                         double* elapsed) {
+  const double begin = sim.now();
+  for (int i = 0; i < count; ++i) {
+    co_await disk.Read(start + i);
+  }
+  *elapsed = sim.now() - begin;
+}
+
+Process RandomReader(Simulator& sim, Disk& disk, int count, uint64_t seed,
+                     double* elapsed) {
+  Rng rng(seed);
+  const double begin = sim.now();
+  for (int i = 0; i < count; ++i) {
+    co_await disk.Read(rng.UniformInt(0, disk.params().total_pages() - 1));
+  }
+  *elapsed = sim.now() - begin;
+}
+
+// The paper calibrates its disk to ~3.5 ms per page sequential.
+TEST(DiskTest, SequentialReadCalibration) {
+  Simulator sim;
+  Disk disk(sim, "d", DiskParams{});
+  double elapsed = 0.0;
+  constexpr int kPages = 2000;
+  sim.Spawn(SequentialReader(sim, disk, 0, kPages, &elapsed));
+  sim.Run();
+  const double per_page = elapsed / kPages;
+  EXPECT_NEAR(per_page, 3.5, 0.25) << "sequential ms/page";
+}
+
+// ... and ~11.8 ms per page random.
+TEST(DiskTest, RandomReadCalibration) {
+  Simulator sim;
+  Disk disk(sim, "d", DiskParams{});
+  double elapsed = 0.0;
+  constexpr int kPages = 4000;
+  sim.Spawn(RandomReader(sim, disk, kPages, 99, &elapsed));
+  sim.Run();
+  const double per_page = elapsed / kPages;
+  EXPECT_NEAR(per_page, 11.8, 0.6) << "random ms/page";
+}
+
+TEST(DiskTest, ReadAheadProducesCacheHits) {
+  Simulator sim;
+  Disk disk(sim, "d", DiskParams{});
+  double elapsed = 0.0;
+  sim.Spawn(SequentialReader(sim, disk, 100, 100, &elapsed));
+  sim.Run();
+  EXPECT_EQ(disk.reads(), 100u);
+  // Nearly every page after the first should come from read-ahead.
+  EXPECT_GT(disk.cache_hits(), 90u);
+}
+
+TEST(DiskTest, DisabledReadAheadMakesSequentialSlow) {
+  DiskParams params;
+  params.readahead_pages = 0;
+  Simulator sim;
+  Disk disk(sim, "d", params);
+  double elapsed = 0.0;
+  constexpr int kPages = 500;
+  sim.Spawn(SequentialReader(sim, disk, 0, kPages, &elapsed));
+  sim.Run();
+  EXPECT_EQ(disk.cache_hits(), 0u);
+  // Without read-ahead, each read pays nearly a full rotation.
+  EXPECT_GT(elapsed / kPages, 8.0);
+}
+
+Process InterleavedReaders(Simulator& sim, Disk& disk, double* elapsed) {
+  // Alternate between a sequential stream and a far-away region: the
+  // interference destroys the sequential pattern.
+  const double begin = sim.now();
+  constexpr int kPairs = 200;
+  for (int i = 0; i < kPairs; ++i) {
+    co_await disk.Read(1000 + i);
+    co_await disk.Read(200000 + static_cast<int64_t>(i) * 61);
+  }
+  *elapsed = sim.now() - begin;
+}
+
+TEST(DiskTest, InterferenceBreaksSequentialPattern) {
+  Simulator sim;
+  Disk disk(sim, "d", DiskParams{});
+  double elapsed = 0.0;
+  sim.Spawn(InterleavedReaders(sim, disk, &elapsed));
+  sim.Run();
+  // 400 I/Os; if the sequential half still cost 3.5 ms the total would be
+  // ~3 s. Interference should push the average well above that.
+  const double per_page = elapsed / 400.0;
+  EXPECT_GT(per_page, 8.0);
+}
+
+Process WriterThenFlush(Simulator& sim, Disk& disk, int count, double* accept,
+                        double* flushed) {
+  const double begin = sim.now();
+  for (int i = 0; i < count; ++i) {
+    co_await disk.Write(50000 + i * 977);  // scattered writes
+  }
+  *accept = sim.now() - begin;
+  co_await disk.Flush();
+  *flushed = sim.now() - begin;
+}
+
+TEST(DiskTest, WriteBehindAcceptsFasterThanPlatter) {
+  Simulator sim;
+  Disk disk(sim, "d", DiskParams{});
+  double accept = 0.0;
+  double flushed = 0.0;
+  sim.Spawn(WriterThenFlush(sim, disk, 8, &accept, &flushed));
+  sim.Run();
+  // 8 writes fit in the write-behind quota: accepted instantly.
+  EXPECT_EQ(accept, 0.0);
+  EXPECT_GT(flushed, 8 * 3.0);  // but they still cost real arm time
+  EXPECT_EQ(disk.writes(), 8u);
+}
+
+TEST(DiskTest, WriteQuotaThrottlesWriter) {
+  DiskParams params;
+  params.max_pending_writes = 2;
+  Simulator sim;
+  Disk disk(sim, "d", params);
+  double accept = 0.0;
+  double flushed = 0.0;
+  sim.Spawn(WriterThenFlush(sim, disk, 20, &accept, &flushed));
+  sim.Run();
+  EXPECT_GT(accept, 0.0);  // writer had to wait for the quota
+  EXPECT_EQ(disk.writes(), 20u);
+  EXPECT_GE(flushed, accept);
+}
+
+Process OneRead(Simulator& sim, Disk& disk, int64_t block, double* done) {
+  co_await disk.Read(block);
+  *done = sim.now();
+}
+
+Process OneReadAfter(Simulator& sim, Disk& disk, double start, int64_t block,
+                     double* done) {
+  co_await sim.Delay(start);
+  co_await disk.Read(block);
+  *done = sim.now();
+}
+
+TEST(DiskTest, ElevatorOrdersByCylinder) {
+  // While the arm serves an initial request, three reads at increasing
+  // cylinders queue up; the elevator serves them in sweep order regardless
+  // of arrival order.
+  DiskParams params;
+  Simulator sim;
+  Disk disk(sim, "d", params);
+  double blocker = 0.0;
+  double near = 0.0;
+  double mid = 0.0;
+  double far = 0.0;
+  const int64_t ppc = params.pages_per_cylinder;
+  sim.Spawn(OneRead(sim, disk, 0, &blocker));  // occupies the arm
+  sim.Spawn(OneReadAfter(sim, disk, 0.1, 4000 * ppc, &far));
+  sim.Spawn(OneReadAfter(sim, disk, 0.1, 10 * ppc, &near));
+  sim.Spawn(OneReadAfter(sim, disk, 0.1, 2000 * ppc, &mid));
+  sim.Run();
+  EXPECT_LT(blocker, near);
+  EXPECT_LT(near, mid);
+  EXPECT_LT(mid, far);
+}
+
+TEST(DiskTest, StatsResetClearsCounters) {
+  Simulator sim;
+  Disk disk(sim, "d", DiskParams{});
+  double elapsed = 0.0;
+  sim.Spawn(SequentialReader(sim, disk, 0, 10, &elapsed));
+  sim.Run();
+  EXPECT_GT(disk.reads(), 0u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.reads(), 0u);
+  EXPECT_EQ(disk.busy_ms(), 0.0);
+}
+
+TEST(DiskTest, UtilizationAtFortyRequestsPerSecondIsAboutHalf) {
+  // The paper's load experiments: 40 random reads/sec ~ 50% utilization.
+  Simulator sim;
+  Disk disk(sim, "d", DiskParams{});
+  struct LoadGen {
+    static Process OneRequest(Disk& disk, int64_t block) {
+      co_await disk.Read(block);
+    }
+    // Open-loop Poisson arrivals: requests are issued at the arrival rate
+    // regardless of how long individual requests take.
+    static Process Run(Simulator& sim, Disk& disk, double rate_per_sec,
+                       double horizon_ms, uint64_t seed) {
+      Rng rng(seed);
+      while (sim.now() < horizon_ms) {
+        co_await sim.Delay(rng.Exponential(1000.0 / rate_per_sec));
+        sim.Spawn(OneRequest(
+            disk, rng.UniformInt(0, disk.params().total_pages() - 1)));
+      }
+    }
+  };
+  constexpr double kHorizon = 120000.0;  // 2 minutes
+  sim.Spawn(LoadGen::Run(sim, disk, 40.0, kHorizon, 5));
+  sim.Run();
+  EXPECT_NEAR(disk.Utilization(kHorizon), 0.5, 0.08);
+}
+
+}  // namespace
+}  // namespace dimsum::sim

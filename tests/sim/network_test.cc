@@ -1,0 +1,69 @@
+#include "sim/network.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace dimsum::sim {
+namespace {
+
+Process SendMessages(Simulator& sim, Network& net, int count, int64_t bytes,
+                     std::vector<double>* completions) {
+  for (int i = 0; i < count; ++i) {
+    co_await net.Transfer(bytes);
+    completions->push_back(sim.now());
+  }
+}
+
+TEST(NetworkTest, TransferTimeMatchesBandwidth) {
+  Simulator sim;
+  Network net(sim, 100.0);  // 100 Mbit/s
+  // 4096 bytes = 32768 bits at 100 Mbit/s -> 0.32768 ms.
+  EXPECT_NEAR(net.TransferTimeMs(4096), 0.32768, 1e-9);
+  // Paper-scale sanity: a 250-page result ~ 82 ms on the wire.
+  EXPECT_NEAR(net.TransferTimeMs(250 * 4096) , 81.92, 0.01);
+}
+
+TEST(NetworkTest, FifoSerialization) {
+  Simulator sim;
+  Network net(sim, 100.0);
+  std::vector<double> a;
+  std::vector<double> b;
+  sim.Spawn(SendMessages(sim, net, 2, 4096, &a));
+  sim.Spawn(SendMessages(sim, net, 1, 4096, &b));
+  sim.Run();
+  // Three messages share one link: each takes 0.32768 ms, serialized.
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NEAR(a[0], 0.32768, 1e-6);
+  EXPECT_NEAR(b[0], 2 * 0.32768, 1e-6);  // queued behind a's first
+  EXPECT_NEAR(a[1], 3 * 0.32768, 1e-6);
+}
+
+TEST(NetworkTest, StatsAccumulate) {
+  Simulator sim;
+  Network net(sim, 100.0);
+  std::vector<double> done;
+  sim.Spawn(SendMessages(sim, net, 5, 1024, &done));
+  sim.Run();
+  EXPECT_EQ(net.messages(), 5u);
+  EXPECT_EQ(net.bytes_sent(), 5 * 1024);
+  EXPECT_NEAR(net.busy_ms(), 5 * net.TransferTimeMs(1024), 1e-9);
+  net.ResetStats();
+  EXPECT_EQ(net.messages(), 0u);
+  EXPECT_EQ(net.bytes_sent(), 0);
+}
+
+TEST(NetworkTest, SlowerLinkTakesLonger) {
+  Simulator sim;
+  Network fast(sim, 1000.0);
+  Network slow(sim, 1.0);
+  EXPECT_NEAR(slow.TransferTimeMs(4096) / fast.TransferTimeMs(4096), 1000.0,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace dimsum::sim

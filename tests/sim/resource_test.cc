@@ -1,0 +1,91 @@
+#include "sim/resource.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace dimsum::sim {
+namespace {
+
+Process UseResource(Simulator& sim, Resource& res, double start, double service,
+                    std::vector<double>* completions) {
+  co_await sim.Delay(start);
+  co_await res.Use(service);
+  completions->push_back(sim.now());
+}
+
+TEST(ResourceTest, SingleUserServedImmediately) {
+  Simulator sim;
+  Resource cpu(sim, "cpu");
+  std::vector<double> done;
+  sim.Spawn(UseResource(sim, cpu, 0.0, 4.0, &done));
+  sim.Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 4.0);
+  EXPECT_EQ(cpu.busy_ms(), 4.0);
+  EXPECT_EQ(cpu.total_requests(), 1u);
+}
+
+TEST(ResourceTest, FifoQueueing) {
+  Simulator sim;
+  Resource cpu(sim, "cpu");
+  std::vector<double> done;
+  // Three requests arriving at the same instant are served in order.
+  sim.Spawn(UseResource(sim, cpu, 0.0, 2.0, &done));
+  sim.Spawn(UseResource(sim, cpu, 0.0, 3.0, &done));
+  sim.Spawn(UseResource(sim, cpu, 0.0, 1.0, &done));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<double>{2.0, 5.0, 6.0}));
+  EXPECT_EQ(cpu.busy_ms(), 6.0);
+  // Waiting: second waits 2, third waits 5.
+  EXPECT_EQ(cpu.wait_ms(), 7.0);
+}
+
+TEST(ResourceTest, LateArrivalDoesNotWaitIfIdle) {
+  Simulator sim;
+  Resource cpu(sim, "cpu");
+  std::vector<double> done;
+  sim.Spawn(UseResource(sim, cpu, 0.0, 1.0, &done));
+  sim.Spawn(UseResource(sim, cpu, 10.0, 1.0, &done));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<double>{1.0, 11.0}));
+  EXPECT_EQ(cpu.wait_ms(), 0.0);
+}
+
+TEST(ResourceTest, ZeroServiceIsFree) {
+  Simulator sim;
+  Resource cpu(sim, "cpu");
+  std::vector<double> done;
+  sim.Spawn(UseResource(sim, cpu, 0.0, 0.0, &done));
+  sim.Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 0.0);
+  EXPECT_EQ(cpu.total_requests(), 0u);  // zero-cost uses bypass the queue
+}
+
+TEST(ResourceTest, UtilizationFraction) {
+  Simulator sim;
+  Resource cpu(sim, "cpu");
+  std::vector<double> done;
+  sim.Spawn(UseResource(sim, cpu, 0.0, 5.0, &done));
+  sim.Spawn(UseResource(sim, cpu, 20.0, 5.0, &done));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(cpu.Utilization(sim.now()), 10.0 / 25.0);
+}
+
+TEST(ResourceTest, OverlappingArrivalsInterleaveCorrectly) {
+  Simulator sim;
+  Resource cpu(sim, "cpu");
+  std::vector<double> done;
+  sim.Spawn(UseResource(sim, cpu, 0.0, 10.0, &done));   // served 0-10
+  sim.Spawn(UseResource(sim, cpu, 2.0, 5.0, &done));    // served 10-15
+  sim.Spawn(UseResource(sim, cpu, 12.0, 1.0, &done));   // served 15-16
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<double>{10.0, 15.0, 16.0}));
+}
+
+}  // namespace
+}  // namespace dimsum::sim

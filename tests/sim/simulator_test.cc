@@ -1,0 +1,84 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dimsum::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(SimulatorTest, CallbacksRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Call(5.0, [&] { order.push_back(2); });
+  sim.Call(1.0, [&] { order.push_back(1); });
+  sim.Call(9.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 9.0);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Call(3.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  double inner_time = -1.0;
+  sim.Call(2.0, [&] { sim.Call(3.0, [&] { inner_time = sim.now(); }); });
+  sim.Run();
+  EXPECT_EQ(inner_time, 5.0);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.Call(1.0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Call(1.0, [&] { ++fired; });
+  sim.Call(2.0, [&] { ++fired; });
+  sim.Call(10.0, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 5.0);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, ProcessedEventsCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Call(static_cast<double>(i), [] {});
+  sim.Run();
+  EXPECT_EQ(sim.processed_events(), 7u);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.Call(4.0, [&] {
+    sim.Call(0.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 4.0);
+}
+
+}  // namespace
+}  // namespace dimsum::sim

@@ -1,0 +1,187 @@
+// Command-line driver: run one optimize+execute experiment with the
+// paper's benchmark workload and print the results.
+//
+//   dimsum_cli --policy=hy --metric=time --relations=10 --servers=5 \
+//              --cached=0.5 --load=40 --alloc=min --print-plan
+//
+// Run with --help for the full flag list.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/report.h"
+#include "core/system.h"
+#include "plan/printer.h"
+#include "workload/benchmark.h"
+
+namespace dimsum {
+namespace {
+
+struct CliOptions {
+  ShippingPolicy policy = ShippingPolicy::kHybridShipping;
+  OptimizeMetric metric = OptimizeMetric::kResponseTime;
+  int relations = 2;
+  int servers = 1;
+  double cached = 0.0;
+  double selectivity = 1.0;
+  double load = 0.0;
+  BufAlloc alloc = BufAlloc::kMinimum;
+  int disks = 1;
+  double client_mips = 0.0;  // 0 = default
+  uint64_t seed = 1;
+  bool random_placement = false;
+  bool print_plan = false;
+};
+
+void PrintUsage() {
+  std::cout <<
+      "usage: dimsum_cli [flags]\n"
+      "  --policy=ds|qs|hy        shipping policy (default hy)\n"
+      "  --metric=pages|time|cost optimizer metric (default time)\n"
+      "  --relations=N            chain-join width (default 2)\n"
+      "  --servers=K              number of servers (default 1)\n"
+      "  --cached=F               client-cached fraction 0..1 (default 0)\n"
+      "  --selectivity=F          join selectivity factor (default 1.0)\n"
+      "  --load=R                 external server disk load, req/s\n"
+      "  --alloc=min|max          join memory allocation (default min)\n"
+      "  --disks=N                disks per site (default 1)\n"
+      "  --client-mips=M          client CPU speed override\n"
+      "  --seed=S                 RNG seed (default 1)\n"
+      "  --random-placement       place relations randomly (default RR)\n"
+      "  --print-plan             print the chosen plan\n"
+      "  --help                   this message\n";
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help") {
+      PrintUsage();
+      std::exit(0);
+    } else if (arg == "--print-plan") {
+      options->print_plan = true;
+    } else if (arg == "--random-placement") {
+      options->random_placement = true;
+    } else if (ParseFlag(arg, "policy", &value)) {
+      if (value == "ds") options->policy = ShippingPolicy::kDataShipping;
+      else if (value == "qs") options->policy = ShippingPolicy::kQueryShipping;
+      else if (value == "hy") options->policy = ShippingPolicy::kHybridShipping;
+      else return false;
+    } else if (ParseFlag(arg, "metric", &value)) {
+      if (value == "pages") options->metric = OptimizeMetric::kPagesSent;
+      else if (value == "time") options->metric = OptimizeMetric::kResponseTime;
+      else if (value == "cost") options->metric = OptimizeMetric::kTotalCost;
+      else return false;
+    } else if (ParseFlag(arg, "relations", &value)) {
+      options->relations = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "servers", &value)) {
+      options->servers = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "cached", &value)) {
+      options->cached = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "selectivity", &value)) {
+      options->selectivity = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "load", &value)) {
+      options->load = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "alloc", &value)) {
+      if (value == "min") options->alloc = BufAlloc::kMinimum;
+      else if (value == "max") options->alloc = BufAlloc::kMaximum;
+      else return false;
+    } else if (ParseFlag(arg, "disks", &value)) {
+      options->disks = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "client-mips", &value)) {
+      options->client_mips = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return false;
+    }
+  }
+  if (options->relations < 1 || options->servers < 1 ||
+      options->relations < options->servers || options->cached < 0.0 ||
+      options->cached > 1.0 || options->disks < 1) {
+    std::cerr << "invalid flag combination\n";
+    return false;
+  }
+  return true;
+}
+
+int RunCli(const CliOptions& options) {
+  WorkloadSpec spec;
+  spec.num_relations = options.relations;
+  spec.num_servers = options.servers;
+  spec.cached_fraction = options.cached;
+  spec.selectivity = options.selectivity;
+  Rng rng(options.seed);
+  BenchmarkWorkload workload = options.random_placement
+                                   ? MakeChainWorkload(spec, rng)
+                                   : MakeChainWorkloadRoundRobin(spec);
+  SystemConfig config;
+  config.num_servers = options.servers;
+  config.params.buf_alloc = options.alloc;
+  config.params.num_disks = options.disks;
+  if (options.client_mips > 0.0) {
+    config.params.site_mips[kClientSite] = options.client_mips;
+  }
+  if (options.load > 0.0) {
+    for (int s = 0; s < options.servers; ++s) {
+      config.server_disk_load_per_sec[ServerSite(s)] = options.load;
+    }
+  }
+  ClientServerSystem system(std::move(workload.catalog), config);
+  auto result = system.Run(workload.query, options.policy, options.metric,
+                           options.seed);
+
+  std::cout << options.relations << "-way chain join, " << options.servers
+            << " server(s), " << Fmt(options.cached * 100, 0)
+            << "% cached, " << ToString(options.alloc) << " allocation, "
+            << ToString(options.policy) << " minimizing "
+            << ToString(options.metric) << "\n\n";
+  if (options.print_plan) {
+    std::cout << PlanToString(result.optimize.plan) << "\n";
+  }
+  ReportTable table({"quantity", "value"});
+  table.AddRow({"optimizer estimate",
+                options.metric == OptimizeMetric::kPagesSent
+                    ? Fmt(result.optimize.cost, 0) + " pages"
+                    : Fmt(result.optimize.cost / 1000.0) + " s"});
+  table.AddRow({"plans evaluated",
+                std::to_string(result.optimize.plans_evaluated)});
+  table.AddRow(
+      {"measured response", Fmt(result.execute.response_ms / 1000.0) + " s"});
+  table.AddRow({"pages sent", std::to_string(result.execute.data_pages_sent)});
+  table.AddRow({"messages", std::to_string(result.execute.messages)});
+  table.AddRow({"bytes on wire", std::to_string(result.execute.bytes_sent)});
+  for (const auto& [site, busy] : result.execute.disk_busy_ms) {
+    table.AddRow({"disk busy @ site " + std::to_string(site),
+                  Fmt(busy / 1000.0) + " s"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dimsum
+
+int main(int argc, char** argv) {
+  dimsum::CliOptions options;
+  if (!dimsum::ParseArgs(argc, argv, &options)) {
+    dimsum::PrintUsage();
+    return 1;
+  }
+  return dimsum::RunCli(options);
+}
