@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_network_bw.dir/abl_network_bw.cpp.o"
+  "CMakeFiles/abl_network_bw.dir/abl_network_bw.cpp.o.d"
+  "abl_network_bw"
+  "abl_network_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_network_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_no_readahead.dir/abl_no_readahead.cpp.o"
+  "CMakeFiles/abl_no_readahead.dir/abl_no_readahead.cpp.o.d"
+  "abl_no_readahead"
+  "abl_no_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_no_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

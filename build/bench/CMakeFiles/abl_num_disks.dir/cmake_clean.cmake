@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_num_disks.dir/abl_num_disks.cpp.o"
+  "CMakeFiles/abl_num_disks.dir/abl_num_disks.cpp.o.d"
+  "abl_num_disks"
+  "abl_num_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_num_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

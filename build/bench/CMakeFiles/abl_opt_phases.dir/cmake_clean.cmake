@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_opt_phases.dir/abl_opt_phases.cpp.o"
+  "CMakeFiles/abl_opt_phases.dir/abl_opt_phases.cpp.o.d"
+  "abl_opt_phases"
+  "abl_opt_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_opt_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_selectivity.dir/abl_selectivity.cpp.o"
+  "CMakeFiles/abl_selectivity.dir/abl_selectivity.cpp.o.d"
+  "abl_selectivity"
+  "abl_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sync_writes.dir/abl_sync_writes.cpp.o"
+  "CMakeFiles/abl_sync_writes.dir/abl_sync_writes.cpp.o.d"
+  "abl_sync_writes"
+  "abl_sync_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sync_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

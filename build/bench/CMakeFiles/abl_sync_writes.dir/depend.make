@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_sync_writes.
+# This may be replaced when dependencies are built.

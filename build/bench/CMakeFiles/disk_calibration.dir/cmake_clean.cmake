@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_calibration.dir/disk_calibration.cpp.o"
+  "CMakeFiles/disk_calibration.dir/disk_calibration.cpp.o.d"
+  "disk_calibration"
+  "disk_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_navigation.dir/ext_navigation.cpp.o"
+  "CMakeFiles/ext_navigation.dir/ext_navigation.cpp.o.d"
+  "ext_navigation"
+  "ext_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_result_cache.dir/ext_result_cache.cpp.o"
+  "CMakeFiles/ext_result_cache.dir/ext_result_cache.cpp.o.d"
+  "ext_result_cache"
+  "ext_result_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_result_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_pages_2way.dir/fig02_pages_2way.cpp.o"
+  "CMakeFiles/fig02_pages_2way.dir/fig02_pages_2way.cpp.o.d"
+  "fig02_pages_2way"
+  "fig02_pages_2way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_pages_2way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_pages_2way.
+# This may be replaced when dependencies are built.

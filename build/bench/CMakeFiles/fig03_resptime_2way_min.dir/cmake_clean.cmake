@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_resptime_2way_min.dir/fig03_resptime_2way_min.cpp.o"
+  "CMakeFiles/fig03_resptime_2way_min.dir/fig03_resptime_2way_min.cpp.o.d"
+  "fig03_resptime_2way_min"
+  "fig03_resptime_2way_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_resptime_2way_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

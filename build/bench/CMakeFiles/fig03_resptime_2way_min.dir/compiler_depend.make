@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_resptime_2way_min.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_resptime_2way_max.dir/fig05_resptime_2way_max.cpp.o"
+  "CMakeFiles/fig05_resptime_2way_max.dir/fig05_resptime_2way_max.cpp.o.d"
+  "fig05_resptime_2way_max"
+  "fig05_resptime_2way_max.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_resptime_2way_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_resptime_2way_max.
+# This may be replaced when dependencies are built.

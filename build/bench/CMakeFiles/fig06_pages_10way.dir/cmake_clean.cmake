@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pages_10way.dir/fig06_pages_10way.cpp.o"
+  "CMakeFiles/fig06_pages_10way.dir/fig06_pages_10way.cpp.o.d"
+  "fig06_pages_10way"
+  "fig06_pages_10way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pages_10way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_pages_10way.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_pages_10way.
+# This may be replaced when dependencies are built.

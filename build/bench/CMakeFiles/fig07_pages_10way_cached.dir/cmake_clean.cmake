@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pages_10way_cached.dir/fig07_pages_10way_cached.cpp.o"
+  "CMakeFiles/fig07_pages_10way_cached.dir/fig07_pages_10way_cached.cpp.o.d"
+  "fig07_pages_10way_cached"
+  "fig07_pages_10way_cached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pages_10way_cached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

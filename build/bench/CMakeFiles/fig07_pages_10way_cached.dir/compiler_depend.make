@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_pages_10way_cached.
+# This may be replaced when dependencies are built.

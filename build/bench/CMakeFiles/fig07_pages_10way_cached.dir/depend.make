@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_pages_10way_cached.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_resptime_10way.cpp" "bench/CMakeFiles/fig08_resptime_10way.dir/fig08_resptime_10way.cpp.o" "gcc" "bench/CMakeFiles/fig08_resptime_10way.dir/fig08_resptime_10way.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dimsum_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dimsum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/dimsum_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dimsum_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dimsum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/dimsum_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dimsum_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dimsum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

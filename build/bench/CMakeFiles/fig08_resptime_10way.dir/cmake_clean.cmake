@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_resptime_10way.dir/fig08_resptime_10way.cpp.o"
+  "CMakeFiles/fig08_resptime_10way.dir/fig08_resptime_10way.cpp.o.d"
+  "fig08_resptime_10way"
+  "fig08_resptime_10way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_resptime_10way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_static_2step_comm.dir/fig09_static_2step_comm.cpp.o"
+  "CMakeFiles/fig09_static_2step_comm.dir/fig09_static_2step_comm.cpp.o.d"
+  "fig09_static_2step_comm"
+  "fig09_static_2step_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_static_2step_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

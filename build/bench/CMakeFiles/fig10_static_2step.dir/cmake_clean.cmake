@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_static_2step.dir/fig10_static_2step.cpp.o"
+  "CMakeFiles/fig10_static_2step.dir/fig10_static_2step.cpp.o.d"
+  "fig10_static_2step"
+  "fig10_static_2step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_static_2step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_static_2step_hisel.dir/fig11_static_2step_hisel.cpp.o"
+  "CMakeFiles/fig11_static_2step_hisel.dir/fig11_static_2step_hisel.cpp.o.d"
+  "fig11_static_2step_hisel"
+  "fig11_static_2step_hisel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_static_2step_hisel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_static_2step_hisel.
+# This may be replaced when dependencies are built.

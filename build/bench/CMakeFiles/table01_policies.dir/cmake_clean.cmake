@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_policies.dir/table01_policies.cpp.o"
+  "CMakeFiles/table01_policies.dir/table01_policies.cpp.o.d"
+  "table01_policies"
+  "table01_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_params.dir/table02_params.cpp.o"
+  "CMakeFiles/table02_params.dir/table02_params.cpp.o.d"
+  "table02_params"
+  "table02_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_pushdown.dir/aggregation_pushdown.cpp.o"
+  "CMakeFiles/aggregation_pushdown.dir/aggregation_pushdown.cpp.o.d"
+  "aggregation_pushdown"
+  "aggregation_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

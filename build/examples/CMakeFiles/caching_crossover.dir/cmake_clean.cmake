@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_crossover.dir/caching_crossover.cpp.o"
+  "CMakeFiles/caching_crossover.dir/caching_crossover.cpp.o.d"
+  "caching_crossover"
+  "caching_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loaded_server.dir/loaded_server.cpp.o"
+  "CMakeFiles/loaded_server.dir/loaded_server.cpp.o.d"
+  "loaded_server"
+  "loaded_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loaded_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_common.dir/check.cc.o"
+  "CMakeFiles/dimsum_common.dir/check.cc.o.d"
+  "CMakeFiles/dimsum_common.dir/rng.cc.o"
+  "CMakeFiles/dimsum_common.dir/rng.cc.o.d"
+  "CMakeFiles/dimsum_common.dir/stats.cc.o"
+  "CMakeFiles/dimsum_common.dir/stats.cc.o.d"
+  "libdimsum_common.a"
+  "libdimsum_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/dimsum_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/dimsum_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/dimsum_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/dimsum_core.dir/report.cc.o.d"
+  "/root/repo/src/core/result_cache.cc" "src/core/CMakeFiles/dimsum_core.dir/result_cache.cc.o" "gcc" "src/core/CMakeFiles/dimsum_core.dir/result_cache.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/dimsum_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/dimsum_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dimsum_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dimsum_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/dimsum_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/dimsum_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dimsum_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dimsum_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_core.dir/experiment.cc.o"
+  "CMakeFiles/dimsum_core.dir/experiment.cc.o.d"
+  "CMakeFiles/dimsum_core.dir/report.cc.o"
+  "CMakeFiles/dimsum_core.dir/report.cc.o.d"
+  "CMakeFiles/dimsum_core.dir/result_cache.cc.o"
+  "CMakeFiles/dimsum_core.dir/result_cache.cc.o.d"
+  "CMakeFiles/dimsum_core.dir/system.cc.o"
+  "CMakeFiles/dimsum_core.dir/system.cc.o.d"
+  "libdimsum_core.a"
+  "libdimsum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/cardinality.cc" "src/cost/CMakeFiles/dimsum_cost.dir/cardinality.cc.o" "gcc" "src/cost/CMakeFiles/dimsum_cost.dir/cardinality.cc.o.d"
+  "/root/repo/src/cost/comm_cost.cc" "src/cost/CMakeFiles/dimsum_cost.dir/comm_cost.cc.o" "gcc" "src/cost/CMakeFiles/dimsum_cost.dir/comm_cost.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/cost/CMakeFiles/dimsum_cost.dir/cost_model.cc.o" "gcc" "src/cost/CMakeFiles/dimsum_cost.dir/cost_model.cc.o.d"
+  "/root/repo/src/cost/hash_join_model.cc" "src/cost/CMakeFiles/dimsum_cost.dir/hash_join_model.cc.o" "gcc" "src/cost/CMakeFiles/dimsum_cost.dir/hash_join_model.cc.o.d"
+  "/root/repo/src/cost/response_time.cc" "src/cost/CMakeFiles/dimsum_cost.dir/response_time.cc.o" "gcc" "src/cost/CMakeFiles/dimsum_cost.dir/response_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dimsum_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dimsum_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

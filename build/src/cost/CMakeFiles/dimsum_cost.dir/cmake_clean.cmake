@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_cost.dir/cardinality.cc.o"
+  "CMakeFiles/dimsum_cost.dir/cardinality.cc.o.d"
+  "CMakeFiles/dimsum_cost.dir/comm_cost.cc.o"
+  "CMakeFiles/dimsum_cost.dir/comm_cost.cc.o.d"
+  "CMakeFiles/dimsum_cost.dir/cost_model.cc.o"
+  "CMakeFiles/dimsum_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/dimsum_cost.dir/hash_join_model.cc.o"
+  "CMakeFiles/dimsum_cost.dir/hash_join_model.cc.o.d"
+  "CMakeFiles/dimsum_cost.dir/response_time.cc.o"
+  "CMakeFiles/dimsum_cost.dir/response_time.cc.o.d"
+  "libdimsum_cost.a"
+  "libdimsum_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdimsum_cost.a"
+)

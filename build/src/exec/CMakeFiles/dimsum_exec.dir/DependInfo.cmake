@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/dimsum_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/dimsum_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/navigation.cc" "src/exec/CMakeFiles/dimsum_exec.dir/navigation.cc.o" "gcc" "src/exec/CMakeFiles/dimsum_exec.dir/navigation.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/dimsum_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/dimsum_exec.dir/operators.cc.o.d"
+  "/root/repo/src/exec/runtime.cc" "src/exec/CMakeFiles/dimsum_exec.dir/runtime.cc.o" "gcc" "src/exec/CMakeFiles/dimsum_exec.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dimsum_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dimsum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dimsum_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/dimsum_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

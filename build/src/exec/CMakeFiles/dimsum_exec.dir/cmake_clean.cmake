@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_exec.dir/executor.cc.o"
+  "CMakeFiles/dimsum_exec.dir/executor.cc.o.d"
+  "CMakeFiles/dimsum_exec.dir/navigation.cc.o"
+  "CMakeFiles/dimsum_exec.dir/navigation.cc.o.d"
+  "CMakeFiles/dimsum_exec.dir/operators.cc.o"
+  "CMakeFiles/dimsum_exec.dir/operators.cc.o.d"
+  "CMakeFiles/dimsum_exec.dir/runtime.cc.o"
+  "CMakeFiles/dimsum_exec.dir/runtime.cc.o.d"
+  "libdimsum_exec.a"
+  "libdimsum_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/dimsum_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/dimsum_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/two_step.cc" "src/opt/CMakeFiles/dimsum_opt.dir/two_step.cc.o" "gcc" "src/opt/CMakeFiles/dimsum_opt.dir/two_step.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dimsum_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dimsum_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/dimsum_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

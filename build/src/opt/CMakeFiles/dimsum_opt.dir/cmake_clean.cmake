@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_opt.dir/optimizer.cc.o"
+  "CMakeFiles/dimsum_opt.dir/optimizer.cc.o.d"
+  "CMakeFiles/dimsum_opt.dir/two_step.cc.o"
+  "CMakeFiles/dimsum_opt.dir/two_step.cc.o.d"
+  "libdimsum_opt.a"
+  "libdimsum_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

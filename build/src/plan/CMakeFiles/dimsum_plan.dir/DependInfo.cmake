@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/binding.cc" "src/plan/CMakeFiles/dimsum_plan.dir/binding.cc.o" "gcc" "src/plan/CMakeFiles/dimsum_plan.dir/binding.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/plan/CMakeFiles/dimsum_plan.dir/plan.cc.o" "gcc" "src/plan/CMakeFiles/dimsum_plan.dir/plan.cc.o.d"
+  "/root/repo/src/plan/printer.cc" "src/plan/CMakeFiles/dimsum_plan.dir/printer.cc.o" "gcc" "src/plan/CMakeFiles/dimsum_plan.dir/printer.cc.o.d"
+  "/root/repo/src/plan/transforms.cc" "src/plan/CMakeFiles/dimsum_plan.dir/transforms.cc.o" "gcc" "src/plan/CMakeFiles/dimsum_plan.dir/transforms.cc.o.d"
+  "/root/repo/src/plan/validate.cc" "src/plan/CMakeFiles/dimsum_plan.dir/validate.cc.o" "gcc" "src/plan/CMakeFiles/dimsum_plan.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dimsum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_plan.dir/binding.cc.o"
+  "CMakeFiles/dimsum_plan.dir/binding.cc.o.d"
+  "CMakeFiles/dimsum_plan.dir/plan.cc.o"
+  "CMakeFiles/dimsum_plan.dir/plan.cc.o.d"
+  "CMakeFiles/dimsum_plan.dir/printer.cc.o"
+  "CMakeFiles/dimsum_plan.dir/printer.cc.o.d"
+  "CMakeFiles/dimsum_plan.dir/transforms.cc.o"
+  "CMakeFiles/dimsum_plan.dir/transforms.cc.o.d"
+  "CMakeFiles/dimsum_plan.dir/validate.cc.o"
+  "CMakeFiles/dimsum_plan.dir/validate.cc.o.d"
+  "libdimsum_plan.a"
+  "libdimsum_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_sim.dir/disk.cc.o"
+  "CMakeFiles/dimsum_sim.dir/disk.cc.o.d"
+  "CMakeFiles/dimsum_sim.dir/resource.cc.o"
+  "CMakeFiles/dimsum_sim.dir/resource.cc.o.d"
+  "CMakeFiles/dimsum_sim.dir/simulator.cc.o"
+  "CMakeFiles/dimsum_sim.dir/simulator.cc.o.d"
+  "libdimsum_sim.a"
+  "libdimsum_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_workload.dir/benchmark.cc.o"
+  "CMakeFiles/dimsum_workload.dir/benchmark.cc.o.d"
+  "libdimsum_workload.a"
+  "libdimsum_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

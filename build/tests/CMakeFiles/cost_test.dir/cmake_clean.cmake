@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_test.dir/cost/cardinality_test.cc.o"
+  "CMakeFiles/cost_test.dir/cost/cardinality_test.cc.o.d"
+  "CMakeFiles/cost_test.dir/cost/comm_cost_test.cc.o"
+  "CMakeFiles/cost_test.dir/cost/comm_cost_test.cc.o.d"
+  "CMakeFiles/cost_test.dir/cost/hash_join_model_test.cc.o"
+  "CMakeFiles/cost_test.dir/cost/hash_join_model_test.cc.o.d"
+  "CMakeFiles/cost_test.dir/cost/response_time_model_test.cc.o"
+  "CMakeFiles/cost_test.dir/cost/response_time_model_test.cc.o.d"
+  "CMakeFiles/cost_test.dir/cost/response_time_test.cc.o"
+  "CMakeFiles/cost_test.dir/cost/response_time_test.cc.o.d"
+  "cost_test"
+  "cost_test.pdb"
+  "cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/buffer_pool_test.cc" "tests/CMakeFiles/exec_test.dir/exec/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/exec/concurrent_test.cc" "tests/CMakeFiles/exec_test.dir/exec/concurrent_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/concurrent_test.cc.o.d"
+  "/root/repo/tests/exec/executor_test.cc" "tests/CMakeFiles/exec_test.dir/exec/executor_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/executor_test.cc.o.d"
+  "/root/repo/tests/exec/extended_ops_exec_test.cc" "tests/CMakeFiles/exec_test.dir/exec/extended_ops_exec_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/extended_ops_exec_test.cc.o.d"
+  "/root/repo/tests/exec/heterogeneous_test.cc" "tests/CMakeFiles/exec_test.dir/exec/heterogeneous_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/heterogeneous_test.cc.o.d"
+  "/root/repo/tests/exec/layout_test.cc" "tests/CMakeFiles/exec_test.dir/exec/layout_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/layout_test.cc.o.d"
+  "/root/repo/tests/exec/multidisk_test.cc" "tests/CMakeFiles/exec_test.dir/exec/multidisk_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/multidisk_test.cc.o.d"
+  "/root/repo/tests/exec/navigation_test.cc" "tests/CMakeFiles/exec_test.dir/exec/navigation_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/navigation_test.cc.o.d"
+  "/root/repo/tests/exec/operator_timing_test.cc" "tests/CMakeFiles/exec_test.dir/exec/operator_timing_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/operator_timing_test.cc.o.d"
+  "/root/repo/tests/exec/page_test.cc" "tests/CMakeFiles/exec_test.dir/exec/page_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/page_test.cc.o.d"
+  "/root/repo/tests/exec/sort_test.cc" "tests/CMakeFiles/exec_test.dir/exec/sort_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/sort_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dimsum_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dimsum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/dimsum_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dimsum_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dimsum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/dimsum_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dimsum_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dimsum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_test.dir/exec/buffer_pool_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/buffer_pool_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/concurrent_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/concurrent_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/executor_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/executor_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/extended_ops_exec_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/extended_ops_exec_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/heterogeneous_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/heterogeneous_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/layout_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/layout_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/multidisk_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/multidisk_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/navigation_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/navigation_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/operator_timing_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/operator_timing_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/page_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/page_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/sort_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/sort_test.cc.o.d"
+  "exec_test"
+  "exec_test.pdb"
+  "exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

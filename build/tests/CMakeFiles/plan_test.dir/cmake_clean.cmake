@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_test.dir/plan/binding_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/binding_test.cc.o.d"
+  "CMakeFiles/plan_test.dir/plan/extended_ops_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/extended_ops_test.cc.o.d"
+  "CMakeFiles/plan_test.dir/plan/plan_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/plan_test.cc.o.d"
+  "CMakeFiles/plan_test.dir/plan/transforms_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/transforms_test.cc.o.d"
+  "plan_test"
+  "plan_test.pdb"
+  "plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/channel_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/channel_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/disk_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/disk_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/network_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/network_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/resource_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/resource_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/simulator_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/task_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/task_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsum_cli.dir/dimsum_cli.cc.o"
+  "CMakeFiles/dimsum_cli.dir/dimsum_cli.cc.o.d"
+  "dimsum_cli"
+  "dimsum_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsum_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
