@@ -34,7 +34,8 @@ double Run2Way(SiteAnnotation scan, SiteAnnotation join, double mbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   std::cout << "==== Sensitivity: network bandwidth ====\n"
             << "2-way join, 1 server, no caching, maximum allocation [s]\n"
             << "(DS ships 500 pages, QS ships 250)\n\n";

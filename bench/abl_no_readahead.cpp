@@ -31,7 +31,8 @@ double Run2Way(SiteAnnotation scan, SiteAnnotation join, int readahead) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   std::cout << "==== Ablation: disk read-ahead off ====\n"
             << "2-way join, 1 server, no caching, minimum allocation [s]\n\n";
   ReportTable table({"plan", "read-ahead on", "read-ahead off"});

@@ -32,7 +32,8 @@ double Run2Way(SiteAnnotation scan, SiteAnnotation join, int num_disks) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   std::cout << "==== Ablation: disks per site (Table 2 NumDisks) ====\n"
             << "2-way join, 1 server, no caching, minimum allocation [s]\n\n";
   ReportTable table({"disks/site", "DS (join at client)",

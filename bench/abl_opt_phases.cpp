@@ -11,7 +11,8 @@
 using namespace dimsum;
 using namespace dimsum::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   std::cout << "==== Ablation: optimizer phases (II / SA / 2PO) ====\n"
             << "10-way join over 5 servers, hybrid space, estimated "
                "response time [s]\n\n";

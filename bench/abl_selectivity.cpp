@@ -30,7 +30,8 @@ int64_t Pages(double cached, double selectivity, ShippingPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   std::cout << "==== Sensitivity: join selectivity (Figure 2 crossover "
                "movement) ====\n"
             << "2-way join, 1 server; pages sent; QS ships the result, DS "

@@ -32,7 +32,8 @@ double Run2Way(SiteAnnotation scan, SiteAnnotation join, int quota) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   std::cout << "==== Ablation: write-behind quota ====\n"
             << "2-way join, 1 server, no caching, minimum allocation [s]\n\n";
   ReportTable table({"plan", "quota 16 (default)", "quota 1 (near-sync)"});

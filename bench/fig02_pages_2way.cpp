@@ -9,7 +9,8 @@
 using namespace dimsum;
 using namespace dimsum::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   PrintHeader("Figure 2: Pages Sent, 2-Way Join",
               "1 server, vary client caching; optimizer minimizes pages "
               "sent");

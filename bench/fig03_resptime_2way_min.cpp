@@ -10,7 +10,8 @@
 using namespace dimsum;
 using namespace dimsum::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   PrintHeader("Figure 3: Response Time, 2-Way Join",
               "1 server, vary caching, no load, minimum allocation [s]");
   ReportTable table({"cached %", "DS", "QS", "HY"});

@@ -10,7 +10,8 @@
 using namespace dimsum;
 using namespace dimsum::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   PrintHeader("Figure 4: Response Time, DS, 2-Way Join",
               "1 server, vary external disk load and caching, minimum "
               "allocation [s]");

@@ -9,7 +9,8 @@
 using namespace dimsum;
 using namespace dimsum::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   PrintHeader("Figure 7: Pages Sent, 10-Way Join, 5 Relations Cached",
               "vary servers; optimizer minimizes pages sent; random "
               "placements (mean +- 90% CI)");

@@ -10,7 +10,8 @@
 using namespace dimsum;
 using namespace dimsum::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   PrintHeader("Figure 8: Response Time, 10-Way Join",
               "vary servers, no caching, minimum allocation [s]; random "
               "placements (mean +- 90% CI)");

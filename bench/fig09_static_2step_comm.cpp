@@ -15,7 +15,8 @@
 using namespace dimsum;
 using namespace dimsum::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ApplyThreadFlag(argc, argv);
   PrintHeader("Figure 9: Static vs 2-Step Communication under Migration",
               "4-way join, all relations joinable, results = base-relation "
               "size");

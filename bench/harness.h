@@ -8,15 +8,61 @@
 // simulator; the *shape* -- who wins, by what factor, where crossovers
 // fall -- is the reproduction target (see EXPERIMENTS.md).
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/system.h"
 #include "workload/benchmark.h"
 
 namespace dimsum::bench {
+
+/// Applies a `--threads=N` flag if one was passed to the harness binary;
+/// otherwise the global pool keeps its `DIMSUM_THREADS` / hardware-default
+/// size. Replication and optimizer starts parallelize automatically; all
+/// printed results are bit-identical at any thread count.
+inline void ApplyThreadFlag(int argc, char** argv) {
+  const std::string prefix = "--threads=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      SetGlobalThreadCount(std::atoi(arg.c_str() + prefix.size()));
+    }
+  }
+}
+
+/// One measured configuration of a machine-readable benchmark series.
+struct BenchRecord {
+  std::string name;
+  int threads = 1;
+  double wall_ms = 0.0;
+  double plans_per_sec = 0.0;
+  double cache_hit_rate = 0.0;
+  double speedup_vs_1 = 1.0;
+};
+
+/// Writes `records` as a JSON array (one object per configuration) so
+/// future sessions can diff performance against this baseline.
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "  {\"name\": \"" << r.name << "\", \"threads\": " << r.threads
+        << ", \"wall_ms\": " << r.wall_ms
+        << ", \"plans_per_sec\": " << r.plans_per_sec
+        << ", \"cache_hit_rate\": " << r.cache_hit_rate
+        << ", \"speedup_vs_1\": " << r.speedup_vs_1 << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
 
 /// Optimizer effort used throughout the harnesses: enough to find
 /// "reasonable rather than truly optimal" plans (the paper's own bar)
@@ -79,7 +125,9 @@ inline std::string MeasurePoint(const WorkloadSpec& spec,
 }
 
 inline void PrintHeader(const std::string& title, const std::string& setup) {
-  std::cout << "==== " << title << " ====\n" << setup << "\n\n";
+  std::cout << "==== " << title << " ====\n" << setup << "\n"
+            << "(threads: " << GlobalThreadPool().thread_count()
+            << "; results independent of thread count)\n\n";
 }
 
 }  // namespace dimsum::bench

@@ -3,12 +3,28 @@
 // selection of a 10-way join over 10 servers; this measures the same
 // operation on modern hardware, plus the building blocks (plan evaluation,
 // random moves, site selection, and a full simulated execution).
+//
+// Before the google-benchmark suite runs, a thread sweep times the 10-way
+// optimization + replication apparatus at 1, 2, 4, and N threads, checks
+// that the best plan / cost / replication statistics are bit-identical at
+// every thread count, and writes machine-readable results (plans/sec, wall
+// time, cache hit rate per thread count) to BENCH_optimizer.json. Skip it
+// with --no-sweep.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
 #include "core/system.h"
 #include "opt/optimizer.h"
 #include "plan/binding.h"
+#include "plan/printer.h"
 #include "workload/benchmark.h"
 
 namespace dimsum {
@@ -21,6 +37,134 @@ BenchmarkWorkload TenWayWorkload() {
   return MakeChainWorkloadRoundRobin(spec);
 }
 
+// ---------------------------------------------------------------------------
+// Thread sweep: the acceptance experiment for the parallel engine.
+
+struct SweepOutcome {
+  double wall_ms = 0.0;
+  int64_t plans_evaluated = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  // Identity fingerprints, compared bitwise across thread counts.
+  std::vector<double> best_costs;
+  std::vector<std::string> best_plans;
+  int64_t stat_count = 0;
+  double stat_mean = 0.0;
+  double stat_variance = 0.0;
+};
+
+SweepOutcome RunSweepOnce(int optimize_runs) {
+  BenchmarkWorkload w = TenWayWorkload();
+  CostModel model(w.catalog, CostParams{});
+  OptimizerConfig config;
+  config.policy = ShippingPolicy::kHybridShipping;
+  config.metric = OptimizeMetric::kResponseTime;
+  TwoPhaseOptimizer optimizer(model, config);
+
+  SweepOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int run = 0; run < optimize_runs; ++run) {
+    Rng rng(static_cast<uint64_t>(run) + 1);
+    OptimizeResult result = optimizer.Optimize(w.query, rng);
+    out.plans_evaluated += result.plans_evaluated;
+    out.cache_hits += result.cache_hits;
+    out.cache_misses += result.cache_misses;
+    out.best_costs.push_back(result.cost);
+    out.best_plans.push_back(PlanToString(result.plan));
+  }
+  // Replicated trial through the full optimize+execute path, exercising
+  // the speculative-batch Replicate.
+  WorkloadSpec spec;
+  spec.num_relations = 10;
+  spec.num_servers = 10;
+  RunningStat stat = Replicate(
+      [&](uint64_t seed) {
+        return bench::RunTrial(spec, ShippingPolicy::kHybridShipping,
+                               bench::Measure::kResponseSeconds, seed);
+      },
+      ReplicationOptions{});
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.stat_count = stat.count();
+  out.stat_mean = stat.mean();
+  out.stat_variance = stat.variance();
+  return out;
+}
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+int RunThreadSweep() {
+  const int hardware = ThreadCountFromEnv(nullptr);
+  std::vector<int> thread_counts{1, 2, 4};
+  if (std::find(thread_counts.begin(), thread_counts.end(), hardware) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hardware);
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+
+  constexpr int kOptimizeRuns = 6;
+  std::cout << "==== thread sweep: 10-way join optimization + replication "
+               "====\n"
+            << kOptimizeRuns
+            << " full 2PO runs + one replicated optimize+execute trial per "
+               "thread count\n\n";
+
+  std::vector<bench::BenchRecord> records;
+  SweepOutcome baseline;
+  bool identical = true;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const int threads = thread_counts[i];
+    SetGlobalThreadCount(threads);
+    const SweepOutcome outcome = RunSweepOnce(kOptimizeRuns);
+    if (i == 0) {
+      baseline = outcome;
+    } else {
+      identical = identical &&
+                  outcome.best_plans == baseline.best_plans &&
+                  outcome.plans_evaluated == baseline.plans_evaluated &&
+                  outcome.stat_count == baseline.stat_count &&
+                  BitEqual(outcome.stat_mean, baseline.stat_mean) &&
+                  BitEqual(outcome.stat_variance, baseline.stat_variance);
+      for (std::size_t r = 0; r < outcome.best_costs.size(); ++r) {
+        identical =
+            identical && BitEqual(outcome.best_costs[r],
+                                  baseline.best_costs[r]);
+      }
+    }
+    bench::BenchRecord record;
+    record.name = "optimize_10way_sweep";
+    record.threads = threads;
+    record.wall_ms = outcome.wall_ms;
+    record.plans_per_sec = static_cast<double>(outcome.plans_evaluated) /
+                           (outcome.wall_ms / 1000.0);
+    const int64_t lookups = outcome.cache_hits + outcome.cache_misses;
+    record.cache_hit_rate =
+        lookups > 0 ? static_cast<double>(outcome.cache_hits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+    record.speedup_vs_1 = records.empty()
+                              ? 1.0
+                              : records.front().wall_ms / outcome.wall_ms;
+    records.push_back(record);
+    std::cout << "threads=" << threads << "  wall=" << record.wall_ms
+              << " ms  plans/sec=" << record.plans_per_sec
+              << "  cache-hit-rate=" << record.cache_hit_rate
+              << "  speedup=" << record.speedup_vs_1 << "x\n";
+  }
+  std::cout << "\ndeterminism across thread counts: "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+  bench::WriteBenchJson("BENCH_optimizer.json", records);
+  std::cout << "wrote BENCH_optimizer.json\n\n";
+  SetGlobalThreadCount(1);
+  return identical ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark microbenchmarks.
+
 void BM_Optimize10Way10Servers(benchmark::State& state) {
   const ShippingPolicy policy = static_cast<ShippingPolicy>(state.range(0));
   BenchmarkWorkload w = TenWayWorkload();
@@ -30,15 +174,60 @@ void BM_Optimize10Way10Servers(benchmark::State& state) {
   config.metric = OptimizeMetric::kResponseTime;
   TwoPhaseOptimizer optimizer(model, config);
   Rng rng(1);
+  int64_t plans = 0;
+  int64_t hits = 0;
+  int64_t lookups = 0;
   for (auto _ : state) {
     OptimizeResult result = optimizer.Optimize(w.query, rng);
     benchmark::DoNotOptimize(result.cost);
+    plans += result.plans_evaluated;
+    hits += result.cache_hits;
+    lookups += result.cache_hits + result.cache_misses;
   }
+  state.counters["plans_per_sec"] = benchmark::Counter(
+      static_cast<double>(plans), benchmark::Counter::kIsRate);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                  : 0.0;
 }
 BENCHMARK(BM_Optimize10Way10Servers)
     ->Arg(static_cast<int>(ShippingPolicy::kDataShipping))
     ->Arg(static_cast<int>(ShippingPolicy::kQueryShipping))
     ->Arg(static_cast<int>(ShippingPolicy::kHybridShipping))
+    ->Unit(benchmark::kMillisecond);
+
+/// The same full optimization at 1, 2, 4, and N pool threads; the argument
+/// is the pool size. Counters report search throughput and memoization.
+void BM_Optimize10WayThreads(benchmark::State& state) {
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  BenchmarkWorkload w = TenWayWorkload();
+  CostModel model(w.catalog, CostParams{});
+  OptimizerConfig config;
+  config.metric = OptimizeMetric::kResponseTime;
+  TwoPhaseOptimizer optimizer(model, config);
+  Rng rng(1);
+  int64_t plans = 0;
+  int64_t hits = 0;
+  int64_t lookups = 0;
+  for (auto _ : state) {
+    OptimizeResult result = optimizer.Optimize(w.query, rng);
+    benchmark::DoNotOptimize(result.cost);
+    plans += result.plans_evaluated;
+    hits += result.cache_hits;
+    lookups += result.cache_hits + result.cache_misses;
+  }
+  state.counters["plans_per_sec"] = benchmark::Counter(
+      static_cast<double>(plans), benchmark::Counter::kIsRate);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                  : 0.0;
+  SetGlobalThreadCount(1);
+}
+BENCHMARK(BM_Optimize10WayThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)  // 0 = all hardware threads (resolved by the pool)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SiteSelect10Way(benchmark::State& state) {
@@ -103,4 +292,21 @@ BENCHMARK(BM_Simulate2WayJoin)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace dimsum
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool run_sweep = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      run_sweep = false;
+      // Hide the flag from google-benchmark's parser.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (run_sweep && dimsum::RunThreadSweep() != 0) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "opt/cost_cache.h"
+
+#include <cstring>
+
+namespace dimsum {
+namespace {
+
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+void AppendNode(std::string* out, const PlanNode* node) {
+  if (node == nullptr) {
+    out->push_back('.');
+    return;
+  }
+  out->push_back('(');
+  out->push_back(static_cast<char>(node->type));
+  out->push_back(static_cast<char>(node->annotation));
+  AppendRaw(out, node->relation);
+  // Operator parameters participate in cardinality estimates, so they are
+  // part of the cost-relevant identity (encoded bitwise: the search only
+  // ever copies these values, never recomputes them).
+  AppendRaw(out, node->selectivity);
+  AppendRaw(out, node->width_factor);
+  AppendRaw(out, node->num_groups);
+  AppendNode(out, node->left.get());
+  AppendNode(out, node->right.get());
+  out->push_back(')');
+}
+
+}  // namespace
+
+std::string PlanSignature(const Plan& plan) {
+  std::string signature;
+  signature.reserve(static_cast<std::size_t>(plan.Size()) * 32 + 8);
+  AppendNode(&signature, plan.root());
+  return signature;
+}
+
+namespace {
+
+std::string MakeKey(const Plan& plan, OptimizeMetric metric) {
+  std::string key = PlanSignature(plan);
+  key.push_back(static_cast<char>(metric));
+  return key;
+}
+
+}  // namespace
+
+double CostCache::Cost(const CostModel& model, Plan& plan,
+                       const QueryGraph& query, OptimizeMetric metric) {
+  std::string signature = MakeKey(plan, metric);
+  if (auto cached = Lookup(signature); cached.has_value()) return *cached;
+  const double cost = model.PlanCost(plan, query, metric);
+  Insert(std::move(signature), cost);
+  return cost;
+}
+
+void CostCache::InsertPlan(const Plan& plan, OptimizeMetric metric,
+                           double cost) {
+  Insert(MakeKey(plan, metric), cost);
+}
+
+std::optional<double> CostCache::Lookup(const std::string& signature) {
+  auto it = cache_.find(signature);
+  if (it == cache_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void CostCache::Insert(std::string signature, double cost) {
+  if (cache_.size() >= max_entries_) return;
+  cache_.emplace(std::move(signature), cost);
+}
+
+}  // namespace dimsum

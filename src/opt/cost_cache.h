@@ -1,0 +1,66 @@
+#ifndef DIMSUM_OPT_COST_CACHE_H_
+#define DIMSUM_OPT_COST_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "plan/query.h"
+
+namespace dimsum {
+
+/// Canonical signature of an (unbound) plan: a pre-order byte encoding of
+/// the tree shape, operator types, site annotations, and operator
+/// parameters. Two plans have equal signatures iff the analytic cost model
+/// assigns them equal cost under a fixed catalog/metric, so the signature
+/// is an exact memoization key (no hash-collision risk: the full encoding
+/// is the key).
+std::string PlanSignature(const Plan& plan);
+
+/// Memoizes plan-signature -> metric value for one optimization run. The
+/// II/SA search revisits neighbors constantly (undoing a move, oscillating
+/// between two annotations); a lookup here replaces a full analytic-model
+/// evaluation. One instance serves one (cost model, metric) pair and one
+/// search thread — it is intentionally not synchronized; parallel searches
+/// each own a private cache so results stay bit-identical regardless of
+/// thread count.
+class CostCache {
+ public:
+  /// `max_entries` bounds memory; once full, new signatures are evaluated
+  /// but not stored (deterministic, since insertion order is the search
+  /// order of the owning thread).
+  explicit CostCache(std::size_t max_entries = 1 << 20)
+      : max_entries_(max_entries) {}
+
+  /// Cost of `plan` under `metric`, served from the cache when this
+  /// signature was evaluated before. On a miss the model is consulted
+  /// (which binds the plan's sites); on a hit the plan is *not* re-bound —
+  /// callers that need bound sites on the final plan must bind explicitly.
+  double Cost(const CostModel& model, Plan& plan, const QueryGraph& query,
+              OptimizeMetric metric);
+
+  std::optional<double> Lookup(const std::string& signature);
+  void Insert(std::string signature, double cost);
+
+  /// Pre-seeds the cache with a cost that is already known exactly (e.g.
+  /// the SA start plan, costed during II) without touching the hit/miss
+  /// counters — the evaluation was counted where it happened.
+  void InsertPlan(const Plan& plan, OptimizeMetric metric, double cost);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::string, double> cache_;
+  std::size_t max_entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_OPT_COST_CACHE_H_

@@ -1,17 +1,48 @@
 #include "opt/optimizer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "plan/binding.h"
 
 namespace dimsum {
 
+double TwoPhaseOptimizer::EvalCost(Plan& plan, const QueryGraph& query,
+                                   CostCache* cache, int* evaluations) const {
+  ++*evaluations;
+  if (cache != nullptr) {
+    return cache->Cost(model_, plan, query, config_.metric);
+  }
+  return model_.PlanCost(plan, query, config_.metric);
+}
+
+OptimizeResult TwoPhaseOptimizer::FinishResult(Plan plan, double cost,
+                                               int evaluations,
+                                               int64_t cache_hits,
+                                               int64_t cache_misses) const {
+  // The winning plan may have last been costed through the cache (no site
+  // binding) or cloned mid-search; bind it under the model's catalog so the
+  // returned plan is always executable. Binding is deterministic and is
+  // not a cost evaluation.
+  BindSites(plan, model_.catalog());
+  OptimizeResult result;
+  result.plan = std::move(plan);
+  result.cost = cost;
+  result.plans_evaluated = evaluations;
+  result.cache_hits = cache_hits;
+  result.cache_misses = cache_misses;
+  return result;
+}
+
 std::pair<Plan, double> TwoPhaseOptimizer::ImproveToLocalMin(
     Plan start, const QueryGraph& query, const TransformConfig& transform,
-    Rng& rng, int* evaluations) const {
-  double cost = model_.PlanCost(start, query, config_.metric);
-  ++*evaluations;
+    Rng& rng, int* evaluations, CostCache* cache) const {
+  double cost = EvalCost(start, query, cache, evaluations);
   int failures = 0;
   while (failures < config_.ii_patience) {
     auto neighbor = TryRandomMove(start, query, transform, rng);
@@ -19,9 +50,7 @@ std::pair<Plan, double> TwoPhaseOptimizer::ImproveToLocalMin(
       ++failures;
       continue;
     }
-    const double neighbor_cost =
-        model_.PlanCost(*neighbor, query, config_.metric);
-    ++*evaluations;
+    const double neighbor_cost = EvalCost(*neighbor, query, cache, evaluations);
     if (neighbor_cost < cost) {
       start = std::move(*neighbor);
       cost = neighbor_cost;
@@ -36,7 +65,15 @@ std::pair<Plan, double> TwoPhaseOptimizer::ImproveToLocalMin(
 OptimizeResult TwoPhaseOptimizer::Anneal(Plan start, double start_cost,
                                          const QueryGraph& query,
                                          const TransformConfig& transform,
-                                         Rng& rng, int* evaluations) const {
+                                         Rng& rng, int evaluations,
+                                         int64_t cache_hits,
+                                         int64_t cache_misses) const {
+  CostCache sa_cache;
+  CostCache* cache = config_.enable_cost_cache ? &sa_cache : nullptr;
+  // The start plan's exact cost is known from II; seed the cache so
+  // revisiting it is a hit rather than a model re-run.
+  if (cache != nullptr) cache->InsertPlan(start, config_.metric, start_cost);
+
   Plan best = start.Clone();
   double best_cost = start_cost;
   Plan current = std::move(start);
@@ -55,8 +92,7 @@ OptimizeResult TwoPhaseOptimizer::Anneal(Plan start, double start_cost,
       auto neighbor = TryRandomMove(current, query, transform, rng);
       if (!neighbor.has_value()) continue;
       const double neighbor_cost =
-          model_.PlanCost(*neighbor, query, config_.metric);
-      ++*evaluations;
+          EvalCost(*neighbor, query, cache, &evaluations);
       const double delta = neighbor_cost - current_cost;
       if (delta <= 0.0 ||
           rng.NextDouble() < std::exp(-delta / temperature)) {
@@ -76,46 +112,77 @@ OptimizeResult TwoPhaseOptimizer::Anneal(Plan start, double start_cost,
       break;
     }
   }
-  OptimizeResult result;
-  // Re-bind under the model's catalog (the plan may have been cloned from
-  // an intermediate state).
-  result.cost = model_.PlanCost(best, query, config_.metric);
-  result.plan = std::move(best);
-  result.plans_evaluated = *evaluations;
-  return result;
+  // `best_cost` is exact (every accepted plan was costed when visited), so
+  // the epilogue does not re-cost — re-costing would either skew the
+  // evaluation count or go uncounted.
+  return FinishResult(std::move(best), best_cost, evaluations,
+                      cache_hits + (cache ? cache->hits() : 0),
+                      cache_misses + (cache ? cache->misses() : 0));
 }
 
 OptimizeResult TwoPhaseOptimizer::Optimize(const QueryGraph& query,
                                            Rng& rng) const {
   const TransformConfig transform = config_.MakeTransformConfig();
-  int evaluations = 0;
-  Plan best;
-  double best_cost = 0.0;
   const int starts = config_.enable_ii ? config_.ii_starts : 1;
-  for (int start = 0; start < starts; ++start) {
-    Plan initial = RandomPlan(query, transform, rng);
+
+  // Derive every random stream from the caller's generator *before*
+  // dispatch: each II start searches on its own child stream and the SA
+  // phase on another, so thread scheduling cannot perturb any sequence.
+  std::vector<uint64_t> start_seeds(static_cast<std::size_t>(starts));
+  for (uint64_t& seed : start_seeds) seed = rng.NextU64();
+  const uint64_t sa_seed = rng.NextU64();
+
+  struct StartOutcome {
+    Plan plan;
+    double cost = 0.0;
+  };
+  std::vector<StartOutcome> outcomes(static_cast<std::size_t>(starts));
+  std::atomic<int> evaluations{0};
+  std::atomic<int64_t> cache_hits{0};
+  std::atomic<int64_t> cache_misses{0};
+
+  GlobalThreadPool().ParallelFor(starts, [&](int i) {
+    Rng local(start_seeds[static_cast<std::size_t>(i)]);
+    CostCache start_cache;
+    CostCache* cache = config_.enable_cost_cache ? &start_cache : nullptr;
+    int local_evals = 0;
+    Plan initial = RandomPlan(query, transform, local);
+    auto& out = outcomes[static_cast<std::size_t>(i)];
     if (config_.enable_ii) {
-      auto [local, local_cost] = ImproveToLocalMin(
-          std::move(initial), query, transform, rng, &evaluations);
-      if (best.empty() || local_cost < best_cost) {
-        best = std::move(local);
-        best_cost = local_cost;
-      }
+      auto [local_min, local_cost] = ImproveToLocalMin(
+          std::move(initial), query, transform, local, &local_evals, cache);
+      out.plan = std::move(local_min);
+      out.cost = local_cost;
     } else {
-      best_cost = model_.PlanCost(initial, query, config_.metric);
-      ++evaluations;
-      best = std::move(initial);
+      out.cost = EvalCost(initial, query, cache, &local_evals);
+      out.plan = std::move(initial);
+    }
+    evaluations.fetch_add(local_evals, std::memory_order_relaxed);
+    if (cache != nullptr) {
+      cache_hits.fetch_add(cache->hits(), std::memory_order_relaxed);
+      cache_misses.fetch_add(cache->misses(), std::memory_order_relaxed);
+    }
+  });
+
+  // Winner by (cost, start-index): strict `<` keeps the lowest index on
+  // ties, independent of which thread finished first.
+  int best_index = 0;
+  for (int i = 1; i < starts; ++i) {
+    if (outcomes[static_cast<std::size_t>(i)].cost <
+        outcomes[static_cast<std::size_t>(best_index)].cost) {
+      best_index = i;
     }
   }
+  Plan best = std::move(outcomes[static_cast<std::size_t>(best_index)].plan);
+  const double best_cost = outcomes[static_cast<std::size_t>(best_index)].cost;
+
   if (!config_.enable_sa) {
-    OptimizeResult result;
-    result.cost = model_.PlanCost(best, query, config_.metric);
-    result.plan = std::move(best);
-    result.plans_evaluated = evaluations;
-    return result;
+    return FinishResult(std::move(best), best_cost, evaluations.load(),
+                        cache_hits.load(), cache_misses.load());
   }
-  return Anneal(std::move(best), best_cost, query, transform, rng,
-                &evaluations);
+  Rng sa_rng(sa_seed);
+  return Anneal(std::move(best), best_cost, query, transform, sa_rng,
+                evaluations.load(), cache_hits.load(), cache_misses.load());
 }
 
 OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
@@ -125,21 +192,55 @@ OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
   TransformConfig transform = config_.MakeTransformConfig();
   transform.join_order_moves = false;
   transform.allow_commute = false;
-  int evaluations = 0;
-  Plan best;
-  double best_cost = 0.0;
-  for (int attempt = 0; attempt < config_.ii_starts; ++attempt) {
+  const int attempts = config_.ii_starts;
+
+  std::vector<uint64_t> attempt_seeds(static_cast<std::size_t>(attempts));
+  for (uint64_t& seed : attempt_seeds) seed = rng.NextU64();
+  const uint64_t sa_seed = rng.NextU64();
+
+  struct AttemptOutcome {
+    Plan plan;
+    double cost = 0.0;
+  };
+  std::vector<AttemptOutcome> outcomes(static_cast<std::size_t>(attempts));
+  std::atomic<int> evaluations{0};
+  std::atomic<int64_t> cache_hits{0};
+  std::atomic<int64_t> cache_misses{0};
+
+  GlobalThreadPool().ParallelFor(attempts, [&](int i) {
+    Rng local(attempt_seeds[static_cast<std::size_t>(i)]);
+    CostCache attempt_cache;
+    CostCache* cache = config_.enable_cost_cache ? &attempt_cache : nullptr;
+    int local_evals = 0;
     Plan initial = start.Clone();
-    if (attempt > 0) RandomizeAnnotations(initial, transform.space, rng);
-    auto [local, local_cost] = ImproveToLocalMin(
-        std::move(initial), query, transform, rng, &evaluations);
-    if (best.empty() || local_cost < best_cost) {
-      best = std::move(local);
-      best_cost = local_cost;
+    // Attempt 0 refines the caller's annotations; later attempts restart
+    // from random annotation assignments.
+    if (i > 0) RandomizeAnnotations(initial, transform.space, local);
+    auto [local_min, local_cost] = ImproveToLocalMin(
+        std::move(initial), query, transform, local, &local_evals, cache);
+    auto& out = outcomes[static_cast<std::size_t>(i)];
+    out.plan = std::move(local_min);
+    out.cost = local_cost;
+    evaluations.fetch_add(local_evals, std::memory_order_relaxed);
+    if (cache != nullptr) {
+      cache_hits.fetch_add(cache->hits(), std::memory_order_relaxed);
+      cache_misses.fetch_add(cache->misses(), std::memory_order_relaxed);
+    }
+  });
+
+  int best_index = 0;
+  for (int i = 1; i < attempts; ++i) {
+    if (outcomes[static_cast<std::size_t>(i)].cost <
+        outcomes[static_cast<std::size_t>(best_index)].cost) {
+      best_index = i;
     }
   }
-  return Anneal(std::move(best), best_cost, query, transform, rng,
-                &evaluations);
+  Plan best = std::move(outcomes[static_cast<std::size_t>(best_index)].plan);
+  const double best_cost = outcomes[static_cast<std::size_t>(best_index)].cost;
+
+  Rng sa_rng(sa_seed);
+  return Anneal(std::move(best), best_cost, query, transform, sa_rng,
+                evaluations.load(), cache_hits.load(), cache_misses.load());
 }
 
 }  // namespace dimsum

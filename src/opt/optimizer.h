@@ -2,9 +2,11 @@
 #define DIMSUM_OPT_OPTIMIZER_H_
 
 #include <cstdint>
+#include <utility>
 
 #include "common/rng.h"
 #include "cost/cost_model.h"
+#include "opt/cost_cache.h"
 #include "plan/plan.h"
 #include "plan/policy.h"
 #include "plan/query.h"
@@ -32,8 +34,14 @@ struct OptimizerConfig {
   bool enable_ii = true;
   bool enable_sa = true;
 
+  /// Memoize plan cost by canonical plan signature, so revisited neighbors
+  /// (the II/SA search oscillates constantly) skip the analytic model.
+  /// Purely an evaluation-speed knob: results are identical either way.
+  bool enable_cost_cache = true;
+
   // --- iterative improvement (II) ---------------------------------------
-  /// Number of random starting plans.
+  /// Number of random starting plans. Starts are independent searches and
+  /// run concurrently on the global thread pool (see DIMSUM_THREADS).
   int ii_starts = 10;
   /// A plan is declared a local minimum after this many consecutive
   /// non-improving random neighbors.
@@ -67,12 +75,32 @@ struct OptimizerConfig {
 struct OptimizeResult {
   Plan plan;             // bound under the cost model's catalog
   double cost = 0.0;     // in the units of the configured metric
+  /// Plan-cost evaluations *requested* by the search, cache hits included
+  /// (so the figure means the same thing with and without the cache).
   int plans_evaluated = 0;
+  /// Cost-cache counters: `cache_misses` analytic-model runs were actually
+  /// performed; hits + misses == plans_evaluated when the cache is on.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  double CacheHitRate() const {
+    const int64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
 };
 
 /// Randomized two-phase query optimizer. Search space and cost metric are
 /// set by the config; the policy restricts annotations per Table 1 so the
 /// same machinery optimizes DS, QS, and HY plans.
+///
+/// Parallelism & determinism: the II starts (and SiteSelect restarts) run
+/// concurrently on the global thread pool. Each start draws a child seed
+/// from the caller's `Rng` *before* dispatch and searches with its own
+/// stream; the winner is the (cost, start-index) minimum and the SA phase
+/// runs on its own pre-derived stream, so the result — plan, cost, and
+/// all counters — is bit-identical for any thread count.
 class TwoPhaseOptimizer {
  public:
   TwoPhaseOptimizer(const CostModel& model, const OptimizerConfig& config)
@@ -89,15 +117,25 @@ class TwoPhaseOptimizer {
                             Rng& rng) const;
 
  private:
+  /// Cost of `plan`, through `cache` when non-null; counts the request.
+  double EvalCost(Plan& plan, const QueryGraph& query, CostCache* cache,
+                  int* evaluations) const;
+  /// SA phase over a pre-derived stream; folds the accumulated II counters
+  /// into the returned result.
   OptimizeResult Anneal(Plan start, double start_cost,
                         const QueryGraph& query,
                         const TransformConfig& transform, Rng& rng,
-                        int* evaluations) const;
+                        int evaluations, int64_t cache_hits,
+                        int64_t cache_misses) const;
   /// Runs II from `start`; returns the local minimum reached.
   std::pair<Plan, double> ImproveToLocalMin(Plan start,
                                             const QueryGraph& query,
                                             const TransformConfig& transform,
-                                            Rng& rng, int* evaluations) const;
+                                            Rng& rng, int* evaluations,
+                                            CostCache* cache) const;
+  /// Binds the final plan's sites and assembles the result struct.
+  OptimizeResult FinishResult(Plan plan, double cost, int evaluations,
+                              int64_t cache_hits, int64_t cache_misses) const;
 
   const CostModel& model_;
   OptimizerConfig config_;

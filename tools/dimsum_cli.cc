@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/report.h"
 #include "core/system.h"
 #include "plan/printer.h"
@@ -32,6 +33,7 @@ struct CliOptions {
   int disks = 1;
   double client_mips = 0.0;  // 0 = default
   uint64_t seed = 1;
+  int threads = 0;  // 0 = keep DIMSUM_THREADS / hardware default
   bool random_placement = false;
   bool print_plan = false;
 };
@@ -50,6 +52,10 @@ void PrintUsage() {
       "  --disks=N                disks per site (default 1)\n"
       "  --client-mips=M          client CPU speed override\n"
       "  --seed=S                 RNG seed (default 1)\n"
+      "  --threads=N              optimizer/replication worker threads\n"
+      "                           (default: DIMSUM_THREADS env var, else\n"
+      "                           all cores; results are identical for\n"
+      "                           every N)\n"
       "  --random-placement       place relations randomly (default RR)\n"
       "  --print-plan             print the chosen plan\n"
       "  --help                   this message\n";
@@ -106,6 +112,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->client_mips = std::atof(value.c_str());
     } else if (ParseFlag(arg, "seed", &value)) {
       options->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options->threads = std::atoi(value.c_str());
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return false;
@@ -121,6 +129,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 }
 
 int RunCli(const CliOptions& options) {
+  if (options.threads > 0) SetGlobalThreadCount(options.threads);
   WorkloadSpec spec;
   spec.num_relations = options.relations;
   spec.num_servers = options.servers;
@@ -161,6 +170,10 @@ int RunCli(const CliOptions& options) {
                     : Fmt(result.optimize.cost / 1000.0) + " s"});
   table.AddRow({"plans evaluated",
                 std::to_string(result.optimize.plans_evaluated)});
+  table.AddRow({"cost-model runs (cache misses)",
+                std::to_string(result.optimize.cache_misses)});
+  table.AddRow({"cost-cache hit rate",
+                Fmt(result.optimize.CacheHitRate() * 100.0, 1) + " %"});
   table.AddRow(
       {"measured response", Fmt(result.execute.response_ms / 1000.0) + " s"});
   table.AddRow({"pages sent", std::to_string(result.execute.data_pages_sent)});
