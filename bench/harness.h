@@ -14,18 +14,37 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/system.h"
+#include "exec/metrics.h"
 #include "workload/benchmark.h"
 
 namespace dimsum::bench {
 
+/// When DIMSUM_METRICS names a .json path, writes the global registry
+/// snapshot there at process exit, so any harness run can capture its
+/// aggregate counters/histograms without per-binary wiring. (A bare "1"
+/// just enables the registry; see MetricsRegistry::Global().)
+inline void WriteMetricsSnapshotAtExit() {
+  if (!MetricsRegistry::Global().enabled()) return;
+  const char* env = std::getenv("DIMSUM_METRICS");
+  if (env == nullptr) return;
+  static std::string path;
+  const std::string value = env;
+  if (value.size() > 5 && value.rfind(".json") == value.size() - 5) {
+    path = value;
+    std::atexit([] { MetricsRegistry::Global().WriteJsonFile(path); });
+  }
+}
+
 /// Applies a `--threads=N` flag if one was passed to the harness binary;
 /// otherwise the global pool keeps its `DIMSUM_THREADS` / hardware-default
 /// size. Replication and optimizer starts parallelize automatically; all
-/// printed results are bit-identical at any thread count.
+/// printed results are bit-identical at any thread count. Also arms the
+/// DIMSUM_METRICS exit snapshot (every harness calls this first).
 inline void ApplyThreadFlag(int argc, char** argv) {
   const std::string prefix = "--threads=";
   for (int i = 1; i < argc; ++i) {
@@ -34,6 +53,7 @@ inline void ApplyThreadFlag(int argc, char** argv) {
       SetGlobalThreadCount(std::atoi(arg.c_str() + prefix.size()));
     }
   }
+  WriteMetricsSnapshotAtExit();
 }
 
 /// One measured configuration of a machine-readable benchmark series.
@@ -47,7 +67,10 @@ struct BenchRecord {
 };
 
 /// Writes `records` as a JSON array (one object per configuration) so
-/// future sessions can diff performance against this baseline.
+/// future sessions can diff performance against this baseline. When the
+/// global metrics registry is enabled (DIMSUM_METRICS), a sibling
+/// `<path minus .json>.metrics.json` snapshot is written next to it, so
+/// every BENCH_*.json harness can also capture its run's counters.
 inline void WriteBenchJson(const std::string& path,
                            const std::vector<BenchRecord>& records) {
   std::ofstream out(path);
@@ -62,6 +85,17 @@ inline void WriteBenchJson(const std::string& path,
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
+  if (MetricsRegistry::Global().enabled()) {
+    const std::string suffix = ".json";
+    std::string metrics_path = path;
+    if (metrics_path.size() >= suffix.size() &&
+        metrics_path.compare(metrics_path.size() - suffix.size(),
+                             suffix.size(), suffix) == 0) {
+      metrics_path.resize(metrics_path.size() - suffix.size());
+    }
+    metrics_path += ".metrics.json";
+    MetricsRegistry::Global().WriteJsonFile(metrics_path);
+  }
 }
 
 /// Optimizer effort used throughout the harnesses: enough to find
@@ -90,6 +124,9 @@ inline double RunTrial(const WorkloadSpec& spec, ShippingPolicy policy,
   SystemConfig config;
   config.num_servers = spec.num_servers;
   config.params.buf_alloc = alloc;
+  // Only when a metrics snapshot was requested: per-op histogram samples
+  // are not free, and trials must stay lean by default.
+  config.collect_histograms = MetricsRegistry::Global().enabled();
   if (server_load_per_sec > 0.0) {
     for (int s = 0; s < spec.num_servers; ++s) {
       config.server_disk_load_per_sec[ServerSite(s)] = server_load_per_sec;
@@ -101,6 +138,12 @@ inline double RunTrial(const WorkloadSpec& spec, ShippingPolicy policy,
                                     ? OptimizeMetric::kPagesSent
                                     : OptimizeMetric::kResponseTime;
   auto result = system.Run(workload.query, policy, metric, seed, &opt);
+  // Fold into the global registry only when snapshots were requested; the
+  // fold is off the trial's hot path either way.
+  if (MetricsRegistry::Global().enabled()) {
+    FoldOptimizeResult(result.optimize, MetricsRegistry::Global());
+    FoldExecMetrics(result.execute, MetricsRegistry::Global());
+  }
   return measure == Measure::kPagesSent
              ? static_cast<double>(result.execute.data_pages_sent)
              : result.execute.response_ms / 1000.0;

@@ -1,0 +1,250 @@
+// Observability micro-benchmarks (google-benchmark). The tracing/metrics
+// layer must be zero-cost when disabled and must never perturb the
+// simulation when enabled -- observation is read-only with respect to the
+// virtual clock and every RNG stream.
+//
+// Before the google-benchmark suite runs, an identity check executes the
+// same optimized 10-way plan (a) plain, (b) with a TraceSink attached, and
+// (c) with histograms + TraceSink, and verifies the simulation results are
+// bit-identical in all three modes. It then times repeated plain vs fully
+// instrumented executions and writes the overhead series to
+// BENCH_observability.json. Skip it with --no-check.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "common/metrics.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "opt/optimizer.h"
+#include "sim/trace.h"
+#include "workload/benchmark.h"
+
+namespace dimsum {
+namespace {
+
+BenchmarkWorkload TenWayWorkload() {
+  WorkloadSpec spec;
+  spec.num_relations = 10;
+  spec.num_servers = 5;
+  return MakeChainWorkloadRoundRobin(spec);
+}
+
+/// One optimized plan + config shared by every benchmark below, so all
+/// modes execute the identical simulation.
+struct Fixture {
+  BenchmarkWorkload workload = TenWayWorkload();
+  SystemConfig config;
+  Plan plan;
+
+  Fixture() {
+    config.num_servers = 5;
+    CostModel model(workload.catalog, config.params);
+    OptimizerConfig opt = bench::HarnessOptimizer();
+    TwoPhaseOptimizer optimizer(model, opt);
+    Rng rng(1);
+    plan = optimizer.Optimize(workload.query, rng).plan;
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The simulation-visible fingerprint of one execution; anything the
+/// observability layer could perturb if it ever touched the virtual clock.
+bool SameResults(const ExecMetrics& a, const ExecMetrics& b) {
+  return BitEqual(a.response_ms, b.response_ms) &&
+         a.data_pages_sent == b.data_pages_sent &&
+         a.messages == b.messages && a.bytes_sent == b.bytes_sent &&
+         BitEqual(a.network_busy_ms, b.network_busy_ms) &&
+         a.cpu_busy_ms == b.cpu_busy_ms && a.disk_busy_ms == b.disk_busy_ms;
+}
+
+// ---------------------------------------------------------------------------
+// Identity + overhead check: the acceptance experiment for the tentpole.
+
+int RunObservabilityCheck() {
+  Fixture& f = SharedFixture();
+  std::cout << "==== observability: identity + overhead, 10-way join, "
+               "5 servers ====\n\n";
+
+  const ExecMetrics plain =
+      ExecutePlan(f.plan, f.workload.catalog, f.workload.query, f.config);
+
+  sim::TraceSink trace;
+  SystemConfig traced_config = f.config;
+  traced_config.trace = &trace;
+  const ExecMetrics traced = ExecutePlan(f.plan, f.workload.catalog,
+                                         f.workload.query, traced_config);
+
+  sim::TraceSink trace2;
+  SystemConfig full_config = f.config;
+  full_config.trace = &trace2;
+  full_config.collect_histograms = true;
+  const ExecMetrics full = ExecutePlan(f.plan, f.workload.catalog,
+                                       f.workload.query, full_config);
+
+  const bool identical =
+      SameResults(plain, traced) && SameResults(plain, full);
+  std::cout << "trace events captured: " << trace.num_events() << "\n"
+            << "histogram samples: " << full.disk_service_ms.count()
+            << " disk, " << full.net_queue_delay_ms.count() << " network\n"
+            << "results plain vs traced vs traced+histograms: "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n\n";
+  if (!identical) return 1;
+
+  // Overhead series: repeated executions, plain vs fully instrumented
+  // (fresh sink per run, as the CLI does).
+  constexpr int kReps = 40;
+  const auto time_reps = [&](bool instrumented) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      sim::TraceSink sink;
+      SystemConfig config = f.config;
+      if (instrumented) {
+        config.trace = &sink;
+        config.collect_histograms = true;
+      }
+      ExecMetrics m = ExecutePlan(f.plan, f.workload.catalog,
+                                  f.workload.query, config);
+      benchmark::DoNotOptimize(m.response_ms);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  std::vector<bench::BenchRecord> records;
+  const double plain_ms = time_reps(false);
+  const double full_ms = time_reps(true);
+  bench::BenchRecord base;
+  base.name = "execute_10way_plain";
+  base.wall_ms = plain_ms;
+  records.push_back(base);
+  bench::BenchRecord instrumented;
+  instrumented.name = "execute_10way_trace_and_histograms";
+  instrumented.wall_ms = full_ms;
+  instrumented.speedup_vs_1 = plain_ms / full_ms;
+  records.push_back(instrumented);
+  std::cout << "plain:        " << plain_ms / kReps << " ms/run\n"
+            << "instrumented: " << full_ms / kReps << " ms/run ("
+            << (full_ms / plain_ms - 1.0) * 100.0 << "% overhead)\n";
+  bench::WriteBenchJson("BENCH_observability.json", records);
+  std::cout << "wrote BENCH_observability.json\n\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark microbenchmarks.
+
+void BM_ExecutePlain(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    ExecMetrics m = ExecutePlan(f.plan, f.workload.catalog, f.workload.query,
+                                f.config);
+    benchmark::DoNotOptimize(m.response_ms);
+  }
+}
+BENCHMARK(BM_ExecutePlain)->Unit(benchmark::kMillisecond);
+
+void BM_ExecuteTraced(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  SystemConfig config = f.config;
+  int64_t events = 0;
+  for (auto _ : state) {
+    sim::TraceSink trace;
+    config.trace = &trace;
+    ExecMetrics m = ExecutePlan(f.plan, f.workload.catalog, f.workload.query,
+                                config);
+    benchmark::DoNotOptimize(m.response_ms);
+    events += trace.num_events();
+  }
+  state.counters["events_per_run"] =
+      state.iterations() > 0
+          ? static_cast<double>(events) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_ExecuteTraced)->Unit(benchmark::kMillisecond);
+
+void BM_ExecuteHistograms(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  SystemConfig config = f.config;
+  config.collect_histograms = true;
+  for (auto _ : state) {
+    ExecMetrics m = ExecutePlan(f.plan, f.workload.catalog, f.workload.query,
+                                config);
+    benchmark::DoNotOptimize(m.response_ms);
+  }
+}
+BENCHMARK(BM_ExecuteHistograms)->Unit(benchmark::kMillisecond);
+
+void BM_TraceWriteJson(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  sim::TraceSink trace;
+  SystemConfig config = f.config;
+  config.trace = &trace;
+  ExecutePlan(f.plan, f.workload.catalog, f.workload.query, config);
+  for (auto _ : state) {
+    std::ostringstream json;
+    trace.WriteJson(json);
+    benchmark::DoNotOptimize(json);
+  }
+  state.counters["events"] = static_cast<double>(trace.num_events());
+}
+BENCHMARK(BM_TraceWriteJson)->Unit(benchmark::kMillisecond);
+
+void BM_CounterAdd(benchmark::State& state) {
+  Counter counter;
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram hist(Histogram::DefaultTimeBoundsMs());
+  double x = 0.013;
+  for (auto _ : state) {
+    hist.Add(x);
+    x = x * 1.7 + 0.001;
+    if (x > 9000.0) x = 0.013;
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+}  // namespace
+}  // namespace dimsum
+
+int main(int argc, char** argv) {
+  bool run_check = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-check") == 0) {
+      run_check = false;
+      // Hide the flag from google-benchmark's parser.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (run_check && dimsum::RunObservabilityCheck() != 0) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,87 @@
+#ifndef DIMSUM_COMMON_FLAT_MAP_H_
+#define DIMSUM_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dimsum {
+
+/// Sorted-vector map for small key sets (a handful of sites, disks, ...).
+/// One contiguous allocation instead of a node per entry, which matters on
+/// the simulation hot path where an ExecMetrics is built per query. The
+/// interface is the subset of std::map the codebase uses: operator[], at,
+/// find, ranged-for over (key, value) pairs.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  FlatMap() = default;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  iterator find(const K& key) {
+    auto it = LowerBound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  const_iterator find(const K& key) const {
+    auto it = LowerBound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  bool contains(const K& key) const { return find(key) != end(); }
+
+  /// Inserts a default-constructed value when absent.
+  V& operator[](const K& key) {
+    auto it = LowerBound(key);
+    if (it == entries_.end() || it->first != key) {
+      it = entries_.insert(it, value_type(key, V()));
+    }
+    return it->second;
+  }
+
+  V& at(const K& key) {
+    auto it = find(key);
+    DIMSUM_CHECK(it != end()) << "FlatMap::at: key not found";
+    return it->second;
+  }
+  const V& at(const K& key) const {
+    auto it = find(key);
+    DIMSUM_CHECK(it != end()) << "FlatMap::at: key not found";
+    return it->second;
+  }
+
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  iterator LowerBound(const K& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& entry, const K& k) { return entry.first < k; });
+  }
+  const_iterator LowerBound(const K& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& entry, const K& k) { return entry.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COMMON_FLAT_MAP_H_

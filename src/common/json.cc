@@ -1,0 +1,261 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dimsum {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriteNumber(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  // Integers (the common case for counters and microsecond timestamps)
+  // print without an exponent or trailing zeros.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    out << static_cast<int64_t>(value);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+// Named (rather than anonymous-namespace) so JsonValue can befriend it.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> Run() {
+    JsonValue value;
+    if (!ParseValue(&value)) return std::nullopt;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      return true;
+    }
+    Fail(std::string("expected '") + literal + "'");
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      Fail("expected string");
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              Fail("truncated \\u escape");
+              return false;
+            }
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // Sufficient for the escapes this codebase emits (< 0x20).
+            *out += static_cast<char>(code < 0x80 ? code : '?');
+            break;
+          }
+          default:
+            Fail("bad escape");
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind_ = JsonValue::Kind::kString;
+      return ParseString(&out->string_);
+    }
+    if (c == 't') {
+      if (!ConsumeLiteral("true")) return false;
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = true;
+      return true;
+    }
+    if (c == 'f') {
+      if (!ConsumeLiteral("false")) return false;
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = false;
+      return true;
+    }
+    if (c == 'n') {
+      if (!ConsumeLiteral("null")) return false;
+      out->kind_ = JsonValue::Kind::kNull;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+      return false;
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      Fail("bad number '" + token + "'");
+      return false;
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    Consume('[');
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!ParseValue(&item)) return false;
+      out->array_.push_back(std::move(item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      Fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    Consume('{');
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return false;
+      }
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object_.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      Fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::Parse(const std::string& text,
+                                          std::string* error) {
+  return JsonParser(text, error).Run();
+}
+
+}  // namespace dimsum

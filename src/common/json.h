@@ -1,0 +1,65 @@
+#ifndef DIMSUM_COMMON_JSON_H_
+#define DIMSUM_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dimsum {
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not added).
+std::string JsonEscape(const std::string& s);
+
+/// Writes a double as JSON: finite values print round-trippably; NaN and
+/// infinities (not representable in JSON) are written as null.
+void JsonWriteNumber(std::ostream& out, double value);
+
+/// Minimal JSON document model, used by the exporters' tests to
+/// schema-check emitted files (Chrome trace-event output, metrics
+/// snapshots). Not a general-purpose library: no comments, no trailing
+/// commas, numbers parsed as double.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_items() const {
+    return object_;
+  }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Parses `text`; returns nullopt (with a message in `*error` when
+  /// non-null) on malformed input or trailing garbage.
+  static std::optional<JsonValue> Parse(const std::string& text,
+                                        std::string* error = nullptr);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COMMON_JSON_H_

@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "cost/cardinality.h"
 #include "exec/operators.h"
 #include "plan/binding.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
 
 namespace dimsum {
 namespace {
@@ -30,7 +32,10 @@ class BatchExecution {
         config_(config),
         seed_(seed),
         system_(sim_, config),
-        remaining_(static_cast<int>(batch.size())) {}
+        remaining_(static_cast<int>(batch.size())) {
+    if (config_.trace != nullptr) AttachTrace(*config_.trace);
+    if (config_.collect_histograms) AttachHistograms();
+  }
 
   ConcurrentResult Run() {
     system_.LoadData(catalog_);
@@ -69,13 +74,21 @@ class BatchExecution {
     DIMSUM_CHECK(all_done_) << "some query did not complete";
 
     ConcurrentResult result;
+    const DiskDetail disk_detail = AggregateDiskDetail();
     for (auto& state : per_query_) {
       // System-wide resource usage is attached to every entry.
       state->metrics.bytes_sent = system_.network().bytes_sent();
       state->metrics.network_busy_ms = system_.network().busy_ms();
+      state->metrics.network_wait_ms = system_.network().wait_ms();
       for (int s = 0; s < system_.num_sites(); ++s) {
         state->metrics.cpu_busy_ms[s] = system_.site(s).cpu.busy_ms();
+        state->metrics.cpu_wait_ms[s] = system_.site(s).cpu.wait_ms();
         state->metrics.disk_busy_ms[s] = system_.site(s).TotalDiskBusyMs();
+      }
+      state->metrics.disk = disk_detail;
+      if (config_.collect_histograms) {
+        state->metrics.disk_service_ms = disk_service_hist_;
+        state->metrics.net_queue_delay_ms = net_queue_hist_;
       }
       result.makespan_ms =
           std::max(result.makespan_ms, state->metrics.response_ms);
@@ -90,6 +103,63 @@ class BatchExecution {
     ExecMetrics metrics;
     std::unique_ptr<ExecContext> ctx;
   };
+
+  /// Registers the trace layout -- one trace process per site plus one for
+  /// the shared network, one thread per CPU/disk/link -- and attaches the
+  /// sink to the simulator. Operators allocate their own tracks at spawn
+  /// time (see OpSpan in operators.cc).
+  void AttachTrace(sim::TraceSink& trace) {
+    sim_.set_trace(&trace);
+    for (int s = 0; s < system_.num_sites(); ++s) {
+      SiteRuntime& site = system_.site(s);
+      trace.SetProcessName(
+          s, s == kClientSite ? "site " + std::to_string(s) + " (client)"
+                              : "site " + std::to_string(s) + " (server)");
+      site.cpu.SetTraceTrack(s, trace.NewTrack(s, "cpu"));
+      for (int d = 0; d < site.num_disks(); ++d) {
+        site.disk(d).SetTraceTrack(s, trace.NewTrack(s, site.disk(d).name()));
+      }
+    }
+    const int net_pid = system_.num_sites();
+    trace.SetProcessName(net_pid, "network");
+    system_.network().SetTraceTrack(net_pid, trace.NewTrack(net_pid, "link"));
+  }
+
+  /// Routes disk service times and network queueing delays into the
+  /// batch-wide histograms copied into every query's ExecMetrics.
+  void AttachHistograms() {
+    disk_service_hist_ = Histogram(Histogram::DefaultTimeBoundsMs());
+    net_queue_hist_ = Histogram(Histogram::DefaultTimeBoundsMs());
+    for (int s = 0; s < system_.num_sites(); ++s) {
+      SiteRuntime& site = system_.site(s);
+      for (int d = 0; d < site.num_disks(); ++d) {
+        site.disk(d).set_service_histogram(&disk_service_hist_);
+      }
+    }
+    system_.network().set_queue_histogram(&net_queue_hist_);
+  }
+
+  DiskDetail AggregateDiskDetail() {
+    DiskDetail detail;
+    for (int s = 0; s < system_.num_sites(); ++s) {
+      SiteRuntime& site = system_.site(s);
+      for (int d = 0; d < site.num_disks(); ++d) {
+        const sim::Disk& disk = site.disk(d);
+        detail.seek_ms += disk.seek_ms();
+        detail.rotate_ms += disk.rotate_ms();
+        detail.transfer_ms += disk.transfer_ms();
+        detail.overhead_ms += disk.overhead_ms();
+        detail.reads += disk.reads();
+        detail.writes += disk.writes();
+        detail.cache_hits += disk.cache_hits();
+        detail.readahead_pages += disk.readahead_pages();
+        detail.readahead_aborts += disk.readahead_aborts();
+        detail.max_queue_depth =
+            std::max(detail.max_queue_depth, disk.max_queue_depth());
+      }
+    }
+    return detail;
+  }
 
   PageChannel& NewChannel() {
     channels_.push_back(std::make_unique<PageChannel>(sim_, kPipelineDepth));
@@ -156,6 +226,8 @@ class BatchExecution {
   uint64_t seed_;
   sim::Simulator sim_;
   ExecSystem system_;
+  Histogram disk_service_hist_;
+  Histogram net_queue_hist_;
   int remaining_;
   bool all_done_ = false;
   std::vector<std::unique_ptr<QueryState>> per_query_;

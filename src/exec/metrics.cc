@@ -1,0 +1,49 @@
+#include "exec/metrics.h"
+
+#include <string>
+
+namespace dimsum {
+
+void FoldExecMetrics(const ExecMetrics& metrics, MetricsRegistry& registry) {
+  registry.counter("exec.queries").Add(1);
+  registry.counter("exec.data_pages_sent").Add(metrics.data_pages_sent);
+  registry.counter("exec.messages").Add(metrics.messages);
+  registry.counter("exec.bytes_sent").Add(metrics.bytes_sent);
+  registry.gauge("exec.response_ms").Add(metrics.response_ms);
+  registry.gauge("exec.network.busy_ms").Add(metrics.network_busy_ms);
+  registry.gauge("exec.network.wait_ms").Add(metrics.network_wait_ms);
+  for (const auto& [site, ms] : metrics.cpu_busy_ms) {
+    registry.gauge("exec.cpu.busy_ms.site" + std::to_string(site)).Add(ms);
+  }
+  for (const auto& [site, ms] : metrics.cpu_wait_ms) {
+    registry.gauge("exec.cpu.wait_ms.site" + std::to_string(site)).Add(ms);
+  }
+  for (const auto& [site, ms] : metrics.disk_busy_ms) {
+    registry.gauge("exec.disk.busy_ms.site" + std::to_string(site)).Add(ms);
+  }
+  registry.gauge("exec.disk.seek_ms").Add(metrics.disk.seek_ms);
+  registry.gauge("exec.disk.rotate_ms").Add(metrics.disk.rotate_ms);
+  registry.gauge("exec.disk.transfer_ms").Add(metrics.disk.transfer_ms);
+  registry.gauge("exec.disk.overhead_ms").Add(metrics.disk.overhead_ms);
+  registry.counter("exec.disk.reads").Add(static_cast<int64_t>(metrics.disk.reads));
+  registry.counter("exec.disk.writes").Add(static_cast<int64_t>(metrics.disk.writes));
+  registry.counter("exec.disk.cache_hits")
+      .Add(static_cast<int64_t>(metrics.disk.cache_hits));
+  registry.counter("exec.disk.readahead_pages")
+      .Add(static_cast<int64_t>(metrics.disk.readahead_pages));
+  registry.counter("exec.disk.readahead_aborts")
+      .Add(static_cast<int64_t>(metrics.disk.readahead_aborts));
+  Gauge& depth = registry.gauge("exec.disk.max_queue_depth");
+  if (static_cast<double>(metrics.disk.max_queue_depth) > depth.value()) {
+    depth.Set(static_cast<double>(metrics.disk.max_queue_depth));
+  }
+  if (metrics.disk_service_ms.count() > 0) {
+    registry.MergeHistogram("exec.disk.service_ms", metrics.disk_service_ms);
+  }
+  if (metrics.net_queue_delay_ms.count() > 0) {
+    registry.MergeHistogram("exec.network.queue_delay_ms",
+                            metrics.net_queue_delay_ms);
+  }
+}
+
+}  // namespace dimsum

@@ -2,11 +2,29 @@
 #define DIMSUM_EXEC_METRICS_H_
 
 #include <cstdint>
-#include <map>
 
+#include "common/flat_map.h"
 #include "common/ids.h"
+#include "common/metrics.h"
 
 namespace dimsum {
+
+/// Aggregate disk-model detail across all disks of the simulated system:
+/// the arm's busy time split into its mechanical components plus the
+/// controller-cache and read-ahead behavior that the detailed disk model
+/// (sim/disk.h) exists to capture.
+struct DiskDetail {
+  double seek_ms = 0.0;      // settle + sqrt-curve seek
+  double rotate_ms = 0.0;    // rotational latency
+  double transfer_ms = 0.0;  // page transfer
+  double overhead_ms = 0.0;  // controller/command overhead
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t readahead_pages = 0;
+  uint64_t readahead_aborts = 0;
+  int max_queue_depth = 0;
+};
 
 /// Measured results of one simulated query execution.
 struct ExecMetrics {
@@ -22,10 +40,28 @@ struct ExecMetrics {
   int64_t bytes_sent = 0;
   /// Network busy time, ms.
   double network_busy_ms = 0.0;
-  /// Per-site resource usage, ms.
-  std::map<SiteId, double> cpu_busy_ms;
-  std::map<SiteId, double> disk_busy_ms;
+  /// Total time messages spent queued behind the shared link, ms.
+  double network_wait_ms = 0.0;
+  /// Per-site resource usage, ms. Small sorted-vector maps: site counts
+  /// are tiny and an ExecMetrics is built per simulated query.
+  FlatMap<SiteId, double> cpu_busy_ms;
+  FlatMap<SiteId, double> disk_busy_ms;
+  /// Per-site CPU queueing time (wait excludes service), ms.
+  FlatMap<SiteId, double> cpu_wait_ms;
+  /// System-wide disk-model detail.
+  DiskDetail disk;
+  /// Distributions, populated only when SystemConfig::collect_histograms
+  /// is set: per-arm-operation disk service time and per-message network
+  /// queueing delay.
+  Histogram disk_service_ms;
+  Histogram net_queue_delay_ms;
 };
+
+/// Folds one execution's metrics into `registry` under "exec."-prefixed
+/// instrument names (counters for page/message totals, gauges for times,
+/// histogram merges for the distributions). No-op histogram merges when
+/// the histograms were not collected.
+void FoldExecMetrics(const ExecMetrics& metrics, MetricsRegistry& registry);
 
 }  // namespace dimsum
 

@@ -6,29 +6,81 @@
 
 #include "common/check.h"
 #include "cost/hash_join_model.h"
+#include "sim/trace.h"
 
 namespace dimsum {
 namespace {
 
+/// Per-operator trace span. At process start it allocates the operator its
+/// own track within its site's trace process; End() records one complete
+/// span over the operator's lifetime, and Phase() records sub-spans (hash
+/// join build/probe/partition). Every method is a no-op while no TraceSink
+/// is attached to the simulator, so untraced runs pay one null check per
+/// operator, not per page.
+class OpSpan {
+ public:
+  OpSpan(ExecContext& ctx, SiteId site, std::string name)
+      : sim_(ctx.sim), trace_(ctx.sim.trace()), pid_(site),
+        name_(std::move(name)) {
+    if (trace_ != nullptr) {
+      tid_ = trace_->NewTrack(pid_, name_);
+      t0_ = sim_.now();
+    }
+  }
+
+  double now() const { return sim_.now(); }
+
+  /// A sub-span [begin_ms, now] nested inside the operator's span.
+  void Phase(std::string label, double begin_ms,
+             std::vector<sim::TraceSink::Arg> args = {}) {
+    if (trace_ != nullptr) {
+      trace_->Complete(pid_, tid_, std::move(label), "phase", begin_ms,
+                       sim_.now(), std::move(args));
+    }
+  }
+
+  /// The operator's whole-lifetime span; call once, when the operator is
+  /// done (coroutines have no reliable RAII point after final suspend).
+  void End(std::vector<sim::TraceSink::Arg> args = {}) {
+    if (trace_ != nullptr) {
+      trace_->Complete(pid_, tid_, name_, "operator", t0_, sim_.now(),
+                       std::move(args));
+    }
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::TraceSink* trace_;
+  int pid_;
+  int tid_ = 0;
+  double t0_ = 0.0;
+  std::string name_;
+};
+
 /// Emits all complete pages accumulated in `acc`, charging the move cost of
-/// result construction at `site`.
-sim::Task<void> EmitFullPages(SiteRuntime& site, OutputAccumulator& acc,
-                              double move_ms_per_tuple, PageChannel& out) {
+/// result construction at `site`; returns the number of pages emitted.
+sim::Task<int64_t> EmitFullPages(SiteRuntime& site, OutputAccumulator& acc,
+                                 double move_ms_per_tuple, PageChannel& out) {
+  int64_t pages = 0;
   while (acc.HasFullPage()) {
     Page page = acc.PopFullPage();
     co_await site.cpu.Use(move_ms_per_tuple * page.tuples);
     co_await out.Put(page);
+    ++pages;
   }
+  co_return pages;
 }
 
-sim::Task<void> EmitRemainder(SiteRuntime& site, OutputAccumulator& acc,
-                              double move_ms_per_tuple, PageChannel& out) {
-  co_await EmitFullPages(site, acc, move_ms_per_tuple, out);
+sim::Task<int64_t> EmitRemainder(SiteRuntime& site, OutputAccumulator& acc,
+                                 double move_ms_per_tuple, PageChannel& out) {
+  int64_t pages = co_await EmitFullPages(site, acc, move_ms_per_tuple, out);
   if (acc.HasRemainder()) {
     Page page = acc.PopRemainder();
     co_await site.cpu.Use(move_ms_per_tuple * page.tuples);
     co_await out.Put(page);
+    ++pages;
   }
+  co_return pages;
 }
 
 }  // namespace
@@ -46,6 +98,8 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
         std::min(tuples_per_page, rel.num_tuples - before));
   };
 
+  OpSpan span(ctx, node.bound_site, "scan " + rel.name);
+
   if (node.annotation == SiteAnnotation::kPrimaryCopy) {
     SiteRuntime& server = ctx.system.site(node.bound_site);
     const DiskExtent extent = ctx.system.RelationExtent(node.relation);
@@ -55,6 +109,7 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
       co_await out.Put(Page{tuples_on_page(i)});
     }
     out.Close();
+    span.End({{"pages_out", static_cast<double>(total_pages)}});
     co_return;
   }
 
@@ -69,12 +124,14 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
   const double request_cpu = ctx.params.MsgCpuMs(ctx.params.fault_request_bytes);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
 
+  int64_t faulted = 0;
   for (int64_t i = 0; i < total_pages; ++i) {
     if (i < cached) {
       const DiskExtent cache_extent = ctx.system.CacheExtent(node.relation);
       co_await client.cpu.Use(disk_cpu);
       co_await client.disk(cache_extent.disk).Read(cache_extent.start + i);
     } else {
+      ++faulted;
       // Page fault: request to the server, server disk read, page back.
       co_await client.cpu.Use(request_cpu);
       co_await ctx.system.network().Transfer(ctx.params.fault_request_bytes);
@@ -90,6 +147,8 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
     co_await out.Put(Page{tuples_on_page(i)});
   }
   out.Close();
+  span.End({{"pages_out", static_cast<double>(total_pages)},
+            {"pages_faulted", static_cast<double>(faulted)}});
 }
 
 sim::Process SelectProcess(ExecContext& ctx, const PlanNode& node,
@@ -101,15 +160,20 @@ sim::Process SelectProcess(ExecContext& ctx, const PlanNode& node,
   OutputAccumulator acc(tuples_per_page);
   const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  OpSpan span(ctx, node.bound_site, "select");
+  int64_t pages_in = 0, pages_out = 0;
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
+    ++pages_in;
     co_await site.cpu.Use(compare * page->tuples);
     acc.Add(page->tuples * node.selectivity);
-    co_await EmitFullPages(site, acc, move, out);
+    pages_out += co_await EmitFullPages(site, acc, move, out);
   }
-  co_await EmitRemainder(site, acc, move, out);
+  pages_out += co_await EmitRemainder(site, acc, move, out);
   out.Close();
+  span.End({{"pages_in", static_cast<double>(pages_in)},
+            {"pages_out", static_cast<double>(pages_out)}});
 }
 
 sim::Process ProjectProcess(ExecContext& ctx, const PlanNode& node,
@@ -120,14 +184,19 @@ sim::Process ProjectProcess(ExecContext& ctx, const PlanNode& node,
       std::max<int64_t>(1, ctx.params.page_bytes / out_stats.tuple_bytes);
   OutputAccumulator acc(tuples_per_page);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  OpSpan span(ctx, node.bound_site, "project");
+  int64_t pages_in = 0, pages_out = 0;
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
+    ++pages_in;
     acc.Add(page->tuples);
-    co_await EmitFullPages(site, acc, move, out);
+    pages_out += co_await EmitFullPages(site, acc, move, out);
   }
-  co_await EmitRemainder(site, acc, move, out);
+  pages_out += co_await EmitRemainder(site, acc, move, out);
   out.Close();
+  span.End({{"pages_in", static_cast<double>(pages_in)},
+            {"pages_out", static_cast<double>(pages_out)}});
 }
 
 sim::Process AggregateProcess(ExecContext& ctx, const PlanNode& node,
@@ -136,10 +205,13 @@ sim::Process AggregateProcess(ExecContext& ctx, const PlanNode& node,
   const StreamStats& out_stats = ctx.stats.at(&node);
   const double hash = ctx.params.InstrMs(ctx.params.hash_inst);
   const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
+  OpSpan span(ctx, node.bound_site, "aggregate");
+  int64_t pages_in = 0;
   // Blocking phase: hash every input tuple into the group table.
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
+    ++pages_in;
     co_await site.cpu.Use((hash + compare) * page->tuples);
   }
   // Emit the groups.
@@ -148,8 +220,10 @@ sim::Process AggregateProcess(ExecContext& ctx, const PlanNode& node,
   OutputAccumulator acc(tuples_per_page);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   acc.Add(static_cast<double>(out_stats.tuples));
-  co_await EmitRemainder(site, acc, move, out);
+  const int64_t pages_out = co_await EmitRemainder(site, acc, move, out);
   out.Close();
+  span.End({{"pages_in", static_cast<double>(pages_in)},
+            {"pages_out", static_cast<double>(pages_out)}});
 }
 
 sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
@@ -174,6 +248,8 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
                               in_stats.pages, 1))))))
              : std::max<int64_t>(1, in_stats.pages);
   co_await site.memory.Acquire(frames);
+  OpSpan span(ctx, node.bound_site, "sort");
+  int64_t pages_in = 0, pages_out = 0;
 
   DiskExtent runs{};
   int64_t run_pages = 0;
@@ -181,9 +257,11 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
     runs = site.AllocateTempOn(0, in_stats.pages + 2);
   }
   // Run-generation phase: consume the input, sort, spill runs.
+  const double run_start = span.now();
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
+    ++pages_in;
     co_await site.cpu.Use(compare * log_n * page->tuples);
     if (spills) {
       co_await site.cpu.Use(disk_cpu);
@@ -193,7 +271,10 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
   if (spills) {
     co_await site.disk(runs.disk).Flush();
   }
+  span.Phase("run-generation", run_start,
+             {{"run_pages", static_cast<double>(run_pages)}});
   // Merge/output phase: read the runs back and emit sorted pages.
+  const double merge_start = span.now();
   const int64_t tuples_per_page =
       std::max<int64_t>(1, ctx.params.page_bytes / out_stats.tuple_bytes);
   OutputAccumulator acc(tuples_per_page);
@@ -204,13 +285,16 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
       co_await site.disk(runs.disk).Read(runs.start + i);
       acc.Add(static_cast<double>(out_stats.tuples) /
               std::max<int64_t>(run_pages, 1));
-      co_await EmitFullPages(site, acc, move, out);
+      pages_out += co_await EmitFullPages(site, acc, move, out);
     }
   } else {
     acc.Add(static_cast<double>(out_stats.tuples));
   }
-  co_await EmitRemainder(site, acc, move, out);
+  pages_out += co_await EmitRemainder(site, acc, move, out);
   out.Close();
+  span.Phase("merge", merge_start);
+  span.End({{"pages_in", static_cast<double>(pages_in)},
+            {"pages_out", static_cast<double>(pages_out)}});
   site.memory.Release(frames);
 }
 
@@ -220,15 +304,20 @@ sim::Process UnionProcess(ExecContext& ctx, const PlanNode& node,
   SiteRuntime& site = ctx.system.site(node.bound_site);
   const StreamStats& out_stats = ctx.stats.at(&node);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
+  OpSpan span(ctx, node.bound_site, "union");
+  int64_t pages = 0;
   for (PageChannel* input : {&left, &right}) {
     while (true) {
       std::optional<Page> page = co_await input->Get();
       if (!page.has_value()) break;
+      ++pages;
       co_await site.cpu.Use(move * page->tuples);
       co_await out.Put(*page);
     }
   }
   out.Close();
+  span.End({{"pages_in", static_cast<double>(pages)},
+            {"pages_out", static_cast<double>(pages)}});
 }
 
 sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
@@ -248,6 +337,8 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
   const double disk_cpu = ctx.params.DiskCpuMs();
 
   co_await site.memory.Acquire(hj.memory_frames);
+  OpSpan span(ctx, node.bound_site, "join");
+  int64_t pages_in = 0, pages_out = 0;
 
   // Temp extents: one per partition and side, so partition writes hop
   // between extents (seeks) while partition reads are sequential runs.
@@ -268,11 +359,13 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
   }
 
   // --- build phase: consume the inner input -----------------------------
+  const double build_start = span.now();
   double spill_acc = 0.0;  // fractional pages destined for temp storage
   int next_partition = 0;
   while (true) {
     std::optional<Page> page = co_await inner.Get();
     if (!page.has_value()) break;
+    ++pages_in;
     co_await site.cpu.Use((hash + move_in) * page->tuples);
     if (!hj.in_memory()) {
       spill_acc += hj.spill_fraction;
@@ -291,8 +384,11 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
       co_await site.disk(d).Flush();
     }
   }
+  span.Phase("build", build_start,
+             {{"spilled_pages", static_cast<double>(inner_spill_total)}});
 
   // --- probe phase: stream the outer input ------------------------------
+  const double probe_start = span.now();
   const int64_t out_tuples_per_page =
       std::max<int64_t>(1, ctx.params.page_bytes / out_stats.tuple_bytes);
   OutputAccumulator acc(out_tuples_per_page);
@@ -307,9 +403,10 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
   while (true) {
     std::optional<Page> page = co_await outer.Get();
     if (!page.has_value()) break;
+    ++pages_in;
     co_await site.cpu.Use((hash + compare) * page->tuples);
     acc.Add(page->tuples * resident_out_per_outer_tuple);
-    co_await EmitFullPages(site, acc, move_out, out);
+    pages_out += co_await EmitFullPages(site, acc, move_out, out);
     if (!hj.in_memory()) {
       spill_acc += hj.spill_fraction;
       while (spill_acc >= 1.0) {
@@ -323,8 +420,12 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
     }
   }
 
+  span.Phase("probe", probe_start,
+             {{"spilled_pages", static_cast<double>(outer_spill_total)}});
+
   // --- partition phase: join the spilled partition pairs ----------------
   if (!hj.in_memory()) {
+    const double partition_start = span.now();
     for (int d = 0; d < site.num_disks(); ++d) {
       co_await site.disk(d).Flush();
     }
@@ -350,12 +451,16 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
                               static_cast<double>(outer_tpp));
       }
       acc.Add(spilled_out_total / partitions);
-      co_await EmitFullPages(site, acc, move_out, out);
+      pages_out += co_await EmitFullPages(site, acc, move_out, out);
     }
+    span.Phase("partition", partition_start,
+               {{"partitions", static_cast<double>(partitions)}});
   }
 
-  co_await EmitRemainder(site, acc, move_out, out);
+  pages_out += co_await EmitRemainder(site, acc, move_out, out);
   out.Close();
+  span.End({{"pages_in", static_cast<double>(pages_in)},
+            {"pages_out", static_cast<double>(pages_out)}});
   site.memory.Release(hj.memory_frames);
 }
 
@@ -363,11 +468,15 @@ sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
                             PageChannel& in) {
   SiteRuntime& client = ctx.system.site(node.bound_site);
   const double display = ctx.params.InstrMs(ctx.params.display_inst);
+  OpSpan span(ctx, node.bound_site, "display");
+  int64_t pages = 0;
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
+    ++pages;
     co_await client.cpu.Use(display * page->tuples);
   }
+  span.End({{"pages_in", static_cast<double>(pages)}});
   ctx.metrics.response_ms = ctx.sim.now();
   ctx.query_done = true;
   if (ctx.batch_remaining != nullptr && --*ctx.batch_remaining == 0 &&
@@ -380,9 +489,12 @@ sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
                             PageChannel& wire) {
   SiteRuntime& site = ctx.system.site(from);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
+  OpSpan span(ctx, from, "ship-send");
+  int64_t pages = 0;
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
+    ++pages;
     co_await site.cpu.Use(page_cpu);
     co_await ctx.system.network().Transfer(ctx.params.page_bytes);
     ++ctx.metrics.data_pages_sent;
@@ -390,19 +502,24 @@ sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
     co_await wire.Put(*page);
   }
   wire.Close();
+  span.End({{"pages_out", static_cast<double>(pages)}});
 }
 
 sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
                             PageChannel& out) {
   SiteRuntime& site = ctx.system.site(to);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
+  OpSpan span(ctx, to, "ship-recv");
+  int64_t pages = 0;
   while (true) {
     std::optional<Page> page = co_await wire.Get();
     if (!page.has_value()) break;
+    ++pages;
     co_await site.cpu.Use(page_cpu);
     co_await out.Put(*page);
   }
   out.Close();
+  span.End({{"pages_in", static_cast<double>(pages)}});
 }
 
 sim::Process LoadGeneratorProcess(sim::Simulator& sim, SiteRuntime& site,

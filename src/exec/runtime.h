@@ -31,6 +31,15 @@ struct SystemConfig {
   /// multi-client load model; 40/60/70 in Figure 4). Requests are spread
   /// over the server's disks.
   std::map<SiteId, double> server_disk_load_per_sec;
+
+  // --- observability (never changes simulation results) -----------------
+  /// When non-null, the executor attaches this sink to its simulator and
+  /// records virtual-time spans for disks, CPUs, the network link, and
+  /// every operator (not owned; must outlive the execution).
+  sim::TraceSink* trace = nullptr;
+  /// Collect disk service-time and network queueing-delay histograms into
+  /// ExecMetrics (off by default: one Histogram::Add per arm op/message).
+  bool collect_histograms = false;
 };
 
 /// Location of a contiguous on-disk extent within a site.

@@ -41,17 +41,23 @@ OptimizeResult TwoPhaseOptimizer::FinishResult(Plan plan, double cost,
 
 std::pair<Plan, double> TwoPhaseOptimizer::ImproveToLocalMin(
     Plan start, const QueryGraph& query, const TransformConfig& transform,
-    Rng& rng, int* evaluations, CostCache* cache) const {
+    Rng& rng, int* evaluations, CostCache* cache,
+    MoveTypeCounters* moves) const {
   double cost = EvalCost(start, query, cache, evaluations);
   int failures = 0;
   while (failures < config_.ii_patience) {
-    auto neighbor = TryRandomMove(start, query, transform, rng);
+    std::optional<MoveType> type;
+    auto neighbor = TryRandomMove(start, query, transform, rng, &type);
+    if (type.has_value()) {
+      ++moves->proposed[static_cast<std::size_t>(*type)];
+    }
     if (!neighbor.has_value()) {
       ++failures;
       continue;
     }
     const double neighbor_cost = EvalCost(*neighbor, query, cache, evaluations);
     if (neighbor_cost < cost) {
+      ++moves->accepted[static_cast<std::size_t>(*type)];
       start = std::move(*neighbor);
       cost = neighbor_cost;
       failures = 0;
@@ -67,7 +73,9 @@ OptimizeResult TwoPhaseOptimizer::Anneal(Plan start, double start_cost,
                                          const TransformConfig& transform,
                                          Rng& rng, int evaluations,
                                          int64_t cache_hits,
-                                         int64_t cache_misses) const {
+                                         int64_t cache_misses,
+                                         MoveTypeCounters ii_moves) const {
+  MoveTypeCounters sa_moves;
   CostCache sa_cache;
   CostCache* cache = config_.enable_cost_cache ? &sa_cache : nullptr;
   // The start plan's exact cost is known from II; seed the cache so
@@ -89,13 +97,19 @@ OptimizeResult TwoPhaseOptimizer::Anneal(Plan start, double start_cost,
   while (true) {
     bool improved = false;
     for (int i = 0; i < stage_moves; ++i) {
-      auto neighbor = TryRandomMove(current, query, transform, rng);
+      std::optional<MoveType> type;
+      auto neighbor = TryRandomMove(current, query, transform, rng, &type);
+      if (type.has_value()) {
+        ++sa_moves.proposed[static_cast<std::size_t>(*type)];
+      }
       if (!neighbor.has_value()) continue;
       const double neighbor_cost =
           EvalCost(*neighbor, query, cache, &evaluations);
       const double delta = neighbor_cost - current_cost;
       if (delta <= 0.0 ||
           rng.NextDouble() < std::exp(-delta / temperature)) {
+        ++sa_moves.accepted[static_cast<std::size_t>(*type)];
+        if (delta > 0.0) ++sa_moves.uphill_accepted;
         current = std::move(*neighbor);
         current_cost = neighbor_cost;
         if (current_cost < best_cost) {
@@ -115,9 +129,13 @@ OptimizeResult TwoPhaseOptimizer::Anneal(Plan start, double start_cost,
   // `best_cost` is exact (every accepted plan was costed when visited), so
   // the epilogue does not re-cost — re-costing would either skew the
   // evaluation count or go uncounted.
-  return FinishResult(std::move(best), best_cost, evaluations,
-                      cache_hits + (cache ? cache->hits() : 0),
-                      cache_misses + (cache ? cache->misses() : 0));
+  OptimizeResult result =
+      FinishResult(std::move(best), best_cost, evaluations,
+                   cache_hits + (cache ? cache->hits() : 0),
+                   cache_misses + (cache ? cache->misses() : 0));
+  result.ii_moves = ii_moves;
+  result.sa_moves = sa_moves;
+  return result;
 }
 
 OptimizeResult TwoPhaseOptimizer::Optimize(const QueryGraph& query,
@@ -135,6 +153,7 @@ OptimizeResult TwoPhaseOptimizer::Optimize(const QueryGraph& query,
   struct StartOutcome {
     Plan plan;
     double cost = 0.0;
+    MoveTypeCounters moves;
   };
   std::vector<StartOutcome> outcomes(static_cast<std::size_t>(starts));
   std::atomic<int> evaluations{0};
@@ -149,8 +168,9 @@ OptimizeResult TwoPhaseOptimizer::Optimize(const QueryGraph& query,
     Plan initial = RandomPlan(query, transform, local);
     auto& out = outcomes[static_cast<std::size_t>(i)];
     if (config_.enable_ii) {
-      auto [local_min, local_cost] = ImproveToLocalMin(
-          std::move(initial), query, transform, local, &local_evals, cache);
+      auto [local_min, local_cost] =
+          ImproveToLocalMin(std::move(initial), query, transform, local,
+                            &local_evals, cache, &out.moves);
       out.plan = std::move(local_min);
       out.cost = local_cost;
     } else {
@@ -163,6 +183,11 @@ OptimizeResult TwoPhaseOptimizer::Optimize(const QueryGraph& query,
       cache_misses.fetch_add(cache->misses(), std::memory_order_relaxed);
     }
   });
+
+  // Fold each start's counters in start-index order (sums are commutative,
+  // but the fixed order keeps any future extension deterministic too).
+  MoveTypeCounters ii_moves;
+  for (const StartOutcome& out : outcomes) ii_moves.Merge(out.moves);
 
   // Winner by (cost, start-index): strict `<` keeps the lowest index on
   // ties, independent of which thread finished first.
@@ -177,12 +202,16 @@ OptimizeResult TwoPhaseOptimizer::Optimize(const QueryGraph& query,
   const double best_cost = outcomes[static_cast<std::size_t>(best_index)].cost;
 
   if (!config_.enable_sa) {
-    return FinishResult(std::move(best), best_cost, evaluations.load(),
-                        cache_hits.load(), cache_misses.load());
+    OptimizeResult result =
+        FinishResult(std::move(best), best_cost, evaluations.load(),
+                     cache_hits.load(), cache_misses.load());
+    result.ii_moves = ii_moves;
+    return result;
   }
   Rng sa_rng(sa_seed);
   return Anneal(std::move(best), best_cost, query, transform, sa_rng,
-                evaluations.load(), cache_hits.load(), cache_misses.load());
+                evaluations.load(), cache_hits.load(), cache_misses.load(),
+                ii_moves);
 }
 
 OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
@@ -201,6 +230,7 @@ OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
   struct AttemptOutcome {
     Plan plan;
     double cost = 0.0;
+    MoveTypeCounters moves;
   };
   std::vector<AttemptOutcome> outcomes(static_cast<std::size_t>(attempts));
   std::atomic<int> evaluations{0};
@@ -216,9 +246,10 @@ OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
     // Attempt 0 refines the caller's annotations; later attempts restart
     // from random annotation assignments.
     if (i > 0) RandomizeAnnotations(initial, transform.space, local);
-    auto [local_min, local_cost] = ImproveToLocalMin(
-        std::move(initial), query, transform, local, &local_evals, cache);
     auto& out = outcomes[static_cast<std::size_t>(i)];
+    auto [local_min, local_cost] =
+        ImproveToLocalMin(std::move(initial), query, transform, local,
+                          &local_evals, cache, &out.moves);
     out.plan = std::move(local_min);
     out.cost = local_cost;
     evaluations.fetch_add(local_evals, std::memory_order_relaxed);
@@ -227,6 +258,9 @@ OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
       cache_misses.fetch_add(cache->misses(), std::memory_order_relaxed);
     }
   });
+
+  MoveTypeCounters ii_moves;
+  for (const AttemptOutcome& out : outcomes) ii_moves.Merge(out.moves);
 
   int best_index = 0;
   for (int i = 1; i < attempts; ++i) {
@@ -240,7 +274,32 @@ OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
 
   Rng sa_rng(sa_seed);
   return Anneal(std::move(best), best_cost, query, transform, sa_rng,
-                evaluations.load(), cache_hits.load(), cache_misses.load());
+                evaluations.load(), cache_hits.load(), cache_misses.load(),
+                ii_moves);
+}
+
+void FoldOptimizeResult(const OptimizeResult& result,
+                        MetricsRegistry& registry) {
+  registry.counter("opt.runs").Add(1);
+  registry.counter("opt.plans_evaluated").Add(result.plans_evaluated);
+  registry.counter("opt.cache_hits").Add(result.cache_hits);
+  registry.counter("opt.cache_misses").Add(result.cache_misses);
+  registry.gauge("opt.cache_hit_rate").Add(result.CacheHitRate());
+  const auto fold_phase = [&registry](const std::string& phase,
+                                      const MoveTypeCounters& moves) {
+    for (int i = 0; i < kNumMoveTypes; ++i) {
+      const std::string name = MoveTypeName(static_cast<MoveType>(i));
+      registry.counter("opt." + phase + ".proposed." + name)
+          .Add(moves.proposed[static_cast<std::size_t>(i)]);
+      registry.counter("opt." + phase + ".accepted." + name)
+          .Add(moves.accepted[static_cast<std::size_t>(i)]);
+    }
+    registry.gauge("opt." + phase + ".acceptance_ratio")
+        .Add(moves.AcceptanceRatio());
+  };
+  fold_phase("ii", result.ii_moves);
+  fold_phase("sa", result.sa_moves);
+  registry.counter("opt.sa.uphill_accepted").Add(result.sa_moves.uphill_accepted);
 }
 
 }  // namespace dimsum

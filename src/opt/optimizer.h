@@ -1,9 +1,11 @@
 #ifndef DIMSUM_OPT_OPTIMIZER_H_
 #define DIMSUM_OPT_OPTIMIZER_H_
 
+#include <array>
 #include <cstdint>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "cost/cost_model.h"
 #include "opt/cost_cache.h"
@@ -71,6 +73,43 @@ struct OptimizerConfig {
   }
 };
 
+/// Per-move-type search counters for one optimizer phase. A move is
+/// *proposed* when TryRandomMove draws a candidate (whether or not the
+/// transformed plan is legal) and *accepted* when the search adopts the
+/// neighbor (II: strict improvement; SA: the Metropolis criterion).
+struct MoveTypeCounters {
+  std::array<int64_t, kNumMoveTypes> proposed{};
+  std::array<int64_t, kNumMoveTypes> accepted{};
+  /// SA only: accepted moves that increased cost.
+  int64_t uphill_accepted = 0;
+
+  void Merge(const MoveTypeCounters& other) {
+    for (int i = 0; i < kNumMoveTypes; ++i) {
+      proposed[static_cast<std::size_t>(i)] +=
+          other.proposed[static_cast<std::size_t>(i)];
+      accepted[static_cast<std::size_t>(i)] +=
+          other.accepted[static_cast<std::size_t>(i)];
+    }
+    uphill_accepted += other.uphill_accepted;
+  }
+  int64_t total_proposed() const {
+    int64_t total = 0;
+    for (const int64_t p : proposed) total += p;
+    return total;
+  }
+  int64_t total_accepted() const {
+    int64_t total = 0;
+    for (const int64_t a : accepted) total += a;
+    return total;
+  }
+  double AcceptanceRatio() const {
+    const int64_t p = total_proposed();
+    return p > 0 ? static_cast<double>(total_accepted()) /
+                       static_cast<double>(p)
+                 : 0.0;
+  }
+};
+
 /// Result of an optimization run.
 struct OptimizeResult {
   Plan plan;             // bound under the cost model's catalog
@@ -82,6 +121,10 @@ struct OptimizeResult {
   /// performed; hits + misses == plans_evaluated when the cache is on.
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  /// Per-phase move counters (II starts merged in start-index order; SA
+  /// over its single stream). Deterministic for any thread count.
+  MoveTypeCounters ii_moves;
+  MoveTypeCounters sa_moves;
 
   double CacheHitRate() const {
     const int64_t total = cache_hits + cache_misses;
@@ -126,13 +169,16 @@ class TwoPhaseOptimizer {
                         const QueryGraph& query,
                         const TransformConfig& transform, Rng& rng,
                         int evaluations, int64_t cache_hits,
-                        int64_t cache_misses) const;
-  /// Runs II from `start`; returns the local minimum reached.
+                        int64_t cache_misses,
+                        MoveTypeCounters ii_moves) const;
+  /// Runs II from `start`; returns the local minimum reached. Move
+  /// proposals/acceptances are accumulated into `*moves`.
   std::pair<Plan, double> ImproveToLocalMin(Plan start,
                                             const QueryGraph& query,
                                             const TransformConfig& transform,
                                             Rng& rng, int* evaluations,
-                                            CostCache* cache) const;
+                                            CostCache* cache,
+                                            MoveTypeCounters* moves) const;
   /// Binds the final plan's sites and assembles the result struct.
   OptimizeResult FinishResult(Plan plan, double cost, int evaluations,
                               int64_t cache_hits, int64_t cache_misses) const;
@@ -140,6 +186,14 @@ class TwoPhaseOptimizer {
   const CostModel& model_;
   OptimizerConfig config_;
 };
+
+/// Folds one optimization run's counters into `registry` under
+/// "opt."-prefixed names: evaluation/cache totals, per-move-type
+/// proposed/accepted counts for each phase, SA uphill acceptances, and
+/// acceptance-ratio / cache-hit-rate gauges (averaged via Add; divide by
+/// opt.runs for the mean).
+void FoldOptimizeResult(const OptimizeResult& result,
+                        MetricsRegistry& registry);
 
 }  // namespace dimsum
 

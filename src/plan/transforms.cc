@@ -196,15 +196,52 @@ SiteAnnotation PickAnnotation(const PolicySpace& space, OpType type,
       rng.UniformInt(0, static_cast<int64_t>(allowed.size()) - 1))];
 }
 
+/// Maps an internal candidate to the paper-facing move numbering; `node`
+/// is the candidate's target (needed to split moves 5-7 by operator type).
+MoveType CandidateMoveType(const Candidate& candidate, const PlanNode& node) {
+  switch (candidate.kind) {
+    case MoveKind::kAssocLL: return MoveType::kAssocLL;
+    case MoveKind::kAssocLR: return MoveType::kAssocLR;
+    case MoveKind::kAssocRL: return MoveType::kAssocRL;
+    case MoveKind::kAssocRR: return MoveType::kAssocRR;
+    case MoveKind::kCommute: return MoveType::kCommute;
+    case MoveKind::kAnnotation:
+      if (node.type == OpType::kJoin) return MoveType::kJoinSite;
+      if (node.type == OpType::kScan) return MoveType::kScanSite;
+      return MoveType::kSelectSite;
+  }
+  DIMSUM_UNREACHABLE();
+}
+
 }  // namespace
 
+const char* MoveTypeName(MoveType type) {
+  switch (type) {
+    case MoveType::kAssocLL: return "assoc_ll";
+    case MoveType::kAssocLR: return "assoc_lr";
+    case MoveType::kAssocRL: return "assoc_rl";
+    case MoveType::kAssocRR: return "assoc_rr";
+    case MoveType::kJoinSite: return "join_site";
+    case MoveType::kSelectSite: return "select_site";
+    case MoveType::kScanSite: return "scan_site";
+    case MoveType::kCommute: return "commute";
+  }
+  DIMSUM_UNREACHABLE();
+}
+
 std::optional<Plan> TryRandomMove(const Plan& plan, const QueryGraph& query,
-                                  const TransformConfig& config, Rng& rng) {
+                                  const TransformConfig& config, Rng& rng,
+                                  std::optional<MoveType>* chosen_type) {
+  if (chosen_type != nullptr) chosen_type->reset();
   Plan working = plan.Clone();
   auto candidates = EnumerateCandidates(working, config);
   if (candidates.empty()) return std::nullopt;
   const Candidate& chosen = candidates[static_cast<size_t>(
       rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+  if (chosen_type != nullptr) {
+    *chosen_type =
+        CandidateMoveType(chosen, **Slots(working)[chosen.node_index]);
+  }
   ApplyMove(working, chosen);
   if (!PlanIsLegal(working, query, config)) return std::nullopt;
   return working;

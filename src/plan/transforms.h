@@ -38,12 +38,39 @@ struct TransformConfig {
   bool require_linear = false;
 };
 
+/// The paper's numbered transformation moves (1-7) plus the extra
+/// commutativity move, for the optimizer's per-move-type counters. All
+/// annotation changes on unary operators other than scan are counted as
+/// move 6 (the paper's plans only carry select above its scans; wider
+/// queries reuse the slot rather than invent unnumbered moves).
+enum class MoveType {
+  kAssocLL = 0,  // move 1: (A B) C -> A (B C)
+  kAssocLR,      // move 2: (A B) C -> B (A C)
+  kAssocRL,      // move 3: A (B C) -> (A B) C
+  kAssocRR,      // move 4: A (B C) -> (A C) B
+  kJoinSite,     // move 5: change a join's site annotation
+  kSelectSite,   // move 6: change a unary operator's site annotation
+  kScanSite,     // move 7: change a scan's site annotation
+  kCommute,      // extra: A B -> B A (see TransformConfig::allow_commute)
+};
+inline constexpr int kNumMoveTypes = 8;
+
+/// Short stable name ("assoc_ll", "join_site", ...) for metrics keys.
+const char* MoveTypeName(MoveType type);
+
 /// Applies one uniformly-chosen legal transformation. Returns the
 /// transformed plan, or nullopt if the chosen candidate produced an invalid
 /// plan (Cartesian product / ill-formed / shape violation) or no candidate
 /// exists. The input plan is unchanged.
+///
+/// When `chosen_type` is non-null it is assigned the type of the candidate
+/// that was drawn -- including when the move then proved illegal and
+/// nullopt is returned -- and left empty when no candidate exists, so
+/// callers can count *proposed* moves per type.
 std::optional<Plan> TryRandomMove(const Plan& plan, const QueryGraph& query,
-                                  const TransformConfig& config, Rng& rng);
+                                  const TransformConfig& config, Rng& rng,
+                                  std::optional<MoveType>* chosen_type =
+                                      nullptr);
 
 /// Generates a random plan for `query` within the configured space:
 /// a random (connected) join tree with random allowed annotations,

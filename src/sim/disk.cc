@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "sim/trace.h"
 
 namespace dimsum::sim {
 
@@ -19,6 +20,13 @@ void Disk::ResetStats() {
   writes_ = 0;
   cache_hits_ = 0;
   busy_ms_ = 0.0;
+  seek_ms_ = 0.0;
+  rotate_ms_ = 0.0;
+  transfer_ms_ = 0.0;
+  overhead_ms_ = 0.0;
+  readahead_pages_ = 0;
+  readahead_aborts_ = 0;
+  max_queue_depth_ = 0;
 }
 
 void Disk::SubmitRead(int64_t block, std::coroutine_handle<> handle) {
@@ -30,6 +38,11 @@ void Disk::SubmitRead(int64_t block, std::coroutine_handle<> handle) {
     // Controller cache hit: served without the arm.
     ++cache_hits_;
     const double wait = std::max(0.0, it->second - sim_.now());
+    if (TraceSink* trace = sim_.trace()) {
+      trace->Instant(trace_pid_, trace_tid_, "cache-hit", "disk", sim_.now(),
+                     {{"block", static_cast<double>(block)},
+                      {"wait_ms", wait}});
+    }
     ExtendReadAhead(block, std::max(it->second, sim_.now()));
     sim_.Resume(
         wait + params_.transfer_ms() + params_.controller_overhead_ms,
@@ -58,6 +71,12 @@ void Disk::SubmitWrite(int64_t block) {
 
 void Disk::EnqueueArm(ArmRequest request) {
   arm_queue_.emplace(Cylinder(request.block), std::move(request));
+  const int depth = static_cast<int>(arm_queue_.size());
+  if (depth > max_queue_depth_) max_queue_depth_ = depth;
+  if (TraceSink* trace = sim_.trace()) {
+    trace->CounterSample(trace_pid_, name_ + " queue", sim_.now(),
+                         "queue_depth", static_cast<double>(depth));
+  }
   DispatchArm();
 }
 
@@ -88,27 +107,48 @@ void Disk::DispatchArm() {
   // controller has not finished prefetching never arrive.
   if (request.block != stream_next_) AbortPendingReadAhead();
 
-  const double service = ArmServiceTime(request.block);
-  busy_ms_ += service;
+  const ArmService service = ArmServiceTime(request.block);
+  const double total = service.total();
+  busy_ms_ += total;
+  seek_ms_ += service.seek;
+  rotate_ms_ += service.rotate;
+  transfer_ms_ += service.transfer;
+  overhead_ms_ += service.overhead;
+  if (service_hist_ != nullptr) service_hist_->Add(total);
   head_cylinder_ = Cylinder(request.block);
-  sim_.Call(service, [this, request] {
+  const double start = sim_.now();
+  sim_.Call(total, [this, request, service, start] {
     arm_busy_ = false;
+    if (TraceSink* trace = sim_.trace()) {
+      trace->Complete(trace_pid_, trace_tid_,
+                      request.is_write ? "write" : "read", "disk", start,
+                      sim_.now(),
+                      {{"block", static_cast<double>(request.block)},
+                       {"queue_wait_ms", start - request.enqueue_time},
+                       {"seek_ms", service.seek},
+                       {"rotate_ms", service.rotate},
+                       {"transfer_ms", service.transfer}});
+      trace->CounterSample(trace_pid_, name_ + " queue", sim_.now(),
+                           "queue_depth",
+                           static_cast<double>(arm_queue_.size()));
+    }
     CompleteArm(request);
     DispatchArm();
   });
 }
 
-double Disk::ArmServiceTime(int64_t block) const {
+Disk::ArmService Disk::ArmServiceTime(int64_t block) const {
+  ArmService service;
   const int cylinder = Cylinder(block);
   const int distance = std::abs(cylinder - head_cylinder_);
-  double seek = 0.0;
   if (distance > 0) {
-    seek = params_.settle_ms +
-           params_.seek_factor_ms * std::sqrt(static_cast<double>(distance));
+    service.seek =
+        params_.settle_ms +
+        params_.seek_factor_ms * std::sqrt(static_cast<double>(distance));
   }
   // Rotational latency from the platter's angular position when the head
   // arrives, to the start angle of the target page on its track.
-  const double arrive = sim_.now() + seek;
+  const double arrive = sim_.now() + service.seek;
   const double angle_now =
       std::fmod(arrive, params_.rotation_ms) / params_.rotation_ms;
   const double target =
@@ -116,9 +156,10 @@ double Disk::ArmServiceTime(int64_t block) const {
       static_cast<double>(params_.pages_per_track);
   double rotation_frac = target - angle_now;
   if (rotation_frac < 0.0) rotation_frac += 1.0;
-  const double latency = rotation_frac * params_.rotation_ms;
-  return seek + latency + params_.transfer_ms() +
-         params_.controller_overhead_ms;
+  service.rotate = rotation_frac * params_.rotation_ms;
+  service.transfer = params_.transfer_ms();
+  service.overhead = params_.controller_overhead_ms;
+  return service;
 }
 
 void Disk::CompleteArm(const ArmRequest& request) {
@@ -155,14 +196,25 @@ void Disk::ExtendReadAhead(int64_t block, double from_time) {
   if (stream_time_ < from_time) stream_time_ = from_time;
   const int64_t limit =
       std::min(block + params_.readahead_pages, params_.total_pages() - 1);
+  const int64_t first = stream_next_;
   while (stream_next_ <= limit) {
     CacheInsert(stream_next_, stream_time_);
     ++stream_next_;
     stream_time_ += params_.transfer_ms();
   }
+  const int64_t added = stream_next_ - first;
+  if (added > 0) {
+    readahead_pages_ += static_cast<uint64_t>(added);
+    if (TraceSink* trace = sim_.trace()) {
+      trace->Instant(trace_pid_, trace_tid_, "readahead", "disk", sim_.now(),
+                     {{"pages", static_cast<double>(added)},
+                      {"next_block", static_cast<double>(stream_next_)}});
+    }
+  }
 }
 
 void Disk::AbortPendingReadAhead() {
+  if (stream_next_ >= 0) ++readahead_aborts_;
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->second > sim_.now()) {
       const int64_t block = it->first;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sim/simulator.h"
 
 namespace dimsum::sim {
@@ -121,10 +122,36 @@ class Disk {
   uint64_t cache_hits() const { return cache_hits_; }
   /// Time the arm was busy (excludes cache-hit service).
   double busy_ms() const { return busy_ms_; }
+  /// Split of the arm's busy time into its mechanical components
+  /// (seek + settle, rotational latency, page transfer, controller
+  /// overhead); the four sum to busy_ms().
+  double seek_ms() const { return seek_ms_; }
+  double rotate_ms() const { return rotate_ms_; }
+  double transfer_ms() const { return transfer_ms_; }
+  double overhead_ms() const { return overhead_ms_; }
+  /// Pages the controller's streaming read-ahead prefetched into its cache.
+  uint64_t readahead_pages() const { return readahead_pages_; }
+  /// Read-ahead streams aborted by an intervening non-contiguous arm op.
+  uint64_t readahead_aborts() const { return readahead_aborts_; }
+  /// Deepest the elevator queue ever got.
+  int max_queue_depth() const { return max_queue_depth_; }
   double Utilization(double horizon_ms) const {
     return horizon_ms > 0.0 ? busy_ms_ / horizon_ms : 0.0;
   }
   void ResetStats();
+
+  // --- observability ----------------------------------------------------
+  /// Routes each arm operation's total service time into `histogram` (not
+  /// owned; null disables).
+  void set_service_histogram(Histogram* histogram) {
+    service_hist_ = histogram;
+  }
+  /// Assigns this disk's trace track; events are recorded only while the
+  /// simulator has a TraceSink attached.
+  void SetTraceTrack(int pid, int tid) {
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
 
  private:
   struct ArmRequest {
@@ -138,12 +165,21 @@ class Disk {
     int64_t block;
   };
 
+  /// Mechanical breakdown of one arm operation.
+  struct ArmService {
+    double seek = 0.0;      // settle + sqrt-curve seek
+    double rotate = 0.0;    // rotational latency
+    double transfer = 0.0;  // page transfer
+    double overhead = 0.0;  // controller/command overhead
+    double total() const { return seek + rotate + transfer + overhead; }
+  };
+
   void SubmitRead(int64_t block, std::coroutine_handle<> handle);
   void SubmitWrite(int64_t block);
   void EnqueueArm(ArmRequest request);
   void DispatchArm();
   void CompleteArm(const ArmRequest& request);
-  double ArmServiceTime(int64_t block) const;
+  ArmService ArmServiceTime(int64_t block) const;
   void ExtendReadAhead(int64_t block, double from_time);
   void AbortPendingReadAhead();
   void CacheInsert(int64_t block, double available_at);
@@ -177,6 +213,17 @@ class Disk {
   uint64_t writes_ = 0;
   uint64_t cache_hits_ = 0;
   double busy_ms_ = 0.0;
+  double seek_ms_ = 0.0;
+  double rotate_ms_ = 0.0;
+  double transfer_ms_ = 0.0;
+  double overhead_ms_ = 0.0;
+  uint64_t readahead_pages_ = 0;
+  uint64_t readahead_aborts_ = 0;
+  int max_queue_depth_ = 0;
+
+  Histogram* service_hist_ = nullptr;
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
 };
 
 }  // namespace dimsum::sim

@@ -33,11 +33,23 @@ class Network {
   uint64_t messages() const { return messages_; }
   int64_t bytes_sent() const { return bytes_sent_; }
   double busy_ms() const { return link_.busy_ms(); }
+  /// Total time messages spent queued behind the shared link.
+  double wait_ms() const { return link_.wait_ms(); }
   void ResetStats() {
     messages_ = 0;
     bytes_sent_ = 0;
     link_.ResetStats();
   }
+
+  // --- observability ----------------------------------------------------
+  /// Routes each message's queueing delay into `histogram` (not owned;
+  /// null disables).
+  void set_queue_histogram(Histogram* histogram) {
+    link_.set_wait_histogram(histogram);
+  }
+  /// Assigns the link's trace track (the network gets its own trace
+  /// process; see exec/executor.cc).
+  void SetTraceTrack(int pid, int tid) { link_.SetTraceTrack(pid, tid); }
 
  private:
   Resource link_;

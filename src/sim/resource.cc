@@ -1,5 +1,7 @@
 #include "sim/resource.h"
 
+#include "sim/trace.h"
+
 namespace dimsum::sim {
 
 void Resource::Enqueue(std::coroutine_handle<> handle, double service_ms) {
@@ -13,10 +15,18 @@ void Resource::Dispatch() {
   busy_ = true;
   Request request = queue_.front();
   queue_.pop_front();
-  wait_ms_ += sim_.now() - request.enqueue_time;
+  const double wait = sim_.now() - request.enqueue_time;
+  wait_ms_ += wait;
   busy_ms_ += request.service_ms;
-  sim_.Call(request.service_ms, [this, request] {
+  if (wait_hist_ != nullptr) wait_hist_->Add(wait);
+  const double start = sim_.now();
+  sim_.Call(request.service_ms, [this, request, wait, start] {
     busy_ = false;
+    if (TraceSink* trace = sim_.trace()) {
+      trace->Complete(trace_pid_, trace_tid_, "service", "resource", start,
+                      sim_.now(),
+                      {{"wait_ms", wait}, {"service_ms", request.service_ms}});
+    }
     sim_.Resume(0.0, request.handle);
     Dispatch();
   });

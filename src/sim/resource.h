@@ -6,6 +6,7 @@
 #include <deque>
 #include <string>
 
+#include "common/metrics.h"
 #include "sim/simulator.h"
 
 namespace dimsum::sim {
@@ -54,6 +55,17 @@ class Resource {
     wait_ms_ = 0.0;
   }
 
+  // --- observability ----------------------------------------------------
+  /// Routes each request's queueing delay into `histogram` (not owned;
+  /// null disables). Used by the network link's queueing-delay histogram.
+  void set_wait_histogram(Histogram* histogram) { wait_hist_ = histogram; }
+  /// Assigns this resource's trace track; events are recorded only while
+  /// the simulator has a TraceSink attached.
+  void SetTraceTrack(int pid, int tid) {
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+
  private:
   struct Request {
     std::coroutine_handle<> handle;
@@ -72,6 +84,9 @@ class Resource {
   uint64_t total_requests_ = 0;
   double busy_ms_ = 0.0;
   double wait_ms_ = 0.0;
+  Histogram* wait_hist_ = nullptr;
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
 };
 
 }  // namespace dimsum::sim

@@ -12,6 +12,7 @@
 namespace dimsum::sim {
 
 class Process;
+class TraceSink;
 
 /// Discrete-event simulation kernel.
 ///
@@ -37,6 +38,7 @@ class Simulator {
   /// Schedules `fn` to run `delay` ms from now.
   void Call(double delay, std::function<void()> fn) {
     DIMSUM_CHECK_GE(delay, 0.0);
+    DIMSUM_CHECK(fn);
     queue_.push(Entry{now_ + delay, next_seq_++, nullptr, std::move(fn)});
   }
 
@@ -58,6 +60,12 @@ class Simulator {
 
   /// Number of events processed so far.
   uint64_t processed_events() const { return processed_; }
+
+  /// Optional trace sink (see sim/trace.h), not owned. Instrumented
+  /// components test `trace()` for null before recording, so a simulator
+  /// without a sink pays one predictable branch per event site.
+  TraceSink* trace() const { return trace_; }
+  void set_trace(TraceSink* sink) { trace_ = sink; }
 
   /// Suspends the awaiting coroutine for `delay` ms of virtual time.
   /// A non-positive delay does not suspend.
@@ -87,6 +95,7 @@ class Simulator {
   };
 
   double now_ = 0.0;
+  TraceSink* trace_ = nullptr;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;

@@ -1,0 +1,122 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/json.h"
+
+namespace dimsum::sim {
+
+void TraceSink::SetProcessName(int pid, const std::string& name) {
+  process_names_[pid] = name;
+}
+
+int TraceSink::NewTrack(int pid, const std::string& name) {
+  const int tid = next_tid_[pid]++;
+  track_names_[{pid, tid}] = name;
+  return tid;
+}
+
+void TraceSink::Complete(int pid, int tid, std::string name,
+                         const char* category, double begin_ms, double end_ms,
+                         std::vector<Arg> args) {
+  events_.push_back(Event{'X', pid, tid, begin_ms,
+                          std::max(0.0, end_ms - begin_ms), std::move(name),
+                          category, nullptr, 0.0, std::move(args)});
+}
+
+void TraceSink::Instant(int pid, int tid, std::string name,
+                        const char* category, double ts_ms,
+                        std::vector<Arg> args) {
+  events_.push_back(Event{'i', pid, tid, ts_ms, 0.0, std::move(name),
+                          category, nullptr, 0.0, std::move(args)});
+}
+
+void TraceSink::CounterSample(int pid, std::string name, double ts_ms,
+                              const char* series, double value) {
+  events_.push_back(Event{'C', pid, /*tid=*/0, ts_ms, 0.0, std::move(name),
+                          nullptr, series, value, {}});
+}
+
+namespace {
+
+/// Virtual milliseconds -> trace microseconds.
+double ToTraceUs(double ms) { return ms * 1000.0; }
+
+}  // namespace
+
+void TraceSink::WriteEvent(std::ostream& out, const Event& event) const {
+  out << "{\"name\": \"" << JsonEscape(event.name) << "\", \"ph\": \""
+      << event.phase << "\", \"pid\": " << event.pid
+      << ", \"tid\": " << event.tid << ", \"ts\": ";
+  JsonWriteNumber(out, ToTraceUs(event.ts_ms));
+  if (event.phase == 'X') {
+    out << ", \"dur\": ";
+    JsonWriteNumber(out, ToTraceUs(event.dur_ms));
+  }
+  if (event.category != nullptr) {
+    out << ", \"cat\": \"" << JsonEscape(event.category) << "\"";
+  }
+  if (event.phase == 'i') {
+    out << ", \"s\": \"t\"";  // instant scope: thread
+  }
+  if (event.phase == 'C') {
+    out << ", \"args\": {\"" << JsonEscape(event.series) << "\": ";
+    JsonWriteNumber(out, event.value);
+    out << "}";
+  } else if (!event.args.empty()) {
+    out << ", \"args\": {";
+    for (std::size_t i = 0; i < event.args.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "\"" << JsonEscape(event.args[i].first) << "\": ";
+      JsonWriteNumber(out, event.args[i].second);
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+void TraceSink::WriteJson(std::ostream& out) const {
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  auto separator = [&] {
+    out << (first ? "  " : ",\n  ");
+    first = false;
+  };
+  // Metadata: process and thread names.
+  for (const auto& [pid, name] : process_names_) {
+    separator();
+    out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+        << ", \"tid\": 0, \"args\": {\"name\": \"" << JsonEscape(name)
+        << "\"}}";
+  }
+  for (const auto& [key, name] : track_names_) {
+    separator();
+    out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << key.first
+        << ", \"tid\": " << key.second << ", \"args\": {\"name\": \""
+        << JsonEscape(name) << "\"}}";
+  }
+  // Events in timestamp order (stable, so same-time events keep their
+  // recording order); span timestamps are span *begins*.
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& event : events_) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->ts_ms < b->ts_ms;
+                   });
+  for (const Event* event : ordered) {
+    separator();
+    WriteEvent(out, *event);
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool TraceSink::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteJson(out);
+  return true;
+}
+
+}  // namespace dimsum::sim

@@ -1,0 +1,92 @@
+#ifndef DIMSUM_SIM_TRACE_H_
+#define DIMSUM_SIM_TRACE_H_
+
+// Per-Simulator trace sink. Instrumented layers record begin/end spans and
+// instant events stamped with *virtual* time; WriteJson emits Chrome
+// trace-event JSON (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// so a run opens directly in Perfetto or chrome://tracing. Mapping:
+//   virtual milliseconds -> trace microseconds (x1000)
+//   sites               -> trace processes (pid)
+//   resources/operators -> trace threads (tid) within their site
+//
+// A simulator with no sink attached (the default) costs instrumented code
+// one branch per event site; see bench/micro_observability.cpp for the
+// bound on that overhead. Recording is purely observational: attaching a
+// sink never changes simulation results (asserted by
+// tests/exec/observability_test.cc).
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dimsum::sim {
+
+class TraceSink {
+ public:
+  /// One (key, value) annotation on an event; keys must be string
+  /// literals (they are not copied).
+  using Arg = std::pair<const char*, double>;
+
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // --- track registration -----------------------------------------------
+  /// Names a trace process (a simulated site, or the shared network).
+  void SetProcessName(int pid, const std::string& name);
+  /// Allocates the next thread id within `pid` and names it. Tracks are
+  /// how resources and operators get their own rows in the viewer.
+  int NewTrack(int pid, const std::string& name);
+
+  // --- event recording (all times in virtual milliseconds) --------------
+  /// A span [begin_ms, end_ms] on a track. `category` (and Arg keys) must
+  /// be string literals; `name` is copied.
+  void Complete(int pid, int tid, std::string name, const char* category,
+                double begin_ms, double end_ms,
+                std::vector<Arg> args = {});
+  /// A point event on a track.
+  void Instant(int pid, int tid, std::string name, const char* category,
+               double ts_ms, std::vector<Arg> args = {});
+  /// A sampled counter series (rendered as a graph row in the viewer).
+  void CounterSample(int pid, std::string name, double ts_ms,
+                     const char* series, double value);
+
+  std::size_t num_events() const { return events_.size(); }
+
+  // --- export ------------------------------------------------------------
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}; metadata first, then
+  /// events sorted by timestamp (stable), virtual ms scaled to trace us.
+  void WriteJson(std::ostream& out) const;
+  /// Writes the JSON document to `path`; false if the file cannot be
+  /// opened.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;        // 'X' complete, 'i' instant, 'C' counter
+    int pid;
+    int tid;
+    double ts_ms;
+    double dur_ms;     // 'X' only
+    std::string name;
+    const char* category;  // null for counters
+    const char* series;    // 'C' only
+    double value;          // 'C' only
+    std::vector<Arg> args;
+  };
+
+  void WriteEvent(std::ostream& out, const Event& event) const;
+
+  std::vector<Event> events_;
+  std::map<int, std::string> process_names_;
+  // (pid, tid) -> name, insertion-ordered per pid by tid.
+  std::map<std::pair<int, int>, std::string> track_names_;
+  std::map<int, int> next_tid_;
+};
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_TRACE_H_

@@ -1,0 +1,102 @@
+#include "common/flat_map.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+TEST(FlatMapTest, StartsEmpty) {
+  FlatMap<int, double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_EQ(map.find(1), map.end());
+}
+
+TEST(FlatMapTest, SubscriptInsertsDefaultAndUpdates) {
+  FlatMap<int, double> map;
+  map[3] += 1.5;  // the ExecMetrics accumulation idiom
+  map[3] += 2.5;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(3), 4.0);
+  EXPECT_EQ(map[7], 0.0);  // insertion of a default value
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMapTest, IterationIsKeySorted) {
+  FlatMap<int, std::string> map;
+  map[5] = "five";
+  map[1] = "one";
+  map[3] = "three";
+  std::vector<int> keys;
+  for (const auto& [key, value] : map) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(map.at(1), "one");
+  EXPECT_EQ(map.at(3), "three");
+  EXPECT_EQ(map.at(5), "five");
+}
+
+TEST(FlatMapTest, FindAndContains) {
+  FlatMap<int, int> map;
+  map[2] = 20;
+  map[4] = 40;
+  EXPECT_TRUE(map.contains(2));
+  EXPECT_FALSE(map.contains(3));
+  auto it = map.find(4);
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second, 40);
+  // find must not insert.
+  map.find(3);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMapTest, ConstAccess) {
+  FlatMap<int, int> map;
+  map[1] = 10;
+  const FlatMap<int, int>& cmap = map;
+  EXPECT_EQ(cmap.at(1), 10);
+  EXPECT_NE(cmap.find(1), cmap.end());
+  EXPECT_EQ(cmap.find(2), cmap.end());
+  int sum = 0;
+  for (const auto& [key, value] : cmap) sum += value;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(FlatMapTest, EqualityComparesEntries) {
+  FlatMap<int, double> a;
+  FlatMap<int, double> b;
+  EXPECT_TRUE(a == b);
+  a[1] = 1.0;
+  EXPECT_FALSE(a == b);
+  b[1] = 1.0;
+  EXPECT_TRUE(a == b);
+  // Insertion order must not matter.
+  FlatMap<int, double> c;
+  FlatMap<int, double> d;
+  c[1] = 1.0;
+  c[2] = 2.0;
+  d[2] = 2.0;
+  d[1] = 1.0;
+  EXPECT_TRUE(c == d);
+}
+
+TEST(FlatMapTest, ClearAndReserve) {
+  FlatMap<int, int> map;
+  map.reserve(8);
+  for (int i = 0; i < 5; ++i) map[i] = i;
+  EXPECT_EQ(map.size(), 5u);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMapDeathTest, AtOnMissingKeyFails) {
+  FlatMap<int, int> map;
+  map[1] = 10;
+  EXPECT_DEATH(map.at(2), "key not found");
+}
+
+}  // namespace
+}  // namespace dimsum

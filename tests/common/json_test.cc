@@ -1,0 +1,89 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dimsum {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("disk0.1"), "disk0.1");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string{'a', '\x01', 'b'}), "a\\u0001b");
+}
+
+TEST(JsonWriteNumberTest, IntegersPrintWithoutExponent) {
+  std::ostringstream out;
+  JsonWriteNumber(out, 42.0);
+  EXPECT_EQ(out.str(), "42");
+}
+
+TEST(JsonWriteNumberTest, NonFiniteBecomesNull) {
+  std::ostringstream nan_out;
+  JsonWriteNumber(nan_out, std::nan(""));
+  EXPECT_EQ(nan_out.str(), "null");
+  std::ostringstream inf_out;
+  JsonWriteNumber(inf_out, INFINITY);
+  EXPECT_EQ(inf_out.str(), "null");
+}
+
+TEST(JsonWriteNumberTest, DoublesRoundTrip) {
+  const double value = 123.456789012345;
+  std::ostringstream out;
+  JsonWriteNumber(out, value);
+  const auto parsed = JsonValue::Parse(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->number_value(), value);
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_EQ(JsonValue::Parse("true")->bool_value(), true);
+  EXPECT_EQ(JsonValue::Parse("false")->bool_value(), false);
+  EXPECT_EQ(JsonValue::Parse("-1.5e2")->number_value(), -150.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\\n\"")->string_value(), "hi\n");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  const auto doc = JsonValue::Parse(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array_items().size(), 3u);
+  EXPECT_EQ(a->array_items()[1].number_value(), 2.0);
+  EXPECT_EQ(a->array_items()[2].Find("b")->string_value(), "x");
+  EXPECT_TRUE(doc->Find("c")->Find("d")->is_null());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  const auto doc = JsonValue::Parse("\"\\u0041\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_value(), "A");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": 1,}").has_value());
+  EXPECT_FALSE(JsonValue::Parse("").has_value());
+  EXPECT_FALSE(JsonValue::Parse("tru").has_value());
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("42 x").has_value());
+  EXPECT_TRUE(JsonValue::Parse("  42  ").has_value());
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -78,5 +78,67 @@ TEST(StudentT90Test, MonotonicallyDecreasing) {
   }
 }
 
+TEST(RunningStatTest, MergeEmptyIntoEmptyIsNoOp) {
+  RunningStat a;
+  RunningStat b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MergeEmptyOtherLeavesThisUnchanged) {
+  RunningStat a;
+  for (double v : {1.0, 2.0, 3.0}) a.Add(v);
+  const double mean = a.mean();
+  const double variance = a.variance();
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.mean(), mean);
+  EXPECT_EQ(a.variance(), variance);
+}
+
+TEST(RunningStatTest, MergeIntoEmptyCopiesOther) {
+  RunningStat a;
+  RunningStat b;
+  for (double v : {1.0, 2.0, 3.0, 10.0}) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+}
+
+TEST(RunningStatTest, MergeSingleSamplePartitions) {
+  // Welford merge must hold even when one side carries a single sample
+  // (m2 == 0): the boundary case for the speculative-batch Replicate.
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (double v : {4.0, 7.0, -2.0, 11.0}) all.Add(v);
+  left.Add(4.0);
+  for (double v : {7.0, -2.0, 11.0}) right.Add(v);
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+}
+
+TEST(StudentT90Test, TableBoundaries) {
+  // Exact values at every df range switch in the implementation.
+  EXPECT_NEAR(StudentT90(0), 6.314, 1e-9);    // df < 1 clamps to df = 1
+  EXPECT_NEAR(StudentT90(-5), 6.314, 1e-9);
+  EXPECT_NEAR(StudentT90(29), 1.699, 1e-9);
+  EXPECT_NEAR(StudentT90(30), 1.697, 1e-9);   // last exact table entry
+  EXPECT_NEAR(StudentT90(31), 1.684, 1e-9);   // 31..40 bucket
+  EXPECT_NEAR(StudentT90(40), 1.684, 1e-9);
+  EXPECT_NEAR(StudentT90(41), 1.671, 1e-9);   // 41..60 bucket
+  EXPECT_NEAR(StudentT90(60), 1.671, 1e-9);
+  EXPECT_NEAR(StudentT90(61), 1.658, 1e-9);   // 61..120 bucket
+  EXPECT_NEAR(StudentT90(120), 1.658, 1e-9);
+  EXPECT_NEAR(StudentT90(121), 1.645, 1e-9);  // normal approximation
+  EXPECT_NEAR(StudentT90(1'000'000'000), 1.645, 1e-9);
+}
+
 }  // namespace
 }  // namespace dimsum

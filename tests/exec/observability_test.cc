@@ -1,0 +1,262 @@
+// Schema and non-perturbation tests for the execution-layer observability:
+// attaching a TraceSink or collecting histograms must never change
+// simulation results, and the emitted Chrome trace JSON must be valid and
+// carry the documented pid/tid layout and categories.
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "exec/executor.h"
+#include "exec/metrics.h"
+#include "plan/binding.h"
+#include "sim/trace.h"
+
+namespace dimsum {
+namespace {
+
+Catalog PaperCatalog(int relations, int servers, double cached = 0.0) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id =
+        catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(id, ServerSite(i % servers));
+    catalog.SetCachedFraction(id, cached);
+  }
+  return catalog;
+}
+
+QueryGraph ChainQuery(int n, double selectivity = 1.0) {
+  std::vector<RelationId> rels;
+  for (int i = 0; i < n; ++i) rels.push_back(i);
+  return QueryGraph::Chain(std::move(rels), selectivity);
+}
+
+/// Left-deep 3-way hybrid-ish plan: server-site scans, client joins -- it
+/// exercises disks on both sides, the network, and multiple operators.
+Plan ThreeWayPlan() {
+  std::unique_ptr<PlanNode> tree =
+      MakeScan(0, SiteAnnotation::kPrimaryCopy);
+  for (int i = 1; i < 3; ++i) {
+    tree = MakeJoin(MakeScan(i, SiteAnnotation::kPrimaryCopy),
+                    std::move(tree), SiteAnnotation::kConsumer);
+  }
+  return Plan(MakeDisplay(std::move(tree)));
+}
+
+struct TestSetup {
+  Catalog catalog = PaperCatalog(3, 2, /*cached=*/0.25);
+  QueryGraph query = ChainQuery(3);
+  Plan plan = ThreeWayPlan();
+  SystemConfig config;
+
+  TestSetup() {
+    config.num_servers = 2;
+    BindSites(plan, catalog);
+  }
+};
+
+JsonValue CaptureTrace(TestSetup& setup, ExecMetrics* metrics = nullptr) {
+  sim::TraceSink trace;
+  SystemConfig config = setup.config;
+  config.trace = &trace;
+  ExecMetrics m =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, config);
+  if (metrics != nullptr) *metrics = m;
+  std::ostringstream out;
+  trace.WriteJson(out);
+  std::string error;
+  auto doc = JsonValue::Parse(out.str(), &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  return *doc;
+}
+
+TEST(ObservabilityTest, TracingAndHistogramsDoNotPerturbResults) {
+  TestSetup setup;
+  const ExecMetrics plain =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, setup.config);
+
+  sim::TraceSink trace;
+  SystemConfig instrumented = setup.config;
+  instrumented.trace = &trace;
+  instrumented.collect_histograms = true;
+  const ExecMetrics observed =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, instrumented);
+
+  EXPECT_GT(trace.num_events(), 0u);
+  EXPECT_EQ(plain.response_ms, observed.response_ms);
+  EXPECT_EQ(plain.data_pages_sent, observed.data_pages_sent);
+  EXPECT_EQ(plain.messages, observed.messages);
+  EXPECT_EQ(plain.bytes_sent, observed.bytes_sent);
+  EXPECT_EQ(plain.network_busy_ms, observed.network_busy_ms);
+  EXPECT_TRUE(plain.cpu_busy_ms == observed.cpu_busy_ms);
+  EXPECT_TRUE(plain.disk_busy_ms == observed.disk_busy_ms);
+  EXPECT_EQ(plain.disk.reads, observed.disk.reads);
+  EXPECT_EQ(plain.disk.cache_hits, observed.disk.cache_hits);
+}
+
+TEST(ObservabilityTest, TraceIsValidAndCarriesDocumentedSchema) {
+  TestSetup setup;
+  const JsonValue doc = CaptureTrace(setup);
+
+  ASSERT_NE(doc.Find("traceEvents"), nullptr);
+  EXPECT_EQ(doc.Find("displayTimeUnit")->string_value(), "ms");
+  const auto& events = doc.Find("traceEvents")->array_items();
+  ASSERT_FALSE(events.empty());
+
+  std::set<std::string> phases;
+  std::set<std::string> categories;
+  std::set<std::string> process_names;
+  double last_ts = 0.0;
+  for (const JsonValue& event : events) {
+    const std::string ph = event.Find("ph")->string_value();
+    phases.insert(ph);
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    if (ph == "M") {
+      process_names.insert(event.Find("args")->Find("name")->string_value());
+      continue;
+    }
+    const JsonValue* cat = event.Find("cat");
+    if (cat != nullptr) categories.insert(cat->string_value());
+    // Timestamps are virtual-time-sorted and non-negative.
+    const double ts = event.Find("ts")->number_value();
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    if (ph == "X") {
+      EXPECT_GE(event.Find("dur")->number_value(), 0.0);
+    }
+  }
+  // Spans, instants (cache hits on the 25%-cached client data), counters
+  // (disk queue depth), and name metadata all appear.
+  EXPECT_TRUE(phases.count("X"));
+  EXPECT_TRUE(phases.count("M"));
+  EXPECT_TRUE(phases.count("C"));
+  // Disk, CPU ("resource"), operator, and network activity is all traced.
+  EXPECT_TRUE(categories.count("disk"));
+  EXPECT_TRUE(categories.count("resource"));
+  EXPECT_TRUE(categories.count("operator"));
+  // Sites and the shared network are named processes.
+  EXPECT_TRUE(process_names.count("site 0 (client)"));
+  EXPECT_TRUE(process_names.count("site 1 (server)"));
+  EXPECT_TRUE(process_names.count("network"));
+}
+
+TEST(ObservabilityTest, OperatorSpansReportPageCounts) {
+  TestSetup setup;
+  const JsonValue doc = CaptureTrace(setup);
+  bool found_scan = false;
+  bool found_display = false;
+  for (const JsonValue& event : doc.Find("traceEvents")->array_items()) {
+    const JsonValue* cat = event.Find("cat");
+    if (cat == nullptr || cat->string_value() != "operator") continue;
+    const std::string& name = event.Find("name")->string_value();
+    if (name.rfind("scan ", 0) == 0) {
+      found_scan = true;
+      const JsonValue* pages = event.Find("args")->Find("pages_out");
+      ASSERT_NE(pages, nullptr);
+      EXPECT_GT(pages->number_value(), 0.0);
+    }
+    if (name == "display") found_display = true;
+  }
+  EXPECT_TRUE(found_scan);
+  EXPECT_TRUE(found_display);
+}
+
+TEST(ObservabilityTest, DiskSpansCarryServiceSplit) {
+  TestSetup setup;
+  const JsonValue doc = CaptureTrace(setup);
+  int disk_spans = 0;
+  for (const JsonValue& event : doc.Find("traceEvents")->array_items()) {
+    const JsonValue* cat = event.Find("cat");
+    if (cat == nullptr || cat->string_value() != "disk") continue;
+    if (event.Find("ph")->string_value() != "X") continue;
+    ++disk_spans;
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->Find("block"), nullptr);
+    EXPECT_NE(args->Find("queue_wait_ms"), nullptr);
+    EXPECT_NE(args->Find("seek_ms"), nullptr);
+    EXPECT_NE(args->Find("rotate_ms"), nullptr);
+    EXPECT_NE(args->Find("transfer_ms"), nullptr);
+  }
+  EXPECT_GT(disk_spans, 0);
+}
+
+TEST(ObservabilityTest, DiskDetailSplitsSumToBusyTime) {
+  TestSetup setup;
+  const ExecMetrics metrics =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, setup.config);
+  EXPECT_GT(metrics.disk.reads, 0u);
+  // The client holds 25% of every relation: scans hit the read-ahead cache
+  // and the streams prefetch.
+  EXPECT_GT(metrics.disk.cache_hits, 0u);
+  EXPECT_GT(metrics.disk.readahead_pages, 0u);
+  EXPECT_GE(metrics.disk.max_queue_depth, 1);
+  double total_busy = 0.0;
+  for (const auto& [site, busy] : metrics.disk_busy_ms) total_busy += busy;
+  const double split_sum = metrics.disk.seek_ms + metrics.disk.rotate_ms +
+                           metrics.disk.transfer_ms +
+                           metrics.disk.overhead_ms;
+  EXPECT_NEAR(split_sum, total_busy, 1e-6 * std::max(1.0, total_busy));
+}
+
+TEST(ObservabilityTest, HistogramsCollectOnlyWhenRequested) {
+  TestSetup setup;
+  const ExecMetrics off =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, setup.config);
+  EXPECT_EQ(off.disk_service_ms.count(), 0);
+  EXPECT_EQ(off.net_queue_delay_ms.count(), 0);
+
+  SystemConfig with = setup.config;
+  with.collect_histograms = true;
+  const ExecMetrics on =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, with);
+  // One sample per *physical* arm operation: cache hits and read-ahead
+  // never reach the arm, so the sample count is bounded by the logical
+  // request count but positive.
+  EXPECT_GT(on.disk_service_ms.count(), 0);
+  EXPECT_LE(on.disk_service_ms.count(),
+            static_cast<int64_t>(on.disk.reads + on.disk.writes));
+  EXPECT_EQ(on.net_queue_delay_ms.count(), on.messages);
+  EXPECT_GE(on.disk_service_ms.min(), 0.0);
+  EXPECT_LE(on.disk_service_ms.mean(), on.disk_service_ms.max());
+}
+
+TEST(ObservabilityTest, FoldExecMetricsPopulatesRegistry) {
+  TestSetup setup;
+  SystemConfig with = setup.config;
+  with.collect_histograms = true;
+  const ExecMetrics metrics =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, with);
+  MetricsRegistry registry;
+  FoldExecMetrics(metrics, registry);
+  FoldExecMetrics(metrics, registry);  // folds accumulate
+  EXPECT_EQ(registry.counter("exec.queries").value(), 2);
+  EXPECT_EQ(registry.counter("exec.disk.reads").value(),
+            2 * static_cast<int64_t>(metrics.disk.reads));
+  EXPECT_EQ(registry.counter("exec.data_pages_sent").value(),
+            2 * metrics.data_pages_sent);
+  EXPECT_EQ(registry.gauge("exec.response_ms").value(),
+            2 * metrics.response_ms);
+  EXPECT_EQ(registry.histogram("exec.disk.service_ms").count(),
+            2 * metrics.disk_service_ms.count());
+
+  std::ostringstream out;
+  registry.WriteJson(out);
+  std::string error;
+  const auto doc = JsonValue::Parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_NE(doc->Find("counters")->Find("exec.messages"), nullptr);
+  EXPECT_NE(doc->Find("histograms")->Find("exec.network.queue_delay_ms"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,218 @@
+// Tests for the optimizer's per-move-type search counters (paper moves
+// 1-7 plus the extra commute move) and their fold into the metrics
+// registry.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "opt/optimizer.h"
+#include "plan/transforms.h"
+
+namespace dimsum {
+namespace {
+
+Catalog PaperCatalog(int relations, int servers) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id =
+        catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(id, ServerSite(i % servers));
+  }
+  return catalog;
+}
+
+QueryGraph ChainQuery(int n) {
+  std::vector<RelationId> rels;
+  for (int i = 0; i < n; ++i) rels.push_back(i);
+  return QueryGraph::Chain(std::move(rels), 1.0);
+}
+
+OptimizerConfig FastConfig() {
+  OptimizerConfig config;
+  config.policy = ShippingPolicy::kHybridShipping;
+  config.metric = OptimizeMetric::kResponseTime;
+  config.ii_starts = 4;
+  config.ii_patience = 24;
+  config.sa_stage_moves_per_join = 4;
+  return config;
+}
+
+int64_t At(const MoveTypeCounters& counters, MoveType type,
+           bool accepted = false) {
+  const auto i = static_cast<std::size_t>(type);
+  return accepted ? counters.accepted[i] : counters.proposed[i];
+}
+
+TEST(MoveTypeTest, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumMoveTypes; ++i) {
+    names.insert(MoveTypeName(static_cast<MoveType>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumMoveTypes));
+  EXPECT_STREQ(MoveTypeName(MoveType::kAssocLL), "assoc_ll");
+  EXPECT_STREQ(MoveTypeName(MoveType::kJoinSite), "join_site");
+  EXPECT_STREQ(MoveTypeName(MoveType::kCommute), "commute");
+}
+
+TEST(MoveTypeTest, TryRandomMoveReportsChosenType) {
+  Catalog catalog = PaperCatalog(4, 2);
+  QueryGraph query = ChainQuery(4);
+  TransformConfig transform;
+  transform.space = PolicySpace::For(ShippingPolicy::kHybridShipping);
+  Rng rng(3);
+  Plan plan = RandomPlan(query, transform, rng);
+  MoveTypeCounters counters;
+  for (int i = 0; i < 200; ++i) {
+    std::optional<MoveType> type;
+    auto next = TryRandomMove(plan, query, transform, rng, &type);
+    ASSERT_TRUE(type.has_value());  // a 4-way join always has candidates
+    ++counters.proposed[static_cast<std::size_t>(*type)];
+    if (next.has_value()) plan = std::move(*next);
+  }
+  EXPECT_EQ(counters.total_proposed(), 200);
+  // Both join-order and annotation moves must be drawn on this space.
+  EXPECT_GT(At(counters, MoveType::kJoinSite) +
+                At(counters, MoveType::kScanSite) +
+                At(counters, MoveType::kSelectSite),
+            0);
+  EXPECT_GT(At(counters, MoveType::kAssocLL) +
+                At(counters, MoveType::kAssocLR) +
+                At(counters, MoveType::kAssocRL) +
+                At(counters, MoveType::kAssocRR) +
+                At(counters, MoveType::kCommute),
+            0);
+}
+
+TEST(MoveCountersTest, OptimizePopulatesBothPhases) {
+  Catalog catalog = PaperCatalog(5, 2);
+  QueryGraph query = ChainQuery(5);
+  CostModel model(catalog, CostParams{});
+  TwoPhaseOptimizer optimizer(model, FastConfig());
+  Rng rng(1);
+  OptimizeResult result = optimizer.Optimize(query, rng);
+
+  EXPECT_GT(result.ii_moves.total_proposed(), 0);
+  EXPECT_GT(result.sa_moves.total_proposed(), 0);
+  for (int i = 0; i < kNumMoveTypes; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    EXPECT_LE(result.ii_moves.accepted[s], result.ii_moves.proposed[s])
+        << MoveTypeName(static_cast<MoveType>(i));
+    EXPECT_LE(result.sa_moves.accepted[s], result.sa_moves.proposed[s])
+        << MoveTypeName(static_cast<MoveType>(i));
+  }
+  EXPECT_GE(result.ii_moves.AcceptanceRatio(), 0.0);
+  EXPECT_LE(result.ii_moves.AcceptanceRatio(), 1.0);
+  EXPECT_LE(result.sa_moves.uphill_accepted,
+            result.sa_moves.total_accepted());
+  // II never accepts uphill moves.
+  EXPECT_EQ(result.ii_moves.uphill_accepted, 0);
+}
+
+TEST(MoveCountersTest, SiteSelectProposesOnlyAnnotationMoves) {
+  Catalog catalog = PaperCatalog(5, 2);
+  QueryGraph query = ChainQuery(5);
+  CostModel model(catalog, CostParams{});
+  OptimizerConfig config = FastConfig();
+  config.enable_sa = false;
+  TwoPhaseOptimizer optimizer(model, config);
+  Rng rng(1);
+  OptimizeResult full = optimizer.Optimize(query, rng);
+  OptimizeResult result = optimizer.SiteSelect(full.plan, query, rng);
+
+  EXPECT_GT(result.ii_moves.total_proposed(), 0);
+  EXPECT_EQ(At(result.ii_moves, MoveType::kAssocLL), 0);
+  EXPECT_EQ(At(result.ii_moves, MoveType::kAssocLR), 0);
+  EXPECT_EQ(At(result.ii_moves, MoveType::kAssocRL), 0);
+  EXPECT_EQ(At(result.ii_moves, MoveType::kAssocRR), 0);
+  EXPECT_EQ(At(result.ii_moves, MoveType::kCommute), 0);
+  EXPECT_GT(At(result.ii_moves, MoveType::kJoinSite) +
+                At(result.ii_moves, MoveType::kScanSite) +
+                At(result.ii_moves, MoveType::kSelectSite),
+            0);
+}
+
+TEST(MoveCountersTest, CountersAreIdenticalAcrossThreadCounts) {
+  Catalog catalog = PaperCatalog(5, 2);
+  QueryGraph query = ChainQuery(5);
+  CostModel model(catalog, CostParams{});
+  TwoPhaseOptimizer optimizer(model, FastConfig());
+
+  auto run = [&](int threads) {
+    SetGlobalThreadCount(threads);
+    Rng rng(7);
+    return optimizer.Optimize(query, rng);
+  };
+  const OptimizeResult a = run(1);
+  const OptimizeResult b = run(4);
+  SetGlobalThreadCount(1);
+  EXPECT_EQ(a.ii_moves.proposed, b.ii_moves.proposed);
+  EXPECT_EQ(a.ii_moves.accepted, b.ii_moves.accepted);
+  EXPECT_EQ(a.sa_moves.proposed, b.sa_moves.proposed);
+  EXPECT_EQ(a.sa_moves.accepted, b.sa_moves.accepted);
+  EXPECT_EQ(a.sa_moves.uphill_accepted, b.sa_moves.uphill_accepted);
+}
+
+TEST(MoveCountersTest, MergeAddsElementwise) {
+  MoveTypeCounters a;
+  MoveTypeCounters b;
+  a.proposed[0] = 2;
+  a.accepted[0] = 1;
+  b.proposed[0] = 3;
+  b.accepted[0] = 2;
+  b.uphill_accepted = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.proposed[0], 5);
+  EXPECT_EQ(a.accepted[0], 3);
+  EXPECT_EQ(a.uphill_accepted, 1);
+  EXPECT_EQ(a.total_proposed(), 5);
+  EXPECT_EQ(a.total_accepted(), 3);
+}
+
+TEST(MoveCountersTest, FoldOptimizeResultWritesPerMoveCounters) {
+  Catalog catalog = PaperCatalog(5, 2);
+  QueryGraph query = ChainQuery(5);
+  CostModel model(catalog, CostParams{});
+  TwoPhaseOptimizer optimizer(model, FastConfig());
+  Rng rng(1);
+  const OptimizeResult result = optimizer.Optimize(query, rng);
+
+  MetricsRegistry registry;
+  FoldOptimizeResult(result, registry);
+  EXPECT_EQ(registry.counter("opt.runs").value(), 1);
+  EXPECT_EQ(registry.counter("opt.plans_evaluated").value(),
+            result.plans_evaluated);
+  EXPECT_EQ(registry.counter("opt.cache_hits").value(), result.cache_hits);
+  EXPECT_EQ(registry.counter("opt.sa.uphill_accepted").value(),
+            result.sa_moves.uphill_accepted);
+  int64_t folded_proposed = 0;
+  for (int i = 0; i < kNumMoveTypes; ++i) {
+    const std::string name = MoveTypeName(static_cast<MoveType>(i));
+    folded_proposed +=
+        registry.counter("opt.ii.proposed." + name).value();
+    EXPECT_EQ(registry.counter("opt.sa.accepted." + name).value(),
+              result.sa_moves.accepted[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(folded_proposed, result.ii_moves.total_proposed());
+  EXPECT_EQ(registry.gauge("opt.ii.acceptance_ratio").value(),
+            result.ii_moves.AcceptanceRatio());
+
+  std::ostringstream out;
+  registry.WriteJson(out);
+  std::string error;
+  const auto doc = JsonValue::Parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_NE(doc->Find("counters")->Find("opt.ii.proposed.join_site"),
+            nullptr);
+  EXPECT_NE(doc->Find("gauges")->Find("opt.cache_hit_rate"), nullptr);
+}
+
+}  // namespace
+}  // namespace dimsum

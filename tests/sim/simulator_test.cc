@@ -69,6 +69,13 @@ TEST(SimulatorTest, ProcessedEventsCounter) {
   EXPECT_EQ(sim.processed_events(), 7u);
 }
 
+TEST(SimulatorDeathTest, EmptyCallbackFails) {
+  // An empty std::function would throw std::bad_function_call hours of
+  // virtual time after the buggy schedule; fail at the Call site instead.
+  Simulator sim;
+  EXPECT_DEATH(sim.Call(1.0, std::function<void()>()), "check failed");
+}
+
 TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
   Simulator sim;
   std::vector<double> times;

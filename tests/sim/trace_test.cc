@@ -1,0 +1,127 @@
+#include "sim/trace.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace dimsum::sim {
+namespace {
+
+std::string ToJson(const TraceSink& trace) {
+  std::ostringstream out;
+  trace.WriteJson(out);
+  return out.str();
+}
+
+/// Finds the first event object with the given "ph" and "name".
+const JsonValue* FindEvent(const JsonValue& doc, const std::string& phase,
+                           const std::string& name) {
+  for (const JsonValue& event : doc.Find("traceEvents")->array_items()) {
+    if (event.Find("ph")->string_value() == phase &&
+        event.Find("name")->string_value() == name) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+TEST(TraceSinkTest, EmptySinkEmitsValidDocument) {
+  TraceSink trace;
+  EXPECT_EQ(trace.num_events(), 0u);
+  std::string error;
+  const auto doc = JsonValue::Parse(ToJson(trace), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_TRUE(doc->Find("traceEvents")->array_items().empty());
+  EXPECT_EQ(doc->Find("displayTimeUnit")->string_value(), "ms");
+}
+
+TEST(TraceSinkTest, NewTrackAllocatesSequentialTidsPerProcess) {
+  TraceSink trace;
+  EXPECT_EQ(trace.NewTrack(0, "cpu"), 0);
+  EXPECT_EQ(trace.NewTrack(0, "disk0.0"), 1);
+  EXPECT_EQ(trace.NewTrack(1, "cpu"), 0);  // tids are per-pid
+}
+
+TEST(TraceSinkTest, CompleteSpanScalesVirtualMsToTraceUs) {
+  TraceSink trace;
+  trace.Complete(2, 1, "read", "disk", 1.5, 4.0, {{"block", 7.0}});
+  const auto doc = JsonValue::Parse(ToJson(trace));
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* event = FindEvent(*doc, "X", "read");
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->Find("pid")->number_value(), 2.0);
+  EXPECT_EQ(event->Find("tid")->number_value(), 1.0);
+  EXPECT_EQ(event->Find("ts")->number_value(), 1500.0);
+  EXPECT_EQ(event->Find("dur")->number_value(), 2500.0);
+  EXPECT_EQ(event->Find("cat")->string_value(), "disk");
+  EXPECT_EQ(event->Find("args")->Find("block")->number_value(), 7.0);
+}
+
+TEST(TraceSinkTest, NegativeDurationIsClamped) {
+  TraceSink trace;
+  trace.Complete(0, 0, "span", "test", 5.0, 4.0);
+  const auto doc = JsonValue::Parse(ToJson(trace));
+  EXPECT_EQ(FindEvent(*doc, "X", "span")->Find("dur")->number_value(), 0.0);
+}
+
+TEST(TraceSinkTest, InstantEventHasThreadScope) {
+  TraceSink trace;
+  trace.Instant(0, 3, "cache-hit", "disk", 2.0, {{"block", 11.0}});
+  const auto doc = JsonValue::Parse(ToJson(trace));
+  const JsonValue* event = FindEvent(*doc, "i", "cache-hit");
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->Find("s")->string_value(), "t");
+  EXPECT_EQ(event->Find("ts")->number_value(), 2000.0);
+}
+
+TEST(TraceSinkTest, CounterSampleCarriesSeriesValue) {
+  TraceSink trace;
+  trace.CounterSample(1, "disk queue", 3.0, "queue_depth", 4.0);
+  const auto doc = JsonValue::Parse(ToJson(trace));
+  const JsonValue* event = FindEvent(*doc, "C", "disk queue");
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->Find("args")->Find("queue_depth")->number_value(), 4.0);
+}
+
+TEST(TraceSinkTest, MetadataComesFirstThenEventsInTimestampOrder) {
+  TraceSink trace;
+  trace.SetProcessName(0, "site 0 (client)");
+  const int tid = trace.NewTrack(0, "cpu");
+  trace.Complete(0, tid, "late", "test", 9.0, 10.0);
+  trace.Complete(0, tid, "early", "test", 1.0, 2.0);
+  const auto doc = JsonValue::Parse(ToJson(trace));
+  ASSERT_TRUE(doc.has_value());
+  const auto& events = doc->Find("traceEvents")->array_items();
+  ASSERT_EQ(events.size(), 4u);  // 2 metadata + 2 spans
+  EXPECT_EQ(events[0].Find("ph")->string_value(), "M");
+  EXPECT_EQ(events[0].Find("name")->string_value(), "process_name");
+  EXPECT_EQ(events[0].Find("args")->Find("name")->string_value(),
+            "site 0 (client)");
+  EXPECT_EQ(events[1].Find("name")->string_value(), "thread_name");
+  EXPECT_EQ(events[1].Find("args")->Find("name")->string_value(), "cpu");
+  // Sorted by virtual time despite recording order.
+  EXPECT_EQ(events[2].Find("name")->string_value(), "early");
+  EXPECT_EQ(events[3].Find("name")->string_value(), "late");
+}
+
+TEST(TraceSinkTest, NamesAreEscaped) {
+  TraceSink trace;
+  trace.SetProcessName(0, "a\"b");
+  trace.Complete(0, 0, "x\\y", "test", 0.0, 1.0);
+  std::string error;
+  const auto doc = JsonValue::Parse(ToJson(trace), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_NE(FindEvent(*doc, "X", "x\\y"), nullptr);
+}
+
+TEST(TraceSinkTest, WriteJsonFileRejectsUnwritablePath) {
+  TraceSink trace;
+  EXPECT_FALSE(trace.WriteJsonFile("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace dimsum::sim

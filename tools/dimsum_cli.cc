@@ -12,10 +12,13 @@
 #include <iostream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/report.h"
 #include "core/system.h"
+#include "exec/metrics.h"
 #include "plan/printer.h"
+#include "sim/trace.h"
 #include "workload/benchmark.h"
 
 namespace dimsum {
@@ -36,7 +39,24 @@ struct CliOptions {
   int threads = 0;  // 0 = keep DIMSUM_THREADS / hardware default
   bool random_placement = false;
   bool print_plan = false;
+  /// Chrome trace-event JSON output path ("" = no trace). Falls back to
+  /// the DIMSUM_TRACE environment variable.
+  std::string trace_file;
+  /// Metrics snapshot JSON output path ("" = no metrics). Falls back to
+  /// the DIMSUM_METRICS environment variable.
+  std::string metrics_file;
 };
+
+/// Env-var fallback for the observability outputs: the variable holds the
+/// output path; empty or "0" means disabled.
+std::string EnvPath(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0' ||
+      std::string(value) == "0") {
+    return "";
+  }
+  return value;
+}
 
 void PrintUsage() {
   std::cout <<
@@ -58,6 +78,12 @@ void PrintUsage() {
       "                           every N)\n"
       "  --random-placement       place relations randomly (default RR)\n"
       "  --print-plan             print the chosen plan\n"
+      "  --trace=FILE             write a Chrome trace-event JSON of the\n"
+      "                           execution (open in Perfetto); env\n"
+      "                           fallback DIMSUM_TRACE\n"
+      "  --metrics=FILE           write a metrics snapshot JSON (optimizer\n"
+      "                           move counters, disk/network histograms);\n"
+      "                           env fallback DIMSUM_METRICS\n"
       "  --help                   this message\n";
 }
 
@@ -114,6 +140,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "threads", &value)) {
       options->threads = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "trace", &value)) {
+      options->trace_file = value;
+    } else if (ParseFlag(arg, "metrics", &value)) {
+      options->metrics_file = value;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return false;
@@ -130,6 +160,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 
 int RunCli(const CliOptions& options) {
   if (options.threads > 0) SetGlobalThreadCount(options.threads);
+  const std::string trace_file = !options.trace_file.empty()
+                                     ? options.trace_file
+                                     : EnvPath("DIMSUM_TRACE");
+  const std::string metrics_file = !options.metrics_file.empty()
+                                       ? options.metrics_file
+                                       : EnvPath("DIMSUM_METRICS");
   WorkloadSpec spec;
   spec.num_relations = options.relations;
   spec.num_servers = options.servers;
@@ -150,6 +186,12 @@ int RunCli(const CliOptions& options) {
     for (int s = 0; s < options.servers; ++s) {
       config.server_disk_load_per_sec[ServerSite(s)] = options.load;
     }
+  }
+  sim::TraceSink trace;
+  if (!trace_file.empty()) config.trace = &trace;
+  if (!metrics_file.empty()) {
+    MetricsRegistry::Global().set_enabled(true);
+    config.collect_histograms = true;
   }
   ClientServerSystem system(std::move(workload.catalog), config);
   auto result = system.Run(workload.query, options.policy, options.metric,
@@ -184,6 +226,28 @@ int RunCli(const CliOptions& options) {
                   Fmt(busy / 1000.0) + " s"});
   }
   table.Print(std::cout);
+
+  if (!trace_file.empty()) {
+    if (trace.WriteJsonFile(trace_file)) {
+      std::cout << "\ntrace: " << trace_file << " (" << trace.num_events()
+                << " events; open in https://ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "cannot write trace file: " << trace_file << "\n";
+      return 1;
+    }
+  }
+  if (!metrics_file.empty()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    FoldOptimizeResult(result.optimize, registry);
+    FoldExecMetrics(result.execute, registry);
+    if (registry.WriteJsonFile(metrics_file)) {
+      std::cout << (trace_file.empty() ? "\n" : "") << "metrics: "
+                << metrics_file << "\n";
+    } else {
+      std::cerr << "cannot write metrics file: " << metrics_file << "\n";
+      return 1;
+    }
+  }
   return 0;
 }
 
