@@ -18,8 +18,17 @@ using namespace dimsum;
 
 namespace {
 
-double Makespan(int n_queries, SiteAnnotation scan, SiteAnnotation join,
-                double cached, BufAlloc alloc, int num_servers = 1) {
+struct BatchMeasurement {
+  double makespan_s = 0.0;
+  /// Sum of the queries' own pages; equals the batch's network total now
+  /// that per-query metrics are query-attributed (not N copies of the
+  /// system-wide counters).
+  int64_t pages_sent = 0;
+};
+
+BatchMeasurement Measure(int n_queries, SiteAnnotation scan,
+                         SiteAnnotation join, double cached, BufAlloc alloc,
+                         int num_servers = 1) {
   Catalog catalog;
   for (int i = 0; i < 2 * n_queries; ++i) {
     catalog.AddRelation("R" + std::to_string(i), 10000, 100);
@@ -43,7 +52,13 @@ double Makespan(int n_queries, SiteAnnotation scan, SiteAnnotation join,
   for (int q = 0; q < n_queries; ++q) {
     batch.push_back(WorkloadQuery{&plans[q], &queries[q]});
   }
-  return ExecuteConcurrent(batch, catalog, config).makespan_ms / 1000.0;
+  ConcurrentResult result = ExecuteConcurrent(batch, catalog, config);
+  BatchMeasurement m;
+  m.makespan_s = result.makespan_ms / 1000.0;
+  for (const ExecMetrics& metrics : result.per_query) {
+    m.pages_sent += metrics.data_pages_sent;
+  }
+  return m;
 }
 
 }  // namespace
@@ -54,17 +69,19 @@ int main() {
             << "N concurrent 2-way joins over disjoint relations, one "
                "server, max allocation;\nmakespan [s]\n\n";
   ReportTable table({"queries", "QS, 1 server", "QS, 4 servers",
-                     "DS warm cache (1 client)"});
+                     "DS warm cache (1 client)", "QS pages (batch)"});
   for (int n : {1, 2, 4, 8}) {
-    table.AddRow(
-        {std::to_string(n),
-         Fmt(Makespan(n, SiteAnnotation::kPrimaryCopy,
-                      SiteAnnotation::kInnerRel, 0.0, BufAlloc::kMaximum)),
-         Fmt(Makespan(n, SiteAnnotation::kPrimaryCopy,
-                      SiteAnnotation::kInnerRel, 0.0, BufAlloc::kMaximum,
-                      /*num_servers=*/4)),
-         Fmt(Makespan(n, SiteAnnotation::kClient, SiteAnnotation::kConsumer,
-                      1.0, BufAlloc::kMaximum))});
+    const BatchMeasurement qs1 =
+        Measure(n, SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel,
+                0.0, BufAlloc::kMaximum);
+    const BatchMeasurement qs4 =
+        Measure(n, SiteAnnotation::kPrimaryCopy, SiteAnnotation::kInnerRel,
+                0.0, BufAlloc::kMaximum, /*num_servers=*/4);
+    const BatchMeasurement ds =
+        Measure(n, SiteAnnotation::kClient, SiteAnnotation::kConsumer, 1.0,
+                BufAlloc::kMaximum);
+    table.AddRow({std::to_string(n), Fmt(qs1.makespan_s), Fmt(qs4.makespan_s),
+                  Fmt(ds.makespan_s), std::to_string(qs1.pages_sent)});
   }
   table.Print(std::cout);
   std::cout << "\nConcurrent scans interleaving on one disk destroy each "

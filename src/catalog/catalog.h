@@ -1,6 +1,7 @@
 #ifndef DIMSUM_CATALOG_CATALOG_H_
 #define DIMSUM_CATALOG_CATALOG_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -11,15 +12,28 @@
 
 namespace dimsum {
 
-/// System catalog: relations, their placement on servers, and the client's
+/// System catalog: relations, their placement on servers, and the clients'
 /// disk-cache state.
 ///
 /// Per the paper: the primary copy of each relation resides on a single
-/// server (no declustering, no replication); the client stores no primary
-/// copies; client caching holds a contiguous prefix of each relation on the
-/// client's local disk.
+/// server (no declustering, no replication); clients store no primary
+/// copies; client caching holds a contiguous prefix of each relation on a
+/// client's local disk. The paper models one client site; the catalog
+/// generalizes to `num_clients` client sites (sites 0..num_clients-1),
+/// each with its own per-relation cached fraction.
 class Catalog {
  public:
+  explicit Catalog(int num_clients = 1) : num_clients_(num_clients) {
+    DIMSUM_CHECK_GE(num_clients, 1);
+  }
+
+  int num_clients() const { return num_clients_; }
+
+  /// True for sites holding a client role under this catalog's layout.
+  bool IsClientSite(SiteId site) const {
+    return site >= 0 && site < num_clients_;
+  }
+
   /// Registers a relation; returns its id.
   RelationId AddRelation(std::string name, int64_t num_tuples,
                          int tuple_bytes) {
@@ -27,7 +41,7 @@ class Catalog {
     relations_.push_back(
         Relation{id, std::move(name), num_tuples, tuple_bytes});
     primary_sites_.push_back(kUnboundSite);
-    cached_fractions_.push_back(0.0);
+    cached_fractions_.emplace_back(num_clients_, 0.0);
     return id;
   }
 
@@ -43,8 +57,8 @@ class Catalog {
 
   /// Sets the server holding the primary copy. Must be a server site.
   void PlaceRelation(RelationId id, SiteId server) {
-    DIMSUM_CHECK_NE(server, kClientSite);
-    DIMSUM_CHECK_GT(server, 0);
+    DIMSUM_CHECK_GE(server, num_clients_)
+        << "site " << server << " is a client; primary copies live on servers";
     MutableEntry(id);
     primary_sites_[id] = server;
   }
@@ -58,26 +72,40 @@ class Catalog {
   }
 
   /// Sets the fraction [0,1] of the relation cached (contiguous prefix) on
-  /// the client's disk.
-  void SetCachedFraction(RelationId id, double fraction) {
+  /// `client`'s disk.
+  void SetCachedFraction(RelationId id, SiteId client, double fraction) {
     DIMSUM_CHECK_GE(fraction, 0.0);
     DIMSUM_CHECK_LE(fraction, 1.0);
+    CheckClient(client);
     MutableEntry(id);
-    cached_fractions_[id] = fraction;
+    cached_fractions_[id][client] = fraction;
+  }
+  /// Single-client convenience: sets the fraction at client site 0.
+  void SetCachedFraction(RelationId id, double fraction) {
+    SetCachedFraction(id, kClientSite, fraction);
   }
 
-  double CachedFraction(RelationId id) const {
+  double CachedFraction(RelationId id, SiteId client = kClientSite) const {
     DIMSUM_CHECK_GE(id, 0);
     DIMSUM_CHECK_LT(id, num_relations());
-    return cached_fractions_[id];
+    CheckClient(client);
+    return cached_fractions_[id][client];
   }
 
-  /// Number of pages of the relation resident in the client cache
-  /// (the first `floor(fraction * pages)` pages).
-  int64_t CachedPages(RelationId id, int page_bytes) const {
+  /// Number of pages of the relation resident in `client`'s cache (the
+  /// first `round(fraction * pages)` pages). Rounded to the nearest page,
+  /// half up: the intent of "fraction f cached" is the closest whole page
+  /// count, and naive truncation loses a page to floating-point error
+  /// (0.7 * 10 pages must be 7, not 6).
+  int64_t CachedPages(RelationId id, SiteId client, int page_bytes) const {
     const int64_t pages = relation(id).Pages(page_bytes);
-    return static_cast<int64_t>(cached_fractions_[id] *
-                                static_cast<double>(pages));
+    CheckClient(client);
+    return std::llround(cached_fractions_[id][client] *
+                        static_cast<double>(pages));
+  }
+  /// Single-client convenience: cached pages at client site 0.
+  int64_t CachedPages(RelationId id, int page_bytes) const {
+    return CachedPages(id, kClientSite, page_bytes);
   }
 
  private:
@@ -85,10 +113,16 @@ class Catalog {
     DIMSUM_CHECK_GE(id, 0);
     DIMSUM_CHECK_LT(id, num_relations());
   }
+  void CheckClient(SiteId client) const {
+    DIMSUM_CHECK_GE(client, 0);
+    DIMSUM_CHECK_LT(client, num_clients_);
+  }
 
+  int num_clients_;
   std::vector<Relation> relations_;
   std::vector<SiteId> primary_sites_;
-  std::vector<double> cached_fractions_;
+  /// cached_fractions_[relation][client].
+  std::vector<std::vector<double>> cached_fractions_;
 };
 
 }  // namespace dimsum

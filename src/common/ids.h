@@ -6,10 +6,14 @@
 namespace dimsum {
 
 /// Identifies a machine in the client-server system. By convention the
-/// client is site 0 and servers are sites 1..num_servers.
+/// clients are sites 0..num_clients-1 and servers are sites
+/// num_clients..num_clients+num_servers-1. The historical single-client
+/// configuration (num_clients == 1) therefore keeps its numbering: client
+/// at site 0, servers at sites 1..num_servers.
 using SiteId = int32_t;
 
-/// The (single) client site. Queries are always submitted and displayed here.
+/// The first (and, in single-client configurations, only) client site.
+/// Queries default to this home client.
 inline constexpr SiteId kClientSite = 0;
 
 /// Sentinel for "site not yet bound".
@@ -20,8 +24,15 @@ using RelationId = int32_t;
 
 inline constexpr RelationId kInvalidRelation = -1;
 
-/// Returns the server site id for the i-th server (0-based index).
-inline constexpr SiteId ServerSite(int index) { return index + 1; }
+/// Returns the client site id for the i-th client (0-based index).
+inline constexpr SiteId ClientSite(int index) { return index; }
+
+/// Returns the server site id for the i-th server (0-based index) in a
+/// system with `num_clients` client sites. The default preserves the
+/// single-client convention used throughout the paper reproduction.
+inline constexpr SiteId ServerSite(int index, int num_clients = 1) {
+  return num_clients + index;
+}
 
 }  // namespace dimsum
 

@@ -27,7 +27,10 @@ namespace dimsum {
 class ClientServerSystem {
  public:
   ClientServerSystem(Catalog catalog, SystemConfig config)
-      : catalog_(std::move(catalog)), config_(std::move(config)) {}
+      : catalog_(std::move(catalog)), config_(std::move(config)) {
+    DIMSUM_CHECK_EQ(catalog_.num_clients(), config_.num_clients)
+        << "catalog and system config disagree on the number of clients";
+  }
 
   const Catalog& catalog() const { return catalog_; }
   Catalog& mutable_catalog() { return catalog_; }

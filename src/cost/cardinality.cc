@@ -1,6 +1,7 @@
 #include "cost/cardinality.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -26,8 +27,10 @@ StreamStats Annotate(const PlanNode& node, const Catalog& catalog,
     }
     case OpType::kSelect: {
       StreamStats in = Annotate(*node.left, catalog, query, params, stats);
-      out.tuples = static_cast<int64_t>(node.selectivity *
-                                        static_cast<double>(in.tuples));
+      // llround, not truncation: 0.7 * 10000 tuples must estimate 7000,
+      // not lose a tuple to floating-point representation error.
+      out.tuples = std::llround(node.selectivity *
+                                static_cast<double>(in.tuples));
       out.tuple_bytes = in.tuple_bytes;
       break;
     }
@@ -35,8 +38,8 @@ StreamStats Annotate(const PlanNode& node, const Catalog& catalog,
       StreamStats in = Annotate(*node.left, catalog, query, params, stats);
       out.tuples = in.tuples;
       out.tuple_bytes = std::max(
-          1, static_cast<int>(node.width_factor *
-                              static_cast<double>(in.tuple_bytes)));
+          1, static_cast<int>(std::llround(
+                 node.width_factor * static_cast<double>(in.tuple_bytes))));
       break;
     }
     case OpType::kAggregate: {
@@ -62,7 +65,7 @@ StreamStats Annotate(const PlanNode& node, const Catalog& catalog,
       const auto left_rels = Plan::RelationsBelow(*node.left);
       const auto right_rels = Plan::RelationsBelow(*node.right);
       if (query.Connects(left_rels, right_rels)) {
-        out.tuples = static_cast<int64_t>(
+        out.tuples = std::llround(
             query.selectivity_factor *
             static_cast<double>(std::min(l.tuples, r.tuples)));
       } else {

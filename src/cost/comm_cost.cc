@@ -18,10 +18,12 @@ void Visit(const PlanNode& node, const PlanNode* parent,
   }
   if (node.type == OpType::kScan &&
       node.annotation == SiteAnnotation::kClient) {
-    // Pages not in the client cache are faulted in from the relation's
-    // server, one request/response per page.
+    // Pages not in the home client's cache are faulted in from the
+    // relation's server, one request/response per page. The scan's bound
+    // site names the client whose cache applies.
     const int64_t total = catalog.relation(node.relation).Pages(params.page_bytes);
-    const int64_t cached = catalog.CachedPages(node.relation, params.page_bytes);
+    const int64_t cached =
+        catalog.CachedPages(node.relation, node.bound_site, params.page_bytes);
     const int64_t faulted = total - cached;
     DIMSUM_CHECK_GE(faulted, 0);
     cost->pages += faulted;

@@ -6,7 +6,7 @@ namespace dimsum {
 
 double CostModel::PlanCost(Plan& plan, const QueryGraph& query,
                            OptimizeMetric metric) const {
-  BindSites(plan, catalog_);
+  BindSites(plan, catalog_, query.home_client);
   switch (metric) {
     case OptimizeMetric::kPagesSent:
       return static_cast<double>(

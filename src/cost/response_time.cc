@@ -271,7 +271,8 @@ class Builder {
     // from the relation's server one page at a time, synchronously.
     const SiteId client = node.bound_site;
     const SiteId server = catalog_.PrimarySite(node.relation);
-    const int64_t cached = catalog_.CachedPages(node.relation, params_.page_bytes);
+    const int64_t cached =
+        catalog_.CachedPages(node.relation, client, params_.page_bytes);
     const int64_t faulted = pages - cached;
     graph_.AddScanDisk(phase, DiskOf(client, DiskSub(node.relation)),
                        static_cast<double>(cached) * params_.seq_page_ms *

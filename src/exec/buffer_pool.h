@@ -32,6 +32,7 @@ class BufferPool {
       BufferPool& pool;
       int64_t frames;
       bool await_ready() {
+        DIMSUM_CHECK_GT(frames, 0) << "empty buffer acquisition";
         DIMSUM_CHECK_LE(frames, pool.total_frames_)
             << "request exceeds physical memory";
         if (pool.waiters_.empty() && pool.free_frames_ >= frames) {
@@ -50,6 +51,7 @@ class BufferPool {
 
   /// Returns `frames` frames to the pool and admits waiting requests.
   void Release(int64_t frames) {
+    DIMSUM_CHECK_GT(frames, 0) << "empty buffer release";
     free_frames_ += frames;
     DIMSUM_CHECK_LE(free_frames_, total_frames_);
     while (!waiters_.empty() && waiters_.front().frames <= free_frames_) {

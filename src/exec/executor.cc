@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -19,220 +21,266 @@ namespace {
 /// one page ahead of its consumer (Section 3.2.1 of the paper).
 constexpr size_t kPipelineDepth = 1;
 
-/// Executes a batch of (one or more) bound plans concurrently on a fresh
-/// simulated cluster. All queries start at time zero and share the sites'
-/// CPUs, disks, buffer pools, and the network.
-class BatchExecution {
- public:
-  BatchExecution(const std::vector<WorkloadQuery>& batch,
-                 const Catalog& catalog, const SystemConfig& config,
-                 uint64_t seed)
-      : batch_(batch),
-        catalog_(catalog),
-        config_(config),
-        seed_(seed),
-        system_(sim_, config),
-        remaining_(static_cast<int>(batch.size())) {
-    if (config_.trace != nullptr) AttachTrace(*config_.trace);
-    if (config_.collect_histograms) AttachHistograms();
-  }
+/// Submits a query at its configured start time (for ExecuteConcurrent
+/// entries with start_ms > 0). The ticket lands in *ticket once submitted.
+sim::Process DelayedSubmit(ExecSession& session, const Plan& plan,
+                           const QueryGraph& query, double start_ms,
+                           int* ticket) {
+  co_await session.sim().Delay(start_ms);
+  *ticket = session.Submit(plan, query);
+}
 
-  ConcurrentResult Run() {
-    system_.LoadData(catalog_);
-    for (const WorkloadQuery& wq : batch_) {
-      DIMSUM_CHECK(wq.plan != nullptr);
-      DIMSUM_CHECK(wq.query != nullptr);
-      DIMSUM_CHECK(IsFullyBound(*wq.plan));
-      auto state = std::make_unique<QueryState>();
-      state->stats =
-          ComputeStats(*wq.plan, catalog_, *wq.query, config_.params);
-      state->ctx = std::make_unique<ExecContext>(
-          ExecContext{sim_, system_, catalog_, config_.params, state->stats,
-                      state->metrics});
-      state->ctx->batch_remaining = &remaining_;
-      state->ctx->batch_done = &all_done_;
-      per_query_.push_back(std::move(state));
-    }
-    // Spawn every query's operator tree.
-    for (size_t q = 0; q < batch_.size(); ++q) {
-      QueryState& state = *per_query_[q];
-      const Plan& plan = *batch_[q].plan;
-      PageChannel& result = BuildNode(state, *plan.root()->left, kClientSite);
-      sim_.Spawn(DisplayProcess(*state.ctx, *plan.root(), result));
-    }
-    // External load generators run until the whole batch completes.
-    uint64_t load_seed = seed_ * 7919 + 17;
-    for (const auto& [site, rate] : config_.server_disk_load_per_sec) {
-      if (rate > 0.0) {
-        sim_.Spawn(LoadGeneratorProcess(sim_, system_.site(site),
-                                        config_.params, rate, load_seed++,
-                                        &all_done_));
-      }
-    }
+}  // namespace
 
-    sim_.Run();
-    DIMSUM_CHECK(all_done_) << "some query did not complete";
-
-    ConcurrentResult result;
-    const DiskDetail disk_detail = AggregateDiskDetail();
-    for (auto& state : per_query_) {
-      // System-wide resource usage is attached to every entry.
-      state->metrics.bytes_sent = system_.network().bytes_sent();
-      state->metrics.network_busy_ms = system_.network().busy_ms();
-      state->metrics.network_wait_ms = system_.network().wait_ms();
-      for (int s = 0; s < system_.num_sites(); ++s) {
-        state->metrics.cpu_busy_ms[s] = system_.site(s).cpu.busy_ms();
-        state->metrics.cpu_wait_ms[s] = system_.site(s).cpu.wait_ms();
-        state->metrics.disk_busy_ms[s] = system_.site(s).TotalDiskBusyMs();
-      }
-      state->metrics.disk = disk_detail;
-      if (config_.collect_histograms) {
-        state->metrics.disk_service_ms = disk_service_hist_;
-        state->metrics.net_queue_delay_ms = net_queue_hist_;
-      }
-      result.makespan_ms =
-          std::max(result.makespan_ms, state->metrics.response_ms);
-      result.per_query.push_back(state->metrics);
-    }
-    return result;
-  }
-
- private:
-  struct QueryState {
-    PlanStats stats;
-    ExecMetrics metrics;
-    std::unique_ptr<ExecContext> ctx;
-  };
-
-  /// Registers the trace layout -- one trace process per site plus one for
-  /// the shared network, one thread per CPU/disk/link -- and attaches the
-  /// sink to the simulator. Operators allocate their own tracks at spawn
-  /// time (see OpSpan in operators.cc).
-  void AttachTrace(sim::TraceSink& trace) {
-    sim_.set_trace(&trace);
-    for (int s = 0; s < system_.num_sites(); ++s) {
-      SiteRuntime& site = system_.site(s);
-      trace.SetProcessName(
-          s, s == kClientSite ? "site " + std::to_string(s) + " (client)"
-                              : "site " + std::to_string(s) + " (server)");
-      site.cpu.SetTraceTrack(s, trace.NewTrack(s, "cpu"));
-      for (int d = 0; d < site.num_disks(); ++d) {
-        site.disk(d).SetTraceTrack(s, trace.NewTrack(s, site.disk(d).name()));
-      }
-    }
-    const int net_pid = system_.num_sites();
-    trace.SetProcessName(net_pid, "network");
-    system_.network().SetTraceTrack(net_pid, trace.NewTrack(net_pid, "link"));
-  }
-
-  /// Routes disk service times and network queueing delays into the
-  /// batch-wide histograms copied into every query's ExecMetrics.
-  void AttachHistograms() {
-    disk_service_hist_ = Histogram(Histogram::DefaultTimeBoundsMs());
-    net_queue_hist_ = Histogram(Histogram::DefaultTimeBoundsMs());
-    for (int s = 0; s < system_.num_sites(); ++s) {
-      SiteRuntime& site = system_.site(s);
-      for (int d = 0; d < site.num_disks(); ++d) {
-        site.disk(d).set_service_histogram(&disk_service_hist_);
-      }
-    }
-    system_.network().set_queue_histogram(&net_queue_hist_);
-  }
-
-  DiskDetail AggregateDiskDetail() {
-    DiskDetail detail;
-    for (int s = 0; s < system_.num_sites(); ++s) {
-      SiteRuntime& site = system_.site(s);
-      for (int d = 0; d < site.num_disks(); ++d) {
-        const sim::Disk& disk = site.disk(d);
-        detail.seek_ms += disk.seek_ms();
-        detail.rotate_ms += disk.rotate_ms();
-        detail.transfer_ms += disk.transfer_ms();
-        detail.overhead_ms += disk.overhead_ms();
-        detail.reads += disk.reads();
-        detail.writes += disk.writes();
-        detail.cache_hits += disk.cache_hits();
-        detail.readahead_pages += disk.readahead_pages();
-        detail.readahead_aborts += disk.readahead_aborts();
-        detail.max_queue_depth =
-            std::max(detail.max_queue_depth, disk.max_queue_depth());
-      }
-    }
-    return detail;
-  }
-
-  PageChannel& NewChannel() {
-    channels_.push_back(std::make_unique<PageChannel>(sim_, kPipelineDepth));
-    return *channels_.back();
-  }
-
-  /// Spawns the processes computing `node`; returns the channel delivering
-  /// its output at `consumer_site`.
-  PageChannel& BuildNode(QueryState& state, const PlanNode& node,
-                         SiteId consumer_site) {
-    ExecContext& ctx = *state.ctx;
-    PageChannel& out = NewChannel();
-    switch (node.type) {
-      case OpType::kScan:
-        sim_.Spawn(ScanProcess(ctx, node, out));
-        break;
-      case OpType::kSelect: {
-        PageChannel& in = BuildNode(state, *node.left, node.bound_site);
-        sim_.Spawn(SelectProcess(ctx, node, in, out));
-        break;
-      }
-      case OpType::kProject: {
-        PageChannel& in = BuildNode(state, *node.left, node.bound_site);
-        sim_.Spawn(ProjectProcess(ctx, node, in, out));
-        break;
-      }
-      case OpType::kAggregate: {
-        PageChannel& in = BuildNode(state, *node.left, node.bound_site);
-        sim_.Spawn(AggregateProcess(ctx, node, in, out));
-        break;
-      }
-      case OpType::kSort: {
-        PageChannel& in = BuildNode(state, *node.left, node.bound_site);
-        sim_.Spawn(SortProcess(ctx, node, in, out));
-        break;
-      }
-      case OpType::kUnion: {
-        PageChannel& l = BuildNode(state, *node.left, node.bound_site);
-        PageChannel& r = BuildNode(state, *node.right, node.bound_site);
-        sim_.Spawn(UnionProcess(ctx, node, l, r, out));
-        break;
-      }
-      case OpType::kJoin: {
-        PageChannel& inner = BuildNode(state, *node.left, node.bound_site);
-        PageChannel& outer = BuildNode(state, *node.right, node.bound_site);
-        sim_.Spawn(HashJoinProcess(ctx, node, inner, outer, out));
-        break;
-      }
-      case OpType::kDisplay:
-        DIMSUM_UNREACHABLE() << "display is handled by Run()";
-    }
-    if (node.bound_site == consumer_site) return out;
-    // Crossing edge: insert the network operator pair.
-    PageChannel& wire = NewChannel();
-    PageChannel& delivered = NewChannel();
-    sim_.Spawn(NetSendProcess(ctx, node.bound_site, out, wire));
-    sim_.Spawn(NetRecvProcess(ctx, consumer_site, wire, delivered));
-    return delivered;
-  }
-
-  const std::vector<WorkloadQuery>& batch_;
-  const Catalog& catalog_;
-  SystemConfig config_;
-  uint64_t seed_;
-  sim::Simulator sim_;
-  ExecSystem system_;
-  Histogram disk_service_hist_;
-  Histogram net_queue_hist_;
-  int remaining_;
-  bool all_done_ = false;
-  std::vector<std::unique_ptr<QueryState>> per_query_;
-  std::vector<std::unique_ptr<PageChannel>> channels_;
+struct ExecSession::QueryState {
+  PlanStats stats;
+  ExecMetrics metrics;
+  std::unique_ptr<ExecContext> ctx;
+  double start_ms = 0.0;
+  bool done = false;
+  std::vector<std::coroutine_handle<>> waiters;
 };
+
+ExecSession::ExecSession(const Catalog& catalog, const SystemConfig& config,
+                         uint64_t seed)
+    : catalog_(catalog),
+      config_(config),
+      seed_(seed),
+      system_(sim_, config) {
+  if (config_.trace != nullptr) AttachTrace(*config_.trace);
+  if (config_.collect_histograms) AttachHistograms();
+  system_.LoadData(catalog_);
+}
+
+ExecSession::~ExecSession() = default;
+
+void ExecSession::ExpectQueries(int count) {
+  DIMSUM_CHECK_GE(count, submitted());
+  expected_ = count;
+  expect_set_ = true;
+  all_done_ = completed_ >= expected_;
+}
+
+int ExecSession::Submit(const Plan& plan, const QueryGraph& query) {
+  DIMSUM_CHECK(IsFullyBound(plan));
+  const SiteId home = plan.root()->bound_site;
+  DIMSUM_CHECK(system_.IsClientSite(home))
+      << "display must be bound to a client site, got site " << home;
+  DIMSUM_CHECK(query.home_client == home)
+      << "query home_client " << query.home_client
+      << " disagrees with the plan's display site " << home;
+  const int ticket = static_cast<int>(queries_.size());
+  if (expect_set_) {
+    DIMSUM_CHECK_LT(ticket, expected_)
+        << "more queries submitted than declared via ExpectQueries";
+  } else {
+    expected_ = ticket + 1;
+  }
+  auto state = std::make_unique<QueryState>();
+  state->start_ms = sim_.now();
+  state->stats = ComputeStats(plan, catalog_, query, config_.params);
+  state->ctx = std::make_unique<ExecContext>(
+      ExecContext{sim_, system_, catalog_, config_.params, state->stats,
+                  state->metrics});
+  state->ctx->start_ms = state->start_ms;
+  QueryState* raw = state.get();
+  state->ctx->on_done = [this, raw] {
+    raw->done = true;
+    ++completed_;
+    if (completed_ >= expected_) all_done_ = true;
+    // Waiters resume at the completion time, after the display process
+    // finishes, in registration order (deterministic seq tie-breaking).
+    for (std::coroutine_handle<> h : raw->waiters) sim_.Resume(0.0, h);
+    raw->waiters.clear();
+  };
+  queries_.push_back(std::move(state));
+  PageChannel& result = BuildNode(*raw, *plan.root()->left, home);
+  sim_.Spawn(DisplayProcess(*raw->ctx, *plan.root(), result));
+  return ticket;
+}
+
+bool ExecSession::IsDone(int ticket) const {
+  DIMSUM_CHECK_GE(ticket, 0);
+  DIMSUM_CHECK_LT(ticket, submitted());
+  return queries_[ticket]->done;
+}
+
+const ExecMetrics& ExecSession::Metrics(int ticket) const {
+  DIMSUM_CHECK(IsDone(ticket));
+  return queries_[ticket]->metrics;
+}
+
+double ExecSession::StartMs(int ticket) const {
+  DIMSUM_CHECK_GE(ticket, 0);
+  DIMSUM_CHECK_LT(ticket, submitted());
+  return queries_[ticket]->start_ms;
+}
+
+void ExecSession::AddWaiter(int ticket, std::coroutine_handle<> handle) {
+  DIMSUM_CHECK(!IsDone(ticket));
+  queries_[ticket]->waiters.push_back(handle);
+}
+
+void ExecSession::StartLoadGenerators() {
+  DIMSUM_CHECK(!load_generators_started_);
+  load_generators_started_ = true;
+  uint64_t load_seed = seed_ * 7919 + 17;
+  for (const auto& [site, rate] : config_.server_disk_load_per_sec) {
+    if (rate > 0.0) {
+      sim_.Spawn(LoadGeneratorProcess(sim_, system_.site(site), config_.params,
+                                      rate, load_seed++, &all_done_));
+    }
+  }
+}
+
+void ExecSession::Run() {
+  if (!load_generators_started_) StartLoadGenerators();
+  sim_.Run();
+  DIMSUM_CHECK_EQ(completed_, expected_) << "some query did not complete";
+  DIMSUM_CHECK(all_done_);
+}
+
+BatchTotals ExecSession::Totals() {
+  BatchTotals totals;
+  totals.bytes_sent = system_.network().bytes_sent();
+  totals.network_busy_ms = system_.network().busy_ms();
+  totals.network_wait_ms = system_.network().wait_ms();
+  for (int s = 0; s < system_.num_sites(); ++s) {
+    SiteRuntime& site = system_.site(s);
+    totals.cpu_busy_ms[s] = site.cpu.busy_ms();
+    totals.cpu_wait_ms[s] = site.cpu.wait_ms();
+    totals.disk_busy_ms[s] = site.TotalDiskBusyMs();
+    for (int d = 0; d < site.num_disks(); ++d) {
+      const sim::Disk& disk = site.disk(d);
+      totals.disk.seek_ms += disk.seek_ms();
+      totals.disk.rotate_ms += disk.rotate_ms();
+      totals.disk.transfer_ms += disk.transfer_ms();
+      totals.disk.overhead_ms += disk.overhead_ms();
+      totals.disk.reads += disk.reads();
+      totals.disk.writes += disk.writes();
+      totals.disk.cache_hits += disk.cache_hits();
+      totals.disk.readahead_pages += disk.readahead_pages();
+      totals.disk.readahead_aborts += disk.readahead_aborts();
+      totals.disk.max_queue_depth =
+          std::max(totals.disk.max_queue_depth, disk.max_queue_depth());
+    }
+  }
+  if (config_.collect_histograms) {
+    totals.disk_service_ms = disk_service_hist_;
+    totals.net_queue_delay_ms = net_queue_hist_;
+  }
+  return totals;
+}
+
+/// Registers the trace layout -- one trace process per site plus one for
+/// the shared network, one thread per CPU/disk/link -- and attaches the
+/// sink to the simulator. Operators allocate their own tracks at spawn
+/// time (see OpSpan in operators.cc).
+void ExecSession::AttachTrace(sim::TraceSink& trace) {
+  sim_.set_trace(&trace);
+  for (int s = 0; s < system_.num_sites(); ++s) {
+    SiteRuntime& site = system_.site(s);
+    trace.SetProcessName(s, system_.IsClientSite(s)
+                                ? "site " + std::to_string(s) + " (client)"
+                                : "site " + std::to_string(s) + " (server)");
+    site.cpu.SetTraceTrack(s, trace.NewTrack(s, "cpu"));
+    for (int d = 0; d < site.num_disks(); ++d) {
+      site.disk(d).SetTraceTrack(s, trace.NewTrack(s, site.disk(d).name()));
+    }
+  }
+  const int net_pid = system_.num_sites();
+  trace.SetProcessName(net_pid, "network");
+  system_.network().SetTraceTrack(net_pid, trace.NewTrack(net_pid, "link"));
+}
+
+/// Routes disk service times and network queueing delays into the
+/// session-wide histograms reported via Totals().
+void ExecSession::AttachHistograms() {
+  disk_service_hist_ = Histogram(Histogram::DefaultTimeBoundsMs());
+  net_queue_hist_ = Histogram(Histogram::DefaultTimeBoundsMs());
+  for (int s = 0; s < system_.num_sites(); ++s) {
+    SiteRuntime& site = system_.site(s);
+    for (int d = 0; d < site.num_disks(); ++d) {
+      site.disk(d).set_service_histogram(&disk_service_hist_);
+    }
+  }
+  system_.network().set_queue_histogram(&net_queue_hist_);
+}
+
+PageChannel& ExecSession::NewChannel() {
+  channels_.push_back(std::make_unique<PageChannel>(sim_, kPipelineDepth));
+  return *channels_.back();
+}
+
+/// Spawns the processes computing `node`; returns the channel delivering
+/// its output at `consumer_site`.
+PageChannel& ExecSession::BuildNode(QueryState& state, const PlanNode& node,
+                                    SiteId consumer_site) {
+  ExecContext& ctx = *state.ctx;
+  PageChannel& out = NewChannel();
+  switch (node.type) {
+    case OpType::kScan:
+      sim_.Spawn(ScanProcess(ctx, node, out));
+      break;
+    case OpType::kSelect: {
+      PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+      sim_.Spawn(SelectProcess(ctx, node, in, out));
+      break;
+    }
+    case OpType::kProject: {
+      PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+      sim_.Spawn(ProjectProcess(ctx, node, in, out));
+      break;
+    }
+    case OpType::kAggregate: {
+      PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+      sim_.Spawn(AggregateProcess(ctx, node, in, out));
+      break;
+    }
+    case OpType::kSort: {
+      PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+      sim_.Spawn(SortProcess(ctx, node, in, out));
+      break;
+    }
+    case OpType::kUnion: {
+      PageChannel& l = BuildNode(state, *node.left, node.bound_site);
+      PageChannel& r = BuildNode(state, *node.right, node.bound_site);
+      sim_.Spawn(UnionProcess(ctx, node, l, r, out));
+      break;
+    }
+    case OpType::kJoin: {
+      PageChannel& inner = BuildNode(state, *node.left, node.bound_site);
+      PageChannel& outer = BuildNode(state, *node.right, node.bound_site);
+      sim_.Spawn(HashJoinProcess(ctx, node, inner, outer, out));
+      break;
+    }
+    case OpType::kDisplay:
+      DIMSUM_UNREACHABLE() << "display is handled by Submit()";
+  }
+  if (node.bound_site == consumer_site) return out;
+  // Crossing edge: insert the network operator pair.
+  PageChannel& wire = NewChannel();
+  PageChannel& delivered = NewChannel();
+  sim_.Spawn(NetSendProcess(ctx, node.bound_site, out, wire));
+  sim_.Spawn(NetRecvProcess(ctx, consumer_site, wire, delivered));
+  return delivered;
+}
+
+namespace {
+
+/// Derives the effective home client of a workload entry and validates it
+/// against the plan's display binding.
+SiteId ResolveHomeClient(const WorkloadQuery& wq) {
+  DIMSUM_CHECK(wq.plan != nullptr);
+  DIMSUM_CHECK(wq.query != nullptr);
+  DIMSUM_CHECK(!wq.plan->empty());
+  const SiteId plan_home = wq.plan->root()->bound_site;
+  if (wq.home_client != kUnboundSite) {
+    DIMSUM_CHECK_EQ(wq.home_client, plan_home)
+        << "WorkloadQuery home_client disagrees with the plan's display site";
+  }
+  return plan_home;
+}
 
 }  // namespace
 
@@ -240,17 +288,61 @@ ExecMetrics ExecutePlan(const Plan& plan, const Catalog& catalog,
                         const QueryGraph& query, const SystemConfig& config,
                         uint64_t seed) {
   std::vector<WorkloadQuery> batch{WorkloadQuery{&plan, &query}};
-  BatchExecution execution(batch, catalog, config, seed);
-  ConcurrentResult result = execution.Run();
-  return result.per_query.front();
+  ConcurrentResult result = ExecuteConcurrent(batch, catalog, config, seed);
+  // Single-query compatibility: fold the run's system-wide totals back into
+  // the one query's metrics, so callers see the complete resource picture in
+  // one ExecMetrics (as they did when only one query could run).
+  ExecMetrics metrics = std::move(result.per_query.front());
+  metrics.bytes_sent = result.totals.bytes_sent;
+  metrics.network_busy_ms = result.totals.network_busy_ms;
+  metrics.network_wait_ms = result.totals.network_wait_ms;
+  metrics.cpu_busy_ms = result.totals.cpu_busy_ms;
+  metrics.cpu_wait_ms = result.totals.cpu_wait_ms;
+  metrics.disk_busy_ms = result.totals.disk_busy_ms;
+  metrics.disk = result.totals.disk;
+  metrics.disk_service_ms = result.totals.disk_service_ms;
+  metrics.net_queue_delay_ms = result.totals.net_queue_delay_ms;
+  return metrics;
 }
 
 ConcurrentResult ExecuteConcurrent(const std::vector<WorkloadQuery>& batch,
                                    const Catalog& catalog,
                                    const SystemConfig& config, uint64_t seed) {
   DIMSUM_CHECK(!batch.empty());
-  BatchExecution execution(batch, catalog, config, seed);
-  return execution.Run();
+  ExecSession session(catalog, config, seed);
+  session.ExpectQueries(static_cast<int>(batch.size()));
+  // Queries with start_ms == 0 are submitted up front, in batch order (this
+  // preserves the event ordering of the historical all-start-at-zero batch);
+  // later starts are submitted by small starter processes at their times.
+  std::vector<int> tickets(batch.size(), -1);
+  for (size_t q = 0; q < batch.size(); ++q) {
+    const WorkloadQuery& wq = batch[q];
+    ResolveHomeClient(wq);
+    DIMSUM_CHECK_GE(wq.start_ms, 0.0);
+    if (wq.start_ms == 0.0) {
+      tickets[q] = session.Submit(*wq.plan, *wq.query);
+    }
+  }
+  session.StartLoadGenerators();
+  for (size_t q = 0; q < batch.size(); ++q) {
+    const WorkloadQuery& wq = batch[q];
+    if (wq.start_ms > 0.0) {
+      session.sim().Spawn(DelayedSubmit(session, *wq.plan, *wq.query,
+                                        wq.start_ms, &tickets[q]));
+    }
+  }
+  session.Run();
+
+  ConcurrentResult result;
+  result.totals = session.Totals();
+  for (size_t q = 0; q < batch.size(); ++q) {
+    DIMSUM_CHECK_GE(tickets[q], 0);
+    const ExecMetrics& metrics = session.Metrics(tickets[q]);
+    result.makespan_ms = std::max(
+        result.makespan_ms, session.StartMs(tickets[q]) + metrics.response_ms);
+    result.per_query.push_back(metrics);
+  }
+  return result;
 }
 
 }  // namespace dimsum

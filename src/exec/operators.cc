@@ -113,13 +113,15 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
     co_return;
   }
 
-  // Client scan: cached prefix from the client disk, remainder faulted in
-  // synchronously, one page per round trip.
-  DIMSUM_CHECK_EQ(node.bound_site, kClientSite);
-  SiteRuntime& client = ctx.system.site(kClientSite);
+  // Client scan: cached prefix from the home client's disk, remainder
+  // faulted in synchronously, one page per round trip.
+  DIMSUM_CHECK(ctx.system.IsClientSite(node.bound_site))
+      << "client-annotated scan bound to server site " << node.bound_site;
+  const SiteId home = node.bound_site;
+  SiteRuntime& client = ctx.system.site(home);
   SiteRuntime& server = ctx.system.site(ctx.catalog.PrimarySite(node.relation));
   const int64_t cached =
-      ctx.catalog.CachedPages(node.relation, ctx.params.page_bytes);
+      ctx.catalog.CachedPages(node.relation, home, ctx.params.page_bytes);
   const DiskExtent server_extent = ctx.system.RelationExtent(node.relation);
   const double request_cpu = ctx.params.MsgCpuMs(ctx.params.fault_request_bytes);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
@@ -127,7 +129,8 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
   int64_t faulted = 0;
   for (int64_t i = 0; i < total_pages; ++i) {
     if (i < cached) {
-      const DiskExtent cache_extent = ctx.system.CacheExtent(node.relation);
+      const DiskExtent cache_extent =
+          ctx.system.CacheExtent(home, node.relation);
       co_await client.cpu.Use(disk_cpu);
       co_await client.disk(cache_extent.disk).Read(cache_extent.start + i);
     } else {
@@ -143,6 +146,8 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
       co_await client.cpu.Use(page_cpu);
       ++ctx.metrics.data_pages_sent;
       ctx.metrics.messages += 2;
+      ctx.metrics.bytes_sent +=
+          ctx.params.fault_request_bytes + ctx.params.page_bytes;
     }
     co_await out.Put(Page{tuples_on_page(i)});
   }
@@ -477,12 +482,13 @@ sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
     co_await client.cpu.Use(display * page->tuples);
   }
   span.End({{"pages_in", static_cast<double>(pages)}});
-  ctx.metrics.response_ms = ctx.sim.now();
+  ctx.metrics.response_ms = ctx.sim.now() - ctx.start_ms;
   ctx.query_done = true;
   if (ctx.batch_remaining != nullptr && --*ctx.batch_remaining == 0 &&
       ctx.batch_done != nullptr) {
     *ctx.batch_done = true;
   }
+  if (ctx.on_done) ctx.on_done();
 }
 
 sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
@@ -499,6 +505,7 @@ sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
     co_await ctx.system.network().Transfer(ctx.params.page_bytes);
     ++ctx.metrics.data_pages_sent;
     ++ctx.metrics.messages;
+    ctx.metrics.bytes_sent += ctx.params.page_bytes;
     co_await wire.Put(*page);
   }
   wire.Close();

@@ -2,6 +2,7 @@
 #define DIMSUM_EXEC_OPERATORS_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "catalog/catalog.h"
 #include "common/rng.h"
@@ -27,9 +28,15 @@ struct ExecContext {
   const CostParams& params;
   const PlanStats& stats;
   ExecMetrics& metrics;
+  /// Virtual time at which the query was submitted; response_ms is measured
+  /// from here (0 for queries that start with the simulation).
+  double start_ms = 0.0;
   /// Set when the display operator has consumed the last result tuple;
   /// read by the external load generator to wind down.
   bool query_done = false;
+  /// Invoked (if set) when the display operator finishes, at the query's
+  /// completion time; used to resume closed-loop client processes.
+  std::function<void()> on_done;
 
   /// Multi-query batches: countdown of still-running queries and the flag
   /// to raise when the whole batch is done (both may be null).

@@ -4,29 +4,36 @@ namespace dimsum {
 
 ExecSystem::ExecSystem(sim::Simulator& sim, const SystemConfig& config)
     : network_(sim, config.params.net_bandwidth_mbps),
+      num_clients_(config.num_clients),
       page_bytes_(config.params.page_bytes) {
+  DIMSUM_CHECK_GE(config.num_clients, 1);
   DIMSUM_CHECK_GE(config.num_servers, 1);
-  for (SiteId id = 0; id <= config.num_servers; ++id) {
+  for (SiteId id = 0; id < config.num_sites(); ++id) {
     sites_.push_back(std::make_unique<SiteRuntime>(sim, id, config));
   }
 }
 
 void ExecSystem::LoadData(const Catalog& catalog) {
-  // Relations are assigned round-robin to their server's disks; the client
-  // cache likewise spreads over the client's disks.
+  DIMSUM_CHECK_EQ(catalog.num_clients(), num_clients_)
+      << "catalog and system configuration disagree on the client count";
+  // Relations are assigned round-robin to their server's disks; each
+  // client's cache likewise spreads over that client's disks.
   std::map<SiteId, int> next_disk;
-  int next_cache_disk = 0;
+  std::map<SiteId, int> next_cache_disk;
   for (RelationId id = 0; id < catalog.num_relations(); ++id) {
     const SiteId server = catalog.PrimarySite(id);
+    DIMSUM_CHECK_LT(server, num_sites());
     SiteRuntime& site_runtime = site(server);
     const int64_t pages = catalog.relation(id).Pages(page_bytes_);
     const int disk = next_disk[server]++ % site_runtime.num_disks();
     relation_extents_[id] = site_runtime.AllocateBase(disk, pages);
-    const int64_t cached = catalog.CachedPages(id, page_bytes_);
-    if (cached > 0) {
-      SiteRuntime& client = site(kClientSite);
-      const int cache_disk = next_cache_disk++ % client.num_disks();
-      cache_extents_[id] = client.AllocateBase(cache_disk, cached);
+    for (SiteId c = 0; c < num_clients_; ++c) {
+      const int64_t cached = catalog.CachedPages(id, c, page_bytes_);
+      if (cached > 0) {
+        SiteRuntime& client = site(c);
+        const int cache_disk = next_cache_disk[c]++ % client.num_disks();
+        cache_extents_[{c, id}] = client.AllocateBase(cache_disk, cached);
+      }
     }
   }
 }

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -23,6 +24,10 @@ struct SystemConfig {
   CostParams params;                  // Table 2 settings (incl. NumDisks)
   sim::DiskParams disk_params;        // calibrated disk model
   int num_servers = 1;
+  /// Client sites (sites 0..num_clients-1); servers follow at
+  /// num_clients..num_clients+num_servers-1. The paper's configuration is
+  /// one client; multi-client workloads give every query a home client.
+  int num_clients = 1;
   /// Buffer frames per site. The default comfortably fits maximum-
   /// allocation joins on the benchmark relations; restrict it to model
   /// memory pressure from other clients.
@@ -31,6 +36,16 @@ struct SystemConfig {
   /// multi-client load model; 40/60/70 in Figure 4). Requests are spread
   /// over the server's disks.
   std::map<SiteId, double> server_disk_load_per_sec;
+
+  // --- derived site-numbering helpers -----------------------------------
+  int num_sites() const { return num_clients + num_servers; }
+  bool IsClientSite(SiteId site) const {
+    return site >= 0 && site < num_clients;
+  }
+  /// Site id of the i-th server under this configuration's numbering.
+  SiteId ServerSiteAt(int index) const {
+    return ServerSite(index, num_clients);
+  }
 
   // --- observability (never changes simulation results) -----------------
   /// When non-null, the executor attaches this sink to its simulator and
@@ -108,15 +123,16 @@ struct SiteRuntime {
   int next_temp_disk_ = 0;
 };
 
-/// The simulated cluster: one client (site 0), `num_servers` servers, and
-/// a shared network. Loads base relations onto server disks (round-robin
-/// across a site's disks) and cached prefixes onto the client disk(s) per
-/// the catalog.
+/// The simulated cluster: `num_clients` clients (sites 0..num_clients-1),
+/// `num_servers` servers, and a shared network. Loads base relations onto
+/// server disks (round-robin across a site's disks) and cached prefixes
+/// onto each client's disk(s) per the catalog.
 class ExecSystem {
  public:
   ExecSystem(sim::Simulator& sim, const SystemConfig& config);
 
-  /// Places base extents and client-cache extents per `catalog`.
+  /// Places base extents and per-client cache extents per `catalog`. The
+  /// catalog's client count must match the configured one.
   void LoadData(const Catalog& catalog);
 
   SiteRuntime& site(SiteId id) {
@@ -126,20 +142,31 @@ class ExecSystem {
   }
   sim::Network& network() { return network_; }
   int num_sites() const { return static_cast<int>(sites_.size()); }
+  int num_clients() const { return num_clients_; }
+  bool IsClientSite(SiteId site) const {
+    return site >= 0 && site < num_clients_;
+  }
 
   /// Extent of the relation's primary copy (on its server).
   DiskExtent RelationExtent(RelationId id) const {
     return relation_extents_.at(id);
   }
-  /// Extent of the relation's cached prefix on the client (only valid when
-  /// the catalog caches a non-zero prefix).
-  DiskExtent CacheExtent(RelationId id) const { return cache_extents_.at(id); }
+  /// Extent of the relation's cached prefix on `client` (only valid when
+  /// the catalog caches a non-zero prefix there).
+  DiskExtent CacheExtent(SiteId client, RelationId id) const {
+    return cache_extents_.at({client, id});
+  }
+  /// Single-client convenience: the cached prefix at client site 0.
+  DiskExtent CacheExtent(RelationId id) const {
+    return CacheExtent(kClientSite, id);
+  }
 
  private:
   std::vector<std::unique_ptr<SiteRuntime>> sites_;
   sim::Network network_;
+  int num_clients_;
   std::map<RelationId, DiskExtent> relation_extents_;
-  std::map<RelationId, DiskExtent> cache_extents_;
+  std::map<std::pair<SiteId, RelationId>, DiskExtent> cache_extents_;
   int page_bytes_;
 };
 

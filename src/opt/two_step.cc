@@ -7,7 +7,7 @@ namespace dimsum {
 
 Catalog AssumedCatalog(const Catalog& real, const QueryGraph& query,
                        PlacementAssumption assumption) {
-  Catalog assumed;
+  Catalog assumed(real.num_clients());
   // Recreate all relations with their real schemas (ids must match).
   for (RelationId id = 0; id < real.num_relations(); ++id) {
     const Relation& rel = real.relation(id);
@@ -19,10 +19,11 @@ Catalog AssumedCatalog(const Catalog& real, const QueryGraph& query,
   for (RelationId id : query.relations) {
     switch (assumption) {
       case PlacementAssumption::kCentralized:
-        assumed.PlaceRelation(id, ServerSite(0));
+        assumed.PlaceRelation(id, ServerSite(0, real.num_clients()));
         break;
       case PlacementAssumption::kFullyDistributed:
-        assumed.PlaceRelation(id, ServerSite(server_index++));
+        assumed.PlaceRelation(id,
+                              ServerSite(server_index++, real.num_clients()));
         break;
     }
   }

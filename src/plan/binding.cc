@@ -63,6 +63,9 @@ int ResolvePass(PlanNode& node, SiteId parent_site, const Catalog& catalog,
 void BindSites(Plan& plan, const Catalog& catalog, SiteId client) {
   DIMSUM_CHECK(IsStructurallyValid(plan));
   DIMSUM_CHECK(IsWellFormed(plan));
+  DIMSUM_CHECK(catalog.IsClientSite(client))
+      << "home client " << client << " is not a client site (catalog has "
+      << catalog.num_clients() << " clients)";
   ClearBinding(plan);
   // Each pass binds at least one node of any unresolved chain (the chains
   // are acyclic by well-formedness), so at most Size() passes are needed.

@@ -18,6 +18,12 @@ struct QueryGraph {
   std::vector<RelationId> relations;
   std::vector<std::pair<RelationId, RelationId>> edges;
 
+  /// The client site this query belongs to: its display runs here, its
+  /// client-annotated scans read this client's cache, and binding, cost
+  /// estimation, and optimization all resolve "client" to this site. The
+  /// default is the single-client convention (site 0).
+  SiteId home_client = kClientSite;
+
   /// Join selectivity model: joining inputs of L and R tuples produces
   /// selectivity_factor * min(L, R) tuples. 1.0 is the paper's "moderate"
   /// functional join (result has the size and cardinality of one base

@@ -8,12 +8,15 @@ namespace dimsum {
 namespace {
 
 Catalog MakeRelations(const WorkloadSpec& spec) {
-  Catalog catalog;
+  Catalog catalog(spec.num_clients);
   for (int i = 0; i < spec.num_relations; ++i) {
     const RelationId id = catalog.AddRelation(
         "R" + std::to_string(i), spec.tuples_per_relation, spec.tuple_bytes);
-    catalog.SetCachedFraction(
-        id, i < spec.fully_cached_relations ? 1.0 : spec.cached_fraction);
+    const double fraction =
+        i < spec.fully_cached_relations ? 1.0 : spec.cached_fraction;
+    for (int c = 0; c < spec.num_clients; ++c) {
+      catalog.SetCachedFraction(id, ClientSite(c), fraction);
+    }
   }
   return catalog;
 }
@@ -39,9 +42,10 @@ BenchmarkWorkload MakeChainWorkload(const WorkloadSpec& spec, Rng& rng) {
   for (int i = 0; i < spec.num_relations; ++i) {
     const SiteId server =
         (i < spec.num_servers)
-            ? ServerSite(i)
-            : ServerSite(static_cast<int>(
-                  rng.UniformInt(0, spec.num_servers - 1)));
+            ? ServerSite(i, spec.num_clients)
+            : ServerSite(
+                  static_cast<int>(rng.UniformInt(0, spec.num_servers - 1)),
+                  spec.num_clients);
     workload.catalog.PlaceRelation(order[i], server);
   }
   workload.query = QueryGraph::Chain(AllRelations(spec), spec.selectivity);
@@ -52,7 +56,8 @@ BenchmarkWorkload MakeChainWorkloadRoundRobin(const WorkloadSpec& spec) {
   BenchmarkWorkload workload;
   workload.catalog = MakeRelations(spec);
   for (int i = 0; i < spec.num_relations; ++i) {
-    workload.catalog.PlaceRelation(i, ServerSite(i % spec.num_servers));
+    workload.catalog.PlaceRelation(
+        i, ServerSite(i % spec.num_servers, spec.num_clients));
   }
   workload.query = QueryGraph::Chain(AllRelations(spec), spec.selectivity);
   return workload;

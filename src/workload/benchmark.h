@@ -22,7 +22,11 @@ struct BenchmarkWorkload {
 struct WorkloadSpec {
   int num_relations = 2;
   int num_servers = 1;
-  /// Fraction of each relation cached (contiguous prefix) at the client.
+  /// Number of client sites (sites 0..num_clients-1). Every client gets
+  /// the same cached fractions; multi-client drivers can override
+  /// per-client caching on the returned catalog afterwards.
+  int num_clients = 1;
+  /// Fraction of each relation cached (contiguous prefix) at each client.
   double cached_fraction = 0.0;
   /// Number of relations (lowest ids first) cached *in full* at the client,
   /// on top of `cached_fraction` for the rest -- the paper's Figure 7

@@ -1,0 +1,118 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dimsum {
+namespace {
+
+/// One closed-loop client: submit, await completion, think, repeat.
+/// Records each completion into `completions` at its completion instant,
+/// so the global completion order falls directly out of the event order.
+sim::Process ClientProcess(ExecSession& session, const ClientWorkload& work,
+                           SiteId client, int queries, double think_mean_ms,
+                           Rng rng, std::vector<Completion>* completions,
+                           std::vector<SiteId>* query_client) {
+  for (int i = 0; i < queries; ++i) {
+    if (i > 0 && think_mean_ms > 0.0) {
+      co_await session.sim().Delay(rng.Exponential(think_mean_ms));
+    }
+    const double submit_ms = session.sim().now();
+    const int ticket = session.Submit(*work.plan, *work.query);
+    if (static_cast<int>(query_client->size()) <= ticket) {
+      query_client->resize(ticket + 1, kUnboundSite);
+    }
+    (*query_client)[ticket] = client;
+    co_await session.UntilDone(ticket);
+    completions->push_back(
+        Completion{ticket, client, submit_ms, session.sim().now()});
+  }
+}
+
+}  // namespace
+
+DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
+                           const Catalog& catalog, const SystemConfig& config,
+                           const DriverConfig& driver) {
+  const int num_clients = static_cast<int>(clients.size());
+  DIMSUM_CHECK_GE(num_clients, 1);
+  DIMSUM_CHECK_EQ(num_clients, config.num_clients);
+  DIMSUM_CHECK_EQ(num_clients, catalog.num_clients());
+  DIMSUM_CHECK_GE(driver.queries_per_client, 1);
+  DIMSUM_CHECK_GE(driver.think_time_mean_ms, 0.0);
+  DIMSUM_CHECK_GE(driver.num_batches, 1);
+  const int total = num_clients * driver.queries_per_client;
+  DIMSUM_CHECK_LT(driver.warmup_queries, total)
+      << "warmup must leave at least one measured completion";
+
+  DriverResult result;
+  ExecSession session(catalog, config, driver.seed);
+  session.ExpectQueries(total);
+  Rng rng(driver.seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  for (int c = 0; c < num_clients; ++c) {
+    const ClientWorkload& work = clients[c];
+    DIMSUM_CHECK(work.plan != nullptr);
+    DIMSUM_CHECK(work.query != nullptr);
+    DIMSUM_CHECK(!work.plan->empty());
+    DIMSUM_CHECK_EQ(work.plan->root()->bound_site, ClientSite(c))
+        << "client " << c << "'s plan displays elsewhere";
+    DIMSUM_CHECK_EQ(work.query->home_client, ClientSite(c));
+    session.sim().Spawn(ClientProcess(
+        session, work, ClientSite(c), driver.queries_per_client,
+        driver.think_time_mean_ms, rng.Fork(), &result.completions,
+        &result.query_client));
+  }
+  session.Run();
+
+  DIMSUM_CHECK_EQ(static_cast<int>(result.completions.size()), total);
+  result.totals = session.Totals();
+  result.per_query.reserve(total);
+  for (int t = 0; t < total; ++t) {
+    result.per_query.push_back(session.Metrics(t));
+  }
+  result.makespan_ms = result.completions.back().complete_ms;
+
+  // Steady-state estimation over the post-warmup completions, in global
+  // completion order (the batch-means method over one merged output
+  // stream).
+  const int warmup = driver.warmup_queries;
+  result.warmup_end_ms =
+      warmup > 0 ? result.completions[warmup - 1].complete_ms : 0.0;
+  result.measured = total - warmup;
+  const double window_ms = result.makespan_ms - result.warmup_end_ms;
+  result.throughput_qps =
+      window_ms > 0.0 ? result.measured / window_ms * 1000.0 : 0.0;
+
+  // Batch means: split the measured stream into num_batches contiguous
+  // batches of floor(measured / num_batches) completions (at least one),
+  // folding the remainder into the last batch.
+  const int batch_size = std::max(1, result.measured / driver.num_batches);
+  RunningStat overall;
+  RunningStat batch;
+  int in_batch = 0;
+  int batches_done = 0;
+  for (int i = warmup; i < total; ++i) {
+    const Completion& c = result.completions[i];
+    const double response_ms = c.complete_ms - c.submit_ms;
+    overall.Add(response_ms);
+    batch.Add(response_ms);
+    ++in_batch;
+    const bool last_batch = batches_done + 1 >= driver.num_batches;
+    if (in_batch >= batch_size && !last_batch) {
+      result.batch_means.Add(batch.mean());
+      batch = RunningStat();
+      in_batch = 0;
+      ++batches_done;
+    }
+  }
+  if (in_batch > 0) result.batch_means.Add(batch.mean());
+  result.mean_response_ms = overall.mean();
+  result.response_ci90_ms = result.batch_means.count() >= 2
+                                ? result.batch_means.ConfidenceHalfWidth90()
+                                : 0.0;
+  return result;
+}
+
+}  // namespace dimsum

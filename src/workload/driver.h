@@ -1,0 +1,102 @@
+#ifndef DIMSUM_WORKLOAD_DRIVER_H_
+#define DIMSUM_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/ids.h"
+#include "common/stats.h"
+#include "exec/executor.h"
+#include "exec/metrics.h"
+#include "exec/runtime.h"
+#include "plan/plan.h"
+#include "plan/query.h"
+
+namespace dimsum {
+
+/// One client's closed-loop workload: the bound plan it re-issues (display
+/// bound to that client's site) and the matching query graph (home_client
+/// set to the client's site). Both must outlive the driver run.
+struct ClientWorkload {
+  const Plan* plan = nullptr;
+  const QueryGraph* query = nullptr;
+};
+
+/// Parameters of a closed-loop multi-client run.
+struct DriverConfig {
+  /// Completions each client contributes before retiring.
+  int queries_per_client = 10;
+  /// Mean of the exponential think time between a query's completion and
+  /// the client's next submission, ms. Zero thinks are skipped entirely
+  /// (the next query is submitted at the completion instant).
+  double think_time_mean_ms = 0.0;
+  /// Completions (in global completion order) discarded as warmup before
+  /// steady-state estimation starts.
+  int warmup_queries = 0;
+  /// Number of batches for batch-means estimation of the response-time
+  /// mean. Fewer measured completions than batches degrades gracefully
+  /// (each batch holds at least one sample; leftovers fold into the last).
+  int num_batches = 10;
+  uint64_t seed = 0;
+};
+
+/// One completed query, in global completion order.
+struct Completion {
+  int ticket = 0;        // index into DriverResult::per_query
+  SiteId client = 0;     // home client
+  double submit_ms = 0.0;
+  double complete_ms = 0.0;
+};
+
+/// Results of a closed-loop run.
+struct DriverResult {
+  /// Per-query attributed metrics, indexed by ticket (submission order).
+  std::vector<ExecMetrics> per_query;
+  /// Home client of each ticket.
+  std::vector<SiteId> query_client;
+  /// All completions in global completion order (warmup included).
+  std::vector<Completion> completions;
+  /// System-wide resource totals over the whole run (warmup included).
+  BatchTotals totals;
+  /// Time of the last completion, ms.
+  double makespan_ms = 0.0;
+
+  // --- Steady-state estimates over the post-warmup window ---
+  /// End of the warmup window: completion time of the last discarded
+  /// query (0 when warmup_queries == 0).
+  double warmup_end_ms = 0.0;
+  /// Number of measured (post-warmup) completions.
+  int measured = 0;
+  /// Measured completions per second of virtual time.
+  double throughput_qps = 0.0;
+  /// Mean response time over measured completions, ms.
+  double mean_response_ms = 0.0;
+  /// 90% confidence half-width of the mean, from batch means (0 when
+  /// fewer than two batches have samples).
+  double response_ci90_ms = 0.0;
+  /// The batch means themselves (one sample per batch).
+  RunningStat batch_means;
+};
+
+/// Runs a closed-loop multi-client workload on one simulated cluster: each
+/// of the `clients.size()` client processes submits its query, awaits the
+/// result, thinks for an exponential time, and repeats, until it has
+/// completed `queries_per_client` queries. All clients share the servers'
+/// CPUs and disks and the network, so the run exhibits genuine multi-client
+/// contention (the paper's Section 7 multi-query direction).
+///
+/// `clients[i]` runs on client site i; `clients.size()` must equal both
+/// `catalog.num_clients()` and `config.num_clients`, and each plan's
+/// display must be bound to its client's site.
+///
+/// Deterministic: identical inputs (including seed) produce identical
+/// results, independent of wall-clock threading (the simulation is
+/// single-threaded).
+DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
+                           const Catalog& catalog, const SystemConfig& config,
+                           const DriverConfig& driver);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_WORKLOAD_DRIVER_H_

@@ -1,5 +1,8 @@
 #include "catalog/catalog.h"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace dimsum {
@@ -50,11 +53,79 @@ TEST(CatalogTest, CachedPagesIsContiguousPrefix) {
   Catalog catalog;
   const RelationId a = catalog.AddRelation("A", 10000, 100);
   catalog.SetCachedFraction(a, 0.25);
-  EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 62);  // floor(0.25 * 250)
+  EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 63);  // round(0.25 * 250)
   catalog.SetCachedFraction(a, 0.5);
   EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 125);
   catalog.SetCachedFraction(a, 1.0);
   EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 250);
+}
+
+TEST(CatalogTest, CachedPagesRoundsToNearestAcrossSweep) {
+  // Regression for the truncation bug: fraction * pages went through a
+  // float cast that floored (0.7 * 10 pages -> 6). CachedPages must round
+  // to nearest for every fraction x size combination.
+  const std::vector<double> fractions = {0.0,  0.1,  0.25, 0.3, 0.5,
+                                         0.65, 0.7,  0.75, 0.9, 1.0};
+  const std::vector<int64_t> tuple_counts = {40, 400, 401, 10000, 20000,
+                                             99960};
+  for (const int64_t tuples : tuple_counts) {
+    Catalog catalog;
+    const RelationId r = catalog.AddRelation("R", tuples, 100);
+    const int64_t pages = catalog.relation(r).Pages(kPageBytes);
+    for (const double fraction : fractions) {
+      catalog.SetCachedFraction(r, fraction);
+      EXPECT_EQ(catalog.CachedPages(r, kPageBytes),
+                std::llround(fraction * static_cast<double>(pages)))
+          << "tuples=" << tuples << " fraction=" << fraction;
+    }
+  }
+  // The motivating case, spelled out: 10-page relation, 70% cached.
+  Catalog catalog;
+  const RelationId r = catalog.AddRelation("S", 400, 100);
+  ASSERT_EQ(catalog.relation(r).Pages(kPageBytes), 10);
+  catalog.SetCachedFraction(r, 0.7);
+  EXPECT_EQ(catalog.CachedPages(r, kPageBytes), 7);  // not 6
+}
+
+TEST(CatalogTest, PerClientCachedFractionsAreIndependent) {
+  Catalog catalog(/*num_clients=*/3);
+  EXPECT_EQ(catalog.num_clients(), 3);
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  catalog.SetCachedFraction(a, ClientSite(0), 1.0);
+  catalog.SetCachedFraction(a, ClientSite(2), 0.5);
+  EXPECT_EQ(catalog.CachedFraction(a, ClientSite(0)), 1.0);
+  EXPECT_EQ(catalog.CachedFraction(a, ClientSite(1)), 0.0);
+  EXPECT_EQ(catalog.CachedFraction(a, ClientSite(2)), 0.5);
+  EXPECT_EQ(catalog.CachedPages(a, ClientSite(0), kPageBytes), 250);
+  EXPECT_EQ(catalog.CachedPages(a, ClientSite(1), kPageBytes), 0);
+  EXPECT_EQ(catalog.CachedPages(a, ClientSite(2), kPageBytes), 125);
+  // The single-client convenience overloads address client 0.
+  EXPECT_EQ(catalog.CachedFraction(a), 1.0);
+  EXPECT_EQ(catalog.CachedPages(a, kPageBytes), 250);
+}
+
+TEST(CatalogTest, MultiClientSiteSpace) {
+  Catalog catalog(/*num_clients=*/2);
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  EXPECT_TRUE(catalog.IsClientSite(0));
+  EXPECT_TRUE(catalog.IsClientSite(1));
+  EXPECT_FALSE(catalog.IsClientSite(2));
+  // Server 0 is site 2 when two clients come first.
+  catalog.PlaceRelation(a, ServerSite(0, /*num_clients=*/2));
+  EXPECT_EQ(catalog.PrimarySite(a), 2);
+}
+
+TEST(CatalogDeathTest, NoClientSiteCanHoldPrimaryCopies) {
+  Catalog catalog(/*num_clients=*/2);
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  EXPECT_DEATH(catalog.PlaceRelation(a, ClientSite(1)), "check failed");
+}
+
+TEST(CatalogDeathTest, CachedFractionForUnknownClientFails) {
+  Catalog catalog(/*num_clients=*/2);
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  EXPECT_DEATH(catalog.SetCachedFraction(a, /*client=*/2, 0.5),
+               "check failed");
 }
 
 TEST(CatalogDeathTest, UnplacedRelationFails) {

@@ -53,7 +53,7 @@ TEST(CommCostTest, DataShippingDecreasesLinearlyWithCache) {
   Catalog catalog = PaperCatalog(2, 1);
   QueryGraph query = QueryGraph::Chain({0, 1});
   const std::vector<std::pair<double, int64_t>> expectations = {
-      {0.0, 500}, {0.25, 376}, {0.5, 250}, {0.75, 126}, {1.0, 0}};
+      {0.0, 500}, {0.25, 374}, {0.5, 250}, {0.75, 124}, {1.0, 0}};
   for (const auto& [cached, pages] : expectations) {
     catalog.SetCachedFraction(0, cached);
     catalog.SetCachedFraction(1, cached);

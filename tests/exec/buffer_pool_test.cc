@@ -54,12 +54,60 @@ TEST(BufferPoolTest, FifoOrderPreserved) {
   EXPECT_EQ(acquired[2], 5.0);
 }
 
+TEST(BufferPoolTest, FifoAdmissionUnderContention) {
+  // Strict FIFO: a small request that *would* fit the free frames still
+  // queues behind an earlier larger one -- no overtaking, so big joins
+  // cannot starve behind a stream of small ones.
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  std::vector<double> acquired;
+  sim.Spawn(AcquireHoldRelease(sim, pool, 60, 10.0, &acquired));  // [0, 10)
+  sim.Spawn(AcquireHoldRelease(sim, pool, 100, 2.0, &acquired));  // waits
+  // 30 frames fit the 40 free right now, but the 100-frame request is
+  // ahead in line.
+  sim.Spawn(AcquireHoldRelease(sim, pool, 30, 1.0, &acquired));
+  sim.Run();
+  ASSERT_EQ(acquired.size(), 3u);
+  EXPECT_EQ(acquired[0], 0.0);
+  EXPECT_EQ(acquired[1], 10.0);  // admitted when the first releases
+  EXPECT_EQ(acquired[2], 12.0);  // only after the 100-frame user is done
+  EXPECT_EQ(pool.free_frames(), 100);
+}
+
 TEST(BufferPoolDeathTest, OversizedRequestFails) {
   sim::Simulator sim;
   BufferPool pool(sim, 100);
   std::vector<double> acquired;
   sim.Spawn(AcquireHoldRelease(sim, pool, 101, 1.0, &acquired));
   EXPECT_DEATH(sim.Run(), "exceeds physical memory");
+}
+
+TEST(BufferPoolDeathTest, ZeroAcquireFails) {
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  std::vector<double> acquired;
+  sim.Spawn(AcquireHoldRelease(sim, pool, 0, 1.0, &acquired));
+  EXPECT_DEATH(sim.Run(), "empty buffer acquisition");
+}
+
+TEST(BufferPoolDeathTest, NegativeAcquireFails) {
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  std::vector<double> acquired;
+  sim.Spawn(AcquireHoldRelease(sim, pool, -5, 1.0, &acquired));
+  EXPECT_DEATH(sim.Run(), "empty buffer acquisition");
+}
+
+TEST(BufferPoolDeathTest, ZeroReleaseFails) {
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  EXPECT_DEATH(pool.Release(0), "empty buffer release");
+}
+
+TEST(BufferPoolDeathTest, NegativeReleaseFails) {
+  sim::Simulator sim;
+  BufferPool pool(sim, 100);
+  EXPECT_DEATH(pool.Release(-1), "empty buffer release");
 }
 
 }  // namespace
