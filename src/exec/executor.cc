@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -47,6 +48,9 @@ ExecSession::ExecSession(const Catalog& catalog, const SystemConfig& config,
       config_(config),
       seed_(seed),
       system_(sim_, config) {
+  if (config_.faults != nullptr && !config_.faults->empty()) {
+    fault_state_ = std::make_unique<sim::FaultState>(*config_.faults);
+  }
   if (config_.trace != nullptr) AttachTrace(*config_.trace);
   if (config_.collect_histograms) AttachHistograms();
   system_.LoadData(catalog_);
@@ -83,6 +87,8 @@ int ExecSession::Submit(const Plan& plan, const QueryGraph& query) {
       ExecContext{sim_, system_, catalog_, config_.params, state->stats,
                   state->metrics});
   state->ctx->start_ms = state->start_ms;
+  state->ctx->faults = fault_state_.get();
+  state->ctx->fault_tolerance = &config_.fault_tolerance;
   QueryState* raw = state.get();
   state->ctx->on_done = [this, raw] {
     raw->done = true;
@@ -128,7 +134,8 @@ void ExecSession::StartLoadGenerators() {
   for (const auto& [site, rate] : config_.server_disk_load_per_sec) {
     if (rate > 0.0) {
       sim_.Spawn(LoadGeneratorProcess(sim_, system_.site(site), config_.params,
-                                      rate, load_seed++, &all_done_));
+                                      rate, load_seed++, &all_done_,
+                                      fault_state_.get()));
     }
   }
 }
@@ -138,6 +145,19 @@ void ExecSession::Run() {
   sim_.Run();
   DIMSUM_CHECK_EQ(completed_, expected_) << "some query did not complete";
   DIMSUM_CHECK(all_done_);
+  // Fault spans per site: purely observational, emitted after the run so
+  // tracing never perturbs the simulation. Windows still open at the end
+  // of the run are clamped to it.
+  if (config_.trace != nullptr && fault_state_ != nullptr) {
+    std::map<SiteId, int> fault_tracks;
+    for (const auto& w : fault_state_->SiteWindowsUpTo(sim_.now())) {
+      auto [it, inserted] = fault_tracks.emplace(w.site, 0);
+      if (inserted) it->second = config_.trace->NewTrack(w.site, "faults");
+      config_.trace->Complete(w.site, it->second, "down", "fault",
+                              w.window.start_ms,
+                              std::min(w.window.end_ms, sim_.now()), {});
+    }
+  }
 }
 
 BatchTotals ExecSession::Totals() {
@@ -168,6 +188,18 @@ BatchTotals ExecSession::Totals() {
   if (config_.collect_histograms) {
     totals.disk_service_ms = disk_service_hist_;
     totals.net_queue_delay_ms = net_queue_hist_;
+  }
+  if (fault_state_ != nullptr) {
+    if (config_.collect_histograms) {
+      totals.downtime_ms = Histogram(Histogram::DefaultTimeBoundsMs());
+    }
+    for (const auto& w : fault_state_->SiteWindowsUpTo(sim_.now())) {
+      ++totals.crashes;
+      const double down =
+          std::min(w.window.end_ms, sim_.now()) - w.window.start_ms;
+      totals.crash_downtime_ms += down;
+      if (config_.collect_histograms) totals.downtime_ms.Add(down);
+    }
   }
   return totals;
 }

@@ -62,6 +62,13 @@ struct BatchTotals {
   /// is set.
   Histogram disk_service_ms;
   Histogram net_queue_delay_ms;
+
+  /// Fault-injection outcome over the run (zero without a schedule):
+  /// site crash windows that began by the end of the run, their total
+  /// downtime, and (with collect_histograms) the downtime distribution.
+  int64_t crashes = 0;
+  double crash_downtime_ms = 0.0;
+  Histogram downtime_ms;
 };
 
 /// Result of executing a batch of queries concurrently on one system.
@@ -110,6 +117,10 @@ class ExecSession {
 
   sim::Simulator& sim() { return sim_; }
   ExecSystem& system() { return system_; }
+  /// Fault oracle of this session (null when the config has no schedule or
+  /// an empty one). The workload driver uses it for crash detection, retry
+  /// decisions, and availability-windowed statistics.
+  sim::FaultState* faults() { return fault_state_.get(); }
 
   /// Declares how many query completions this session will see in total;
   /// external load generators (and the all-done flag) wind down only once
@@ -173,6 +184,9 @@ class ExecSession {
   uint64_t seed_;
   sim::Simulator sim_;
   ExecSystem system_;
+  /// Present only when the config carries a non-empty fault schedule, so
+  /// healthy sessions keep their pre-fault code paths bit-identical.
+  std::unique_ptr<sim::FaultState> fault_state_;
   Histogram disk_service_hist_;
   Histogram net_queue_hist_;
   int expected_ = 0;

@@ -37,6 +37,12 @@ void FoldExecMetrics(const ExecMetrics& metrics, MetricsRegistry& registry) {
   if (static_cast<double>(metrics.disk.max_queue_depth) > depth.value()) {
     depth.Set(static_cast<double>(metrics.disk.max_queue_depth));
   }
+  if (metrics.fault_stall_ms > 0.0 || metrics.retransmits > 0) {
+    registry.gauge("exec.fault.stall_ms").Add(metrics.fault_stall_ms);
+    registry.counter("exec.fault.retransmits").Add(metrics.retransmits);
+    registry.counter("exec.fault.retransmitted_bytes")
+        .Add(metrics.retransmitted_bytes);
+  }
   if (metrics.disk_service_ms.count() > 0) {
     registry.MergeHistogram("exec.disk.service_ms", metrics.disk_service_ms);
   }

@@ -55,6 +55,16 @@ struct ExecMetrics {
   /// queueing delay.
   Histogram disk_service_ms;
   Histogram net_queue_delay_ms;
+
+  // --- fault injection (all zero on healthy runs) -----------------------
+  /// Virtual time this query's operators spent stalled on crashed sites
+  /// (summed per stalled request; concurrent operators can overlap, so
+  /// this can exceed the wall-clock stretch), ms.
+  double fault_stall_ms = 0.0;
+  /// Link-fault retransmissions attributed to this query, and their bytes
+  /// (already included in messages/bytes on the wire).
+  int64_t retransmits = 0;
+  int64_t retransmitted_bytes = 0;
 };
 
 /// Folds one execution's metrics into `registry` under "exec."-prefixed

@@ -83,6 +83,46 @@ sim::Task<int64_t> EmitRemainder(SiteRuntime& site, OutputAccumulator& acc,
   co_return pages;
 }
 
+/// Stalls while `site` is crashed: fail-stop at request boundaries, so work
+/// already in service finishes but new disk/network requests wait for the
+/// restart (chained crash windows included). Returns the stalled time, ms.
+/// Callers guard on ctx.faults != nullptr, so healthy runs pay only that
+/// branch (no coroutine frame).
+sim::Task<double> AwaitSiteUp(ExecContext& ctx, SiteId site) {
+  double stall_ms = 0.0;
+  while (ctx.faults->SiteDown(site, ctx.sim.now())) {
+    const double wait_ms =
+        ctx.faults->SiteUpAt(site, ctx.sim.now()) - ctx.sim.now();
+    stall_ms += wait_ms;
+    co_await ctx.sim.Delay(wait_ms);
+  }
+  co_return stall_ms;
+}
+
+/// One transfer under the fault model: a message started inside a drop
+/// window occupies the wire but is lost; the sender times out (virtual
+/// time) and retransmits with exponential backoff until a transfer starts
+/// outside a drop window. Delay windows stretch the time on the wire.
+/// Retransmissions are counted into the query's metrics; the network's own
+/// message/byte totals include them too (they really crossed the wire).
+sim::Task<void> FaultyTransfer(ExecContext& ctx, int64_t bytes) {
+  const FaultTolerance& tolerance = *ctx.fault_tolerance;
+  double timeout_ms = tolerance.retransmit_timeout_ms;
+  while (true) {
+    const bool dropped = ctx.faults->LinkDropping(ctx.sim.now());
+    const double factor = ctx.faults->LinkDelayFactor(ctx.sim.now());
+    co_await ctx.system.network().Transfer(bytes, factor);
+    if (!dropped) co_return;
+    ++ctx.metrics.retransmits;
+    ctx.metrics.retransmitted_bytes += bytes;
+    ++ctx.metrics.messages;
+    ctx.metrics.bytes_sent += bytes;
+    co_await ctx.sim.Delay(timeout_ms);
+    timeout_ms = std::min(timeout_ms * tolerance.retransmit_backoff_mult,
+                          tolerance.retransmit_backoff_cap_ms);
+  }
+}
+
 }  // namespace
 
 sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
@@ -104,6 +144,10 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
     SiteRuntime& server = ctx.system.site(node.bound_site);
     const DiskExtent extent = ctx.system.RelationExtent(node.relation);
     for (int64_t i = 0; i < total_pages; ++i) {
+      if (ctx.faults != nullptr) {
+        ctx.metrics.fault_stall_ms +=
+            co_await AwaitSiteUp(ctx, node.bound_site);
+      }
       co_await server.cpu.Use(disk_cpu);
       co_await server.disk(extent.disk).Read(extent.start + i);
       co_await out.Put(Page{tuples_on_page(i)});
@@ -136,13 +180,25 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
     } else {
       ++faulted;
       // Page fault: request to the server, server disk read, page back.
+      // A crashed server stalls the fault-in until its restart.
+      if (ctx.faults != nullptr) {
+        ctx.metrics.fault_stall_ms += co_await AwaitSiteUp(ctx, server.id);
+      }
       co_await client.cpu.Use(request_cpu);
-      co_await ctx.system.network().Transfer(ctx.params.fault_request_bytes);
+      if (ctx.faults == nullptr) {
+        co_await ctx.system.network().Transfer(ctx.params.fault_request_bytes);
+      } else {
+        co_await FaultyTransfer(ctx, ctx.params.fault_request_bytes);
+      }
       co_await server.cpu.Use(request_cpu);
       co_await server.cpu.Use(disk_cpu);
       co_await server.disk(server_extent.disk).Read(server_extent.start + i);
       co_await server.cpu.Use(page_cpu);
-      co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+      if (ctx.faults == nullptr) {
+        co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+      } else {
+        co_await FaultyTransfer(ctx, ctx.params.page_bytes);
+      }
       co_await client.cpu.Use(page_cpu);
       ++ctx.metrics.data_pages_sent;
       ctx.metrics.messages += 2;
@@ -269,6 +325,10 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
     ++pages_in;
     co_await site.cpu.Use(compare * log_n * page->tuples);
     if (spills) {
+      if (ctx.faults != nullptr) {
+        ctx.metrics.fault_stall_ms +=
+            co_await AwaitSiteUp(ctx, node.bound_site);
+      }
       co_await site.cpu.Use(disk_cpu);
       co_await site.disk(runs.disk).Write(runs.start + run_pages++);
     }
@@ -286,6 +346,10 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   if (spills) {
     for (int64_t i = 0; i < run_pages; ++i) {
+      if (ctx.faults != nullptr) {
+        ctx.metrics.fault_stall_ms +=
+            co_await AwaitSiteUp(ctx, node.bound_site);
+      }
       co_await site.cpu.Use(disk_cpu);
       co_await site.disk(runs.disk).Read(runs.start + i);
       acc.Add(static_cast<double>(out_stats.tuples) /
@@ -378,6 +442,10 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
         spill_acc -= 1.0;
         const int p = next_partition;
         next_partition = (next_partition + 1) % partitions;
+        if (ctx.faults != nullptr) {
+          ctx.metrics.fault_stall_ms +=
+              co_await AwaitSiteUp(ctx, node.bound_site);
+        }
         co_await site.cpu.Use(disk_cpu);
         co_await site.disk(inner_extent[p].disk)
             .Write(inner_extent[p].start + inner_written[p]++);
@@ -418,6 +486,10 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
         spill_acc -= 1.0;
         const int p = next_partition;
         next_partition = (next_partition + 1) % partitions;
+        if (ctx.faults != nullptr) {
+          ctx.metrics.fault_stall_ms +=
+              co_await AwaitSiteUp(ctx, node.bound_site);
+        }
         co_await site.cpu.Use(disk_cpu);
         co_await site.disk(outer_extent[p].disk)
             .Write(outer_extent[p].start + outer_written[p]++);
@@ -443,6 +515,10 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
     for (int p = 0; p < partitions; ++p) {
       // Rebuild the hash table from the spilled inner partition.
       for (int64_t i = 0; i < inner_written[p]; ++i) {
+        if (ctx.faults != nullptr) {
+          ctx.metrics.fault_stall_ms +=
+              co_await AwaitSiteUp(ctx, node.bound_site);
+        }
         co_await site.cpu.Use(disk_cpu);
         co_await site.disk(inner_extent[p].disk).Read(inner_extent[p].start + i);
         co_await site.cpu.Use((hash + move_in) *
@@ -450,6 +526,10 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
       }
       // Probe with the spilled outer partition.
       for (int64_t i = 0; i < outer_written[p]; ++i) {
+        if (ctx.faults != nullptr) {
+          ctx.metrics.fault_stall_ms +=
+              co_await AwaitSiteUp(ctx, node.bound_site);
+        }
         co_await site.cpu.Use(disk_cpu);
         co_await site.disk(outer_extent[p].disk).Read(outer_extent[p].start + i);
         co_await site.cpu.Use((hash + compare) *
@@ -501,8 +581,15 @@ sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
     ++pages;
+    if (ctx.faults != nullptr) {
+      ctx.metrics.fault_stall_ms += co_await AwaitSiteUp(ctx, from);
+    }
     co_await site.cpu.Use(page_cpu);
-    co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+    if (ctx.faults == nullptr) {
+      co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+    } else {
+      co_await FaultyTransfer(ctx, ctx.params.page_bytes);
+    }
     ++ctx.metrics.data_pages_sent;
     ++ctx.metrics.messages;
     ctx.metrics.bytes_sent += ctx.params.page_bytes;
@@ -522,6 +609,9 @@ sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
     std::optional<Page> page = co_await wire.Get();
     if (!page.has_value()) break;
     ++pages;
+    if (ctx.faults != nullptr) {
+      ctx.metrics.fault_stall_ms += co_await AwaitSiteUp(ctx, to);
+    }
     co_await site.cpu.Use(page_cpu);
     co_await out.Put(*page);
   }
@@ -532,7 +622,7 @@ sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
 sim::Process LoadGeneratorProcess(sim::Simulator& sim, SiteRuntime& site,
                                   const CostParams& params,
                                   double requests_per_sec, uint64_t seed,
-                                  const bool* stop) {
+                                  const bool* stop, sim::FaultState* faults) {
   DIMSUM_CHECK_GT(requests_per_sec, 0.0);
   Rng rng(seed);
   const double mean_gap_ms = 1000.0 / requests_per_sec;
@@ -549,8 +639,10 @@ sim::Process LoadGeneratorProcess(sim::Simulator& sim, SiteRuntime& site,
     if (*stop) break;
     const int disk =
         static_cast<int>(rng.UniformInt(0, site.num_disks() - 1));
-    sim.Spawn(OneRead::Run(site, disk, rng.UniformInt(0, pages - 1),
-                           params.DiskCpuMs()));
+    const int64_t block = rng.UniformInt(0, pages - 1);
+    // External requests against a crashed server are lost, not queued.
+    if (faults != nullptr && faults->SiteDown(site.id, sim.now())) continue;
+    sim.Spawn(OneRead::Run(site, disk, block, params.DiskCpuMs()));
   }
 }
 

@@ -42,6 +42,15 @@ struct ExecContext {
   /// to raise when the whole batch is done (both may be null).
   int* batch_remaining = nullptr;
   bool* batch_done = nullptr;
+
+  /// Fault oracle of the session (null on healthy runs; operators then take
+  /// exactly their pre-fault code paths). Crashed sites stall new disk and
+  /// network requests at request boundaries (fail-stop; in-service work
+  /// finishes); drop windows force retransmissions per `fault_tolerance`.
+  sim::FaultState* faults = nullptr;
+  /// Retransmission policy (points into the session config; read only when
+  /// `faults` is non-null).
+  const FaultTolerance* fault_tolerance = nullptr;
 };
 
 /// Scan of a base relation (Volcano-style, page at a time).
@@ -107,11 +116,14 @@ sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
 
 /// External load: open-loop Poisson random single-page reads against a
 /// server's disks (the paper's model of additional clients), winding down
-/// once `*stop` becomes true (the query or batch completed).
+/// once `*stop` becomes true (the query or batch completed). Requests that
+/// fire while the site is crashed (`faults` non-null) are lost rather than
+/// queued, so a restart does not replay a storm of stale reads.
 sim::Process LoadGeneratorProcess(sim::Simulator& sim, SiteRuntime& site,
                                   const CostParams& params,
                                   double requests_per_sec, uint64_t seed,
-                                  const bool* stop);
+                                  const bool* stop,
+                                  sim::FaultState* faults = nullptr);
 
 }  // namespace dimsum
 

@@ -13,11 +13,24 @@
 #include "exec/buffer_pool.h"
 #include "exec/layout.h"
 #include "sim/disk.h"
+#include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
 namespace dimsum {
+
+/// Executor-side handling of injected link faults: a transfer lost to a
+/// drop window is detected by a virtual-time timeout and retransmitted
+/// with exponential backoff. Only consulted when a fault schedule is
+/// attached; healthy runs never read these knobs.
+struct FaultTolerance {
+  /// Timeout before the first retransmission of a dropped message, ms.
+  double retransmit_timeout_ms = 50.0;
+  /// Backoff multiplier and cap for consecutive drops of one message.
+  double retransmit_backoff_mult = 2.0;
+  double retransmit_backoff_cap_ms = 1000.0;
+};
 
 /// Runtime configuration of the simulated client-server system.
 struct SystemConfig {
@@ -55,6 +68,17 @@ struct SystemConfig {
   /// Collect disk service-time and network queueing-delay histograms into
   /// ExecMetrics (off by default: one Histogram::Add per arm op/message).
   bool collect_histograms = false;
+
+  // --- fault injection --------------------------------------------------
+  /// Deterministic fault schedule (not owned; must outlive the execution).
+  /// Null or empty means a healthy run: the executor then takes exactly
+  /// its pre-fault code paths, so all existing experiments stay
+  /// bit-identical. Crash clauses should target server sites; queries on
+  /// a crashed site's resources stall until the restart unless the
+  /// workload layer re-optimizes around it (see workload/driver.h).
+  const sim::FaultSchedule* faults = nullptr;
+  /// Link-fault retransmission policy (read only when `faults` is set).
+  FaultTolerance fault_tolerance;
 };
 
 /// Location of a contiguous on-disk extent within a site.

@@ -11,14 +11,43 @@
 #include "plan/binding.h"
 
 namespace dimsum {
+namespace {
+
+/// Additive cost for plans touching an unavailable site. Far beyond any
+/// model cost, so available plans always win, yet finite so the search
+/// still ranks plans when no available one exists.
+constexpr double kUnavailableSitePenalty = 1e15;
+
+}  // namespace
+
+double TwoPhaseOptimizer::UnavailablePenalty(const Plan& plan,
+                                             const QueryGraph& query) const {
+  Plan bound = plan.Clone();
+  BindSites(bound, model_.catalog(), query.home_client);
+  const std::vector<SiteId> needed =
+      BoundServerSites(bound, model_.catalog(), model_.params().page_bytes);
+  for (const SiteId site : needed) {
+    if (std::find(config_.unavailable_sites.begin(),
+                  config_.unavailable_sites.end(),
+                  site) != config_.unavailable_sites.end()) {
+      return kUnavailableSitePenalty;
+    }
+  }
+  return 0.0;
+}
 
 double TwoPhaseOptimizer::EvalCost(Plan& plan, const QueryGraph& query,
                                    CostCache* cache, int* evaluations) const {
   ++*evaluations;
-  if (cache != nullptr) {
-    return cache->Cost(model_, plan, query, config_.metric);
+  double cost = cache != nullptr
+                    ? cache->Cost(model_, plan, query, config_.metric)
+                    : model_.PlanCost(plan, query, config_.metric);
+  // Outside the cache on purpose: the cache memoizes the fault-agnostic
+  // model cost, so schedules with different crashed sites share entries.
+  if (!config_.unavailable_sites.empty()) {
+    cost += UnavailablePenalty(plan, query);
   }
-  return model_.PlanCost(plan, query, config_.metric);
+  return cost;
 }
 
 OptimizeResult TwoPhaseOptimizer::FinishResult(Plan plan, double cost,

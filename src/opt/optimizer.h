@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -40,6 +41,13 @@ struct OptimizerConfig {
   /// (the II/SA search oscillates constantly) skip the analytic model.
   /// Purely an evaluation-speed knob: results are identical either way.
   bool enable_cost_cache = true;
+
+  /// Server sites the search should avoid (crashed sites, during fault
+  /// recovery). Plans depending on any of them take a large additive
+  /// penalty -- applied outside the cost cache, so cached model costs stay
+  /// fault-agnostic. A plan that cannot avoid these sites (e.g. QS with a
+  /// single primary copy) still optimizes normally among penalized plans.
+  std::vector<SiteId> unavailable_sites;
 
   // --- iterative improvement (II) ---------------------------------------
   /// Number of random starting plans. Starts are independent searches and
@@ -163,6 +171,9 @@ class TwoPhaseOptimizer {
   /// Cost of `plan`, through `cache` when non-null; counts the request.
   double EvalCost(Plan& plan, const QueryGraph& query, CostCache* cache,
                   int* evaluations) const;
+  /// Large additive penalty when the plan (bound for the query's home
+  /// client) depends on any configured unavailable site, else 0.
+  double UnavailablePenalty(const Plan& plan, const QueryGraph& query) const;
   /// SA phase over a pre-derived stream; folds the accumulated II counters
   /// into the returned result.
   OptimizeResult Anneal(Plan start, double start_cost,

@@ -1,5 +1,8 @@
 #include "plan/binding.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.h"
 #include "plan/validate.h"
 
@@ -87,6 +90,28 @@ bool IsFullyBound(const Plan& plan) {
 void ClearBinding(Plan& plan) {
   plan.ForEachMutable(
       [](PlanNode& node) { node.bound_site = kUnboundSite; });
+}
+
+std::vector<SiteId> BoundServerSites(const Plan& plan, const Catalog& catalog,
+                                     int page_bytes) {
+  DIMSUM_CHECK(IsFullyBound(plan));
+  std::vector<SiteId> sites;
+  plan.ForEach([&](const PlanNode& node) {
+    if (!catalog.IsClientSite(node.bound_site)) {
+      sites.push_back(node.bound_site);
+    }
+    // A client-cached scan with a partial cache still faults the remaining
+    // pages in from the relation's primary copy.
+    if (node.type == OpType::kScan &&
+        catalog.IsClientSite(node.bound_site) &&
+        catalog.CachedPages(node.relation, node.bound_site, page_bytes) <
+            catalog.relation(node.relation).Pages(page_bytes)) {
+      sites.push_back(catalog.PrimarySite(node.relation));
+    }
+  });
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
 }
 
 }  // namespace dimsum

@@ -1,6 +1,8 @@
 #ifndef DIMSUM_PLAN_BINDING_H_
 #define DIMSUM_PLAN_BINDING_H_
 
+#include <vector>
+
 #include "catalog/catalog.h"
 #include "plan/plan.h"
 
@@ -21,6 +23,16 @@ bool IsFullyBound(const Plan& plan);
 
 /// Clears bound sites (useful before re-binding under a new placement).
 void ClearBinding(Plan& plan);
+
+/// Server sites a fully bound plan depends on: every server a node is
+/// bound to, plus the primary-copy site of any client-cached scan whose
+/// cache holds less than the full relation (the remainder faults in from
+/// the server). Sorted, deduplicated. Check-fails unless fully bound.
+///
+/// The fault-injection recovery path uses this to decide whether a plan
+/// touches a crashed site before (re)submitting it.
+std::vector<SiteId> BoundServerSites(const Plan& plan, const Catalog& catalog,
+                                     int page_bytes);
 
 }  // namespace dimsum
 

@@ -1,0 +1,282 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dimsum::sim {
+namespace {
+
+/// Splits `text` on `sep`, keeping empty pieces (they are parse errors the
+/// caller reports with context).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> pieces;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      pieces.push_back(text.substr(begin));
+      return pieces;
+    }
+    pieces.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+double ParseNumber(const std::string& clause, const std::string& token) {
+  const std::size_t eq = token.find('=');
+  DIMSUM_CHECK(eq != std::string::npos)
+      << "fault clause '" << clause << "': expected key=value, got '" << token
+      << "'";
+  const std::string value = token.substr(eq + 1);
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  DIMSUM_CHECK(!value.empty() && end != nullptr && *end == '\0')
+      << "fault clause '" << clause << "': bad number '" << value << "'";
+  return parsed;
+}
+
+/// Parses the shared timing keys (at/for or mtbf/mttr, optional seed) of
+/// one clause into `out`, check-failing on unknown keys or mixed modes.
+void ParseTiming(const std::string& clause,
+                 const std::vector<std::string>& tokens, std::size_t first,
+                 FaultClause* out) {
+  bool has_at = false, has_for = false, has_mtbf = false, has_mttr = false;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("at=", 0) == 0) {
+      out->at_ms = ParseNumber(clause, token);
+      has_at = true;
+    } else if (token.rfind("for=", 0) == 0) {
+      out->for_ms = ParseNumber(clause, token);
+      has_for = true;
+    } else if (token.rfind("mtbf=", 0) == 0) {
+      out->mtbf_ms = ParseNumber(clause, token);
+      has_mtbf = true;
+    } else if (token.rfind("mttr=", 0) == 0) {
+      out->mttr_ms = ParseNumber(clause, token);
+      has_mttr = true;
+    } else if (token.rfind("seed=", 0) == 0) {
+      out->seed = static_cast<uint64_t>(ParseNumber(clause, token));
+    } else if (token.rfind("site=", 0) == 0) {
+      // handled by the caller for crash clauses
+      continue;
+    } else {
+      DIMSUM_CHECK(false) << "fault clause '" << clause << "': unknown key '"
+                          << token << "'";
+    }
+  }
+  DIMSUM_CHECK(!(has_at || has_for) || !(has_mtbf || has_mttr))
+      << "fault clause '" << clause
+      << "': at/for and mtbf/mttr are mutually exclusive";
+  if (has_at || has_for) {
+    DIMSUM_CHECK(has_at && has_for)
+        << "fault clause '" << clause << "': one-shot needs both at= and for=";
+    DIMSUM_CHECK_GE(out->at_ms, 0.0) << "fault clause '" << clause << "'";
+    DIMSUM_CHECK_GT(out->for_ms, 0.0)
+        << "fault clause '" << clause << "': for= must be positive";
+    out->one_shot = true;
+  } else {
+    DIMSUM_CHECK(has_mtbf && has_mttr)
+        << "fault clause '" << clause
+        << "': need at=/for= or mtbf=/mttr= timing";
+    DIMSUM_CHECK_GT(out->mtbf_ms, 0.0)
+        << "fault clause '" << clause << "': mtbf= must be positive";
+    DIMSUM_CHECK_GT(out->mttr_ms, 0.0)
+        << "fault clause '" << clause << "': mttr= must be positive";
+    out->one_shot = false;
+  }
+}
+
+FaultClause ParseClause(const std::string& clause) {
+  const std::size_t colon = clause.find(':');
+  DIMSUM_CHECK(colon != std::string::npos && colon > 0)
+      << "fault clause '" << clause << "': expected kind:key=value,...";
+  const std::string kind = clause.substr(0, colon);
+  const std::vector<std::string> tokens = Split(clause.substr(colon + 1), ',');
+  DIMSUM_CHECK(!tokens.empty() && !tokens.front().empty())
+      << "fault clause '" << clause << "': empty body";
+
+  FaultClause out;
+  if (kind == "crash") {
+    out.target = FaultClause::Target::kSite;
+    bool has_site = false;
+    for (const std::string& token : tokens) {
+      if (token.rfind("site=", 0) == 0) {
+        out.site = static_cast<SiteId>(ParseNumber(clause, token));
+        has_site = true;
+      }
+    }
+    DIMSUM_CHECK(has_site) << "fault clause '" << clause
+                           << "': crash needs site=<id>";
+    DIMSUM_CHECK_GE(out.site, 0) << "fault clause '" << clause << "'";
+    ParseTiming(clause, tokens, 0, &out);
+  } else if (kind == "link") {
+    out.target = FaultClause::Target::kLink;
+    const std::string& mode = tokens.front();
+    if (mode == "drop") {
+      out.link_kind = LinkFaultKind::kDrop;
+    } else if (mode.rfind("delay=", 0) == 0) {
+      out.link_kind = LinkFaultKind::kDelay;
+      out.delay_factor = ParseNumber(clause, mode);
+      DIMSUM_CHECK_GT(out.delay_factor, 0.0)
+          << "fault clause '" << clause << "': delay factor must be positive";
+    } else {
+      DIMSUM_CHECK(false) << "fault clause '" << clause
+                          << "': link needs drop or delay=<factor> first";
+    }
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      DIMSUM_CHECK(tokens[i].rfind("site=", 0) != 0)
+          << "fault clause '" << clause << "': link clauses take no site=";
+    }
+    ParseTiming(clause, tokens, 1, &out);
+  } else {
+    DIMSUM_CHECK(false) << "fault clause '" << clause << "': unknown kind '"
+                        << kind << "' (want crash or link)";
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultSchedule ParseFaultSpec(const std::string& spec) {
+  FaultSchedule schedule;
+  if (spec.empty()) return schedule;
+  for (const std::string& clause : Split(spec, ';')) {
+    DIMSUM_CHECK(!clause.empty())
+        << "fault spec '" << spec << "': empty clause";
+    schedule.clauses.push_back(ParseClause(clause));
+  }
+  return schedule;
+}
+
+FaultState::FaultState(const FaultSchedule& schedule) {
+  clauses_.reserve(schedule.clauses.size());
+  for (std::size_t i = 0; i < schedule.clauses.size(); ++i) {
+    const FaultClause& clause = schedule.clauses[i];
+    ClauseState cs;
+    cs.clause = clause;
+    if (clause.one_shot) {
+      cs.windows.push_back(
+          FaultWindow{clause.at_ms, clause.at_ms + clause.for_ms});
+      cs.generated_until_ms = std::numeric_limits<double>::infinity();
+    } else {
+      // Mix the clause index into the seed so identical clauses get
+      // independent streams.
+      cs.rng = Rng(clause.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    }
+    clauses_.push_back(std::move(cs));
+  }
+}
+
+void FaultState::EnsureUntil(ClauseState& cs, double t_ms) {
+  while (cs.generated_until_ms <= t_ms) {
+    // Uptime then downtime; tiny floors keep the renewal process advancing
+    // even on degenerate exponential draws.
+    const double up = std::max(1e-6, cs.rng.Exponential(cs.clause.mtbf_ms));
+    const double down = std::max(1e-6, cs.rng.Exponential(cs.clause.mttr_ms));
+    const double start = cs.generated_until_ms + up;
+    cs.windows.push_back(FaultWindow{start, start + down});
+    cs.generated_until_ms = start + down;
+  }
+}
+
+const FaultWindow* FaultState::ActiveWindow(ClauseState& cs, double now_ms) {
+  EnsureUntil(cs, now_ms);
+  // First window with end > now; active iff it has also started.
+  const auto it = std::upper_bound(
+      cs.windows.begin(), cs.windows.end(), now_ms,
+      [](double t, const FaultWindow& w) { return t < w.end_ms; });
+  if (it == cs.windows.end() || it->start_ms > now_ms) return nullptr;
+  return &*it;
+}
+
+bool FaultState::SiteDown(SiteId site, double now_ms) {
+  for (ClauseState& cs : clauses_) {
+    if (cs.clause.target != FaultClause::Target::kSite ||
+        cs.clause.site != site) {
+      continue;
+    }
+    if (ActiveWindow(cs, now_ms) != nullptr) return true;
+  }
+  return false;
+}
+
+double FaultState::SiteUpAt(SiteId site, double now_ms) {
+  double up_at = now_ms;
+  for (ClauseState& cs : clauses_) {
+    if (cs.clause.target != FaultClause::Target::kSite ||
+        cs.clause.site != site) {
+      continue;
+    }
+    if (const FaultWindow* w = ActiveWindow(cs, now_ms)) {
+      up_at = std::max(up_at, w->end_ms);
+    }
+  }
+  DIMSUM_CHECK_GT(up_at, now_ms) << "SiteUpAt requires SiteDown(site, now)";
+  return up_at;
+}
+
+std::vector<SiteId> FaultState::DownSites(double now_ms) {
+  std::vector<SiteId> down;
+  for (ClauseState& cs : clauses_) {
+    if (cs.clause.target != FaultClause::Target::kSite) continue;
+    if (ActiveWindow(cs, now_ms) != nullptr) down.push_back(cs.clause.site);
+  }
+  std::sort(down.begin(), down.end());
+  down.erase(std::unique(down.begin(), down.end()), down.end());
+  return down;
+}
+
+bool FaultState::AnySiteDownDuring(double begin_ms, double end_ms) {
+  for (ClauseState& cs : clauses_) {
+    if (cs.clause.target != FaultClause::Target::kSite) continue;
+    EnsureUntil(cs, end_ms);
+    for (const FaultWindow& w : cs.windows) {
+      if (w.start_ms >= end_ms) break;
+      if (w.end_ms > begin_ms) return true;
+    }
+  }
+  return false;
+}
+
+double FaultState::LinkDelayFactor(double now_ms) {
+  double factor = 1.0;
+  for (ClauseState& cs : clauses_) {
+    if (cs.clause.target != FaultClause::Target::kLink ||
+        cs.clause.link_kind != LinkFaultKind::kDelay) {
+      continue;
+    }
+    if (ActiveWindow(cs, now_ms) != nullptr) factor *= cs.clause.delay_factor;
+  }
+  return factor;
+}
+
+bool FaultState::LinkDropping(double now_ms) {
+  for (ClauseState& cs : clauses_) {
+    if (cs.clause.target != FaultClause::Target::kLink ||
+        cs.clause.link_kind != LinkFaultKind::kDrop) {
+      continue;
+    }
+    if (ActiveWindow(cs, now_ms) != nullptr) return true;
+  }
+  return false;
+}
+
+std::vector<FaultState::SiteWindow> FaultState::SiteWindowsUpTo(
+    double horizon_ms) {
+  std::vector<SiteWindow> result;
+  for (ClauseState& cs : clauses_) {
+    if (cs.clause.target != FaultClause::Target::kSite) continue;
+    EnsureUntil(cs, horizon_ms);
+    for (const FaultWindow& w : cs.windows) {
+      if (w.start_ms >= horizon_ms) break;
+      result.push_back(SiteWindow{cs.clause.site, w});
+    }
+  }
+  return result;
+}
+
+}  // namespace dimsum::sim

@@ -22,11 +22,14 @@ class Network {
     return static_cast<double>(bytes) * 8.0 / (bandwidth_mbps_ * 1000.0);
   }
 
-  /// Occupies the link for the message's time-on-the-wire.
-  auto Transfer(int64_t bytes) {
+  /// Occupies the link for the message's time-on-the-wire. `time_factor`
+  /// stretches the transfer (fault injection's latency spikes); the
+  /// default of 1.0 is exact multiplication, so healthy runs are
+  /// bit-identical to the factor-free model.
+  auto Transfer(int64_t bytes, double time_factor = 1.0) {
     ++messages_;
     bytes_sent_ += bytes;
-    return link_.Use(TransferTimeMs(bytes));
+    return link_.Use(TransferTimeMs(bytes) * time_factor);
   }
 
   double bandwidth_mbps() const { return bandwidth_mbps_; }

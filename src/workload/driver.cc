@@ -1,33 +1,108 @@
 #include "workload/driver.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "opt/two_step.h"
+#include "plan/binding.h"
+#include "sim/fault.h"
 
 namespace dimsum {
 namespace {
 
+/// Shared state of one run, referenced by every client coroutine. Lives in
+/// RunClosedLoop's frame, which outlives session.Run().
+struct RunState {
+  ExecSession& session;
+  const Catalog& catalog;
+  const RetryPolicy& retry;
+  int page_bytes;
+  DriverResult* result;
+  /// Owns plans produced by recovery re-optimization, so adopted plans
+  /// stay alive for the queries still running on them.
+  std::vector<std::unique_ptr<Plan>> replanned;
+};
+
 /// One closed-loop client: submit, await completion, think, repeat.
-/// Records each completion into `completions` at its completion instant,
-/// so the global completion order falls directly out of the event order.
-sim::Process ClientProcess(ExecSession& session, const ClientWorkload& work,
+/// Records each completion into the shared result at its completion
+/// instant, so the global completion order falls directly out of the
+/// event order. With a fault schedule, each submission first runs crash
+/// detection and recovery (see RetryPolicy).
+sim::Process ClientProcess(RunState& run, const ClientWorkload& work,
                            SiteId client, int queries, double think_mean_ms,
-                           Rng rng, std::vector<Completion>* completions,
-                           std::vector<SiteId>* query_client) {
+                           Rng rng) {
+  sim::Simulator& sim = run.session.sim();
+  const Plan* plan = work.plan;
   for (int i = 0; i < queries; ++i) {
     if (i > 0 && think_mean_ms > 0.0) {
-      co_await session.sim().Delay(rng.Exponential(think_mean_ms));
+      co_await sim.Delay(rng.Exponential(think_mean_ms));
     }
-    const double submit_ms = session.sim().now();
-    const int ticket = session.Submit(*work.plan, *work.query);
-    if (static_cast<int>(query_client->size()) <= ticket) {
-      query_client->resize(ticket + 1, kUnboundSite);
+    int attempts = 0;
+    sim::FaultState* faults = run.session.faults();
+    if (faults != nullptr) {
+      double backoff_ms = run.retry.backoff_base_ms;
+      while (true) {
+        std::vector<SiteId> down;
+        for (const SiteId site :
+             BoundServerSites(*plan, run.catalog, run.page_bytes)) {
+          if (faults->SiteDown(site, sim.now())) down.push_back(site);
+        }
+        if (down.empty()) break;
+        // The submission attempt times out against the crashed site.
+        ++attempts;
+        ++run.result->total_retries;
+        co_await sim.Delay(run.retry.detect_timeout_ms);
+        if (run.retry.reoptimize && work.reopt_model != nullptr &&
+            work.reopt_config != nullptr) {
+          OptimizerConfig reopt = *work.reopt_config;
+          reopt.unavailable_sites = faults->DownSites(sim.now());
+          Rng opt_rng = rng.Fork();
+          OptimizeResult selected = TwoStepSiteSelection(
+              *work.reopt_model, *work.plan, *work.query, reopt, opt_rng);
+          ++run.result->total_reopts;
+          auto candidate = std::make_unique<Plan>(std::move(selected.plan));
+          BindSites(*candidate, run.catalog, client);
+          bool avoids_down = true;
+          for (const SiteId site :
+               BoundServerSites(*candidate, run.catalog, run.page_bytes)) {
+            if (faults->SiteDown(site, sim.now())) avoids_down = false;
+          }
+          if (avoids_down) {
+            plan = candidate.get();
+            run.replanned.push_back(std::move(candidate));
+            continue;  // re-check and submit the recovered plan
+          }
+        }
+        if (attempts >= run.retry.max_retries) {
+          // Out of retries; wait for the first blocking site to restart
+          // (queries are never abandoned).
+          while (faults->SiteDown(down.front(), sim.now())) {
+            co_await sim.Delay(faults->SiteUpAt(down.front(), sim.now()) -
+                               sim.now());
+          }
+          continue;
+        }
+        co_await sim.Delay(backoff_ms);
+        backoff_ms =
+            std::min(backoff_ms * run.retry.backoff_mult,
+                     run.retry.backoff_cap_ms);
+      }
     }
-    (*query_client)[ticket] = client;
-    co_await session.UntilDone(ticket);
-    completions->push_back(
-        Completion{ticket, client, submit_ms, session.sim().now()});
+    const double submit_ms = sim.now();
+    const int ticket = run.session.Submit(*plan, *work.query);
+    if (static_cast<int>(run.result->query_client.size()) <= ticket) {
+      run.result->query_client.resize(ticket + 1, kUnboundSite);
+      run.result->retries_per_query.resize(ticket + 1, 0);
+    }
+    run.result->query_client[ticket] = client;
+    run.result->retries_per_query[ticket] = attempts;
+    co_await run.session.UntilDone(ticket);
+    run.result->completions.push_back(
+        Completion{ticket, client, submit_ms, sim.now()});
   }
 }
 
@@ -50,6 +125,8 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
   DriverResult result;
   ExecSession session(catalog, config, driver.seed);
   session.ExpectQueries(total);
+  RunState run{session, catalog, driver.retry, config.params.page_bytes,
+               &result, {}};
   Rng rng(driver.seed * 6364136223846793005ULL + 1442695040888963407ULL);
   for (int c = 0; c < num_clients; ++c) {
     const ClientWorkload& work = clients[c];
@@ -59,10 +136,9 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
     DIMSUM_CHECK_EQ(work.plan->root()->bound_site, ClientSite(c))
         << "client " << c << "'s plan displays elsewhere";
     DIMSUM_CHECK_EQ(work.query->home_client, ClientSite(c));
-    session.sim().Spawn(ClientProcess(
-        session, work, ClientSite(c), driver.queries_per_client,
-        driver.think_time_mean_ms, rng.Fork(), &result.completions,
-        &result.query_client));
+    session.sim().Spawn(ClientProcess(run, work, ClientSite(c),
+                                      driver.queries_per_client,
+                                      driver.think_time_mean_ms, rng.Fork()));
   }
   session.Run();
 
@@ -71,8 +147,13 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
   result.per_query.reserve(total);
   for (int t = 0; t < total; ++t) {
     result.per_query.push_back(session.Metrics(t));
+    result.fault_stall_ms += session.Metrics(t).fault_stall_ms;
+    result.retransmits += session.Metrics(t).retransmits;
   }
   result.makespan_ms = result.completions.back().complete_ms;
+  result.abort_rate =
+      static_cast<double>(result.total_retries) /
+      static_cast<double>(total + result.total_retries);
 
   // Steady-state estimation over the post-warmup completions, in global
   // completion order (the batch-means method over one merged output
@@ -106,12 +187,43 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
       in_batch = 0;
       ++batches_done;
     }
+    // Availability-windowed split (faulted runs only): degraded when any
+    // site was down somewhere in [submit, complete).
+    if (session.faults() != nullptr) {
+      if (session.faults()->AnySiteDownDuring(c.submit_ms, c.complete_ms)) {
+        result.degraded_response_ms.Add(response_ms);
+      } else {
+        result.healthy_response_ms.Add(response_ms);
+      }
+    }
   }
   if (in_batch > 0) result.batch_means.Add(batch.mean());
   result.mean_response_ms = overall.mean();
   result.response_ci90_ms = result.batch_means.count() >= 2
                                 ? result.batch_means.ConfidenceHalfWidth90()
                                 : 0.0;
+  result.healthy_ci90_ms =
+      result.healthy_response_ms.count() >= 2
+          ? result.healthy_response_ms.ConfidenceHalfWidth90()
+          : 0.0;
+  result.degraded_ci90_ms =
+      result.degraded_response_ms.count() >= 2
+          ? result.degraded_response_ms.ConfidenceHalfWidth90()
+          : 0.0;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.enabled() && session.faults() != nullptr) {
+    registry.counter("faults.retries").Add(result.total_retries);
+    registry.counter("faults.reopts").Add(result.total_reopts);
+    registry.counter("faults.retransmits").Add(result.retransmits);
+    registry.counter("faults.crashes").Add(result.totals.crashes);
+    registry.gauge("faults.downtime_ms").Add(result.totals.crash_downtime_ms);
+    registry.gauge("faults.stall_ms").Add(result.fault_stall_ms);
+    if (config.collect_histograms && result.totals.downtime_ms.count() > 0) {
+      registry.MergeHistogram("faults.downtime_ms_hist",
+                              result.totals.downtime_ms);
+    }
+  }
   return result;
 }
 

@@ -15,12 +15,42 @@
 
 namespace dimsum {
 
+class CostModel;
+struct OptimizerConfig;
+
 /// One client's closed-loop workload: the bound plan it re-issues (display
 /// bound to that client's site) and the matching query graph (home_client
 /// set to the client's site). Both must outlive the driver run.
 struct ClientWorkload {
   const Plan* plan = nullptr;
   const QueryGraph* query = nullptr;
+  /// Optional recovery hooks. When both are set, the run has a fault
+  /// schedule, and the retry policy enables re-optimization, a client whose
+  /// plan touches a crashed server re-runs 2-step site selection (compiled
+  /// join order of `plan` kept) against `reopt_model` with the crashed
+  /// sites marked unavailable, adopting the new plan if it avoids them.
+  /// Both must outlive the driver run.
+  const CostModel* reopt_model = nullptr;
+  const OptimizerConfig* reopt_config = nullptr;
+};
+
+/// How a client reacts when its plan depends on a crashed site. All delays
+/// are virtual time.
+struct RetryPolicy {
+  /// Time a submission attempt takes to detect the dead site (the request
+  /// timeout), charged per aborted attempt.
+  double detect_timeout_ms = 100.0;
+  /// Aborted attempts per query before the client stops backing off and
+  /// simply waits for the crashed site to restart (a query is never
+  /// abandoned: ExecSession requires every expected query to complete).
+  int max_retries = 8;
+  /// Exponential backoff between attempts.
+  double backoff_base_ms = 100.0;
+  double backoff_mult = 2.0;
+  double backoff_cap_ms = 5000.0;
+  /// Re-run site selection around crashed sites (needs the workload's
+  /// reopt_model / reopt_config; ignored without them).
+  bool reoptimize = true;
 };
 
 /// Parameters of a closed-loop multi-client run.
@@ -39,6 +69,9 @@ struct DriverConfig {
   /// (each batch holds at least one sample; leftovers fold into the last).
   int num_batches = 10;
   uint64_t seed = 0;
+  /// Crash detection/retry behavior; only consulted when the SystemConfig
+  /// carries a fault schedule.
+  RetryPolicy retry;
 };
 
 /// One completed query, in global completion order.
@@ -77,6 +110,31 @@ struct DriverResult {
   double response_ci90_ms = 0.0;
   /// The batch means themselves (one sample per batch).
   RunningStat batch_means;
+
+  // --- Fault injection & recovery (all zero/empty on healthy runs) ------
+  /// Aborted submission attempts per ticket (a query submitted first try
+  /// has 0).
+  std::vector<int> retries_per_query;
+  /// Sum of retries_per_query.
+  int64_t total_retries = 0;
+  /// Site-selection re-optimizations performed during recovery.
+  int64_t total_reopts = 0;
+  /// Aborted attempts / (completions + aborted attempts).
+  double abort_rate = 0.0;
+  /// Virtual time operators spent stalled on crashed sites, summed over
+  /// queries, ms.
+  double fault_stall_ms = 0.0;
+  /// Link-fault retransmissions, summed over queries.
+  int64_t retransmits = 0;
+  /// Availability-windowed response times over the measured completions:
+  /// a completion is *degraded* when some site was down at any point
+  /// between its submission and completion, *healthy* otherwise. The ci90
+  /// half-widths treat samples as independent (use with the usual
+  /// closed-loop caveats); populated only on faulted runs.
+  RunningStat healthy_response_ms;
+  RunningStat degraded_response_ms;
+  double healthy_ci90_ms = 0.0;
+  double degraded_ci90_ms = 0.0;
 };
 
 /// Runs a closed-loop multi-client workload on one simulated cluster: each

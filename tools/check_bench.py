@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: validates the structure of BENCH_*.json files.
+
+Usage: check_bench.py FILE [FILE...]
+
+Asserts each file is well-formed JSON and, for known benchmark outputs,
+that every record carries the expected keys (so a refactor that silently
+drops a series or renames a field fails CI instead of shipping an empty
+artifact). Unknown BENCH files only need to be well-formed, non-empty
+JSON. Exits non-zero with a message naming the first offending file.
+"""
+
+import json
+import os
+import sys
+
+# Required keys per known benchmark file (by basename). Records may carry
+# more; these must be present in every record.
+SCHEMAS = {
+    "BENCH_faults.json": {
+        "policy", "mtbf_ms", "mttr_ms", "throughput_qps",
+        "mean_response_ms", "retries", "reopts", "abort_rate",
+    },
+    "BENCH_multiclient.json": {
+        "policy", "clients", "throughput_qps", "mean_response_ms",
+        "response_ci90_ms",
+    },
+    "BENCH_optimizer.json": {"name", "threads", "wall_ms", "plans_per_sec"},
+    "BENCH_observability.json": {
+        "name", "threads", "wall_ms", "plans_per_sec",
+    },
+}
+
+METRICS_KEYS = {"counters", "gauges", "histograms"}
+
+
+def fail(path, message):
+    print(f"check_bench: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_records(path, data, required):
+    if not isinstance(data, list) or not data:
+        fail(path, "expected a non-empty JSON array of records")
+    for i, record in enumerate(data):
+        if not isinstance(record, dict):
+            fail(path, f"record {i} is not an object")
+        missing = required - record.keys()
+        if missing:
+            fail(path, f"record {i} is missing keys: {sorted(missing)}")
+
+
+def check_metrics(path, data):
+    if not isinstance(data, dict):
+        fail(path, "metrics snapshot must be a JSON object")
+    missing = METRICS_KEYS - data.keys()
+    if missing:
+        fail(path, f"metrics snapshot is missing sections: {sorted(missing)}")
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        fail(path, f"cannot read: {e}")
+    except json.JSONDecodeError as e:
+        fail(path, f"malformed JSON: {e}")
+    base = os.path.basename(path)
+    if base.endswith(".metrics.json"):
+        check_metrics(path, data)
+    elif base in SCHEMAS:
+        check_records(path, data, SCHEMAS[base])
+    elif not data:
+        fail(path, "empty JSON document")
+    print(f"check_bench: {path}: ok")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

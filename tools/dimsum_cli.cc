@@ -18,6 +18,7 @@
 #include "core/system.h"
 #include "exec/metrics.h"
 #include "plan/printer.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "workload/benchmark.h"
 
@@ -45,6 +46,9 @@ struct CliOptions {
   /// Metrics snapshot JSON output path ("" = no metrics). Falls back to
   /// the DIMSUM_METRICS environment variable.
   std::string metrics_file;
+  /// Fault-injection spec ("" = healthy). Falls back to the DIMSUM_FAULTS
+  /// environment variable. See sim/fault.h for the grammar.
+  std::string faults_spec;
 };
 
 /// Env-var fallback for the observability outputs: the variable holds the
@@ -84,6 +88,13 @@ void PrintUsage() {
       "  --metrics=FILE           write a metrics snapshot JSON (optimizer\n"
       "                           move counters, disk/network histograms);\n"
       "                           env fallback DIMSUM_METRICS\n"
+      "  --faults=SPEC            inject faults; ';'-separated clauses:\n"
+      "                           crash:site=S,at=T,for=D (one-shot) or\n"
+      "                           crash:site=S,mtbf=M,mttr=R[,seed=N]\n"
+      "                           (renewal), link:drop,... / link:delay=F,...\n"
+      "                           (times in virtual ms); env fallback\n"
+      "                           DIMSUM_FAULTS. Deterministic for a fixed\n"
+      "                           seed\n"
       "  --help                   this message\n";
 }
 
@@ -144,6 +155,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->trace_file = value;
     } else if (ParseFlag(arg, "metrics", &value)) {
       options->metrics_file = value;
+    } else if (ParseFlag(arg, "faults", &value)) {
+      options->faults_spec = value;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return false;
@@ -166,6 +179,9 @@ int RunCli(const CliOptions& options) {
   const std::string metrics_file = !options.metrics_file.empty()
                                        ? options.metrics_file
                                        : EnvPath("DIMSUM_METRICS");
+  const std::string faults_spec = !options.faults_spec.empty()
+                                      ? options.faults_spec
+                                      : EnvPath("DIMSUM_FAULTS");
   WorkloadSpec spec;
   spec.num_relations = options.relations;
   spec.num_servers = options.servers;
@@ -189,6 +205,11 @@ int RunCli(const CliOptions& options) {
   }
   sim::TraceSink trace;
   if (!trace_file.empty()) config.trace = &trace;
+  sim::FaultSchedule faults;
+  if (!faults_spec.empty()) {
+    faults = sim::ParseFaultSpec(faults_spec);
+    config.faults = &faults;
+  }
   if (!metrics_file.empty()) {
     MetricsRegistry::Global().set_enabled(true);
     config.collect_histograms = true;
@@ -224,6 +245,12 @@ int RunCli(const CliOptions& options) {
   for (const auto& [site, busy] : result.execute.disk_busy_ms) {
     table.AddRow({"disk busy @ site " + std::to_string(site),
                   Fmt(busy / 1000.0) + " s"});
+  }
+  if (!faults_spec.empty()) {
+    table.AddRow({"fault stall",
+                  Fmt(result.execute.fault_stall_ms / 1000.0) + " s"});
+    table.AddRow(
+        {"retransmits", std::to_string(result.execute.retransmits)});
   }
   table.Print(std::cout);
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Formats (or with --check, verifies) every tracked C++ source with
+# clang-format using the repo's .clang-format. Run from anywhere inside
+# the repo.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+mapfile -t files < <(git ls-files '*.h' '*.cc' '*.cpp')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "no C++ sources tracked" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--check" ]]; then
+  clang-format --dry-run -Werror "${files[@]}"
+  echo "clang-format: ${#files[@]} files clean"
+else
+  clang-format -i "${files[@]}"
+  echo "clang-format: formatted ${#files[@]} files"
+fi
