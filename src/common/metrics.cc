@@ -70,13 +70,44 @@ void Histogram::Reset() {
   max_ = 0.0;
 }
 
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int64_t next = seen + counts_[i];
+    if (static_cast<double>(next) >= rank) {
+      // The overflow bucket has no finite upper bound; min/max clamping
+      // below caps it at the observed maximum.
+      const double lo = (i == 0) ? min_ : bounds_[i - 1];
+      const double hi = (i < bounds_.size()) ? bounds_[i] : max_;
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts_[i]);
+      const double value = lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+      return std::min(max_, std::max(min_, value));
+    }
+    seen = next;
+  }
+  return max_;
+}
+
 void Histogram::WriteJson(std::ostream& out) const {
   out << "{\"count\": " << count_ << ", \"sum\": ";
   JsonWriteNumber(out, sum_);
+  out << ", \"mean\": ";
+  JsonWriteNumber(out, mean());
   out << ", \"min\": ";
   JsonWriteNumber(out, min());
   out << ", \"max\": ";
   JsonWriteNumber(out, max());
+  out << ", \"p50\": ";
+  JsonWriteNumber(out, Quantile(0.5));
+  out << ", \"p90\": ";
+  JsonWriteNumber(out, Quantile(0.9));
+  out << ", \"p99\": ";
+  JsonWriteNumber(out, Quantile(0.99));
   out << ", \"buckets\": [";
   for (size_t i = 0; i < counts_.size(); ++i) {
     if (i > 0) out << ", ";

@@ -101,8 +101,15 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   const std::vector<int64_t>& bucket_counts() const { return counts_; }
 
-  /// {"count":n,"sum":s,"min":..,"max":..,"buckets":[{"le":b,"count":c},..,
-  /// {"le":"inf","count":c}]}
+  /// Quantile estimate by linear interpolation within the owning bucket,
+  /// clamped to the observed [min, max]. Depends only on the merged bucket
+  /// counts (plus exact min/max), so the result is independent of the
+  /// order samples were added or shards were merged. q in [0, 1]; returns
+  /// 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// {"count":n,"sum":s,"mean":..,"min":..,"max":..,"p50":..,"p90":..,
+  /// "p99":..,"buckets":[{"le":b,"count":c},..,{"le":"inf","count":c}]}
   void WriteJson(std::ostream& out) const;
 
  private:

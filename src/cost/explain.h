@@ -1,0 +1,70 @@
+#ifndef DIMSUM_COST_EXPLAIN_H_
+#define DIMSUM_COST_EXPLAIN_H_
+
+// Per-operator estimate records captured while the GHK92 response-time
+// estimator costs a plan (see cost/response_time.h). These are the
+// "estimated" half of the EXPLAIN / EXPLAIN ANALYZE report in
+// core/report.h; the "actual" half is exec::OperatorActual collected by
+// the executor. Operators are identified by their pre-order index in the
+// plan tree (the display root is op 0), which both sides derive from the
+// same Plan object so the join is by index.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "plan/annotation.h"
+
+namespace dimsum {
+
+/// Estimated demand one operator places on each resource class. Disk
+/// demand is the pre-interference figure: the seq-to-rand inflation the
+/// phase model applies when scans share a disk with temp I/O is a
+/// phase-level surcharge and is not attributed back to operators, so the
+/// per-op sums can be slightly below PlanEstimate::total_ms.
+struct OperatorEstimate {
+  int op_id = -1;  ///< pre-order index in the plan tree
+  OpType type = OpType::kScan;
+  SiteId site = kUnboundSite;
+  RelationId relation = kInvalidRelation;  ///< scans only
+  int64_t est_tuples = 0;                  ///< output cardinality
+  int64_t est_pages = 0;                   ///< output pages
+  double cpu_ms = 0.0;   ///< summed over every site this op touches
+  double disk_ms = 0.0;  ///< pre-interference disk demand
+  double net_ms = 0.0;   ///< wire time (CPU message costs are in cpu_ms)
+  /// Serial page-fault chain of client scans: the summed round-trip time
+  /// that cannot overlap anything. Components are also charged to the
+  /// real resources above, so this is excluded from totals.
+  double chain_ms = 0.0;
+  /// Dense index into PlanEstimate::phases of the pipelined phase that
+  /// carries this operator's *output* stream.
+  int phase = -1;
+
+  double total_ms() const { return cpu_ms + disk_ms + net_ms; }
+};
+
+/// One merged pipelined phase of the GHK92 model, after union-find
+/// resolution, with its critical-path schedule.
+struct PhaseEstimate {
+  int id = -1;  ///< dense index; ordering follows phase creation order
+  double duration_ms = 0.0;  ///< max per-resource demand (full overlap)
+  double start_ms = 0.0;     ///< critical-path start (finish - duration)
+  double finish_ms = 0.0;    ///< critical-path finish
+};
+
+/// Full estimate-side explain record for one bound plan.
+struct PlanEstimate {
+  /// One record per plan node, in pre-order (index == op_id).
+  std::vector<OperatorEstimate> ops;
+  std::vector<PhaseEstimate> phases;
+  std::map<SiteId, double> cpu_ms_by_site;
+  std::map<SiteId, double> disk_ms_by_site;  ///< pre-interference
+  double net_ms = 0.0;                       ///< total wire time
+  double response_ms = 0.0;  ///< critical path over phases
+  double total_ms = 0.0;     ///< ML86-style total cost (with interference)
+};
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_COST_EXPLAIN_H_

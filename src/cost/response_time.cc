@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -125,6 +126,21 @@ class PhaseGraph {
     return result;
   }
 
+  /// Resolves a phase id to its merged representative.
+  int Resolve(int phase) { return Find(phase); }
+
+  /// Representative (un-merged) phase ids, in creation order.
+  std::vector<int> Representatives() {
+    std::vector<int> roots;
+    for (int i = 0; i < static_cast<int>(phases_.size()); ++i) {
+      if (Find(i) == i) roots.push_back(i);
+    }
+    return roots;
+  }
+
+  /// Critical-path finish of a phase; valid only after CriticalPath().
+  double FinishTime(int phase) { return finish_[Find(phase)]; }
+
   /// Sum of all resource demands, excluding chain pseudo-resources (their
   /// components are also charged to the real resources) but including the
   /// interference surcharge, which represents real extra disk time.
@@ -183,22 +199,45 @@ class PhaseGraph {
 
 class Builder {
  public:
+  /// `explain` (optional) receives per-operator demand tallies; its `ops`
+  /// vector must already hold one record per plan node, and `ids` must map
+  /// each node to its index in that vector.
   Builder(const Catalog& catalog, const QueryGraph& query,
           const CostParams& params,
           const std::map<SiteId, double>& server_disk_load,
-          const PlanStats& stats)
+          const PlanStats& stats, PlanEstimate* explain = nullptr,
+          const std::unordered_map<const PlanNode*, int>* ids = nullptr)
       : catalog_(catalog),
         query_(query),
         params_(params),
         load_(server_disk_load),
         stats_(stats),
-        graph_(params.rand_page_ms / params.seq_page_ms) {}
+        graph_(params.rand_page_ms / params.seq_page_ms),
+        out_(explain),
+        ids_(ids) {
+    if (out_ != nullptr) raw_phase_.assign(out_->ops.size(), -1);
+  }
 
   PhaseGraph& graph() { return graph_; }
 
+  /// Raw (unresolved) output-phase id per op_id; valid after Build.
+  const std::vector<int>& raw_phases() const { return raw_phase_; }
+
   /// Builds the phases of the subtree rooted at `node`; returns the id of
-  /// the phase producing the node's output stream.
+  /// the phase producing the node's output stream. Demand added while
+  /// `node` itself is being costed (not its children) is tallied into its
+  /// explain record, if one was requested.
   int Build(const PlanNode& node) {
+    OperatorEstimate* saved = cur_;
+    if (out_ != nullptr) cur_ = &out_->ops[ids_->at(&node)];
+    const int phase = Dispatch(node);
+    if (cur_ != nullptr) raw_phase_[cur_->op_id] = phase;
+    cur_ = saved;
+    return phase;
+  }
+
+ private:
+  int Dispatch(const PlanNode& node) {
     switch (node.type) {
       case OpType::kScan:
         return BuildScan(node);
@@ -220,7 +259,41 @@ class Builder {
     DIMSUM_UNREACHABLE();
   }
 
- private:
+  /// Wrappers over PhaseGraph that additionally attribute the demand to
+  /// the operator currently being built and to the per-site roll-ups.
+  /// Pure bookkeeping: the phase graph sees exactly the same calls.
+  void Use(int phase, ResKey key, double ms) {
+    graph_.AddUsage(phase, key, ms);
+    Tally(key, ms);
+  }
+  void UseScanDisk(int phase, ResKey key, double ms) {
+    graph_.AddScanDisk(phase, key, ms);
+    Tally(key, ms);
+  }
+  void UseTempDisk(int phase, ResKey key, double ms) {
+    graph_.AddTempDisk(phase, key, ms);
+    Tally(key, ms);
+  }
+  void Tally(ResKey key, double ms) {
+    if (out_ == nullptr || ms <= 0.0) return;
+    switch (key.kind) {
+      case ResKey::kCpu:
+        if (cur_ != nullptr) cur_->cpu_ms += ms;
+        out_->cpu_ms_by_site[key.site] += ms;
+        break;
+      case ResKey::kDisk:
+        if (cur_ != nullptr) cur_->disk_ms += ms;
+        out_->disk_ms_by_site[key.site] += ms;
+        break;
+      case ResKey::kNet:
+        if (cur_ != nullptr) cur_->net_ms += ms;
+        out_->net_ms += ms;
+        break;
+      case ResKey::kChain:
+        if (cur_ != nullptr) cur_->chain_ms += ms;
+        break;
+    }
+  }
   /// Disk-demand inflation under external load at `site`.
   double LoadFactor(SiteId site) const {
     auto it = load_.find(site);
@@ -237,8 +310,7 @@ class Builder {
 
   /// Adds CPU demand at `site`, honoring per-site speed overrides.
   void AddCpu(int phase, SiteId site, double default_speed_ms) {
-    graph_.AddUsage(phase, Cpu(site),
-                    default_speed_ms * params_.CpuTimeFactor(site));
+    Use(phase, Cpu(site), default_speed_ms * params_.CpuTimeFactor(site));
   }
 
   /// Disk sub-index a relation's extent maps to (round-robin placement).
@@ -250,7 +322,7 @@ class Builder {
   void AddTempSpread(int phase, SiteId site, double total_ms) {
     const int n = NumDisks();
     for (int d = 0; d < n; ++d) {
-      graph_.AddTempDisk(phase, DiskOf(site, d), total_ms / n);
+      UseTempDisk(phase, DiskOf(site, d), total_ms / n);
     }
   }
 
@@ -260,9 +332,9 @@ class Builder {
         catalog_.relation(node.relation).Pages(params_.page_bytes);
     if (node.annotation == SiteAnnotation::kPrimaryCopy) {
       const SiteId server = node.bound_site;
-      graph_.AddScanDisk(phase, DiskOf(server, DiskSub(node.relation)),
-                         static_cast<double>(pages) * params_.seq_page_ms *
-                             LoadFactor(server));
+      UseScanDisk(phase, DiskOf(server, DiskSub(node.relation)),
+                  static_cast<double>(pages) * params_.seq_page_ms *
+                      LoadFactor(server));
       AddCpu(phase, server,
                       static_cast<double>(pages) * params_.DiskCpuMs());
       return phase;
@@ -274,9 +346,9 @@ class Builder {
     const int64_t cached =
         catalog_.CachedPages(node.relation, client, params_.page_bytes);
     const int64_t faulted = pages - cached;
-    graph_.AddScanDisk(phase, DiskOf(client, DiskSub(node.relation)),
-                       static_cast<double>(cached) * params_.seq_page_ms *
-                           LoadFactor(client));
+    UseScanDisk(phase, DiskOf(client, DiskSub(node.relation)),
+                static_cast<double>(cached) * params_.seq_page_ms *
+                    LoadFactor(client));
     AddCpu(phase, client,
                     static_cast<double>(cached) * params_.DiskCpuMs());
     if (faulted > 0) {
@@ -292,14 +364,12 @@ class Builder {
           params_.WireMs(params_.page_bytes) +     //
           page_cpu;                                // client receives the page
       const double f = static_cast<double>(faulted);
-      graph_.AddUsage(phase, Chain(next_chain_id_++), f * round_trip);
+      Use(phase, Chain(next_chain_id_++), f * round_trip);
       AddCpu(phase, client, f * (request_cpu + page_cpu));
       AddCpu(phase, server,
                       f * (request_cpu + page_cpu + params_.DiskCpuMs()));
-      graph_.AddUsage(phase, DiskOf(server, DiskSub(node.relation)),
-                      f * server_disk);
-      graph_.AddUsage(
-          phase, Net(),
+      Use(phase, DiskOf(server, DiskSub(node.relation)), f * server_disk);
+      Use(phase, Net(),
           f * (params_.WireMs(params_.fault_request_bytes) +
                params_.WireMs(params_.page_bytes)));
     }
@@ -314,7 +384,7 @@ class Builder {
     const double p = static_cast<double>(pages);
     AddCpu(phase, from, p * page_cpu);
     AddCpu(phase, to, p * page_cpu);
-    graph_.AddUsage(phase, Net(), p * params_.WireMs(params_.page_bytes));
+    Use(phase, Net(), p * params_.WireMs(params_.page_bytes));
   }
 
   int BuildSelect(const PlanNode& node) {
@@ -373,9 +443,9 @@ class Builder {
                params_.InstrMs(params_.compare_inst) * log_n);
     const bool spills = params_.buf_alloc == BufAlloc::kMinimum;
     if (spills) {
-      graph_.AddTempDisk(input, DiskOf(site, 0),
-                         static_cast<double>(in.pages) * params_.rand_page_ms *
-                             LoadFactor(site));
+      UseTempDisk(input, DiskOf(site, 0),
+                  static_cast<double>(in.pages) * params_.rand_page_ms *
+                      LoadFactor(site));
       AddCpu(input, site, static_cast<double>(in.pages) * params_.DiskCpuMs());
     }
     const int output = graph_.NewPhase();
@@ -481,20 +551,61 @@ class Builder {
   const PlanStats& stats_;
   PhaseGraph graph_;
   int next_chain_id_ = 0;
+  PlanEstimate* out_;
+  const std::unordered_map<const PlanNode*, int>* ids_;
+  OperatorEstimate* cur_ = nullptr;  // record of the op being built
+  std::vector<int> raw_phase_;       // op_id -> unresolved output phase
 };
 
 }  // namespace
 
 TimeEstimate EstimateTime(const Plan& plan, const Catalog& catalog,
                           const QueryGraph& query, const CostParams& params,
-                          const std::map<SiteId, double>& server_disk_load) {
+                          const std::map<SiteId, double>& server_disk_load,
+                          PlanEstimate* explain) {
   DIMSUM_CHECK(IsFullyBound(plan));
   const PlanStats stats = ComputeStats(plan, catalog, query, params);
-  Builder builder(catalog, query, params, server_disk_load, stats);
+  std::unordered_map<const PlanNode*, int> ids;
+  if (explain != nullptr) {
+    *explain = PlanEstimate{};
+    plan.ForEach([&](const PlanNode& node) {
+      OperatorEstimate rec;
+      rec.op_id = static_cast<int>(explain->ops.size());
+      rec.type = node.type;
+      rec.site = node.bound_site;
+      rec.relation = node.is_leaf() ? node.relation : kInvalidRelation;
+      const StreamStats& out = stats.at(&node);
+      rec.est_tuples = out.tuples;
+      rec.est_pages = out.pages;
+      ids.emplace(&node, rec.op_id);
+      explain->ops.push_back(rec);
+    });
+  }
+  Builder builder(catalog, query, params, server_disk_load, stats,
+                  explain, explain != nullptr ? &ids : nullptr);
   builder.Build(*plan.root());
   TimeEstimate estimate;
   estimate.response_ms = builder.graph().CriticalPath();
   estimate.total_ms = builder.graph().TotalUsage();
+  if (explain != nullptr) {
+    explain->response_ms = estimate.response_ms;
+    explain->total_ms = estimate.total_ms;
+    PhaseGraph& graph = builder.graph();
+    std::unordered_map<int, int> dense;
+    for (int root : graph.Representatives()) {
+      PhaseEstimate phase;
+      phase.id = static_cast<int>(explain->phases.size());
+      phase.duration_ms = graph.PhaseDuration(root);
+      phase.finish_ms = graph.FinishTime(root);
+      phase.start_ms = phase.finish_ms - phase.duration_ms;
+      dense.emplace(root, phase.id);
+      explain->phases.push_back(phase);
+    }
+    const std::vector<int>& raw = builder.raw_phases();
+    for (OperatorEstimate& op : explain->ops) {
+      op.phase = dense.at(graph.Resolve(raw[op.op_id]));
+    }
+  }
   return estimate;
 }
 

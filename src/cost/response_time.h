@@ -4,6 +4,7 @@
 #include <map>
 
 #include "catalog/catalog.h"
+#include "cost/explain.h"
 #include "cost/params.h"
 #include "plan/plan.h"
 #include "plan/query.h"
@@ -39,9 +40,15 @@ struct TimeEstimate {
 /// `server_disk_load` gives external disk utilization per site (from the
 /// paper's multi-client load generator); disk demands at a site are
 /// inflated by 1/(1 - utilization).
+///
+/// When `explain` is non-null it is overwritten with per-operator /
+/// per-phase / per-site estimate records (see cost/explain.h). Collection
+/// only tallies side records; the returned estimate is identical with and
+/// without it.
 TimeEstimate EstimateTime(const Plan& plan, const Catalog& catalog,
                           const QueryGraph& query, const CostParams& params,
-                          const std::map<SiteId, double>& server_disk_load = {});
+                          const std::map<SiteId, double>& server_disk_load = {},
+                          PlanEstimate* explain = nullptr);
 
 }  // namespace dimsum
 

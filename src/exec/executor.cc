@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,9 @@ struct ExecSession::QueryState {
   PlanStats stats;
   ExecMetrics metrics;
   std::unique_ptr<ExecContext> ctx;
+  /// Pre-order plan-node ids for EXPLAIN actuals; populated only when
+  /// SystemConfig::collect_operator_actuals is set.
+  std::unordered_map<const PlanNode*, int> op_ids;
   double start_ms = 0.0;
   bool done = false;
   std::vector<std::coroutine_handle<>> waiters;
@@ -89,6 +93,13 @@ int ExecSession::Submit(const Plan& plan, const QueryGraph& query) {
   state->ctx->start_ms = state->start_ms;
   state->ctx->faults = fault_state_.get();
   state->ctx->fault_tolerance = &config_.fault_tolerance;
+  if (config_.collect_operator_actuals) {
+    int next_id = 0;
+    plan.ForEach(
+        [&](const PlanNode& node) { state->op_ids.emplace(&node, next_id++); });
+    state->metrics.operator_actuals.resize(next_id);
+    state->ctx->op_ids = &state->op_ids;
+  }
   QueryState* raw = state.get();
   state->ctx->on_done = [this, raw] {
     raw->done = true;
@@ -100,7 +111,7 @@ int ExecSession::Submit(const Plan& plan, const QueryGraph& query) {
     raw->waiters.clear();
   };
   queries_.push_back(std::move(state));
-  PageChannel& result = BuildNode(*raw, *plan.root()->left, home);
+  PageChannel& result = BuildNode(*raw, *plan.root()->left, *plan.root());
   sim_.Spawn(DisplayProcess(*raw->ctx, *plan.root(), result));
   return ticket;
 }
@@ -245,9 +256,9 @@ PageChannel& ExecSession::NewChannel() {
 }
 
 /// Spawns the processes computing `node`; returns the channel delivering
-/// its output at `consumer_site`.
+/// its output at `consumer`'s site.
 PageChannel& ExecSession::BuildNode(QueryState& state, const PlanNode& node,
-                                    SiteId consumer_site) {
+                                    const PlanNode& consumer) {
   ExecContext& ctx = *state.ctx;
   PageChannel& out = NewChannel();
   switch (node.type) {
@@ -255,46 +266,49 @@ PageChannel& ExecSession::BuildNode(QueryState& state, const PlanNode& node,
       sim_.Spawn(ScanProcess(ctx, node, out));
       break;
     case OpType::kSelect: {
-      PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+      PageChannel& in = BuildNode(state, *node.left, node);
       sim_.Spawn(SelectProcess(ctx, node, in, out));
       break;
     }
     case OpType::kProject: {
-      PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+      PageChannel& in = BuildNode(state, *node.left, node);
       sim_.Spawn(ProjectProcess(ctx, node, in, out));
       break;
     }
     case OpType::kAggregate: {
-      PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+      PageChannel& in = BuildNode(state, *node.left, node);
       sim_.Spawn(AggregateProcess(ctx, node, in, out));
       break;
     }
     case OpType::kSort: {
-      PageChannel& in = BuildNode(state, *node.left, node.bound_site);
+      PageChannel& in = BuildNode(state, *node.left, node);
       sim_.Spawn(SortProcess(ctx, node, in, out));
       break;
     }
     case OpType::kUnion: {
-      PageChannel& l = BuildNode(state, *node.left, node.bound_site);
-      PageChannel& r = BuildNode(state, *node.right, node.bound_site);
+      PageChannel& l = BuildNode(state, *node.left, node);
+      PageChannel& r = BuildNode(state, *node.right, node);
       sim_.Spawn(UnionProcess(ctx, node, l, r, out));
       break;
     }
     case OpType::kJoin: {
-      PageChannel& inner = BuildNode(state, *node.left, node.bound_site);
-      PageChannel& outer = BuildNode(state, *node.right, node.bound_site);
+      PageChannel& inner = BuildNode(state, *node.left, node);
+      PageChannel& outer = BuildNode(state, *node.right, node);
       sim_.Spawn(HashJoinProcess(ctx, node, inner, outer, out));
       break;
     }
     case OpType::kDisplay:
       DIMSUM_UNREACHABLE() << "display is handled by Submit()";
   }
-  if (node.bound_site == consumer_site) return out;
-  // Crossing edge: insert the network operator pair.
+  if (node.bound_site == consumer.bound_site) return out;
+  // Crossing edge: insert the network operator pair. Its time is
+  // attributed to the consuming operator's EXPLAIN record, matching the
+  // estimator's accounting of shipped edges.
   PageChannel& wire = NewChannel();
   PageChannel& delivered = NewChannel();
-  sim_.Spawn(NetSendProcess(ctx, node.bound_site, out, wire));
-  sim_.Spawn(NetRecvProcess(ctx, consumer_site, wire, delivered));
+  OperatorActual* actual = ctx.Actual(consumer);
+  sim_.Spawn(NetSendProcess(ctx, node.bound_site, out, wire, actual));
+  sim_.Spawn(NetRecvProcess(ctx, consumer.bound_site, wire, delivered, actual));
   return delivered;
 }
 

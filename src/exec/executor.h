@@ -175,7 +175,7 @@ class ExecSession {
   void AddWaiter(int ticket, std::coroutine_handle<> handle);
   PageChannel& NewChannel();
   PageChannel& BuildNode(QueryState& state, const PlanNode& node,
-                         SiteId consumer_site);
+                         const PlanNode& consumer);
   void AttachTrace(sim::TraceSink& trace);
   void AttachHistograms();
 

@@ -2,6 +2,7 @@
 #define DIMSUM_EXEC_METRICS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/flat_map.h"
 #include "common/ids.h"
@@ -24,6 +25,30 @@ struct DiskDetail {
   uint64_t readahead_pages = 0;
   uint64_t readahead_aborts = 0;
   int max_queue_depth = 0;
+};
+
+/// Per-operator measured attribution for EXPLAIN ANALYZE, collected when
+/// SystemConfig::collect_operator_actuals is set. The times are elapsed
+/// virtual time the operator spent awaiting each resource class, so they
+/// include queueing behind other users of that resource -- they attribute
+/// where the operator's lifetime went, the measured counterpart of the
+/// estimate's per-resource demand (cost/explain.h). Channel waits
+/// (pipeline backpressure) are excluded. Collection is pure observation:
+/// clock reads and double accumulation only, never a simulation event, so
+/// results are bit-identical with it on or off.
+struct OperatorActual {
+  double cpu_ms = 0.0;
+  double disk_ms = 0.0;
+  /// Wire occupancy awaited: network operator transfers and client-scan
+  /// page-fault round trips (includes retransmission backoff under link
+  /// faults).
+  double net_ms = 0.0;
+  /// Crash-window stalls (fault injection), also in fault_stall_ms.
+  double stall_ms = 0.0;
+  double start_ms = 0.0;  ///< virtual time the operator process started
+  double end_ms = 0.0;    ///< virtual time it finished
+  int64_t pages_in = 0;
+  int64_t pages_out = 0;
 };
 
 /// Measured results of one simulated query execution.
@@ -65,6 +90,12 @@ struct ExecMetrics {
   /// (already included in messages/bytes on the wire).
   int64_t retransmits = 0;
   int64_t retransmitted_bytes = 0;
+
+  /// Per-operator actuals indexed by the plan node's pre-order id (display
+  /// root is 0). Empty unless SystemConfig::collect_operator_actuals; the
+  /// net operator pairs inserted on site-crossing edges attribute into the
+  /// consuming operator's record, mirroring the estimator's accounting.
+  std::vector<OperatorActual> operator_actuals;
 };
 
 /// Folds one execution's metrics into `registry` under "exec."-prefixed

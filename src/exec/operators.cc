@@ -57,14 +57,58 @@ class OpSpan {
   std::string name_;
 };
 
+/// Accumulates one operator's elapsed virtual time at each resource class
+/// into its EXPLAIN record. Every method is a pure read of the simulation
+/// clock plus double accumulation -- never a simulation event -- and a
+/// no-op when no record is attached, so collection cannot perturb event
+/// ordering (results are bit-identical with it on or off). The elapsed
+/// time between Mark() and the accumulate call includes queueing behind
+/// the awaited resource; that is intentional (see OperatorActual).
+class ActualProbe {
+ public:
+  /// `owns_span` is false for the net operator pair, which accumulates
+  /// into its consumer's record without claiming its start/end times.
+  ActualProbe(sim::Simulator& sim, OperatorActual* act, bool owns_span = true)
+      : sim_(sim), act_(act) {
+    if (act_ != nullptr && owns_span) act_->start_ms = sim_.now();
+  }
+
+  double Mark() const { return act_ != nullptr ? sim_.now() : 0.0; }
+  void Cpu(double t0) {
+    if (act_ != nullptr) act_->cpu_ms += sim_.now() - t0;
+  }
+  void Disk(double t0) {
+    if (act_ != nullptr) act_->disk_ms += sim_.now() - t0;
+  }
+  void Net(double t0) {
+    if (act_ != nullptr) act_->net_ms += sim_.now() - t0;
+  }
+  void Stall(double ms) {
+    if (act_ != nullptr) act_->stall_ms += ms;
+  }
+  void Finish(int64_t pages_in, int64_t pages_out) {
+    if (act_ == nullptr) return;
+    act_->pages_in = pages_in;
+    act_->pages_out = pages_out;
+    act_->end_ms = sim_.now();
+  }
+
+ private:
+  sim::Simulator& sim_;
+  OperatorActual* act_;
+};
+
 /// Emits all complete pages accumulated in `acc`, charging the move cost of
 /// result construction at `site`; returns the number of pages emitted.
 sim::Task<int64_t> EmitFullPages(SiteRuntime& site, OutputAccumulator& acc,
-                                 double move_ms_per_tuple, PageChannel& out) {
+                                 double move_ms_per_tuple, PageChannel& out,
+                                 ActualProbe& probe) {
   int64_t pages = 0;
   while (acc.HasFullPage()) {
     Page page = acc.PopFullPage();
+    const double t0 = probe.Mark();
     co_await site.cpu.Use(move_ms_per_tuple * page.tuples);
+    probe.Cpu(t0);
     co_await out.Put(page);
     ++pages;
   }
@@ -72,11 +116,15 @@ sim::Task<int64_t> EmitFullPages(SiteRuntime& site, OutputAccumulator& acc,
 }
 
 sim::Task<int64_t> EmitRemainder(SiteRuntime& site, OutputAccumulator& acc,
-                                 double move_ms_per_tuple, PageChannel& out) {
-  int64_t pages = co_await EmitFullPages(site, acc, move_ms_per_tuple, out);
+                                 double move_ms_per_tuple, PageChannel& out,
+                                 ActualProbe& probe) {
+  int64_t pages =
+      co_await EmitFullPages(site, acc, move_ms_per_tuple, out, probe);
   if (acc.HasRemainder()) {
     Page page = acc.PopRemainder();
+    const double t0 = probe.Mark();
     co_await site.cpu.Use(move_ms_per_tuple * page.tuples);
+    probe.Cpu(t0);
     co_await out.Put(page);
     ++pages;
   }
@@ -139,20 +187,27 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
   };
 
   OpSpan span(ctx, node.bound_site, "scan " + rel.name);
+  ActualProbe probe(ctx.sim, ctx.Actual(node));
 
   if (node.annotation == SiteAnnotation::kPrimaryCopy) {
     SiteRuntime& server = ctx.system.site(node.bound_site);
     const DiskExtent extent = ctx.system.RelationExtent(node.relation);
     for (int64_t i = 0; i < total_pages; ++i) {
       if (ctx.faults != nullptr) {
-        ctx.metrics.fault_stall_ms +=
-            co_await AwaitSiteUp(ctx, node.bound_site);
+        const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
+        ctx.metrics.fault_stall_ms += stalled;
+        probe.Stall(stalled);
       }
+      double t0 = probe.Mark();
       co_await server.cpu.Use(disk_cpu);
+      probe.Cpu(t0);
+      t0 = probe.Mark();
       co_await server.disk(extent.disk).Read(extent.start + i);
+      probe.Disk(t0);
       co_await out.Put(Page{tuples_on_page(i)});
     }
     out.Close();
+    probe.Finish(0, total_pages);
     span.End({{"pages_out", static_cast<double>(total_pages)}});
     co_return;
   }
@@ -175,31 +230,51 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
     if (i < cached) {
       const DiskExtent cache_extent =
           ctx.system.CacheExtent(home, node.relation);
+      double t0 = probe.Mark();
       co_await client.cpu.Use(disk_cpu);
+      probe.Cpu(t0);
+      t0 = probe.Mark();
       co_await client.disk(cache_extent.disk).Read(cache_extent.start + i);
+      probe.Disk(t0);
     } else {
       ++faulted;
       // Page fault: request to the server, server disk read, page back.
       // A crashed server stalls the fault-in until its restart.
       if (ctx.faults != nullptr) {
-        ctx.metrics.fault_stall_ms += co_await AwaitSiteUp(ctx, server.id);
+        const double stalled = co_await AwaitSiteUp(ctx, server.id);
+        ctx.metrics.fault_stall_ms += stalled;
+        probe.Stall(stalled);
       }
+      double t0 = probe.Mark();
       co_await client.cpu.Use(request_cpu);
+      probe.Cpu(t0);
+      t0 = probe.Mark();
       if (ctx.faults == nullptr) {
         co_await ctx.system.network().Transfer(ctx.params.fault_request_bytes);
       } else {
         co_await FaultyTransfer(ctx, ctx.params.fault_request_bytes);
       }
+      probe.Net(t0);
+      t0 = probe.Mark();
       co_await server.cpu.Use(request_cpu);
       co_await server.cpu.Use(disk_cpu);
+      probe.Cpu(t0);
+      t0 = probe.Mark();
       co_await server.disk(server_extent.disk).Read(server_extent.start + i);
+      probe.Disk(t0);
+      t0 = probe.Mark();
       co_await server.cpu.Use(page_cpu);
+      probe.Cpu(t0);
+      t0 = probe.Mark();
       if (ctx.faults == nullptr) {
         co_await ctx.system.network().Transfer(ctx.params.page_bytes);
       } else {
         co_await FaultyTransfer(ctx, ctx.params.page_bytes);
       }
+      probe.Net(t0);
+      t0 = probe.Mark();
       co_await client.cpu.Use(page_cpu);
+      probe.Cpu(t0);
       ++ctx.metrics.data_pages_sent;
       ctx.metrics.messages += 2;
       ctx.metrics.bytes_sent +=
@@ -208,6 +283,7 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
     co_await out.Put(Page{tuples_on_page(i)});
   }
   out.Close();
+  probe.Finish(0, total_pages);
   span.End({{"pages_out", static_cast<double>(total_pages)},
             {"pages_faulted", static_cast<double>(faulted)}});
 }
@@ -222,17 +298,21 @@ sim::Process SelectProcess(ExecContext& ctx, const PlanNode& node,
   const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   OpSpan span(ctx, node.bound_site, "select");
+  ActualProbe probe(ctx.sim, ctx.Actual(node));
   int64_t pages_in = 0, pages_out = 0;
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
     ++pages_in;
+    const double t0 = probe.Mark();
     co_await site.cpu.Use(compare * page->tuples);
+    probe.Cpu(t0);
     acc.Add(page->tuples * node.selectivity);
-    pages_out += co_await EmitFullPages(site, acc, move, out);
+    pages_out += co_await EmitFullPages(site, acc, move, out, probe);
   }
-  pages_out += co_await EmitRemainder(site, acc, move, out);
+  pages_out += co_await EmitRemainder(site, acc, move, out, probe);
   out.Close();
+  probe.Finish(pages_in, pages_out);
   span.End({{"pages_in", static_cast<double>(pages_in)},
             {"pages_out", static_cast<double>(pages_out)}});
 }
@@ -246,16 +326,18 @@ sim::Process ProjectProcess(ExecContext& ctx, const PlanNode& node,
   OutputAccumulator acc(tuples_per_page);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   OpSpan span(ctx, node.bound_site, "project");
+  ActualProbe probe(ctx.sim, ctx.Actual(node));
   int64_t pages_in = 0, pages_out = 0;
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
     ++pages_in;
     acc.Add(page->tuples);
-    pages_out += co_await EmitFullPages(site, acc, move, out);
+    pages_out += co_await EmitFullPages(site, acc, move, out, probe);
   }
-  pages_out += co_await EmitRemainder(site, acc, move, out);
+  pages_out += co_await EmitRemainder(site, acc, move, out, probe);
   out.Close();
+  probe.Finish(pages_in, pages_out);
   span.End({{"pages_in", static_cast<double>(pages_in)},
             {"pages_out", static_cast<double>(pages_out)}});
 }
@@ -267,13 +349,16 @@ sim::Process AggregateProcess(ExecContext& ctx, const PlanNode& node,
   const double hash = ctx.params.InstrMs(ctx.params.hash_inst);
   const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
   OpSpan span(ctx, node.bound_site, "aggregate");
+  ActualProbe probe(ctx.sim, ctx.Actual(node));
   int64_t pages_in = 0;
   // Blocking phase: hash every input tuple into the group table.
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
     ++pages_in;
+    const double t0 = probe.Mark();
     co_await site.cpu.Use((hash + compare) * page->tuples);
+    probe.Cpu(t0);
   }
   // Emit the groups.
   const int64_t tuples_per_page =
@@ -281,8 +366,9 @@ sim::Process AggregateProcess(ExecContext& ctx, const PlanNode& node,
   OutputAccumulator acc(tuples_per_page);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   acc.Add(static_cast<double>(out_stats.tuples));
-  const int64_t pages_out = co_await EmitRemainder(site, acc, move, out);
+  const int64_t pages_out = co_await EmitRemainder(site, acc, move, out, probe);
   out.Close();
+  probe.Finish(pages_in, pages_out);
   span.End({{"pages_in", static_cast<double>(pages_in)},
             {"pages_out", static_cast<double>(pages_out)}});
 }
@@ -310,6 +396,7 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
              : std::max<int64_t>(1, in_stats.pages);
   co_await site.memory.Acquire(frames);
   OpSpan span(ctx, node.bound_site, "sort");
+  ActualProbe probe(ctx.sim, ctx.Actual(node));
   int64_t pages_in = 0, pages_out = 0;
 
   DiskExtent runs{};
@@ -323,18 +410,27 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
     ++pages_in;
+    double t0 = probe.Mark();
     co_await site.cpu.Use(compare * log_n * page->tuples);
+    probe.Cpu(t0);
     if (spills) {
       if (ctx.faults != nullptr) {
-        ctx.metrics.fault_stall_ms +=
-            co_await AwaitSiteUp(ctx, node.bound_site);
+        const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
+        ctx.metrics.fault_stall_ms += stalled;
+        probe.Stall(stalled);
       }
+      t0 = probe.Mark();
       co_await site.cpu.Use(disk_cpu);
+      probe.Cpu(t0);
+      t0 = probe.Mark();
       co_await site.disk(runs.disk).Write(runs.start + run_pages++);
+      probe.Disk(t0);
     }
   }
   if (spills) {
+    const double t0 = probe.Mark();
     co_await site.disk(runs.disk).Flush();
+    probe.Disk(t0);
   }
   span.Phase("run-generation", run_start,
              {{"run_pages", static_cast<double>(run_pages)}});
@@ -347,20 +443,26 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
   if (spills) {
     for (int64_t i = 0; i < run_pages; ++i) {
       if (ctx.faults != nullptr) {
-        ctx.metrics.fault_stall_ms +=
-            co_await AwaitSiteUp(ctx, node.bound_site);
+        const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
+        ctx.metrics.fault_stall_ms += stalled;
+        probe.Stall(stalled);
       }
+      double t0 = probe.Mark();
       co_await site.cpu.Use(disk_cpu);
+      probe.Cpu(t0);
+      t0 = probe.Mark();
       co_await site.disk(runs.disk).Read(runs.start + i);
+      probe.Disk(t0);
       acc.Add(static_cast<double>(out_stats.tuples) /
               std::max<int64_t>(run_pages, 1));
-      pages_out += co_await EmitFullPages(site, acc, move, out);
+      pages_out += co_await EmitFullPages(site, acc, move, out, probe);
     }
   } else {
     acc.Add(static_cast<double>(out_stats.tuples));
   }
-  pages_out += co_await EmitRemainder(site, acc, move, out);
+  pages_out += co_await EmitRemainder(site, acc, move, out, probe);
   out.Close();
+  probe.Finish(pages_in, pages_out);
   span.Phase("merge", merge_start);
   span.End({{"pages_in", static_cast<double>(pages_in)},
             {"pages_out", static_cast<double>(pages_out)}});
@@ -374,17 +476,21 @@ sim::Process UnionProcess(ExecContext& ctx, const PlanNode& node,
   const StreamStats& out_stats = ctx.stats.at(&node);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   OpSpan span(ctx, node.bound_site, "union");
+  ActualProbe probe(ctx.sim, ctx.Actual(node));
   int64_t pages = 0;
   for (PageChannel* input : {&left, &right}) {
     while (true) {
       std::optional<Page> page = co_await input->Get();
       if (!page.has_value()) break;
       ++pages;
+      const double t0 = probe.Mark();
       co_await site.cpu.Use(move * page->tuples);
+      probe.Cpu(t0);
       co_await out.Put(*page);
     }
   }
   out.Close();
+  probe.Finish(pages, pages);
   span.End({{"pages_in", static_cast<double>(pages)},
             {"pages_out", static_cast<double>(pages)}});
 }
@@ -407,6 +513,7 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
 
   co_await site.memory.Acquire(hj.memory_frames);
   OpSpan span(ctx, node.bound_site, "join");
+  ActualProbe probe(ctx.sim, ctx.Actual(node));
   int64_t pages_in = 0, pages_out = 0;
 
   // Temp extents: one per partition and side, so partition writes hop
@@ -435,7 +542,9 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
     std::optional<Page> page = co_await inner.Get();
     if (!page.has_value()) break;
     ++pages_in;
+    double t0 = probe.Mark();
     co_await site.cpu.Use((hash + move_in) * page->tuples);
+    probe.Cpu(t0);
     if (!hj.in_memory()) {
       spill_acc += hj.spill_fraction;
       while (spill_acc >= 1.0) {
@@ -443,19 +552,26 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
         const int p = next_partition;
         next_partition = (next_partition + 1) % partitions;
         if (ctx.faults != nullptr) {
-          ctx.metrics.fault_stall_ms +=
-              co_await AwaitSiteUp(ctx, node.bound_site);
+          const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
+          ctx.metrics.fault_stall_ms += stalled;
+          probe.Stall(stalled);
         }
+        t0 = probe.Mark();
         co_await site.cpu.Use(disk_cpu);
+        probe.Cpu(t0);
+        t0 = probe.Mark();
         co_await site.disk(inner_extent[p].disk)
             .Write(inner_extent[p].start + inner_written[p]++);
+        probe.Disk(t0);
       }
     }
   }
   if (!hj.in_memory()) {
+    const double t0 = probe.Mark();
     for (int d = 0; d < site.num_disks(); ++d) {
       co_await site.disk(d).Flush();
     }
+    probe.Disk(t0);
   }
   span.Phase("build", build_start,
              {{"spilled_pages", static_cast<double>(inner_spill_total)}});
@@ -477,9 +593,11 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
     std::optional<Page> page = co_await outer.Get();
     if (!page.has_value()) break;
     ++pages_in;
+    double t0 = probe.Mark();
     co_await site.cpu.Use((hash + compare) * page->tuples);
+    probe.Cpu(t0);
     acc.Add(page->tuples * resident_out_per_outer_tuple);
-    pages_out += co_await EmitFullPages(site, acc, move_out, out);
+    pages_out += co_await EmitFullPages(site, acc, move_out, out, probe);
     if (!hj.in_memory()) {
       spill_acc += hj.spill_fraction;
       while (spill_acc >= 1.0) {
@@ -487,12 +605,17 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
         const int p = next_partition;
         next_partition = (next_partition + 1) % partitions;
         if (ctx.faults != nullptr) {
-          ctx.metrics.fault_stall_ms +=
-              co_await AwaitSiteUp(ctx, node.bound_site);
+          const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
+          ctx.metrics.fault_stall_ms += stalled;
+          probe.Stall(stalled);
         }
+        t0 = probe.Mark();
         co_await site.cpu.Use(disk_cpu);
+        probe.Cpu(t0);
+        t0 = probe.Mark();
         co_await site.disk(outer_extent[p].disk)
             .Write(outer_extent[p].start + outer_written[p]++);
+        probe.Disk(t0);
       }
     }
   }
@@ -503,9 +626,11 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
   // --- partition phase: join the spilled partition pairs ----------------
   if (!hj.in_memory()) {
     const double partition_start = span.now();
+    double t0 = probe.Mark();
     for (int d = 0; d < site.num_disks(); ++d) {
       co_await site.disk(d).Flush();
     }
+    probe.Disk(t0);
     const int64_t inner_tpp =
         std::max<int64_t>(1, ctx.params.page_bytes / inner_stats.tuple_bytes);
     const int64_t outer_tpp =
@@ -516,34 +641,49 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
       // Rebuild the hash table from the spilled inner partition.
       for (int64_t i = 0; i < inner_written[p]; ++i) {
         if (ctx.faults != nullptr) {
-          ctx.metrics.fault_stall_ms +=
-              co_await AwaitSiteUp(ctx, node.bound_site);
+          const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
+          ctx.metrics.fault_stall_ms += stalled;
+          probe.Stall(stalled);
         }
+        t0 = probe.Mark();
         co_await site.cpu.Use(disk_cpu);
+        probe.Cpu(t0);
+        t0 = probe.Mark();
         co_await site.disk(inner_extent[p].disk).Read(inner_extent[p].start + i);
+        probe.Disk(t0);
+        t0 = probe.Mark();
         co_await site.cpu.Use((hash + move_in) *
                               static_cast<double>(inner_tpp));
+        probe.Cpu(t0);
       }
       // Probe with the spilled outer partition.
       for (int64_t i = 0; i < outer_written[p]; ++i) {
         if (ctx.faults != nullptr) {
-          ctx.metrics.fault_stall_ms +=
-              co_await AwaitSiteUp(ctx, node.bound_site);
+          const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
+          ctx.metrics.fault_stall_ms += stalled;
+          probe.Stall(stalled);
         }
+        t0 = probe.Mark();
         co_await site.cpu.Use(disk_cpu);
+        probe.Cpu(t0);
+        t0 = probe.Mark();
         co_await site.disk(outer_extent[p].disk).Read(outer_extent[p].start + i);
+        probe.Disk(t0);
+        t0 = probe.Mark();
         co_await site.cpu.Use((hash + compare) *
                               static_cast<double>(outer_tpp));
+        probe.Cpu(t0);
       }
       acc.Add(spilled_out_total / partitions);
-      pages_out += co_await EmitFullPages(site, acc, move_out, out);
+      pages_out += co_await EmitFullPages(site, acc, move_out, out, probe);
     }
     span.Phase("partition", partition_start,
                {{"partitions", static_cast<double>(partitions)}});
   }
 
-  pages_out += co_await EmitRemainder(site, acc, move_out, out);
+  pages_out += co_await EmitRemainder(site, acc, move_out, out, probe);
   out.Close();
+  probe.Finish(pages_in, pages_out);
   span.End({{"pages_in", static_cast<double>(pages_in)},
             {"pages_out", static_cast<double>(pages_out)}});
   site.memory.Release(hj.memory_frames);
@@ -554,13 +694,17 @@ sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
   SiteRuntime& client = ctx.system.site(node.bound_site);
   const double display = ctx.params.InstrMs(ctx.params.display_inst);
   OpSpan span(ctx, node.bound_site, "display");
+  ActualProbe probe(ctx.sim, ctx.Actual(node));
   int64_t pages = 0;
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
     ++pages;
+    const double t0 = probe.Mark();
     co_await client.cpu.Use(display * page->tuples);
+    probe.Cpu(t0);
   }
+  probe.Finish(pages, 0);
   span.End({{"pages_in", static_cast<double>(pages)}});
   ctx.metrics.response_ms = ctx.sim.now() - ctx.start_ms;
   ctx.query_done = true;
@@ -572,24 +716,31 @@ sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
 }
 
 sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
-                            PageChannel& wire) {
+                            PageChannel& wire, OperatorActual* actual) {
   SiteRuntime& site = ctx.system.site(from);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
   OpSpan span(ctx, from, "ship-send");
+  ActualProbe probe(ctx.sim, actual, /*owns_span=*/false);
   int64_t pages = 0;
   while (true) {
     std::optional<Page> page = co_await in.Get();
     if (!page.has_value()) break;
     ++pages;
     if (ctx.faults != nullptr) {
-      ctx.metrics.fault_stall_ms += co_await AwaitSiteUp(ctx, from);
+      const double stalled = co_await AwaitSiteUp(ctx, from);
+      ctx.metrics.fault_stall_ms += stalled;
+      probe.Stall(stalled);
     }
+    double t0 = probe.Mark();
     co_await site.cpu.Use(page_cpu);
+    probe.Cpu(t0);
+    t0 = probe.Mark();
     if (ctx.faults == nullptr) {
       co_await ctx.system.network().Transfer(ctx.params.page_bytes);
     } else {
       co_await FaultyTransfer(ctx, ctx.params.page_bytes);
     }
+    probe.Net(t0);
     ++ctx.metrics.data_pages_sent;
     ++ctx.metrics.messages;
     ctx.metrics.bytes_sent += ctx.params.page_bytes;
@@ -600,19 +751,24 @@ sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
 }
 
 sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
-                            PageChannel& out) {
+                            PageChannel& out, OperatorActual* actual) {
   SiteRuntime& site = ctx.system.site(to);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
   OpSpan span(ctx, to, "ship-recv");
+  ActualProbe probe(ctx.sim, actual, /*owns_span=*/false);
   int64_t pages = 0;
   while (true) {
     std::optional<Page> page = co_await wire.Get();
     if (!page.has_value()) break;
     ++pages;
     if (ctx.faults != nullptr) {
-      ctx.metrics.fault_stall_ms += co_await AwaitSiteUp(ctx, to);
+      const double stalled = co_await AwaitSiteUp(ctx, to);
+      ctx.metrics.fault_stall_ms += stalled;
+      probe.Stall(stalled);
     }
+    const double t0 = probe.Mark();
     co_await site.cpu.Use(page_cpu);
+    probe.Cpu(t0);
     co_await out.Put(*page);
   }
   out.Close();

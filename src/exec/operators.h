@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "catalog/catalog.h"
 #include "common/rng.h"
@@ -51,6 +52,17 @@ struct ExecContext {
   /// Retransmission policy (points into the session config; read only when
   /// `faults` is non-null).
   const FaultTolerance* fault_tolerance = nullptr;
+
+  /// Pre-order plan-node ids, set (with metrics.operator_actuals sized to
+  /// match) only when the session collects per-operator actuals for
+  /// EXPLAIN ANALYZE.
+  const std::unordered_map<const PlanNode*, int>* op_ids = nullptr;
+
+  /// The operator's actuals record, or null when collection is off.
+  OperatorActual* Actual(const PlanNode& node) const {
+    return op_ids != nullptr ? &metrics.operator_actuals[op_ids->at(&node)]
+                             : nullptr;
+  }
 };
 
 /// Scan of a base relation (Volcano-style, page at a time).
@@ -107,12 +119,16 @@ sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
 /// Sending half of the network operator pair: charges send CPU at `from`,
 /// occupies the wire, counts the page, and forwards it. With capacity-1
 /// channels the producer stays about one page ahead of its consumer.
+/// `actual` (optional) is the consuming operator's EXPLAIN record; ship
+/// CPU and wire time accumulate there, mirroring the estimator.
 sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
-                            PageChannel& wire);
+                            PageChannel& wire,
+                            OperatorActual* actual = nullptr);
 
 /// Receiving half: charges receive CPU at `to` and forwards the page.
 sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
-                            PageChannel& out);
+                            PageChannel& out,
+                            OperatorActual* actual = nullptr);
 
 /// External load: open-loop Poisson random single-page reads against a
 /// server's disks (the paper's model of additional clients), winding down

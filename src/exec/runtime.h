@@ -68,6 +68,11 @@ struct SystemConfig {
   /// Collect disk service-time and network queueing-delay histograms into
   /// ExecMetrics (off by default: one Histogram::Add per arm op/message).
   bool collect_histograms = false;
+  /// Collect per-operator actuals (ExecMetrics::operator_actuals, indexed
+  /// by pre-order plan-node id) for EXPLAIN ANALYZE. Pure observation --
+  /// clock reads and accumulation only -- so results are bit-identical
+  /// with this on or off (asserted by tests).
+  bool collect_operator_actuals = false;
 
   // --- fault injection --------------------------------------------------
   /// Deterministic fault schedule (not owned; must outlive the execution).

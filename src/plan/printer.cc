@@ -5,7 +5,7 @@
 namespace dimsum {
 namespace {
 
-void Render(const PlanNode& node, int depth, std::ostringstream& out) {
+void RenderNodeLine(const PlanNode& node, int depth, std::ostringstream& out) {
   for (int i = 0; i < depth; ++i) out << "  ";
   out << ToString(node.type);
   if (node.type == OpType::kScan) out << " R" << node.relation;
@@ -15,8 +15,26 @@ void Render(const PlanNode& node, int depth, std::ostringstream& out) {
   out << " [" << ToString(node.annotation) << "]";
   if (node.bound_site != kUnboundSite) out << " @" << node.bound_site;
   out << "\n";
+}
+
+void Render(const PlanNode& node, int depth, std::ostringstream& out) {
+  RenderNodeLine(node, depth, out);
   if (node.left) Render(*node.left, depth + 1, out);
   if (node.right) Render(*node.right, depth + 1, out);
+}
+
+void RenderAnnotated(const PlanNode& node, int depth, int* next_id,
+                     const PlanAnnotator& annotate, std::ostringstream& out) {
+  const int id = (*next_id)++;
+  RenderNodeLine(node, depth, out);
+  for (const std::string& line : annotate(node, id)) {
+    for (int i = 0; i < depth + 1; ++i) out << "  ";
+    out << line << "\n";
+  }
+  if (node.left) RenderAnnotated(*node.left, depth + 1, next_id, annotate, out);
+  if (node.right) {
+    RenderAnnotated(*node.right, depth + 1, next_id, annotate, out);
+  }
 }
 
 }  // namespace
@@ -25,6 +43,14 @@ std::string PlanToString(const Plan& plan) {
   if (plan.empty()) return "(empty plan)\n";
   std::ostringstream out;
   Render(*plan.root(), 0, out);
+  return out.str();
+}
+
+std::string PlanToString(const Plan& plan, const PlanAnnotator& annotate) {
+  if (plan.empty()) return "(empty plan)\n";
+  std::ostringstream out;
+  int next_id = 0;
+  RenderAnnotated(*plan.root(), 0, &next_id, annotate, out);
   return out.str();
 }
 

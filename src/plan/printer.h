@@ -1,7 +1,9 @@
 #ifndef DIMSUM_PLAN_PRINTER_H_
 #define DIMSUM_PLAN_PRINTER_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "plan/plan.h"
 
@@ -14,6 +16,17 @@ namespace dimsum {
 ///       scan R1 [primary copy] @1
 /// Bound sites are printed when present.
 std::string PlanToString(const Plan& plan);
+
+/// Per-node annotation hook for EXPLAIN-style output: called with each
+/// node and its pre-order id (display root = 0); every returned line is
+/// rendered indented one level beneath the node. Keeping the hook a plain
+/// callback lets report layers annotate plans without this library
+/// depending on them.
+using PlanAnnotator =
+    std::function<std::vector<std::string>(const PlanNode&, int)>;
+
+/// Renders the plan as an indented tree with annotation lines.
+std::string PlanToString(const Plan& plan, const PlanAnnotator& annotate);
 
 }  // namespace dimsum
 

@@ -1,5 +1,7 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -119,6 +121,71 @@ TEST(HistogramTest, DefaultTimeBoundsAreAscending) {
   for (std::size_t i = 1; i < bounds.size(); ++i) {
     EXPECT_LT(bounds[i - 1], bounds[i]);
   }
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram hist({10.0, 20.0});
+  for (int i = 1; i <= 10; ++i) hist.Add(static_cast<double>(i));
+  // All ten samples land in the first bucket, which spans [min=1, 10].
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 1.0 + 9.0 * 0.5);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileClampsToObservedRangeAndHandlesEmpty) {
+  Histogram empty({1.0});
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  Histogram hist({10.0});
+  hist.Add(50.0);  // single overflow sample
+  // The overflow bucket has no finite upper bound; the clamp pins the
+  // estimate to the observed max.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 50.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.01), 50.0);
+}
+
+TEST(HistogramTest, QuantilesAreMergeOrderIndependent) {
+  // Shard the same sample stream three ways, merge the shards in
+  // different orders, and require identical summaries: quantiles read
+  // only the merged bucket counts plus exact min/max, so the merge order
+  // must not show through.
+  const std::vector<double> bounds = Histogram::DefaultTimeBoundsMs();
+  std::vector<Histogram> shards;
+  for (int s = 0; s < 3; ++s) shards.emplace_back(bounds);
+  uint64_t state = 12345;
+  for (int i = 0; i < 300; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double value = 0.01 + static_cast<double>(state % 100000) / 97.0;
+    shards[i % 3].Add(value);
+  }
+  Histogram forward(bounds);
+  for (int s = 0; s < 3; ++s) forward.Merge(shards[s]);
+  Histogram backward(bounds);
+  for (int s = 2; s >= 0; --s) backward.Merge(shards[s]);
+  EXPECT_EQ(forward.count(), backward.count());
+  EXPECT_EQ(forward.min(), backward.min());
+  EXPECT_EQ(forward.max(), backward.max());
+  EXPECT_EQ(forward.bucket_counts(), backward.bucket_counts());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(forward.Quantile(q), backward.Quantile(q)) << q;
+  }
+  EXPECT_NEAR(forward.sum(), backward.sum(),
+              1e-9 * std::max(1.0, forward.sum()));
+}
+
+TEST(HistogramTest, JsonReportsQuantileSummaries) {
+  Histogram hist({1.0, 10.0});
+  hist.Add(0.5);
+  hist.Add(5.0);
+  std::ostringstream out;
+  hist.WriteJson(out);
+  const auto doc = JsonValue::Parse(out.str());
+  ASSERT_TRUE(doc.has_value());
+  for (const char* key : {"mean", "p50", "p90", "p99"}) {
+    const JsonValue* value = doc->Find(key);
+    ASSERT_NE(value, nullptr) << key;
+    EXPECT_TRUE(value->is_number()) << key;
+  }
+  EXPECT_DOUBLE_EQ(doc->Find("mean")->number_value(), 2.75);
 }
 
 TEST(HistogramTest, JsonIsParsableAndComplete) {

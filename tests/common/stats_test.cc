@@ -1,6 +1,8 @@
 #include "common/stats.h"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -122,6 +124,33 @@ TEST(RunningStatTest, MergeSingleSamplePartitions) {
   EXPECT_EQ(left.count(), all.count());
   EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
   EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStatTest, MergeIsShuffleOrderInsensitive) {
+  // The pairwise (Chan) combination must give the same moments no matter
+  // which order worker shards are folded in, up to floating-point
+  // rounding -- the property the parallel optimizer and the calibration
+  // harness both rely on.
+  std::vector<RunningStat> shards(4);
+  uint64_t state = 99;
+  for (int i = 0; i < 400; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    shards[i % 4].Add(static_cast<double>(state % 10007) / 13.0);
+  }
+  RunningStat forward;
+  for (int s = 0; s < 4; ++s) forward.Merge(shards[s]);
+  RunningStat backward;
+  for (int s = 3; s >= 0; --s) backward.Merge(shards[s]);
+  RunningStat shuffled;
+  for (int s : {2, 0, 3, 1}) shuffled.Merge(shards[s]);
+  EXPECT_EQ(forward.count(), backward.count());
+  EXPECT_EQ(forward.count(), shuffled.count());
+  const double tol = 1e-9 * std::fabs(forward.mean());
+  EXPECT_NEAR(forward.mean(), backward.mean(), tol);
+  EXPECT_NEAR(forward.mean(), shuffled.mean(), tol);
+  const double var_tol = 1e-9 * forward.variance();
+  EXPECT_NEAR(forward.variance(), backward.variance(), var_tol);
+  EXPECT_NEAR(forward.variance(), shuffled.variance(), var_tol);
 }
 
 TEST(StudentT90Test, TableBoundaries) {

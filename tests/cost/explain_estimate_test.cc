@@ -1,0 +1,184 @@
+// Estimate-side EXPLAIN capture: EstimateTime with a PlanEstimate out
+// param must record one operator per plan node (pre-order), attribute
+// per-resource demand consistently with the plan-level totals, and --
+// critically -- return exactly the same TimeEstimate with and without
+// collection (capture is side-band, never part of the model).
+
+#include "cost/response_time.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plan/binding.h"
+
+namespace dimsum {
+namespace {
+
+Catalog PaperCatalog(int relations, int servers, double cached = 0.0) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id =
+        catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(id, ServerSite(i % servers));
+    catalog.SetCachedFraction(id, cached);
+  }
+  return catalog;
+}
+
+QueryGraph ChainQuery(int n) {
+  std::vector<RelationId> rels;
+  for (int i = 0; i < n; ++i) rels.push_back(i);
+  return QueryGraph::Chain(std::move(rels));
+}
+
+/// Left-deep n-way plan with server scans and client joins: crossing
+/// edges, both-site CPU, and a multi-phase pipeline.
+Plan LeftDeepPlan(int n) {
+  std::unique_ptr<PlanNode> tree = MakeScan(0, SiteAnnotation::kPrimaryCopy);
+  for (int i = 1; i < n; ++i) {
+    tree = MakeJoin(MakeScan(i, SiteAnnotation::kPrimaryCopy),
+                    std::move(tree), SiteAnnotation::kConsumer);
+  }
+  return Plan(MakeDisplay(std::move(tree)));
+}
+
+int PlanSize(const Plan& plan) {
+  int n = 0;
+  plan.ForEach([&n](const PlanNode&) { ++n; });
+  return n;
+}
+
+TEST(ExplainEstimateTest, CaptureDoesNotChangeTheEstimate) {
+  Catalog catalog = PaperCatalog(4, 2, /*cached=*/0.25);
+  QueryGraph query = ChainQuery(4);
+  CostParams params;
+  Plan plan = LeftDeepPlan(4);
+  BindSites(plan, catalog);
+  const TimeEstimate bare = EstimateTime(plan, catalog, query, params);
+  PlanEstimate explain;
+  const TimeEstimate captured =
+      EstimateTime(plan, catalog, query, params, {}, &explain);
+  EXPECT_EQ(bare.response_ms, captured.response_ms);
+  EXPECT_EQ(bare.total_ms, captured.total_ms);
+  EXPECT_EQ(explain.response_ms, bare.response_ms);
+  EXPECT_EQ(explain.total_ms, bare.total_ms);
+}
+
+TEST(ExplainEstimateTest, OneRecordPerPlanNodeInPreOrder) {
+  Catalog catalog = PaperCatalog(3, 2);
+  QueryGraph query = ChainQuery(3);
+  CostParams params;
+  Plan plan = LeftDeepPlan(3);
+  BindSites(plan, catalog);
+  PlanEstimate explain;
+  EstimateTime(plan, catalog, query, params, {}, &explain);
+
+  ASSERT_EQ(static_cast<int>(explain.ops.size()), PlanSize(plan));
+  // Pre-order identity: record i describes the i-th node of the walk.
+  int next = 0;
+  plan.ForEach([&](const PlanNode& node) {
+    const OperatorEstimate& op = explain.ops[next];
+    EXPECT_EQ(op.op_id, next);
+    EXPECT_EQ(op.type, node.type);
+    EXPECT_EQ(op.site, node.bound_site);
+    if (node.type == OpType::kScan) {
+      EXPECT_EQ(op.relation, node.relation);
+      EXPECT_GT(op.est_pages, 0);
+    }
+    ++next;
+  });
+  // The display root is op 0.
+  EXPECT_EQ(explain.ops[0].type, OpType::kDisplay);
+}
+
+TEST(ExplainEstimateTest, PerOpDemandsRollUpToPlanTotals) {
+  Catalog catalog = PaperCatalog(4, 2, /*cached=*/0.5);
+  QueryGraph query = ChainQuery(4);
+  CostParams params;
+  Plan plan = LeftDeepPlan(4);
+  BindSites(plan, catalog);
+  PlanEstimate explain;
+  EstimateTime(plan, catalog, query, params, {}, &explain);
+
+  double cpu = 0.0, disk = 0.0, net = 0.0;
+  double site_cpu = 0.0, site_disk = 0.0;
+  for (const OperatorEstimate& op : explain.ops) {
+    EXPECT_GE(op.cpu_ms, 0.0);
+    EXPECT_GE(op.disk_ms, 0.0);
+    EXPECT_GE(op.net_ms, 0.0);
+    cpu += op.cpu_ms;
+    disk += op.disk_ms;
+    net += op.net_ms;
+  }
+  for (const auto& [site, ms] : explain.cpu_ms_by_site) site_cpu += ms;
+  for (const auto& [site, ms] : explain.disk_ms_by_site) site_disk += ms;
+  // Per-op and per-site views are two partitions of the same demand.
+  EXPECT_NEAR(cpu, site_cpu, 1e-9 * std::max(1.0, cpu));
+  EXPECT_NEAR(disk, site_disk, 1e-9 * std::max(1.0, disk));
+  EXPECT_NEAR(net, explain.net_ms, 1e-9 * std::max(1.0, net));
+  // Pre-interference per-op demand never exceeds the (interference
+  // inflated) plan total, and the plan does real work.
+  EXPECT_GT(cpu + disk + net, 0.0);
+  EXPECT_LE(cpu + disk + net, explain.total_ms + 1e-6);
+}
+
+TEST(ExplainEstimateTest, PhasesCoverOpsAndCarryTheCriticalPath) {
+  Catalog catalog = PaperCatalog(4, 2);
+  QueryGraph query = ChainQuery(4);
+  CostParams params;
+  params.buf_alloc = BufAlloc::kMinimum;  // blocking joins => many phases
+  Plan plan = LeftDeepPlan(4);
+  BindSites(plan, catalog);
+  PlanEstimate explain;
+  EstimateTime(plan, catalog, query, params, {}, &explain);
+
+  ASSERT_FALSE(explain.phases.empty());
+  std::set<int> ids;
+  double max_finish = 0.0;
+  for (const PhaseEstimate& phase : explain.phases) {
+    EXPECT_EQ(phase.id, static_cast<int>(ids.size()));
+    ids.insert(phase.id);
+    EXPECT_GE(phase.duration_ms, 0.0);
+    EXPECT_NEAR(phase.finish_ms - phase.start_ms, phase.duration_ms, 1e-9);
+    max_finish = std::max(max_finish, phase.finish_ms);
+  }
+  // Every operator maps into a dense phase id.
+  for (const OperatorEstimate& op : explain.ops) {
+    EXPECT_TRUE(ids.count(op.phase)) << "op " << op.op_id;
+  }
+  // The latest phase finish is the critical path, i.e. the response time.
+  EXPECT_NEAR(max_finish, explain.response_ms,
+              1e-9 * std::max(1.0, explain.response_ms));
+}
+
+TEST(ExplainEstimateTest, ClientScanChainIsRecordedButExcludedFromTotals) {
+  // A client scan of uncached data serializes page faults; the chain
+  // pseudo-resource must show up on the scan's record without inflating
+  // its cpu+disk+net total (its components are already charged there).
+  Catalog catalog = PaperCatalog(2, 1, /*cached=*/0.0);
+  QueryGraph query = ChainQuery(2);
+  CostParams params;
+  Plan plan(MakeDisplay(MakeJoin(MakeScan(0, SiteAnnotation::kClient),
+                                 MakeScan(1, SiteAnnotation::kClient),
+                                 SiteAnnotation::kConsumer)));
+  BindSites(plan, catalog);
+  PlanEstimate explain;
+  EstimateTime(plan, catalog, query, params, {}, &explain);
+  bool found_chain = false;
+  for (const OperatorEstimate& op : explain.ops) {
+    if (op.type == OpType::kScan) {
+      EXPECT_GT(op.chain_ms, 0.0);
+      EXPECT_GT(op.total_ms(), 0.0);
+      found_chain = true;
+    }
+    EXPECT_NEAR(op.total_ms(), op.cpu_ms + op.disk_ms + op.net_ms, 1e-12);
+  }
+  EXPECT_TRUE(found_chain);
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -29,6 +29,12 @@ SCHEMAS = {
     "BENCH_observability.json": {
         "name", "threads", "wall_ms", "plans_per_sec",
     },
+    "BENCH_calibration.json": {
+        "policy", "relations", "cached", "est_response_ms",
+        "sim_response_ms", "response_rel_err", "est_total_ms",
+        "sim_total_ms", "total_rel_err", "mean_op_rel_err",
+        "max_op_rel_err",
+    },
 }
 
 METRICS_KEYS = {"counters", "gauges", "histograms"}

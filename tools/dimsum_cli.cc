@@ -10,12 +10,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/report.h"
 #include "core/system.h"
+#include "cost/response_time.h"
 #include "exec/metrics.h"
 #include "plan/printer.h"
 #include "sim/fault.h"
@@ -49,6 +51,10 @@ struct CliOptions {
   /// Fault-injection spec ("" = healthy). Falls back to the DIMSUM_FAULTS
   /// environment variable. See sim/fault.h for the grammar.
   std::string faults_spec;
+  /// EXPLAIN ANALYZE mode. Only meaningful when explain_set; otherwise the
+  /// DIMSUM_EXPLAIN environment variable is consulted.
+  ExplainMode explain = ExplainMode::kOff;
+  bool explain_set = false;
 };
 
 /// Env-var fallback for the observability outputs: the variable holds the
@@ -88,6 +94,14 @@ void PrintUsage() {
       "  --metrics=FILE           write a metrics snapshot JSON (optimizer\n"
       "                           move counters, disk/network histograms);\n"
       "                           env fallback DIMSUM_METRICS\n"
+      "  --explain[=text|json]    EXPLAIN ANALYZE: per-operator estimated\n"
+      "                           vs simulated cost attribution. text\n"
+      "                           (default) appends an annotated plan tree\n"
+      "                           and phase/site roll-ups; json prints only\n"
+      "                           a dimsum.explain.v1 document on stdout\n"
+      "                           (human output moves to stderr); env\n"
+      "                           fallback DIMSUM_EXPLAIN=1|text|json.\n"
+      "                           Collection never perturbs the simulation\n"
       "  --faults=SPEC            inject faults; ';'-separated clauses:\n"
       "                           crash:site=S,at=T,for=D (one-shot) or\n"
       "                           crash:site=S,mtbf=M,mttr=R[,seed=N]\n"
@@ -157,6 +171,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->metrics_file = value;
     } else if (ParseFlag(arg, "faults", &value)) {
       options->faults_spec = value;
+    } else if (arg == "--explain" || ParseFlag(arg, "explain", &value)) {
+      const std::optional<ExplainMode> mode = ParseExplainMode(value);
+      if (!mode.has_value()) {
+        std::cerr << "invalid --explain mode: " << value
+                  << " (expected text or json)\n";
+        return false;
+      }
+      options->explain = *mode;
+      options->explain_set = true;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return false;
@@ -182,6 +205,23 @@ int RunCli(const CliOptions& options) {
   const std::string faults_spec = !options.faults_spec.empty()
                                       ? options.faults_spec
                                       : EnvPath("DIMSUM_FAULTS");
+  ExplainMode explain = ExplainMode::kOff;
+  if (options.explain_set) {
+    explain = options.explain;
+  } else if (const char* env = std::getenv("DIMSUM_EXPLAIN");
+             env != nullptr && env[0] != '\0') {
+    const std::optional<ExplainMode> mode = ParseExplainMode(env);
+    if (!mode.has_value()) {
+      std::cerr << "invalid DIMSUM_EXPLAIN value: " << env
+                << " (expected 1, text, or json)\n";
+      return 1;
+    }
+    explain = *mode;
+  }
+  // In JSON mode stdout carries exactly one dimsum.explain.v1 document, so
+  // the human-readable report moves to stderr.
+  std::ostream& txt =
+      explain == ExplainMode::kJson ? std::cerr : std::cout;
   WorkloadSpec spec;
   spec.num_relations = options.relations;
   spec.num_servers = options.servers;
@@ -214,17 +254,23 @@ int RunCli(const CliOptions& options) {
     MetricsRegistry::Global().set_enabled(true);
     config.collect_histograms = true;
   }
+  if (explain != ExplainMode::kOff) {
+    // Pure observation on both counts: histogram adds and per-operator
+    // clock reads never schedule a simulation event.
+    config.collect_operator_actuals = true;
+    config.collect_histograms = true;
+  }
   ClientServerSystem system(std::move(workload.catalog), config);
   auto result = system.Run(workload.query, options.policy, options.metric,
                            options.seed);
 
-  std::cout << options.relations << "-way chain join, " << options.servers
+  txt << options.relations << "-way chain join, " << options.servers
             << " server(s), " << Fmt(options.cached * 100, 0)
             << "% cached, " << ToString(options.alloc) << " allocation, "
             << ToString(options.policy) << " minimizing "
             << ToString(options.metric) << "\n\n";
   if (options.print_plan) {
-    std::cout << PlanToString(result.optimize.plan) << "\n";
+    txt << PlanToString(result.optimize.plan) << "\n";
   }
   ReportTable table({"quantity", "value"});
   table.AddRow({"optimizer estimate",
@@ -252,11 +298,11 @@ int RunCli(const CliOptions& options) {
     table.AddRow(
         {"retransmits", std::to_string(result.execute.retransmits)});
   }
-  table.Print(std::cout);
+  table.Print(txt);
 
   if (!trace_file.empty()) {
     if (trace.WriteJsonFile(trace_file)) {
-      std::cout << "\ntrace: " << trace_file << " (" << trace.num_events()
+      txt << "\ntrace: " << trace_file << " (" << trace.num_events()
                 << " events; open in https://ui.perfetto.dev)\n";
     } else {
       std::cerr << "cannot write trace file: " << trace_file << "\n";
@@ -268,11 +314,25 @@ int RunCli(const CliOptions& options) {
     FoldOptimizeResult(result.optimize, registry);
     FoldExecMetrics(result.execute, registry);
     if (registry.WriteJsonFile(metrics_file)) {
-      std::cout << (trace_file.empty() ? "\n" : "") << "metrics: "
+      txt << (trace_file.empty() ? "\n" : "") << "metrics: "
                 << metrics_file << "\n";
     } else {
       std::cerr << "cannot write metrics file: " << metrics_file << "\n";
       return 1;
+    }
+  }
+  if (explain != ExplainMode::kOff) {
+    // Re-cost the chosen plan with estimate capture and join it against the
+    // per-operator actuals the execution collected.
+    PlanEstimate est;
+    EstimateTime(result.optimize.plan, system.catalog(), workload.query,
+                 system.config().params, system.ServerDiskUtilization(),
+                 &est);
+    const ExplainReport report = BuildExplainReport(est, result.execute);
+    if (explain == ExplainMode::kJson) {
+      WriteExplainJson(report, std::cout);
+    } else {
+      txt << "\n" << ExplainToText(report, result.optimize.plan);
     }
   }
   return 0;
