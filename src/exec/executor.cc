@@ -51,7 +51,8 @@ ExecSession::ExecSession(const Catalog& catalog, const SystemConfig& config,
     : catalog_(catalog),
       config_(config),
       seed_(seed),
-      system_(sim_, config) {
+      system_(sim_, config),
+      pool_stats_start_(sim::FramePool::ThisThread().stats()) {
   if (config_.faults != nullptr && !config_.faults->empty()) {
     fault_state_ = std::make_unique<sim::FaultState>(*config_.faults);
   }
@@ -83,6 +84,9 @@ int ExecSession::Submit(const Plan& plan, const QueryGraph& query) {
         << "more queries submitted than declared via ExpectQueries";
   } else {
     expected_ = ticket + 1;
+    // A dynamic submission (open-loop arrivals) reopens the session even
+    // if every earlier query already finished.
+    all_done_ = false;
   }
   auto state = std::make_unique<QueryState>();
   state->start_ms = sim_.now();
@@ -155,7 +159,10 @@ void ExecSession::Run() {
   if (!load_generators_started_) StartLoadGenerators();
   sim_.Run();
   DIMSUM_CHECK_EQ(completed_, expected_) << "some query did not complete";
-  DIMSUM_CHECK(all_done_);
+  // all_done_ is set by the last completion; a run that never saw a query
+  // (e.g. an open-loop window with zero arrivals) is vacuously done.
+  DIMSUM_CHECK(all_done_ || expected_ == 0);
+  FoldKernelMetrics();
   // Fault spans per site: purely observational, emitted after the run so
   // tracing never perturbs the simulation. Windows still open at the end
   // of the run are clamped to it.
@@ -168,6 +175,39 @@ void ExecSession::Run() {
                               w.window.start_ms,
                               std::min(w.window.end_ms, sim_.now()), {});
     }
+  }
+}
+
+/// Folds this session's DES-kernel counters into the global registry:
+/// events processed, event-queue high-water mark, calendar rebuilds, and
+/// the coroutine-frame pool's hit/miss deltas since the session was built
+/// (the pool is thread-local and the session runs on one thread, so the
+/// delta is exactly this session's traffic).
+void ExecSession::FoldKernelMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (!registry.enabled()) return;
+  registry.counter("kernel.processed_events")
+      .Add(static_cast<int64_t>(sim_.processed_events()));
+  registry.counter("kernel.calendar_resizes")
+      .Add(static_cast<int64_t>(sim_.calendar_resizes()));
+  Gauge& peak = registry.gauge("kernel.peak_event_queue_depth");
+  if (static_cast<double>(sim_.peak_queue_depth()) > peak.value()) {
+    peak.Set(static_cast<double>(sim_.peak_queue_depth()));
+  }
+  const sim::FramePool::Stats now = sim::FramePool::ThisThread().stats();
+  const int64_t hits =
+      static_cast<int64_t>(now.hits - pool_stats_start_.hits);
+  const int64_t misses =
+      static_cast<int64_t>(now.misses - pool_stats_start_.misses);
+  const int64_t oversized =
+      static_cast<int64_t>(now.oversized - pool_stats_start_.oversized);
+  registry.counter("kernel.frame_pool.hits").Add(hits);
+  registry.counter("kernel.frame_pool.misses").Add(misses);
+  registry.counter("kernel.frame_pool.oversized").Add(oversized);
+  if (hits + misses > 0) {
+    registry.gauge("kernel.frame_pool.hit_rate")
+        .Set(static_cast<double>(hits) /
+             static_cast<double>(hits + misses));
   }
 }
 

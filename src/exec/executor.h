@@ -12,6 +12,7 @@
 #include "exec/runtime.h"
 #include "plan/plan.h"
 #include "plan/query.h"
+#include "sim/frame_pool.h"
 #include "sim/simulator.h"
 
 namespace dimsum {
@@ -178,6 +179,7 @@ class ExecSession {
                          const PlanNode& consumer);
   void AttachTrace(sim::TraceSink& trace);
   void AttachHistograms();
+  void FoldKernelMetrics();
 
   const Catalog& catalog_;
   SystemConfig config_;
@@ -187,6 +189,9 @@ class ExecSession {
   /// Present only when the config carries a non-empty fault schedule, so
   /// healthy sessions keep their pre-fault code paths bit-identical.
   std::unique_ptr<sim::FaultState> fault_state_;
+  /// Frame-pool counters at construction; Run() folds the delta (this
+  /// session's own allocation traffic) into the metrics registry.
+  sim::FramePool::Stats pool_stats_start_;
   Histogram disk_service_hist_;
   Histogram net_queue_hist_;
   int expected_ = 0;

@@ -107,32 +107,39 @@ void Disk::DispatchArm() {
   // controller has not finished prefetching never arrive.
   if (request.block != stream_next_) AbortPendingReadAhead();
 
-  const ArmService service = ArmServiceTime(request.block);
-  const double total = service.total();
+  // The arm is single-service: the in-flight operation lives in members
+  // so the completion callback captures only `this` and stays inline in
+  // its event (see sim/event.h).
+  arm_current_ = std::move(request);
+  arm_service_ = ArmServiceTime(arm_current_.block);
+  const double total = arm_service_.total();
   busy_ms_ += total;
-  seek_ms_ += service.seek;
-  rotate_ms_ += service.rotate;
-  transfer_ms_ += service.transfer;
-  overhead_ms_ += service.overhead;
+  seek_ms_ += arm_service_.seek;
+  rotate_ms_ += arm_service_.rotate;
+  transfer_ms_ += arm_service_.transfer;
+  overhead_ms_ += arm_service_.overhead;
   if (service_hist_ != nullptr) service_hist_->Add(total);
-  head_cylinder_ = Cylinder(request.block);
-  const double start = sim_.now();
-  sim_.Call(total, [this, request, service, start] {
+  head_cylinder_ = Cylinder(arm_current_.block);
+  arm_start_ = sim_.now();
+  sim_.Call(total, [this] {
     arm_busy_ = false;
     if (TraceSink* trace = sim_.trace()) {
       trace->Complete(trace_pid_, trace_tid_,
-                      request.is_write ? "write" : "read", "disk", start,
-                      sim_.now(),
-                      {{"block", static_cast<double>(request.block)},
-                       {"queue_wait_ms", start - request.enqueue_time},
-                       {"seek_ms", service.seek},
-                       {"rotate_ms", service.rotate},
-                       {"transfer_ms", service.transfer}});
+                      arm_current_.is_write ? "write" : "read", "disk",
+                      arm_start_, sim_.now(),
+                      {{"block", static_cast<double>(arm_current_.block)},
+                       {"queue_wait_ms", arm_start_ - arm_current_.enqueue_time},
+                       {"seek_ms", arm_service_.seek},
+                       {"rotate_ms", arm_service_.rotate},
+                       {"transfer_ms", arm_service_.transfer}});
       trace->CounterSample(trace_pid_, name_ + " queue", sim_.now(),
                            "queue_depth",
                            static_cast<double>(arm_queue_.size()));
     }
-    CompleteArm(request);
+    // Copy out: CompleteArm can re-enter DispatchArm (write-waiter
+    // admission), which repopulates arm_current_.
+    const ArmRequest finished = arm_current_;
+    CompleteArm(finished);
     DispatchArm();
   });
 }

@@ -197,6 +197,14 @@ class Disk {
   int head_cylinder_ = 0;
   bool sweep_up_ = true;
   std::multimap<int, ArmRequest> arm_queue_;  // keyed by cylinder
+  /// The operation the arm is executing, plus its mechanical breakdown
+  /// and start time; valid from DispatchArm until the completion callback
+  /// finishes. Kept in members so the completion lambda captures only
+  /// `this` (one pointer) and schedules without out-of-line callback
+  /// state (see sim/event.h).
+  ArmRequest arm_current_{};
+  ArmService arm_service_{};
+  double arm_start_ = 0.0;
 
   // Controller cache: block -> time the page is (or becomes) available.
   std::map<int64_t, double> cache_;

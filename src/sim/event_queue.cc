@@ -1,0 +1,106 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace dimsum::sim {
+
+void CalendarQueue::EnsureHead() {
+  if (have_head_) return;
+  DIMSUM_CHECK_GT(size_, std::size_t{0});
+  // Sweep at most one year (each physical bucket once) from the cursor,
+  // taking the first bucket whose minimum lies in the cursor's virtual
+  // bucket. Within a year, bucket order equals time order.
+  const std::size_t n = buckets_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bucket& bucket = buckets_[cursor_ & mask_];
+    if (!bucket.Empty() && bucket.Min().vbucket == cursor_) {
+      head_bucket_ = cursor_ & mask_;
+      have_head_ = true;
+      return;
+    }
+    ++cursor_;
+  }
+  // Sparse tail: nothing within a year of the cursor. Direct-search the
+  // global minimum by (time, seq) and jump the cursor to it.
+  const Event* best = nullptr;
+  std::size_t best_bucket = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bucket& bucket = buckets_[i];
+    if (bucket.Empty()) continue;
+    if (best == nullptr || EarlierThan(bucket.Min(), *best)) {
+      best = &bucket.Min();
+      best_bucket = i;
+    }
+  }
+  DIMSUM_CHECK(best != nullptr);
+  cursor_ = best->vbucket;
+  head_bucket_ = best_bucket;
+  have_head_ = true;
+}
+
+void CalendarQueue::Resize(std::size_t new_buckets) {
+  ++resizes_;
+  pushes_since_resize_ = 0;
+  std::vector<Event> all;
+  all.reserve(size_);
+  for (Bucket& bucket : buckets_) {
+    for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
+      all.push_back(bucket.events[i]);
+    }
+    bucket.events.clear();
+    bucket.head = 0;
+  }
+  // Width from the mean gap among the earliest kWidthSample events
+  // (Brown's sampling rule, x3 so ~2/3 of head buckets hold one event).
+  // A global span/size average looks plausible but under-resolves the
+  // dense head whenever inter-event gaps are skewed: exponential holds
+  // cluster the pending population near the cursor with a long sparse
+  // tail, and span-based widths leave dozens of events per head bucket.
+  // Degenerate gaps (everything at one instant, or <2 events) keep a
+  // sane default.
+  constexpr std::size_t kWidthSample = 64;
+  const std::size_t k = std::min(all.size(), kWidthSample);
+  double width = 1.0;
+  if (k >= 2) {
+    std::partial_sort(
+        all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
+        [](const Event& a, const Event& b) { return EarlierThan(a, b); });
+    width = 3.0 * (all[k - 1].time - all[0].time) / static_cast<double>(k - 1);
+  }
+  if (!(width > 1e-9)) width = 1.0;
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  buckets_ = std::vector<Bucket>(new_buckets);
+  mask_ = new_buckets - 1;
+  double min_time = 0.0;
+  if (!all.empty()) {
+    min_time = all[0].time;
+    if (k < 2) {  // not sorted above: find the minimum directly
+      for (const Event& ev : all) {
+        if (ev.time < min_time) min_time = ev.time;
+      }
+    }
+  }
+  cursor_ = all.empty() ? 0 : VirtualBucket(min_time);
+  have_head_ = false;
+  for (Event& ev : all) {
+    ev.vbucket = VirtualBucket(ev.time);
+    buckets_[ev.vbucket & mask_].Insert(ev);
+  }
+}
+
+EventQueueKind DefaultEventQueueKind() {
+  const char* env = std::getenv("DIMSUM_EVENT_QUEUE");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "calendar") == 0) {
+    return EventQueueKind::kCalendar;
+  }
+  if (std::strcmp(env, "heap") == 0) return EventQueueKind::kHeap;
+  DIMSUM_CHECK(false) << "DIMSUM_EVENT_QUEUE must be 'calendar' or 'heap', "
+                         "got '"
+                      << env << "'";
+  return EventQueueKind::kCalendar;
+}
+
+}  // namespace dimsum::sim

@@ -1,0 +1,62 @@
+#include "sim/frame_pool.h"
+
+#include <new>
+
+namespace dimsum::sim {
+
+FramePool& FramePool::ThisThread() {
+  thread_local FramePool pool;
+  return pool;
+}
+
+void* FramePool::Allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooledBytes) {
+    ++stats_.misses;
+    ++stats_.oversized;
+    return ::operator new(bytes);
+  }
+  const std::size_t index = ClassIndex(bytes);
+  if (FreeNode* node = heads_[index]; node != nullptr) {
+    heads_[index] = node->next;
+    --lengths_[index];
+    --free_blocks_;
+    ++stats_.hits;
+    return node;
+  }
+  ++stats_.misses;
+  return ::operator new(ClassBytes(index));
+}
+
+void FramePool::Deallocate(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooledBytes) {
+    ::operator delete(ptr);
+    return;
+  }
+  const std::size_t index = ClassIndex(bytes);
+  if (lengths_[index] >= kMaxFreePerClass) {
+    ::operator delete(ptr);
+    return;
+  }
+  auto* node = static_cast<FreeNode*>(ptr);
+  node->next = heads_[index];
+  heads_[index] = node;
+  ++lengths_[index];
+  ++free_blocks_;
+}
+
+FramePool::~FramePool() {
+  for (std::size_t i = 0; i < kNumClasses; ++i) {
+    FreeNode* node = heads_[i];
+    while (node != nullptr) {
+      FreeNode* next = node->next;
+      ::operator delete(node);
+      node = next;
+    }
+    heads_[i] = nullptr;
+  }
+}
+
+}  // namespace dimsum::sim

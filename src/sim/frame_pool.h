@@ -1,0 +1,81 @@
+#ifndef DIMSUM_SIM_FRAME_POOL_H_
+#define DIMSUM_SIM_FRAME_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dimsum::sim {
+
+/// Size-bucketed freelist allocator for coroutine frames and event
+/// callbacks. Every `Task<T>`/`Process` the executor creates used to hit
+/// global `new`/`delete` once per frame; with simulations issuing one
+/// Task per operator page hand-off that allocation was a measurable slice
+/// of kernel time. The pool recycles blocks in 64-byte size classes up to
+/// 4 KiB (larger requests pass through to the global allocator).
+///
+/// The pool is thread-local: each simulation runs single-threaded on one
+/// thread (parallel replication gives every trial its own thread and its
+/// own simulator), so frames are always freed on the thread that
+/// allocated them and no locking is needed. Blocks are returned to the
+/// global allocator when a class's freelist is full and when the thread
+/// exits.
+class FramePool {
+ public:
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kMaxPooledBytes = 4096;
+  static constexpr std::size_t kNumClasses = kMaxPooledBytes / kGranule;
+  /// Freelist length cap per size class; beyond it, frees pass through.
+  static constexpr std::size_t kMaxFreePerClass = 1024;
+
+  /// Allocation counters. `hits` are served from a freelist; `misses`
+  /// went to the global allocator (cold start or oversized request).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t oversized = 0;  // subset of misses: > kMaxPooledBytes
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+
+  /// The calling thread's pool.
+  static FramePool& ThisThread();
+
+  void* Allocate(std::size_t bytes);
+  void Deallocate(void* ptr, std::size_t bytes) noexcept;
+
+  /// Cumulative counters for this thread (never reset by runs; callers
+  /// wanting per-run figures difference two snapshots).
+  const Stats& stats() const { return stats_; }
+
+  /// Blocks currently parked on this thread's freelists.
+  std::size_t free_blocks() const { return free_blocks_; }
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+  ~FramePool();
+
+ private:
+  FramePool() = default;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static std::size_t ClassIndex(std::size_t bytes) {
+    return (bytes + kGranule - 1) / kGranule - 1;
+  }
+  static std::size_t ClassBytes(std::size_t index) {
+    return (index + 1) * kGranule;
+  }
+
+  FreeNode* heads_[kNumClasses] = {};
+  std::size_t lengths_[kNumClasses] = {};
+  std::size_t free_blocks_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_FRAME_POOL_H_

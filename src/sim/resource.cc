@@ -13,21 +13,25 @@ void Resource::Enqueue(std::coroutine_handle<> handle, double service_ms) {
 void Resource::Dispatch() {
   if (busy_ || queue_.empty()) return;
   busy_ = true;
-  Request request = queue_.front();
+  // The server is single-service: the in-flight request lives in members
+  // so the completion callback captures only `this` and stays inline in
+  // its event (see sim/event.h).
+  in_service_ = queue_.front();
   queue_.pop_front();
-  const double wait = sim_.now() - request.enqueue_time;
-  wait_ms_ += wait;
-  busy_ms_ += request.service_ms;
-  if (wait_hist_ != nullptr) wait_hist_->Add(wait);
-  const double start = sim_.now();
-  sim_.Call(request.service_ms, [this, request, wait, start] {
+  in_service_wait_ = sim_.now() - in_service_.enqueue_time;
+  in_service_start_ = sim_.now();
+  wait_ms_ += in_service_wait_;
+  busy_ms_ += in_service_.service_ms;
+  if (wait_hist_ != nullptr) wait_hist_->Add(in_service_wait_);
+  sim_.Call(in_service_.service_ms, [this] {
     busy_ = false;
     if (TraceSink* trace = sim_.trace()) {
-      trace->Complete(trace_pid_, trace_tid_, "service", "resource", start,
-                      sim_.now(),
-                      {{"wait_ms", wait}, {"service_ms", request.service_ms}});
+      trace->Complete(trace_pid_, trace_tid_, "service", "resource",
+                      in_service_start_, sim_.now(),
+                      {{"wait_ms", in_service_wait_},
+                       {"service_ms", in_service_.service_ms}});
     }
-    sim_.Resume(0.0, request.handle);
+    sim_.Resume(0.0, in_service_.handle);
     Dispatch();
   });
 }

@@ -80,6 +80,13 @@ class Resource {
   std::string name_;
   double service_scale_ = 1.0;
   bool busy_ = false;
+  /// The request currently holding the server, plus its trace figures;
+  /// valid from Dispatch until the completion callback finishes. Kept in
+  /// members so the completion lambda captures only `this` (one pointer)
+  /// and schedules without any out-of-line callback state.
+  Request in_service_{};
+  double in_service_wait_ = 0.0;
+  double in_service_start_ = 0.0;
   std::deque<Request> queue_;
   uint64_t total_requests_ = 0;
   double busy_ms_ = 0.0;

@@ -15,29 +15,4 @@ void Simulator::Spawn(Process process, std::function<void()> on_done) {
   Resume(0.0, handle);
 }
 
-bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  Entry entry = queue_.top();
-  queue_.pop();
-  DIMSUM_CHECK_GE(entry.time, now_);
-  now_ = entry.time;
-  ++processed_;
-  if (entry.handle) {
-    entry.handle.resume();
-  } else {
-    entry.fn();
-  }
-  return true;
-}
-
-void Simulator::Run() {
-  while (Step()) {
-  }
-}
-
-void Simulator::RunUntil(double time) {
-  while (!queue_.empty() && queue_.top().time <= time) Step();
-  if (now_ < time) now_ = time;
-}
-
 }  // namespace dimsum::sim

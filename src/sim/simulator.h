@@ -4,10 +4,10 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "common/check.h"
+#include "sim/event_queue.h"
 
 namespace dimsum::sim {
 
@@ -16,30 +16,43 @@ class TraceSink;
 
 /// Discrete-event simulation kernel.
 ///
-/// Keeps a virtual clock (milliseconds) and a priority queue of events.
-/// Events are either coroutine resumptions or plain callbacks. Ties are
-/// broken by insertion order, so runs are fully deterministic.
+/// Keeps a virtual clock (milliseconds) and a calendar queue of events
+/// (see sim/event_queue.h; DIMSUM_EVENT_QUEUE=heap selects the legacy
+/// binary heap, which pops in the identical order). Events are either
+/// coroutine resumptions or plain callbacks, stored inline without heap
+/// allocation (sim/inline_fn.h). Ties are broken by insertion order, so
+/// runs are fully deterministic and bit-identical across queue kinds.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : queue_(DefaultEventQueueKind()) {}
+  explicit Simulator(EventQueueKind kind) : queue_(kind) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time in milliseconds.
   double now() const { return now_; }
 
-  /// Schedules `handle` to be resumed `delay` ms from now.
+  /// Schedules `handle` to be resumed `delay` ms from now. The delay
+  /// must be non-negative (NaN fails the check).
   void Resume(double delay, std::coroutine_handle<> handle) {
     DIMSUM_CHECK_GE(delay, 0.0);
     DIMSUM_CHECK(handle);
-    queue_.push(Entry{now_ + delay, next_seq_++, handle, nullptr});
+    Event ev;
+    ev.BindCoroutine(handle);
+    Push(now_ + delay, ev);
   }
 
-  /// Schedules `fn` to run `delay` ms from now.
-  void Call(double delay, std::function<void()> fn) {
+  /// Schedules `fn` to run `delay` ms from now. Trivially copyable
+  /// callables up to Event::kInlineBytes are stored in the event itself;
+  /// an empty callable (e.g. a default-constructed std::function) fails
+  /// here rather than at dispatch. The delay must be non-negative (NaN
+  /// fails the check).
+  template <typename F>
+  void Call(double delay, F&& fn) {
     DIMSUM_CHECK_GE(delay, 0.0);
-    DIMSUM_CHECK(fn);
-    queue_.push(Entry{now_ + delay, next_seq_++, nullptr, std::move(fn)});
+    Event ev;
+    DIMSUM_CHECK(ev.BindCallback(std::forward<F>(fn))) << "empty callback";
+    Push(now_ + delay, ev);
   }
 
   /// Starts a detached process; see sim/task.h.
@@ -49,17 +62,40 @@ class Simulator {
   void Spawn(Process process, std::function<void()> on_done);
 
   /// Processes the next event. Returns false if the queue is empty.
-  bool Step();
+  bool Step() {
+    if (queue_.empty()) return false;
+    Event event = queue_.Pop();
+    DIMSUM_CHECK_GE(event.time, now_);
+    now_ = event.time;
+    ++processed_;
+    event.Dispatch();
+    return true;
+  }
 
   /// Runs until no events remain.
-  void Run();
+  void Run() {
+    while (Step()) {
+    }
+  }
 
   /// Runs until the clock reaches `time` (events at exactly `time` are
   /// processed) or the queue empties.
-  void RunUntil(double time);
+  void RunUntil(double time) {
+    while (!queue_.empty() && queue_.PeekTime() <= time) Step();
+    if (now_ < time) now_ = time;
+  }
 
+  // --- kernel counters --------------------------------------------------
   /// Number of events processed so far.
   uint64_t processed_events() const { return processed_; }
+  /// Events currently pending.
+  std::size_t queue_depth() const { return queue_.size(); }
+  /// High-water mark of pending events over the run.
+  std::size_t peak_queue_depth() const { return peak_depth_; }
+  /// Calendar-queue bucket-array rebuilds (0 under the heap).
+  uint64_t calendar_resizes() const { return queue_.resizes(); }
+  /// Which queue implementation this simulator runs on.
+  EventQueueKind event_queue_kind() const { return queue_.kind(); }
 
   /// Optional trace sink (see sim/trace.h), not owned. Instrumented
   /// components test `trace()` for null before recording, so a simulator
@@ -68,7 +104,7 @@ class Simulator {
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
   /// Suspends the awaiting coroutine for `delay` ms of virtual time.
-  /// A non-positive delay does not suspend.
+  /// A non-positive delay does not suspend; NaN fails the schedule check.
   auto Delay(double delay) {
     struct Awaiter {
       Simulator& sim;
@@ -81,24 +117,19 @@ class Simulator {
   }
 
  private:
-  struct Entry {
-    double time;
-    uint64_t seq;
-    std::coroutine_handle<> handle;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  void Push(double time, Event& ev) {
+    ev.time = time;
+    ev.seq = next_seq_++;
+    queue_.Push(ev);
+    if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+  }
 
   double now_ = 0.0;
   TraceSink* trace_ = nullptr;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::size_t peak_depth_ = 0;
+  EventQueue queue_;
 };
 
 }  // namespace dimsum::sim

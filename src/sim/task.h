@@ -2,13 +2,29 @@
 #define DIMSUM_SIM_TASK_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <functional>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "sim/frame_pool.h"
 
 namespace dimsum::sim {
+
+/// Routes a coroutine type's frame allocations through the thread-local
+/// FramePool (size-bucketed freelists) instead of global new/delete.
+/// Inherited by every promise type below: operator-pipeline simulations
+/// create a Task frame per page hand-off, so recycling frames removes an
+/// allocator round-trip from the kernel's hottest path.
+struct PooledFrame {
+  static void* operator new(std::size_t bytes) {
+    return FramePool::ThisThread().Allocate(bytes);
+  }
+  static void operator delete(void* ptr, std::size_t bytes) noexcept {
+    FramePool::ThisThread().Deallocate(ptr, bytes);
+  }
+};
 
 /// Lazily-started coroutine returning a value of type T. `Task` is the
 /// building block for nested simulation logic: an operator's `Next()`
@@ -33,7 +49,7 @@ class [[nodiscard]] Task {
     void await_resume() const noexcept {}
   };
 
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::coroutine_handle<> continuation;
     std::optional<T> value;
 
@@ -89,7 +105,7 @@ class [[nodiscard]] Task<void> {
     void await_resume() const noexcept {}
   };
 
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::coroutine_handle<> continuation;
 
     Task get_return_object() { return Task(Handle::from_promise(*this)); }
@@ -143,7 +159,7 @@ class Process {
     void await_resume() const noexcept {}
   };
 
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::function<void()> on_done;
 
     Process get_return_object() { return Process(Handle::from_promise(*this)); }

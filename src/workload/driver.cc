@@ -1,6 +1,8 @@
 #include "workload/driver.h"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
 #include <memory>
 #include <utility>
 
@@ -222,6 +224,285 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
     if (config.collect_histograms && result.totals.downtime_ms.count() > 0) {
       registry.MergeHistogram("faults.downtime_ms_hist",
                               result.totals.downtime_ms);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Open loop
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared state of one open-loop run. Lives in RunOpenLoop's frame, which
+/// outlives session.Run().
+struct OpenLoopState {
+  ExecSession& session;
+  const std::vector<ClientWorkload>& clients;
+  const AdmissionControl& admission;
+  OpenLoopResult* result;
+
+  struct PendingArrival {
+    double arrival_ms;
+    int client_index;
+  };
+  std::deque<PendingArrival> pending;
+  int in_flight = 0;
+};
+
+sim::Process OpenLoopQuery(OpenLoopState& state, int client_index,
+                           double arrival_ms);
+
+/// Moves an admitted arrival into execution (consumes an in-flight slot).
+void OpenLoopDispatch(OpenLoopState& state, int client_index,
+                      double arrival_ms) {
+  ++state.in_flight;
+  ++state.result->dispatched;
+  if (state.in_flight > state.result->peak_in_flight) {
+    state.result->peak_in_flight = state.in_flight;
+  }
+  state.session.sim().Spawn(OpenLoopQuery(state, client_index, arrival_ms));
+}
+
+/// Admission control at the arrival instant: dispatch if a slot is free,
+/// otherwise queue up to max_pending, otherwise shed.
+void OpenLoopAdmit(OpenLoopState& state, int client_index) {
+  ++state.result->arrivals;
+  const AdmissionControl& ac = state.admission;
+  const double now = state.session.sim().now();
+  if (ac.max_in_flight <= 0 || state.in_flight < ac.max_in_flight) {
+    OpenLoopDispatch(state, client_index, now);
+    return;
+  }
+  if (static_cast<int>(state.pending.size()) < ac.max_pending) {
+    state.pending.push_back({now, client_index});
+    if (static_cast<int>(state.pending.size()) >
+        state.result->peak_pending) {
+      state.result->peak_pending = static_cast<int>(state.pending.size());
+    }
+    return;
+  }
+  ++state.result->shed;
+}
+
+/// One open-loop query: submit, await completion, record, then hand the
+/// freed slot to the pending queue (skipping arrivals that outwaited
+/// abort_wait_ms).
+sim::Process OpenLoopQuery(OpenLoopState& state, int client_index,
+                           double arrival_ms) {
+  sim::Simulator& sim = state.session.sim();
+  const ClientWorkload& work = state.clients[client_index];
+  const double submit_ms = sim.now();
+  const int ticket = state.session.Submit(*work.plan, *work.query);
+  co_await state.session.UntilDone(ticket);
+  state.result->completions.push_back(OpenLoopCompletion{
+      ticket, ClientSite(client_index), arrival_ms, submit_ms, sim.now()});
+  ++state.result->completed;
+  --state.in_flight;
+  const AdmissionControl& ac = state.admission;
+  while (!state.pending.empty() &&
+         (ac.max_in_flight <= 0 || state.in_flight < ac.max_in_flight)) {
+    OpenLoopState::PendingArrival next = state.pending.front();
+    state.pending.pop_front();
+    if (ac.abort_wait_ms > 0.0 &&
+        sim.now() - next.arrival_ms > ac.abort_wait_ms) {
+      ++state.result->aborted;
+      continue;
+    }
+    OpenLoopDispatch(state, next.client_index, next.arrival_ms);
+  }
+}
+
+/// The arrival generator: produces arrivals over [0, duration_ms) from the
+/// configured process, assigning them round-robin to client sites.
+sim::Process OpenLoopGenerator(OpenLoopState& state,
+                               const ArrivalProcessConfig& arrival,
+                               double duration_ms, Rng rng) {
+  sim::Simulator& sim = state.session.sim();
+  const int num_clients = static_cast<int>(state.clients.size());
+  const double mean_gap_ms = 1000.0 / arrival.rate_per_sec;
+  int next_client = 0;
+  auto admit = [&] {
+    OpenLoopAdmit(state, next_client);
+    next_client = (next_client + 1) % num_clients;
+  };
+  switch (arrival.kind) {
+    case ArrivalKind::kPoisson: {
+      while (true) {
+        const double dt = rng.Exponential(mean_gap_ms);
+        if (sim.now() + dt >= duration_ms) break;
+        co_await sim.Delay(dt);
+        admit();
+      }
+      break;
+    }
+    case ArrivalKind::kBursty: {
+      // Alternate exponential ON phases (arrivals at burst_factor times
+      // the base rate) with exponential OFF phases (no arrivals).
+      const double on_gap_ms = mean_gap_ms / arrival.burst_factor;
+      bool on = true;
+      double phase_end_ms = rng.Exponential(arrival.burst_on_mean_ms);
+      while (sim.now() < duration_ms) {
+        if (!on) {
+          const double resume_ms = std::min(phase_end_ms, duration_ms);
+          if (resume_ms > sim.now()) co_await sim.Delay(resume_ms - sim.now());
+          if (sim.now() >= duration_ms) break;
+          on = true;
+          phase_end_ms = sim.now() + rng.Exponential(arrival.burst_on_mean_ms);
+          continue;
+        }
+        const double dt = rng.Exponential(on_gap_ms);
+        if (sim.now() + dt >= phase_end_ms) {
+          const double resume_ms = std::min(phase_end_ms, duration_ms);
+          if (resume_ms > sim.now()) co_await sim.Delay(resume_ms - sim.now());
+          if (sim.now() >= duration_ms) break;
+          on = false;
+          phase_end_ms = sim.now() + rng.Exponential(arrival.burst_off_mean_ms);
+          continue;
+        }
+        if (sim.now() + dt >= duration_ms) break;
+        co_await sim.Delay(dt);
+        admit();
+      }
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      // Thinning (Lewis-Shedler): candidate arrivals at the peak rate,
+      // each kept with probability rate(t) / peak_rate.
+      const double peak_rate = arrival.rate_per_sec *
+                               (1.0 + arrival.diurnal_amplitude);
+      const double peak_gap_ms = 1000.0 / peak_rate;
+      constexpr double kTwoPi = 6.28318530717958647692;
+      while (true) {
+        const double dt = rng.Exponential(peak_gap_ms);
+        if (sim.now() + dt >= duration_ms) break;
+        co_await sim.Delay(dt);
+        const double rate =
+            arrival.rate_per_sec *
+            (1.0 + arrival.diurnal_amplitude *
+                       std::sin(kTwoPi * sim.now() / arrival.diurnal_period_ms));
+        if (rng.NextDouble() * peak_rate < rate) admit();
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
+                           const Catalog& catalog, const SystemConfig& config,
+                           const OpenLoopConfig& openloop) {
+  const int num_clients = static_cast<int>(clients.size());
+  DIMSUM_CHECK_GE(num_clients, 1);
+  DIMSUM_CHECK_EQ(num_clients, config.num_clients);
+  DIMSUM_CHECK_EQ(num_clients, catalog.num_clients());
+  DIMSUM_CHECK_GT(openloop.arrival.rate_per_sec, 0.0);
+  DIMSUM_CHECK_GT(openloop.duration_ms, 0.0);
+  DIMSUM_CHECK_GE(openloop.num_batches, 1);
+  DIMSUM_CHECK_GE(openloop.warmup_completions, 0);
+  if (openloop.arrival.kind == ArrivalKind::kBursty) {
+    DIMSUM_CHECK_GT(openloop.arrival.burst_factor, 0.0);
+    DIMSUM_CHECK_GT(openloop.arrival.burst_on_mean_ms, 0.0);
+    DIMSUM_CHECK_GT(openloop.arrival.burst_off_mean_ms, 0.0);
+  }
+  if (openloop.arrival.kind == ArrivalKind::kDiurnal) {
+    DIMSUM_CHECK_GE(openloop.arrival.diurnal_amplitude, 0.0);
+    DIMSUM_CHECK_LE(openloop.arrival.diurnal_amplitude, 1.0);
+    DIMSUM_CHECK_GT(openloop.arrival.diurnal_period_ms, 0.0);
+  }
+  DIMSUM_CHECK_GE(openloop.admission.max_in_flight, 0);
+  DIMSUM_CHECK_GE(openloop.admission.max_pending, 0);
+  DIMSUM_CHECK_GE(openloop.admission.abort_wait_ms, 0.0);
+  for (int c = 0; c < num_clients; ++c) {
+    const ClientWorkload& work = clients[c];
+    DIMSUM_CHECK(work.plan != nullptr);
+    DIMSUM_CHECK(work.query != nullptr);
+    DIMSUM_CHECK(!work.plan->empty());
+    DIMSUM_CHECK_EQ(work.plan->root()->bound_site, ClientSite(c))
+        << "client " << c << "'s plan displays elsewhere";
+    DIMSUM_CHECK_EQ(work.query->home_client, ClientSite(c));
+  }
+
+  OpenLoopResult result;
+  // The shed count is only known at the end, so the session's completion
+  // target grows dynamically with each Submit (no ExpectQueries).
+  ExecSession session(catalog, config, openloop.seed);
+  OpenLoopState state{session, clients, openloop.admission, &result, {}, 0};
+  Rng rng(openloop.seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  session.sim().Spawn(OpenLoopGenerator(state, openloop.arrival,
+                                        openloop.duration_ms, rng.Fork()));
+  session.Run();
+
+  DIMSUM_CHECK_EQ(result.completed, result.dispatched);
+  DIMSUM_CHECK_EQ(result.arrivals,
+                  result.dispatched + result.shed + result.aborted +
+                      static_cast<int64_t>(state.pending.size()));
+  // Pending arrivals that never got a slot before the run drained count as
+  // aborted (they were admitted but never executed).
+  result.aborted += static_cast<int64_t>(state.pending.size());
+
+  result.totals = session.Totals();
+  const int total = session.submitted();
+  result.per_query.reserve(total);
+  for (int t = 0; t < total; ++t) {
+    result.per_query.push_back(session.Metrics(t));
+  }
+  result.makespan_ms =
+      result.completions.empty() ? 0.0 : result.completions.back().complete_ms;
+  result.offered_qps = result.arrivals / openloop.duration_ms * 1000.0;
+  result.processed_events = session.sim().processed_events();
+  result.peak_event_queue_depth = session.sim().peak_queue_depth();
+
+  // Steady-state estimation over post-warmup completions, mirroring the
+  // closed-loop batch-means method. Response time runs arrival to
+  // completion, so admission-queue waits are part of the figure.
+  const int completed = static_cast<int>(result.completions.size());
+  const int warmup = std::min(openloop.warmup_completions, completed);
+  result.warmup_end_ms =
+      warmup > 0 ? result.completions[warmup - 1].complete_ms : 0.0;
+  result.measured = completed - warmup;
+  const double window_ms = result.makespan_ms - result.warmup_end_ms;
+  result.throughput_qps =
+      window_ms > 0.0 ? result.measured / window_ms * 1000.0 : 0.0;
+  const int batch_size = std::max(1, result.measured / openloop.num_batches);
+  RunningStat overall;
+  RunningStat queue_wait;
+  RunningStat batch;
+  int in_batch = 0;
+  int batches_done = 0;
+  for (int i = warmup; i < completed; ++i) {
+    const OpenLoopCompletion& c = result.completions[i];
+    const double response_ms = c.complete_ms - c.arrival_ms;
+    overall.Add(response_ms);
+    queue_wait.Add(c.submit_ms - c.arrival_ms);
+    batch.Add(response_ms);
+    ++in_batch;
+    const bool last_batch = batches_done + 1 >= openloop.num_batches;
+    if (in_batch >= batch_size && !last_batch) {
+      result.batch_means.Add(batch.mean());
+      batch = RunningStat();
+      in_batch = 0;
+      ++batches_done;
+    }
+  }
+  if (in_batch > 0) result.batch_means.Add(batch.mean());
+  result.mean_response_ms = overall.mean();
+  result.mean_queue_wait_ms = queue_wait.mean();
+  result.response_ci90_ms = result.batch_means.count() >= 2
+                                ? result.batch_means.ConfidenceHalfWidth90()
+                                : 0.0;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.enabled()) {
+    registry.counter("openloop.arrivals").Add(result.arrivals);
+    registry.counter("openloop.dispatched").Add(result.dispatched);
+    registry.counter("openloop.shed").Add(result.shed);
+    registry.counter("openloop.aborted").Add(result.aborted);
+    Gauge& peak = registry.gauge("openloop.peak_pending");
+    if (result.peak_pending > peak.value()) {
+      peak.Set(static_cast<double>(result.peak_pending));
     }
   }
   return result;

@@ -155,6 +155,138 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
                            const Catalog& catalog, const SystemConfig& config,
                            const DriverConfig& driver);
 
+// ---------------------------------------------------------------------------
+// Open-loop workload generation
+// ---------------------------------------------------------------------------
+
+/// Shape of the open-loop arrival process. All three are driven by one
+/// deterministic Rng stream, so a (config, seed) pair reproduces the exact
+/// arrival sequence.
+enum class ArrivalKind {
+  /// Homogeneous Poisson arrivals at rate_per_sec.
+  kPoisson,
+  /// On/off modulated Poisson (interrupted Poisson process): exponential
+  /// ON phases with arrivals at rate_per_sec * burst_factor alternate with
+  /// exponential OFF phases with none. The long-run mean rate is
+  /// rate_per_sec * burst_factor * on / (on + off).
+  kBursty,
+  /// Sinusoidally modulated Poisson via thinning:
+  /// rate(t) = rate_per_sec * (1 + amplitude * sin(2*pi*t / period)).
+  kDiurnal,
+};
+
+struct ArrivalProcessConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Base arrival rate, queries per second of virtual time.
+  double rate_per_sec = 10.0;
+  /// kBursty: mean ON / OFF phase lengths and the ON-phase rate multiplier.
+  double burst_on_mean_ms = 500.0;
+  double burst_off_mean_ms = 500.0;
+  double burst_factor = 2.0;
+  /// kDiurnal: modulation period and relative amplitude in [0, 1].
+  double diurnal_period_ms = 60'000.0;
+  double diurnal_amplitude = 0.5;
+};
+
+/// Admission control for open-loop arrivals. Unlike a closed loop -- where
+/// the population bounds the backlog by construction -- an open-loop system
+/// past saturation grows its queue without bound, so the driver enforces
+/// the bound explicitly and accounts for every arrival it turns away.
+struct AdmissionControl {
+  /// Queries executing concurrently; arrivals past this wait in the
+  /// pending queue. 0 = unlimited (every arrival dispatches immediately).
+  int max_in_flight = 0;
+  /// Pending-queue capacity; arrivals past it are shed (dropped at the
+  /// door, counted in OpenLoopResult::shed).
+  int max_pending = 0;
+  /// A pending arrival that has waited longer than this when its dispatch
+  /// slot opens is aborted instead of executed (counted in
+  /// OpenLoopResult::aborted). 0 = never abort.
+  double abort_wait_ms = 0.0;
+};
+
+/// Parameters of an open-loop run. Arrivals are generated in
+/// [0, duration_ms); the run then drains whatever is in flight.
+struct OpenLoopConfig {
+  ArrivalProcessConfig arrival;
+  AdmissionControl admission;
+  double duration_ms = 10'000.0;
+  /// Completions (in completion order) discarded as warmup.
+  int warmup_completions = 0;
+  /// Batch count for batch-means response-time estimation.
+  int num_batches = 10;
+  uint64_t seed = 0;
+};
+
+/// One completed open-loop query, in global completion order. Response
+/// time is measured from *arrival* (admission wait included); submit_ms -
+/// arrival_ms is the admission-queue wait.
+struct OpenLoopCompletion {
+  int ticket = 0;
+  SiteId client = 0;
+  double arrival_ms = 0.0;
+  double submit_ms = 0.0;
+  double complete_ms = 0.0;
+};
+
+/// Results of an open-loop run.
+struct OpenLoopResult {
+  /// Arrival accounting: arrivals = dispatched + shed + aborted, and every
+  /// dispatched query completes (completed == dispatched).
+  int64_t arrivals = 0;
+  int64_t dispatched = 0;
+  int64_t shed = 0;
+  int64_t aborted = 0;
+  int64_t completed = 0;
+
+  /// Per-query attributed metrics, indexed by ticket (dispatch order).
+  std::vector<ExecMetrics> per_query;
+  /// All completions in global completion order (warmup included).
+  std::vector<OpenLoopCompletion> completions;
+  /// Whole-run resource totals (warmup included).
+  BatchTotals totals;
+  /// Time of the last completion (0 when nothing completed), ms.
+  double makespan_ms = 0.0;
+  /// Offered load: arrivals per second over [0, duration_ms).
+  double offered_qps = 0.0;
+
+  // --- Steady-state estimates over the post-warmup window ---
+  double warmup_end_ms = 0.0;
+  int measured = 0;
+  /// Measured completions per second of virtual time.
+  double throughput_qps = 0.0;
+  /// Mean arrival-to-completion time over measured completions, ms.
+  double mean_response_ms = 0.0;
+  /// 90% confidence half-width from batch means (0 with fewer than two
+  /// batches).
+  double response_ci90_ms = 0.0;
+  RunningStat batch_means;
+  /// Mean admission-queue wait (arrival to dispatch) over measured
+  /// completions, ms.
+  double mean_queue_wait_ms = 0.0;
+
+  // --- Saturation indicators -------------------------------------------
+  int peak_in_flight = 0;
+  int peak_pending = 0;
+
+  // --- Kernel counters (see sim/simulator.h) ---------------------------
+  uint64_t processed_events = 0;
+  uint64_t peak_event_queue_depth = 0;
+};
+
+/// Runs an open-loop workload on one simulated cluster: arrivals follow
+/// the configured process regardless of completions (the load is *offered*,
+/// not paced by the system -- the open-loop counterpart of RunClosedLoop's
+/// think-time loop), are assigned round-robin to the client sites, and
+/// pass admission control before executing. `clients[i]` provides the
+/// bound plan issued from client site i; constraints match RunClosedLoop.
+///
+/// Deterministic: identical inputs (including seed) produce identical
+/// results, independent of wall-clock threading.
+OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
+                           const Catalog& catalog, const SystemConfig& config,
+                           const OpenLoopConfig& openloop);
+
 }  // namespace dimsum
 
 #endif  // DIMSUM_WORKLOAD_DRIVER_H_

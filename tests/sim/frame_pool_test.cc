@@ -1,0 +1,104 @@
+#include "sim/frame_pool.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace dimsum::sim {
+namespace {
+
+/// The pool is thread-local and cumulative, so tests work on deltas.
+FramePool::Stats Snapshot() { return FramePool::ThisThread().stats(); }
+
+TEST(FramePoolTest, ReusesFreedBlockOfSameClass) {
+  FramePool& pool = FramePool::ThisThread();
+  void* first = pool.Allocate(128);
+  pool.Deallocate(first, 128);
+  const FramePool::Stats before = Snapshot();
+  void* second = pool.Allocate(128);
+  EXPECT_EQ(second, first);  // LIFO freelist hands the block straight back
+  EXPECT_EQ(Snapshot().hits, before.hits + 1);
+  pool.Deallocate(second, 128);
+}
+
+TEST(FramePoolTest, RoundsWithinGranuleToOneClass) {
+  // 1 byte and 64 bytes share the first 64-byte size class.
+  FramePool& pool = FramePool::ThisThread();
+  void* block = pool.Allocate(64);
+  pool.Deallocate(block, 64);
+  void* reused = pool.Allocate(1);
+  EXPECT_EQ(reused, block);
+  pool.Deallocate(reused, 1);
+}
+
+TEST(FramePoolTest, ColdAllocationCountsAsMiss) {
+  const FramePool::Stats before = Snapshot();
+  // Drain the 256-byte class, then allocate one more than was parked.
+  FramePool& pool = FramePool::ThisThread();
+  std::vector<void*> blocks;
+  while (pool.free_blocks() > 0 && blocks.size() < 100000) {
+    blocks.push_back(pool.Allocate(256));
+  }
+  void* fresh = pool.Allocate(256);
+  const FramePool::Stats after = Snapshot();
+  EXPECT_GE(after.misses, before.misses + 1);
+  pool.Deallocate(fresh, 256);
+  for (void* b : blocks) pool.Deallocate(b, 256);
+}
+
+TEST(FramePoolTest, OversizedRequestsPassThrough) {
+  FramePool& pool = FramePool::ThisThread();
+  const FramePool::Stats before = Snapshot();
+  void* big = pool.Allocate(FramePool::kMaxPooledBytes + 1);
+  ASSERT_NE(big, nullptr);
+  const FramePool::Stats after = Snapshot();
+  EXPECT_EQ(after.oversized, before.oversized + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  // Pass-through frees must not land on a freelist.
+  const std::size_t parked = pool.free_blocks();
+  pool.Deallocate(big, FramePool::kMaxPooledBytes + 1);
+  EXPECT_EQ(pool.free_blocks(), parked);
+}
+
+TEST(FramePoolTest, HitRateArithmetic) {
+  FramePool::Stats stats;
+  EXPECT_EQ(stats.HitRate(), 0.0);
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.75);
+}
+
+Task<int> Answer(Simulator& sim) {
+  co_await sim.Delay(1.0);
+  co_return 42;
+}
+
+Process Caller(Simulator& sim, int* out) {
+  for (int i = 0; i < 100; ++i) {
+    *out += co_await Answer(sim);
+  }
+}
+
+TEST(FramePoolTest, CoroutineFramesRecycleThroughPool) {
+  // 100 sequential Task frames of identical size: after the first, every
+  // allocation should be served from the freelist.
+  Simulator sim;
+  int sum = 0;
+  const FramePool::Stats before = Snapshot();
+  sim.Spawn(Caller(sim, &sum));
+  sim.Run();
+  const FramePool::Stats after = Snapshot();
+  EXPECT_EQ(sum, 4200);
+  const uint64_t hits = after.hits - before.hits;
+  const uint64_t misses = after.misses - before.misses;
+  EXPECT_GE(hits + misses, 100u);  // at least one allocation per Task
+  EXPECT_GT(hits, misses);        // steady state is freelist reuse
+}
+
+}  // namespace
+}  // namespace dimsum::sim

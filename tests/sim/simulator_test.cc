@@ -1,8 +1,14 @@
 #include "sim/simulator.h"
 
+#include <coroutine>
+#include <functional>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "sim/task.h"
 
 namespace dimsum::sim {
 namespace {
@@ -74,6 +80,93 @@ TEST(SimulatorDeathTest, EmptyCallbackFails) {
   // virtual time after the buggy schedule; fail at the Call site instead.
   Simulator sim;
   EXPECT_DEATH(sim.Call(1.0, std::function<void()>()), "check failed");
+}
+
+TEST(SimulatorDeathTest, NegativeDelayFails) {
+  Simulator sim;
+  auto handle = std::noop_coroutine();
+  EXPECT_DEATH(sim.Resume(-1.0, handle), "check failed");
+  EXPECT_DEATH(sim.Call(-0.5, [] {}), "check failed");
+}
+
+TEST(SimulatorDeathTest, NanDelayFails) {
+  // NaN compares false against everything, so a NaN service time would
+  // otherwise sort arbitrarily and silently corrupt the event order.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Simulator sim;
+  auto handle = std::noop_coroutine();
+  EXPECT_DEATH(sim.Resume(nan, handle), "check failed");
+  EXPECT_DEATH(sim.Call(nan, [] {}), "check failed");
+}
+
+Process NanDelayProcess(Simulator& sim) {
+  co_await sim.Delay(std::numeric_limits<double>::quiet_NaN());
+}
+
+TEST(SimulatorDeathTest, NanDelayInProcessFailsAtScheduleTime) {
+  // Delay's no-suspend fast path (delay <= 0) must not swallow NaN; the
+  // await reaches Resume and dies there, at the faulty schedule site.
+  Simulator sim;
+  sim.Spawn(NanDelayProcess(sim));
+  EXPECT_DEATH(sim.Run(), "check failed");
+}
+
+TEST(SimulatorDeathTest, NullHandleFails) {
+  Simulator sim;
+  EXPECT_DEATH(sim.Resume(1.0, std::coroutine_handle<>()), "check failed");
+}
+
+TEST(SimulatorTest, RunUntilProcessesEventsAtExactlyTime) {
+  // Regression guard for the boundary: RunUntil(t) processes events at
+  // exactly t, including ones scheduled *during* the call at t.
+  Simulator sim;
+  std::vector<int> fired;
+  sim.Call(5.0, [&] {
+    fired.push_back(1);
+    sim.Call(0.0, [&] { fired.push_back(2); });  // also at exactly 5.0
+  });
+  sim.Call(5.0 + 1e-9, [&] { fired.push_back(3); });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 5.0);
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, KernelCountersTrackQueueActivity) {
+  Simulator sim;
+  EXPECT_EQ(sim.peak_queue_depth(), 0u);
+  for (int i = 0; i < 5; ++i) sim.Call(static_cast<double>(i + 1), [] {});
+  EXPECT_EQ(sim.queue_depth(), 5u);
+  EXPECT_EQ(sim.peak_queue_depth(), 5u);
+  sim.Run();
+  EXPECT_EQ(sim.queue_depth(), 0u);
+  EXPECT_EQ(sim.peak_queue_depth(), 5u);  // high-water mark sticks
+  EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+TEST(SimulatorTest, ExplicitQueueKindsRunIdentically) {
+  // The same workload on both queue implementations: identical callback
+  // order and identical virtual timestamps.
+  std::vector<std::pair<int, double>> runs[2];
+  const EventQueueKind kinds[2] = {EventQueueKind::kCalendar,
+                                   EventQueueKind::kHeap};
+  for (int k = 0; k < 2; ++k) {
+    Simulator sim(kinds[k]);
+    EXPECT_EQ(sim.event_queue_kind(), kinds[k]);
+    auto& run = runs[k];
+    for (int i = 0; i < 50; ++i) {
+      const double jitter = (i * 37) % 11 * 0.25;
+      sim.Call(jitter, [&run, &sim, i] {
+        run.emplace_back(i, sim.now());
+        if (i % 7 == 0) {
+          sim.Call(0.5, [&run, &sim, i] { run.emplace_back(1000 + i, sim.now()); });
+        }
+      });
+    }
+    sim.Run();
+  }
+  EXPECT_EQ(runs[0], runs[1]);
 }
 
 TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {

@@ -35,6 +35,17 @@ SCHEMAS = {
         "sim_total_ms", "total_rel_err", "mean_op_rel_err",
         "max_op_rel_err",
     },
+    "BENCH_kernel.json": {
+        "scenario", "kernel", "events", "wall_ms", "events_per_sec",
+        "speedup_vs_legacy", "peak_queue_depth", "calendar_resizes",
+        "frame_pool_hit_rate",
+    },
+    "BENCH_openloop.json": {
+        "policy", "arrival", "rate_qps", "clients", "offered_qps",
+        "throughput_qps", "mean_response_ms", "response_ci90_ms",
+        "mean_queue_wait_ms", "arrivals", "dispatched", "shed", "aborted",
+        "peak_in_flight", "peak_pending",
+    },
 }
 
 METRICS_KEYS = {"counters", "gauges", "histograms"}
