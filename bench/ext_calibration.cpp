@@ -106,9 +106,10 @@ Point RunConfig(int relations, ShippingPolicy policy, double cached) {
   return point;
 }
 
-void WriteJson(const std::string& path, const std::vector<Point>& points) {
+void WriteJson(const std::string& path, const BenchMeta& meta,
+               const std::vector<Point>& points) {
   std::ofstream out(path);
-  out << "[\n";
+  out << "{\"meta\": " << BenchMetaJson(meta) << ",\n \"records\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     out << "  {\"policy\": \"" << p.policy
@@ -123,7 +124,7 @@ void WriteJson(const std::string& path, const std::vector<Point>& points) {
         << ", \"max_op_rel_err\": " << p.max_op_rel_err << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "]}\n";
   if (MetricsRegistry::Global().enabled()) {
     MetricsRegistry::Global().WriteJsonFile("BENCH_calibration.metrics.json");
   }
@@ -179,7 +180,11 @@ int main(int argc, char** argv) {
             << Fmt(err_max * 100.0, 1)
             << " % (the model is deliberately optimistic: full overlap "
                "within a\nphase, no cross-operator disk queueing)\n";
-  WriteJson("BENCH_calibration.json", points);
+  WriteJson("BENCH_calibration.json",
+            MakeBenchMeta("dimsum.bench.calibration.v1",
+                          std::string("chain est-vs-sim, servers=2, ") +
+                              (smoke ? "smoke" : "full")),
+            points);
   std::cout << "\nWrote BENCH_calibration.json\n";
   return 0;
 }

@@ -194,9 +194,10 @@ std::string CrashSpec(double mtbf_ms) {
          ",seed=7";
 }
 
-void WriteJson(const std::string& path, const std::vector<Point>& points) {
+void WriteJson(const std::string& path, const bench::BenchMeta& meta,
+               const std::vector<Point>& points) {
   std::ofstream out(path);
-  out << "[\n";
+  out << "{\"meta\": " << bench::BenchMetaJson(meta) << ",\n \"records\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     out << "  {\"policy\": \"" << p.policy << "\", \"mtbf_ms\": " << p.mtbf_ms
@@ -214,7 +215,7 @@ void WriteJson(const std::string& path, const std::vector<Point>& points) {
         << ", \"downtime_ms\": " << p.downtime_ms << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "]}\n";
   if (MetricsRegistry::Global().enabled()) {
     MetricsRegistry::Global().WriteJsonFile("BENCH_faults.metrics.json");
   }
@@ -263,7 +264,11 @@ int main(int argc, char** argv) {
                   Fmt(p.abort_rate), Fmt(p.stall_ms, 0)});
   }
   table.Print(std::cout);
-  WriteJson("BENCH_faults.json", points);
+  WriteJson("BENCH_faults.json",
+            bench::MakeBenchMeta("dimsum.bench.faults.v1",
+                                 std::string("crash-recovery matrix, ") +
+                                     (smoke ? "smoke" : "full")),
+            points);
 
   std::cout << "\nQuery shipping funnels every query through the crashing "
                "server: clients\nretry, back off, and stall until restart. "

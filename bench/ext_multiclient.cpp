@@ -102,9 +102,10 @@ Point RunConfig(int num_clients, bool warm_cache, int queries_per_client) {
 /// BENCH_multiclient.json: one record per (policy, clients) point, plus
 /// the sibling metrics snapshot when DIMSUM_METRICS is armed (same
 /// convention as bench::WriteBenchJson).
-void WriteJson(const std::string& path, const std::vector<Point>& points) {
+void WriteJson(const std::string& path, const bench::BenchMeta& meta,
+               const std::vector<Point>& points) {
   std::ofstream out(path);
-  out << "[\n";
+  out << "{\"meta\": " << bench::BenchMetaJson(meta) << ",\n \"records\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     out << "  {\"policy\": \"" << p.policy << "\", \"clients\": " << p.clients
@@ -113,7 +114,7 @@ void WriteJson(const std::string& path, const std::vector<Point>& points) {
         << ", \"response_ci90_ms\": " << p.ci90_ms << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "]}\n";
   if (MetricsRegistry::Global().enabled()) {
     MetricsRegistry::Global().WriteJsonFile("BENCH_multiclient.metrics.json");
   }
@@ -152,7 +153,11 @@ int main(int argc, char** argv) {
                   FmtCi(ds.mean_response_ms, ds.ci90_ms, 0)});
   }
   table.Print(std::cout);
-  WriteJson("BENCH_multiclient.json", points);
+  WriteJson("BENCH_multiclient.json",
+            bench::MakeBenchMeta("dimsum.bench.multiclient.v1",
+                                 std::string("closed-loop QS-vs-DS, ") +
+                                     (smoke ? "smoke" : "full")),
+            points);
 
   std::cout << "\nQuery shipping funnels every join through the one server "
                "disk: response\ntimes stretch as M grows and throughput "

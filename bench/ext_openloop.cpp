@@ -83,6 +83,9 @@ Point RunConfig(const std::string& policy, double rate_qps,
   config.num_servers = 1;
   config.params.buf_alloc = BufAlloc::kMaximum;
   config.collect_histograms = MetricsRegistry::Global().enabled();
+  // Per-operator actuals feed the run-level bottleneck attribution
+  // (OpenLoopResult::bottleneck) that explains each cell's knee.
+  config.collect_operator_actuals = true;
 
   std::vector<Plan> plans;
   std::vector<QueryGraph> queries;
@@ -120,9 +123,10 @@ Point RunConfig(const std::string& policy, double rate_qps,
 
 /// BENCH_openloop.json: one record per (policy, lambda) cell, plus the
 /// sibling metrics snapshot when DIMSUM_METRICS is armed.
-void WriteJson(const std::string& path, const std::vector<Point>& points) {
+void WriteJson(const std::string& path, const bench::BenchMeta& meta,
+               const std::vector<Point>& points) {
   std::ofstream out(path);
-  out << "[\n";
+  out << "{\"meta\": " << bench::BenchMetaJson(meta) << ",\n \"records\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     const OpenLoopResult& r = p.result;
@@ -140,9 +144,10 @@ void WriteJson(const std::string& path, const std::vector<Point>& points) {
         << ", \"peak_pending\": " << r.peak_pending
         << ", \"processed_events\": " << r.processed_events
         << ", \"peak_event_queue_depth\": " << r.peak_event_queue_depth
-        << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+        << ", \"bottleneck\": \"" << r.bottleneck.Summary(kNumClients)
+        << "\"}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "]}\n";
   if (MetricsRegistry::Global().enabled()) {
     MetricsRegistry::Global().WriteJsonFile("BENCH_openloop.metrics.json");
   }
@@ -186,13 +191,40 @@ int main(int argc, char** argv) {
     }
   }
   table.Print(std::cout);
-  WriteJson("BENCH_openloop.json", points);
+
+  std::cout << "\nbottleneck attribution (dominant resource, site, queueing "
+               "vs service per cell):\n";
+  for (const Point& p : points) {
+    std::cout << "  " << p.policy << " @ " << Fmt(p.rate_qps, 0)
+              << " q/s: " << p.result.bottleneck.Summary(kNumClients) << "\n";
+  }
+
+  WriteJson("BENCH_openloop.json",
+            bench::MakeBenchMeta("dimsum.bench.openloop.v1",
+                                 std::string("poisson sweep, 1000 clients, ") +
+                                     (smoke ? "smoke" : "full")),
+            points);
 
   std::cout << "\nAn open loop does not self-throttle: when lambda exceeds "
                "the service rate the\npending queue fills and admission "
                "control sheds the excess -- visible above as\nqs shedding "
                "at high lambda while ds, whose capacity scales with the "
-               "client\npopulation, absorbs the same offered load.\n"
-               "\nWrote BENCH_openloop.json\n";
+               "client\npopulation, absorbs the same offered load.\n";
+  // Attribute the qs saturation knee with numbers: at the highest offered
+  // rate, every query funnels through the one server disk, so the
+  // attribution should name server-disk queueing as dominant.
+  const Point* qs_knee = nullptr;
+  for (const Point& p : points) {
+    if (p.policy == "qs" &&
+        (qs_knee == nullptr || p.rate_qps > qs_knee->rate_qps)) {
+      qs_knee = &p;
+    }
+  }
+  if (qs_knee != nullptr && !qs_knee->result.bottleneck.empty()) {
+    std::cout << "\nThe qs knee, attributed: at lambda="
+              << Fmt(qs_knee->rate_qps, 0) << " q/s the run was "
+              << qs_knee->result.bottleneck.Summary(kNumClients) << ".\n";
+  }
+  std::cout << "\nWrote BENCH_openloop.json\n";
   return 0;
 }

@@ -22,7 +22,68 @@
 #include "exec/metrics.h"
 #include "workload/benchmark.h"
 
+// Provenance stamps injected by bench/CMakeLists.txt at configure time;
+// the fallbacks keep out-of-tree compiles working.
+#ifndef DIMSUM_GIT_REV
+#define DIMSUM_GIT_REV "unknown"
+#endif
+#ifndef DIMSUM_BUILD_TYPE
+#define DIMSUM_BUILD_TYPE "unspecified"
+#endif
+
 namespace dimsum::bench {
+
+/// FNV-1a, for hashing a harness's sweep parameters into a short stable
+/// configuration fingerprint.
+inline uint64_t Fnv1a64(const std::string& text) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Common header every BENCH_*.json document carries, so the longitudinal
+/// perf observatory (tools/perf_report.py) can refuse to compare runs of
+/// different shapes: schema identifies the record layout, config_hash the
+/// sweep parameters, git_rev/build_type the build. tools/check_bench.py
+/// requires all fields.
+struct BenchMeta {
+  std::string schema;       ///< e.g. "dimsum.bench.openloop.v1"
+  int schema_version = 1;
+  std::string git_rev = DIMSUM_GIT_REV;
+  std::string build_type = DIMSUM_BUILD_TYPE;
+  std::string config_hash;  ///< hex FNV-1a of the sweep parameters
+  int threads = 0;
+};
+
+/// Builds the header. `config_text` should enumerate every knob that
+/// changes what the harness measures (sweep ranges, durations, --smoke),
+/// so equal hashes mean comparable records.
+inline BenchMeta MakeBenchMeta(const std::string& schema,
+                               const std::string& config_text) {
+  BenchMeta meta;
+  meta.schema = schema;
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(config_text)));
+  meta.config_hash = hex;
+  meta.threads = GlobalThreadPool().thread_count();
+  return meta;
+}
+
+/// Serializes the meta header as one JSON object (no surrounding braces
+/// of the document).
+inline std::string BenchMetaJson(const BenchMeta& meta) {
+  std::string out = "{\"schema\": \"" + meta.schema +
+                    "\", \"schema_version\": " +
+                    std::to_string(meta.schema_version) + ", \"git_rev\": \"" +
+                    meta.git_rev + "\", \"build_type\": \"" + meta.build_type +
+                    "\", \"config_hash\": \"" + meta.config_hash +
+                    "\", \"threads\": " + std::to_string(meta.threads) + "}";
+  return out;
+}
 
 /// When DIMSUM_METRICS names a .json path, writes the global registry
 /// snapshot there at process exit, so any harness run can capture its
@@ -66,15 +127,15 @@ struct BenchRecord {
   double speedup_vs_1 = 1.0;
 };
 
-/// Writes `records` as a JSON array (one object per configuration) so
-/// future sessions can diff performance against this baseline. When the
+/// Writes a BENCH_*.json document -- {"meta": {...}, "records": [...]} --
+/// so future sessions can diff performance against this baseline. When the
 /// global metrics registry is enabled (DIMSUM_METRICS), a sibling
 /// `<path minus .json>.metrics.json` snapshot is written next to it, so
 /// every BENCH_*.json harness can also capture its run's counters.
-inline void WriteBenchJson(const std::string& path,
+inline void WriteBenchJson(const std::string& path, const BenchMeta& meta,
                            const std::vector<BenchRecord>& records) {
   std::ofstream out(path);
-  out << "[\n";
+  out << "{\"meta\": " << BenchMetaJson(meta) << ",\n \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     out << "  {\"name\": \"" << r.name << "\", \"threads\": " << r.threads
@@ -84,7 +145,7 @@ inline void WriteBenchJson(const std::string& path,
         << ", \"speedup_vs_1\": " << r.speedup_vs_1 << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "]}\n";
   if (MetricsRegistry::Global().enabled()) {
     const std::string suffix = ".json";
     std::string metrics_path = path;

@@ -141,7 +141,11 @@ int RunObservabilityCheck() {
   std::cout << "plain:        " << plain_ms / kReps << " ms/run\n"
             << "instrumented: " << full_ms / kReps << " ms/run ("
             << (full_ms / plain_ms - 1.0) * 100.0 << "% overhead)\n";
-  bench::WriteBenchJson("BENCH_observability.json", records);
+  bench::WriteBenchJson(
+      "BENCH_observability.json",
+      bench::MakeBenchMeta("dimsum.bench.observability.v1",
+                           "execute_10way plain-vs-instrumented reps=40"),
+      records);
   std::cout << "wrote BENCH_observability.json\n\n";
   return 0;
 }

@@ -156,7 +156,11 @@ int RunThreadSweep() {
   }
   std::cout << "\ndeterminism across thread counts: "
             << (identical ? "bit-identical" : "MISMATCH") << "\n";
-  bench::WriteBenchJson("BENCH_optimizer.json", records);
+  bench::WriteBenchJson(
+      "BENCH_optimizer.json",
+      bench::MakeBenchMeta("dimsum.bench.optimizer.v1",
+                           "optimize_10way_sweep threads=1,2,4,hw"),
+      records);
   std::cout << "wrote BENCH_optimizer.json\n\n";
   SetGlobalThreadCount(1);
   return identical ? 0 : 1;

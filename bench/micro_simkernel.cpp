@@ -48,6 +48,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "harness.h"
 #include "sim/channel.h"
 #include "sim/event_queue.h"
 #include "sim/frame_pool.h"
@@ -731,10 +732,12 @@ struct Record {
   double speedup_vs_legacy = 1.0;
 };
 
-void WriteJson(const char* path, const std::vector<Record>& records) {
+void WriteJson(const char* path, const dimsum::bench::BenchMeta& meta,
+               const std::vector<Record>& records) {
   FILE* f = std::fopen(path, "w");
   DIMSUM_CHECK(f != nullptr) << "cannot open " << path;
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\"meta\": %s,\n \"records\": [\n",
+               dimsum::bench::BenchMetaJson(meta).c_str());
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(
@@ -750,7 +753,7 @@ void WriteJson(const char* path, const std::vector<Record>& records) {
         static_cast<unsigned long long>(r.result.calendar_resizes),
         r.result.frame_pool_hit_rate, i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "]}\n");
   std::fclose(f);
 }
 
@@ -833,7 +836,13 @@ int main(int argc, char** argv) {
           ? std::exp(std::log(speedup_product) / speedup_count)
           : 1.0;
   std::printf("# calendar vs legacy geomean speedup: %.2fx\n", geomean);
-  WriteJson(out, records);
+  WriteJson(out,
+            dimsum::bench::MakeBenchMeta(
+                "dimsum.bench.kernel.v1",
+                std::string("3-kernel scenario matrix, ") +
+                    (smoke ? "smoke" : "full") + ", reps=" +
+                    std::to_string(reps)),
+            records);
   std::printf("# wrote %s\n", out);
   return 0;
 }

@@ -209,6 +209,11 @@ ExplainReport BuildExplainReport(const PlanEstimate& est,
   if (actual.net_queue_delay_ms.count() > 0) {
     report.net_queue = Quantiles(actual.net_queue_delay_ms);
   }
+
+  std::vector<SiteId> op_sites;
+  op_sites.reserve(est.ops.size());
+  for (const OperatorEstimate& op : est.ops) op_sites.push_back(op.site);
+  report.bottleneck = BuildBottleneck(op_sites, actual);
   return report;
 }
 
@@ -222,7 +227,8 @@ std::string ExplainToText(const ExplainReport& report, const Plan& plan) {
       << Fmt(report.act_total_ms) << "  err " << Pct(report.total_err)
       << "\n";
   out << "  per-op |err|: mean " << Pct(report.mean_op_err) << "  max "
-      << Pct(report.max_op_err) << "\n\n";
+      << Pct(report.max_op_err) << "\n";
+  out << "  bottleneck: " << report.bottleneck.Summary() << "\n\n";
 
   out << PlanToString(plan, [&report](const PlanNode&, int id) {
     std::vector<std::string> lines;
@@ -267,6 +273,18 @@ std::string ExplainToText(const ExplainReport& report, const Plan& plan) {
     out << "  site " << site.site << ": cpu est " << Fmt(site.est_cpu_ms)
         << " sim " << Fmt(site.act_cpu_ms) << " | disk est "
         << Fmt(site.est_disk_ms) << " sim " << Fmt(site.act_disk_ms) << "\n";
+  }
+
+  if (!report.bottleneck.empty()) {
+    out << "bottleneck (operator elapsed time by resource; service = covered "
+           "by busy time, rest queueing):\n";
+    for (const BottleneckBucket& bucket : report.bottleneck.buckets) {
+      out << "  " << ToString(bucket.resource);
+      if (bucket.site != kUnboundSite) out << " @ site " << bucket.site;
+      out << ": " << Fmt(bucket.elapsed_ms) << " ms ("
+          << Pct(bucket.share) << ") = service " << Fmt(bucket.service_ms)
+          << " + queueing " << Fmt(bucket.queueing_ms) << "\n";
+    }
   }
 
   const size_t top = std::min<size_t>(5, report.worst.size());
@@ -422,6 +440,28 @@ void WriteExplainJson(const ExplainReport& report, std::ostream& out) {
     out << "}";
   }
   out << "]";
+
+  out << ",\"bottleneck\":{\"summary\":\""
+      << JsonEscape(report.bottleneck.Summary()) << "\",\"response_ms\":";
+  JsonWriteNumber(out, report.bottleneck.response_ms);
+  out << ",\"attributed_ms\":";
+  JsonWriteNumber(out, report.bottleneck.attributed_ms);
+  out << ",\"buckets\":[";
+  for (size_t i = 0; i < report.bottleneck.buckets.size(); ++i) {
+    const BottleneckBucket& bucket = report.bottleneck.buckets[i];
+    if (i > 0) out << ",";
+    out << "{\"resource\":\"" << ToString(bucket.resource)
+        << "\",\"site\":" << bucket.site << ",\"elapsed_ms\":";
+    JsonWriteNumber(out, bucket.elapsed_ms);
+    out << ",\"service_ms\":";
+    JsonWriteNumber(out, bucket.service_ms);
+    out << ",\"queueing_ms\":";
+    JsonWriteNumber(out, bucket.queueing_ms);
+    out << ",\"share\":";
+    JsonWriteNumber(out, bucket.share);
+    out << "}";
+  }
+  out << "]}";
 
   if (report.disk_service.has_value() || report.net_queue.has_value()) {
     out << ",\"distributions\":{";

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bottleneck.h"
 #include "cost/explain.h"
 #include "exec/metrics.h"
 #include "plan/plan.h"
@@ -116,6 +117,9 @@ struct ExplainReport {
   /// Present when the run collected histograms.
   std::optional<ExplainQuantiles> disk_service;
   std::optional<ExplainQuantiles> net_queue;
+  /// Where the response time went: per-(resource, site) critical-path
+  /// decomposition with a queueing-vs-service split (core/bottleneck.h).
+  BottleneckReport bottleneck;
 };
 
 /// Joins the two sides. `actual.operator_actuals` must have one record per
@@ -147,6 +151,9 @@ std::string ExplainToText(const ExplainReport& report, const Plan& plan);
 ///    "sites":[{"site","est_cpu_ms","sim_cpu_ms","est_disk_ms",
 ///              "sim_disk_ms"}, ...],
 ///    "worst":[{"op_id","label","abs_err_ms","err_total"}, ...],
+///    "bottleneck":{"summary","attributed_ms","response_ms",
+///                  "buckets":[{"resource","site","elapsed_ms",
+///                              "service_ms","queueing_ms","share"},...]},
 ///    "distributions":{...}}   // only when histograms were collected
 /// All errors are finite (ExplainRelErr); numbers NaN/inf-safe via
 /// JsonWriteNumber.

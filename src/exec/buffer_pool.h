@@ -25,6 +25,8 @@ class BufferPool {
 
   int64_t total_frames() const { return total_frames_; }
   int64_t free_frames() const { return free_frames_; }
+  /// Frames currently acquired (pool occupancy).
+  int64_t used_frames() const { return total_frames_ - free_frames_; }
 
   /// Acquires `frames` buffer frames, suspending until available (FIFO).
   auto Acquire(int64_t frames) {

@@ -58,6 +58,7 @@ ExecSession::ExecSession(const Catalog& catalog, const SystemConfig& config,
   }
   if (config_.trace != nullptr) AttachTrace(*config_.trace);
   if (config_.collect_histograms) AttachHistograms();
+  if (config_.telemetry != nullptr) AttachTelemetry(*config_.telemetry);
   system_.LoadData(catalog_);
 }
 
@@ -176,6 +177,15 @@ void ExecSession::Run() {
                               std::min(w.window.end_ms, sim_.now()), {});
     }
   }
+  // Telemetry finalization is equally offline: close the final partial
+  // interval at the drain time and, when a trace is also attached, re-emit
+  // the series as Perfetto counter tracks.
+  if (config_.telemetry != nullptr && !config_.telemetry->finalized()) {
+    config_.telemetry->Finalize(sim_.now());
+    if (config_.trace != nullptr) {
+      config_.telemetry->ExportCounterTracks(*config_.trace);
+    }
+  }
 }
 
 /// Folds this session's DES-kernel counters into the global registry:
@@ -288,6 +298,57 @@ void ExecSession::AttachHistograms() {
     }
   }
   system_.network().set_queue_histogram(&net_queue_hist_);
+}
+
+/// Registers the utilization-sampler probes: per site, the CPU and each
+/// disk contribute cumulative busy/wait probes (differenced into
+/// utilization and queueing intensity per interval) plus queue-depth and
+/// in-service gauges, and the buffer pool an occupancy gauge; the shared
+/// link does the same under the network pid (num_sites, matching the
+/// trace layout). Readers are pure state reads -- attaching the sampler
+/// never changes simulation results.
+void ExecSession::AttachTelemetry(sim::TelemetrySampler& telemetry) {
+  sim_.set_telemetry(&telemetry);
+  for (int s = 0; s < system_.num_sites(); ++s) {
+    SiteRuntime& site = system_.site(s);
+    sim::Resource& cpu = site.cpu;
+    telemetry.AddCumulative(s, s, "cpu", "utilization",
+                            [&cpu] { return cpu.busy_ms(); });
+    telemetry.AddCumulative(s, s, "cpu", "queueing",
+                            [&cpu] { return cpu.wait_ms(); });
+    telemetry.AddGauge(s, s, "cpu", "queue_depth", [&cpu] {
+      return static_cast<double>(cpu.queue_depth());
+    });
+    telemetry.AddGauge(s, s, "cpu", "in_service",
+                       [&cpu] { return cpu.in_service() ? 1.0 : 0.0; });
+    for (int d = 0; d < site.num_disks(); ++d) {
+      sim::Disk& disk = site.disk(d);
+      telemetry.AddCumulative(s, s, disk.name(), "utilization",
+                              [&disk] { return disk.busy_ms(); });
+      telemetry.AddCumulative(s, s, disk.name(), "queueing",
+                              [&disk] { return disk.wait_ms(); });
+      telemetry.AddGauge(s, s, disk.name(), "queue_depth", [&disk] {
+        return static_cast<double>(disk.queue_depth());
+      });
+      telemetry.AddGauge(s, s, disk.name(), "in_service",
+                         [&disk] { return disk.in_service() ? 1.0 : 0.0; });
+    }
+    BufferPool& pool = site.memory;
+    telemetry.AddGauge(s, s, "buffer_pool", "used_frames", [&pool] {
+      return static_cast<double>(pool.used_frames());
+    });
+  }
+  const int net_pid = system_.num_sites();
+  sim::Network& net = system_.network();
+  telemetry.AddCumulative(net_pid, -1, "link", "utilization",
+                          [&net] { return net.busy_ms(); });
+  telemetry.AddCumulative(net_pid, -1, "link", "queueing",
+                          [&net] { return net.wait_ms(); });
+  telemetry.AddGauge(net_pid, -1, "link", "queue_depth", [&net] {
+    return static_cast<double>(net.queue_depth());
+  });
+  telemetry.AddGauge(net_pid, -1, "link", "in_service",
+                     [&net] { return net.in_service() ? 1.0 : 0.0; });
 }
 
 PageChannel& ExecSession::NewChannel() {

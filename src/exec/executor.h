@@ -179,6 +179,7 @@ class ExecSession {
                          const PlanNode& consumer);
   void AttachTrace(sim::TraceSink& trace);
   void AttachHistograms();
+  void AttachTelemetry(sim::TelemetrySampler& telemetry);
   void FoldKernelMetrics();
 
   const Catalog& catalog_;

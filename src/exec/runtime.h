@@ -17,6 +17,7 @@
 #include "sim/network.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
+#include "sim/telemetry.h"
 
 namespace dimsum {
 
@@ -73,6 +74,13 @@ struct SystemConfig {
   /// clock reads and accumulation only -- so results are bit-identical
   /// with this on or off (asserted by tests).
   bool collect_operator_actuals = false;
+  /// When non-null, the executor attaches this virtual-time utilization
+  /// sampler to its simulator and registers per-site CPU/disk/link and
+  /// buffer-pool probes (not owned; must outlive the execution). Sampling
+  /// reads state at clock-interval boundaries and never schedules an
+  /// event, so results are bit-identical with it on or off (see
+  /// sim/telemetry.h and DESIGN.md §8).
+  sim::TelemetrySampler* telemetry = nullptr;
 
   // --- fault injection --------------------------------------------------
   /// Deterministic fault schedule (not owned; must outlive the execution).

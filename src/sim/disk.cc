@@ -20,6 +20,7 @@ void Disk::ResetStats() {
   writes_ = 0;
   cache_hits_ = 0;
   busy_ms_ = 0.0;
+  wait_ms_ = 0.0;
   seek_ms_ = 0.0;
   rotate_ms_ = 0.0;
   transfer_ms_ = 0.0;
@@ -111,6 +112,7 @@ void Disk::DispatchArm() {
   // so the completion callback captures only `this` and stays inline in
   // its event (see sim/event.h).
   arm_current_ = std::move(request);
+  wait_ms_ += sim_.now() - arm_current_.enqueue_time;
   arm_service_ = ArmServiceTime(arm_current_.block);
   const double total = arm_service_.total();
   busy_ms_ += total;

@@ -122,6 +122,13 @@ class Disk {
   uint64_t cache_hits() const { return cache_hits_; }
   /// Time the arm was busy (excludes cache-hit service).
   double busy_ms() const { return busy_ms_; }
+  /// Total time requests spent queued for the arm before their operation
+  /// started (excludes service and cache-hit waits).
+  double wait_ms() const { return wait_ms_; }
+  /// Requests currently queued for the arm (excludes the one in service).
+  std::size_t queue_depth() const { return arm_queue_.size(); }
+  /// Whether the arm is executing an operation.
+  bool in_service() const { return arm_busy_; }
   /// Split of the arm's busy time into its mechanical components
   /// (seek + settle, rotational latency, page transfer, controller
   /// overhead); the four sum to busy_ms().
@@ -221,6 +228,7 @@ class Disk {
   uint64_t writes_ = 0;
   uint64_t cache_hits_ = 0;
   double busy_ms_ = 0.0;
+  double wait_ms_ = 0.0;
   double seek_ms_ = 0.0;
   double rotate_ms_ = 0.0;
   double transfer_ms_ = 0.0;

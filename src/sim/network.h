@@ -38,6 +38,10 @@ class Network {
   double busy_ms() const { return link_.busy_ms(); }
   /// Total time messages spent queued behind the shared link.
   double wait_ms() const { return link_.wait_ms(); }
+  /// Messages currently queued behind the link (excludes the one on it).
+  std::size_t queue_depth() const { return link_.queue_depth(); }
+  /// Whether a message currently occupies the wire.
+  bool in_service() const { return link_.in_service(); }
   void ResetStats() {
     messages_ = 0;
     bytes_sent_ = 0;

@@ -45,6 +45,10 @@ class Resource {
   double busy_ms() const { return busy_ms_; }
   /// Total time requests spent waiting for the server (excludes service).
   double wait_ms() const { return wait_ms_; }
+  /// Requests currently waiting (excludes the one in service).
+  std::size_t queue_depth() const { return queue_.size(); }
+  /// Whether a request currently holds the server.
+  bool in_service() const { return busy_; }
   /// Fraction of [0, horizon_ms] the server was busy.
   double Utilization(double horizon_ms) const {
     return horizon_ms > 0.0 ? busy_ms_ / horizon_ms : 0.0;

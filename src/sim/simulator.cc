@@ -1,8 +1,11 @@
 #include "sim/simulator.h"
 
 #include "sim/task.h"
+#include "sim/telemetry.h"
 
 namespace dimsum::sim {
+
+void Simulator::SampleTelemetry(double time) { telemetry_->AdvanceTo(time); }
 
 void Simulator::Spawn(Process process) {
   Spawn(std::move(process), nullptr);

@@ -12,6 +12,7 @@
 namespace dimsum::sim {
 
 class Process;
+class TelemetrySampler;
 class TraceSink;
 
 /// Discrete-event simulation kernel.
@@ -66,6 +67,11 @@ class Simulator {
     if (queue_.empty()) return false;
     Event event = queue_.Pop();
     DIMSUM_CHECK_GE(event.time, now_);
+    // Telemetry samples the interval boundaries the clock is about to
+    // cross *before* the event dispatches: state is piecewise-constant
+    // between events, so the boundary reads are exact and sampling never
+    // schedules an event of its own (see sim/telemetry.h).
+    if (telemetry_ != nullptr) SampleTelemetry(event.time);
     now_ = event.time;
     ++processed_;
     event.Dispatch();
@@ -82,7 +88,10 @@ class Simulator {
   /// processed) or the queue empties.
   void RunUntil(double time) {
     while (!queue_.empty() && queue_.PeekTime() <= time) Step();
-    if (now_ < time) now_ = time;
+    if (now_ < time) {
+      if (telemetry_ != nullptr) SampleTelemetry(time);
+      now_ = time;
+    }
   }
 
   // --- kernel counters --------------------------------------------------
@@ -103,6 +112,13 @@ class Simulator {
   TraceSink* trace() const { return trace_; }
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  /// Optional telemetry sampler (see sim/telemetry.h), not owned. Like the
+  /// trace sink, a simulator without one pays a single predictable branch
+  /// per Step; with one attached, sampling is a pure read of simulation
+  /// state and never perturbs event order or results.
+  TelemetrySampler* telemetry() const { return telemetry_; }
+  void set_telemetry(TelemetrySampler* sampler) { telemetry_ = sampler; }
+
   /// Suspends the awaiting coroutine for `delay` ms of virtual time.
   /// A non-positive delay does not suspend; NaN fails the schedule check.
   auto Delay(double delay) {
@@ -117,6 +133,9 @@ class Simulator {
   }
 
  private:
+  /// Out-of-line AdvanceTo (TelemetrySampler is incomplete here).
+  void SampleTelemetry(double time);
+
   void Push(double time, Event& ev) {
     ev.time = time;
     ev.seq = next_seq_++;
@@ -126,6 +145,7 @@ class Simulator {
 
   double now_ = 0.0;
   TraceSink* trace_ = nullptr;
+  TelemetrySampler* telemetry_ = nullptr;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
   std::size_t peak_depth_ = 0;

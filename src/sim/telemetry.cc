@@ -1,0 +1,147 @@
+#include "sim/telemetry.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "sim/trace.h"
+
+namespace dimsum::sim {
+
+TelemetrySampler::TelemetrySampler(double interval_ms)
+    : interval_ms_(interval_ms), next_boundary_ms_(interval_ms) {
+  DIMSUM_CHECK_GT(interval_ms, 0.0);
+}
+
+void TelemetrySampler::AddCumulative(int pid, int site, std::string resource,
+                                     const char* metric, Reader reader) {
+  DIMSUM_CHECK(!finalized_);
+  DIMSUM_CHECK(times_ms_.empty()) << "register probes before the run";
+  Series s;
+  s.pid = pid;
+  s.site = site;
+  s.resource = std::move(resource);
+  s.metric = metric;
+  s.kind = Kind::kRate;
+  s.reader = std::move(reader);
+  s.last_total = s.reader();
+  series_.push_back(std::move(s));
+}
+
+void TelemetrySampler::AddGauge(int pid, int site, std::string resource,
+                                const char* metric, Reader reader) {
+  DIMSUM_CHECK(!finalized_);
+  DIMSUM_CHECK(times_ms_.empty()) << "register probes before the run";
+  Series s;
+  s.pid = pid;
+  s.site = site;
+  s.resource = std::move(resource);
+  s.metric = metric;
+  s.kind = Kind::kGauge;
+  s.reader = std::move(reader);
+  series_.push_back(std::move(s));
+}
+
+void TelemetrySampler::Sample(double boundary_ms, double dt_ms) {
+  DIMSUM_CHECK_GT(dt_ms, 0.0);
+  times_ms_.push_back(boundary_ms);
+  for (Series& s : series_) {
+    if (s.kind == Kind::kRate) {
+      const double total = s.reader();
+      s.values.push_back((total - s.last_total) / dt_ms);
+      s.last_total = total;
+    } else {
+      s.values.push_back(s.reader());
+    }
+  }
+  last_sample_ms_ = boundary_ms;
+}
+
+void TelemetrySampler::AdvanceTo(double time) {
+  if (finalized_) return;
+  // State is piecewise-constant over (last event, time]; reading the
+  // probes now yields the exact value at every boundary in that window.
+  while (next_boundary_ms_ <= time) {
+    Sample(next_boundary_ms_, next_boundary_ms_ - last_sample_ms_);
+    next_boundary_ms_ += interval_ms_;
+  }
+}
+
+void TelemetrySampler::Finalize(double end_ms) {
+  DIMSUM_CHECK(!finalized_);
+  AdvanceTo(end_ms);
+  if (end_ms > last_sample_ms_) Sample(end_ms, end_ms - last_sample_ms_);
+  end_ms_ = end_ms;
+  finalized_ = true;
+}
+
+double TelemetrySampler::RateIntegralMs(int site, const std::string& resource,
+                                        const std::string& metric) const {
+  for (const Series& s : series_) {
+    if (s.site != site || s.resource != resource || metric != s.metric ||
+        s.kind != Kind::kRate) {
+      continue;
+    }
+    double integral = 0.0;
+    double prev = 0.0;
+    for (std::size_t k = 0; k < s.values.size(); ++k) {
+      integral += s.values[k] * (times_ms_[k] - prev);
+      prev = times_ms_[k];
+    }
+    return integral;
+  }
+  DIMSUM_CHECK(false) << "no rate series (site=" << site << ", " << resource
+                      << ", " << metric << ")";
+  return 0.0;
+}
+
+void TelemetrySampler::WriteJson(std::ostream& out) const {
+  out << "{\"schema\":\"dimsum.telemetry.v1\",\"interval_ms\":";
+  JsonWriteNumber(out, interval_ms_);
+  out << ",\"end_ms\":";
+  JsonWriteNumber(out, end_ms_);
+  out << ",\"num_samples\":" << times_ms_.size() << ",\"times_ms\":[";
+  for (std::size_t k = 0; k < times_ms_.size(); ++k) {
+    if (k > 0) out << ",";
+    JsonWriteNumber(out, times_ms_[k]);
+  }
+  out << "],\"series\":[";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const Series& s = series_[i];
+    if (i > 0) out << ",";
+    out << "{\"pid\":" << s.pid << ",\"site\":" << s.site
+        << ",\"resource\":\"" << JsonEscape(s.resource) << "\",\"metric\":\""
+        << JsonEscape(s.metric) << "\",\"kind\":\""
+        << (s.kind == Kind::kRate ? "rate" : "gauge") << "\"";
+    if (s.kind == Kind::kRate) {
+      out << ",\"integral_ms\":";
+      JsonWriteNumber(out, RateIntegralMs(s.site, s.resource, s.metric));
+    }
+    out << ",\"values\":[";
+    for (std::size_t k = 0; k < s.values.size(); ++k) {
+      if (k > 0) out << ",";
+      JsonWriteNumber(out, s.values[k]);
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+bool TelemetrySampler::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteJson(out);
+  return out.good();
+}
+
+void TelemetrySampler::ExportCounterTracks(TraceSink& trace) const {
+  for (const Series& s : series_) {
+    for (std::size_t k = 0; k < s.values.size(); ++k) {
+      trace.CounterSample(s.pid, s.resource + " telemetry", times_ms_[k],
+                          s.metric, s.values[k]);
+    }
+  }
+}
+
+}  // namespace dimsum::sim

@@ -1,0 +1,134 @@
+#ifndef DIMSUM_SIM_TELEMETRY_H_
+#define DIMSUM_SIM_TELEMETRY_H_
+
+// Virtual-time utilization sampler. Records per-site, per-resource time
+// series (utilization, queueing intensity, queue depth, in-service flags,
+// buffer-pool occupancy, admission-control gauges) at a fixed virtual-time
+// interval, driven by the DES clock.
+//
+// Non-perturbation contract (see DESIGN.md §8): the sampler NEVER
+// schedules a simulation event. The kernel calls AdvanceTo(t) from
+// Simulator::Step() *before* the clock advances to the next event's time,
+// and the sampler reads its probes at every interval boundary crossed.
+// Because all simulation state is piecewise-constant between events, the
+// boundary reads are exact, and event times, sequence numbers, and every
+// simulation result are bit-identical with sampling on or off (asserted by
+// tests/exec/telemetry_exec_test.cc).
+//
+// Two probe kinds:
+//  - cumulative: the reader returns a non-decreasing running total (e.g. a
+//    resource's busy_ms or wait_ms). Each sample is the total's delta over
+//    the interval divided by the interval length -- utilization for busy
+//    time, mean queue length (Little's law) for wait time. The busy-time
+//    integral identity Sum(v_k * dt_k) == total(end) - total(0) holds
+//    exactly by construction and is cross-checked against independently
+//    reported BatchTotals in tests.
+//  - gauge: the reader returns an instantaneous value (queue depth, free
+//    frames, in-flight count), sampled at each boundary.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dimsum::sim {
+
+class TraceSink;
+
+class TelemetrySampler {
+ public:
+  using Reader = std::function<double()>;
+
+  /// `interval_ms` is the virtual-time sampling period (must be > 0).
+  explicit TelemetrySampler(double interval_ms = 10.0);
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  double interval_ms() const { return interval_ms_; }
+
+  // --- probe registration (before the simulation runs) ------------------
+  // `pid` is the trace-process id used for Perfetto counter export (site
+  // id for site resources; the executor assigns network/driver pids past
+  // the sites). `site` is the owning SiteId, or -1 for shared/systemwide
+  // series. `metric` must be a string literal (kept by pointer, like
+  // TraceSink categories). The reader is called at interval boundaries
+  // only; it must be a pure read of simulation state. Cumulative probes
+  // capture the reader's current value as the baseline at registration.
+  void AddCumulative(int pid, int site, std::string resource,
+                     const char* metric, Reader reader);
+  void AddGauge(int pid, int site, std::string resource, const char* metric,
+                Reader reader);
+
+  // --- kernel hook ------------------------------------------------------
+  /// Samples every interval boundary in (last, time]. Called by
+  /// Simulator::Step() before the clock advances to `time`, and by
+  /// RunUntil() for quiet tails; user code normally never calls this.
+  void AdvanceTo(double time);
+
+  /// Closes the series at `end_ms`: emits one final partial-interval
+  /// sample covering (last boundary, end_ms] when the tail is non-empty.
+  /// Must be called exactly once, after the simulation has drained.
+  void Finalize(double end_ms);
+  bool finalized() const { return finalized_; }
+
+  // --- accessors --------------------------------------------------------
+  std::size_t num_series() const { return series_.size(); }
+  std::size_t num_samples() const { return times_ms_.size(); }
+  double end_ms() const { return end_ms_; }
+
+  /// Integral Sum(v_k * dt_k) of a rate series over the sampled span; for
+  /// a cumulative probe this equals total(end) - total(registration) and
+  /// is the left side of the busy-time self-check. Check-fails when no
+  /// such series exists.
+  double RateIntegralMs(int site, const std::string& resource,
+                        const std::string& metric) const;
+
+  // --- export -----------------------------------------------------------
+  /// One JSON object with schema "dimsum.telemetry.v1":
+  ///   {"schema":"dimsum.telemetry.v1","interval_ms":..,"end_ms":..,
+  ///    "num_samples":N,"times_ms":[..],
+  ///    "series":[{"pid","site","resource","metric","kind":"rate"|"gauge",
+  ///               "integral_ms","values":[..]}, ...]}
+  /// Every series' values array aligns with times_ms (sample k covers
+  /// (times_ms[k-1], times_ms[k]]).
+  void WriteJson(std::ostream& out) const;
+  /// Writes the JSON document to `path`; false if the file cannot be
+  /// opened.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Re-emits every series as Perfetto counter samples on its pid (one
+  /// counter track per resource, one line per metric), so utilization and
+  /// queue depth plot alongside the existing span tracks in the viewer.
+  /// Call after Finalize, once the run is over -- export is offline and
+  /// never touches the simulation.
+  void ExportCounterTracks(TraceSink& trace) const;
+
+ private:
+  enum class Kind { kRate, kGauge };
+
+  struct Series {
+    int pid = 0;
+    int site = -1;
+    std::string resource;
+    const char* metric = "";
+    Kind kind = Kind::kGauge;
+    Reader reader;
+    double last_total = 0.0;  // cumulative probes: value at last boundary
+    std::vector<double> values;
+  };
+
+  void Sample(double boundary_ms, double dt_ms);
+
+  double interval_ms_;
+  double next_boundary_ms_;
+  double last_sample_ms_ = 0.0;
+  double end_ms_ = 0.0;
+  bool finalized_ = false;
+  std::vector<Series> series_;
+  std::vector<double> times_ms_;
+};
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_TELEMETRY_H_

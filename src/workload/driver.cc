@@ -9,9 +9,11 @@
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "core/bottleneck.h"
 #include "opt/two_step.h"
 #include "plan/binding.h"
 #include "sim/fault.h"
+#include "sim/trace.h"
 
 namespace dimsum {
 namespace {
@@ -153,6 +155,20 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
     result.retransmits += session.Metrics(t).retransmits;
   }
   result.makespan_ms = result.completions.back().complete_ms;
+  if (config.collect_operator_actuals) {
+    // Attribute against each client's submitted plan; queries that ran a
+    // recovery re-planned tree are skipped by the accumulator (their
+    // actuals no longer align).
+    std::vector<std::vector<SiteId>> op_sites(num_clients);
+    for (int c = 0; c < num_clients; ++c) {
+      op_sites[c] = OperatorSites(*clients[c].plan);
+    }
+    BottleneckAccumulator acc;
+    for (int t = 0; t < total; ++t) {
+      acc.Add(op_sites[result.query_client[t]], result.per_query[t]);
+    }
+    result.bottleneck = acc.Finish(result.totals, result.makespan_ms);
+  }
   result.abort_rate =
       static_cast<double>(result.total_retries) /
       static_cast<double>(total + result.total_retries);
@@ -214,6 +230,9 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
           : 0.0;
 
   MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.enabled()) {
+    registry.counter("driver.completions").Add(total);
+  }
   if (registry.enabled() && session.faults() != nullptr) {
     registry.counter("faults.retries").Add(result.total_retries);
     registry.counter("faults.reopts").Add(result.total_reopts);
@@ -430,6 +449,22 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
   // target grows dynamically with each Submit (no ExpectQueries).
   ExecSession session(catalog, config, openloop.seed);
   OpenLoopState state{session, clients, openloop.admission, &result, {}, 0};
+  if (config.telemetry != nullptr) {
+    // Admission-control gauges ride the sampler's existing boundaries on
+    // their own "driver" track (one past the network pid). Pure reads of
+    // RunOpenLoop's frame state: non-perturbing by the same argument as
+    // the resource probes (DESIGN.md section 8).
+    const int driver_pid = session.system().num_sites() + 1;
+    config.telemetry->AddGauge(
+        driver_pid, kUnboundSite, "admission", "in_flight",
+        [&state] { return static_cast<double>(state.in_flight); });
+    config.telemetry->AddGauge(
+        driver_pid, kUnboundSite, "admission", "pending",
+        [&state] { return static_cast<double>(state.pending.size()); });
+    if (config.trace != nullptr) {
+      config.trace->SetProcessName(driver_pid, "driver");
+    }
+  }
   Rng rng(openloop.seed * 6364136223846793005ULL + 1442695040888963407ULL);
   session.sim().Spawn(OpenLoopGenerator(state, openloop.arrival,
                                         openloop.duration_ms, rng.Fork()));
@@ -451,6 +486,17 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
   }
   result.makespan_ms =
       result.completions.empty() ? 0.0 : result.completions.back().complete_ms;
+  if (config.collect_operator_actuals) {
+    std::vector<std::vector<SiteId>> op_sites(num_clients);
+    for (int c = 0; c < num_clients; ++c) {
+      op_sites[c] = OperatorSites(*clients[c].plan);
+    }
+    BottleneckAccumulator acc;
+    for (const OpenLoopCompletion& c : result.completions) {
+      acc.Add(op_sites[c.client], result.per_query[c.ticket]);
+    }
+    result.bottleneck = acc.Finish(result.totals, result.makespan_ms);
+  }
   result.offered_qps = result.arrivals / openloop.duration_ms * 1000.0;
   result.processed_events = session.sim().processed_events();
   result.peak_event_queue_depth = session.sim().peak_queue_depth();
@@ -496,11 +542,12 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
 
   MetricsRegistry& registry = MetricsRegistry::Global();
   if (registry.enabled()) {
-    registry.counter("openloop.arrivals").Add(result.arrivals);
-    registry.counter("openloop.dispatched").Add(result.dispatched);
-    registry.counter("openloop.shed").Add(result.shed);
-    registry.counter("openloop.aborted").Add(result.aborted);
-    Gauge& peak = registry.gauge("openloop.peak_pending");
+    registry.counter("driver.arrivals").Add(result.arrivals);
+    registry.counter("driver.dispatched").Add(result.dispatched);
+    registry.counter("driver.completions").Add(result.completed);
+    registry.counter("driver.shed").Add(result.shed);
+    registry.counter("driver.aborted").Add(result.aborted);
+    Gauge& peak = registry.gauge("driver.peak_pending");
     if (result.peak_pending > peak.value()) {
       peak.Set(static_cast<double>(result.peak_pending));
     }

@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "common/ids.h"
 #include "common/stats.h"
+#include "core/bottleneck.h"
 #include "exec/executor.h"
 #include "exec/metrics.h"
 #include "exec/runtime.h"
@@ -94,6 +95,12 @@ struct DriverResult {
   BatchTotals totals;
   /// Time of the last completion, ms.
   double makespan_ms = 0.0;
+  /// Run-level bottleneck attribution (queueing vs service against the
+  /// run's shared resource totals), populated only when the SystemConfig
+  /// set collect_operator_actuals. On faulted runs, queries that executed
+  /// a recovery re-planned tree are skipped (their actuals no longer align
+  /// with the submitted plan).
+  BottleneckReport bottleneck;
 
   // --- Steady-state estimates over the post-warmup window ---
   /// End of the warmup window: completion time of the last discarded
@@ -249,6 +256,10 @@ struct OpenLoopResult {
   double makespan_ms = 0.0;
   /// Offered load: arrivals per second over [0, duration_ms).
   double offered_qps = 0.0;
+  /// Run-level bottleneck attribution, populated only when the
+  /// SystemConfig set collect_operator_actuals: names the dominant
+  /// (resource, site, queueing-vs-service) triple of the whole run.
+  BottleneckReport bottleneck;
 
   // --- Steady-state estimates over the post-warmup window ---
   double warmup_end_ms = 0.0;

@@ -1,0 +1,154 @@
+// Tests of the per-query / per-run bottleneck attribution: bucket sums,
+// the queueing-vs-service split against busy-time bounds, dominant-triple
+// selection, summary strings, and the accumulator's misalignment skip.
+
+#include "core/bottleneck.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/metrics.h"
+#include "plan/binding.h"
+#include "plan/plan.h"
+
+namespace dimsum {
+namespace {
+
+OperatorActual Actual(double cpu, double disk, double net,
+                      double stall = 0.0) {
+  OperatorActual a;
+  a.cpu_ms = cpu;
+  a.disk_ms = disk;
+  a.net_ms = net;
+  a.stall_ms = stall;
+  return a;
+}
+
+TEST(BottleneckTest, SplitsQueueingAgainstBusyBounds) {
+  // Two operators: a client-side scan (site 0, pure CPU) and a server join
+  // (site 1) whose 10 ms of disk elapsed is only backed by 4 ms of disk
+  // busy time -- the other 6 ms were queueing.
+  const std::vector<SiteId> op_sites = {0, 1};
+  ExecMetrics metrics;
+  metrics.response_ms = 20.0;
+  metrics.operator_actuals = {Actual(2.0, 0.0, 0.0),
+                              Actual(0.0, 10.0, 3.0)};
+  metrics.cpu_busy_ms[0] = 2.0;
+  metrics.disk_busy_ms[1] = 4.0;
+  metrics.network_busy_ms = 3.0;
+
+  const BottleneckReport report = BuildBottleneck(op_sites, metrics);
+  EXPECT_EQ(report.queries, 1);
+  EXPECT_DOUBLE_EQ(report.response_ms, 20.0);
+  EXPECT_DOUBLE_EQ(report.attributed_ms, 15.0);
+  ASSERT_EQ(report.buckets.size(), 3u);
+
+  const BottleneckBucket* dominant = report.dominant();
+  ASSERT_NE(dominant, nullptr);
+  EXPECT_EQ(dominant->resource, BottleneckResource::kDisk);
+  EXPECT_EQ(dominant->site, 1);
+  EXPECT_DOUBLE_EQ(dominant->elapsed_ms, 10.0);
+  EXPECT_DOUBLE_EQ(dominant->service_ms, 4.0);
+  EXPECT_DOUBLE_EQ(dominant->queueing_ms, 6.0);
+  EXPECT_DOUBLE_EQ(dominant->share, 10.0 / 15.0);
+  EXPECT_TRUE(report.dominant_is_queueing());
+
+  // The network bucket is shared (unbound site) and fully service-backed.
+  const BottleneckBucket& net = report.buckets[1];
+  EXPECT_EQ(net.resource, BottleneckResource::kNet);
+  EXPECT_EQ(net.site, kUnboundSite);
+  EXPECT_DOUBLE_EQ(net.queueing_ms, 0.0);
+
+  // With client/server labeling, site 1 is a server (1 client).
+  const std::string summary = report.Summary(/*num_clients=*/1);
+  EXPECT_NE(summary.find("server disk queueing at site 1"),
+            std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("ms attributed"), std::string::npos) << summary;
+  // Without labeling the role prefix is omitted.
+  EXPECT_EQ(report.Summary().find("server"), std::string::npos);
+}
+
+TEST(BottleneckTest, UnknownBusyBoundIsConservativelyService) {
+  // Per-query metrics of a shared run carry no busy maps: the split must
+  // not invent queueing time it cannot substantiate.
+  const std::vector<SiteId> op_sites = {0};
+  ExecMetrics metrics;
+  metrics.response_ms = 12.0;
+  metrics.operator_actuals = {Actual(0.0, 8.0, 0.0)};
+
+  const BottleneckReport report = BuildBottleneck(op_sites, metrics);
+  ASSERT_EQ(report.buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.buckets[0].service_ms, 8.0);
+  EXPECT_DOUBLE_EQ(report.buckets[0].queueing_ms, 0.0);
+  EXPECT_FALSE(report.dominant_is_queueing());
+  EXPECT_NE(report.Summary().find("disk service"), std::string::npos);
+}
+
+TEST(BottleneckTest, FaultStallsArePureQueueing) {
+  const std::vector<SiteId> op_sites = {0};
+  ExecMetrics metrics;
+  metrics.operator_actuals = {Actual(1.0, 0.0, 0.0, /*stall=*/9.0)};
+  const BottleneckReport report = BuildBottleneck(op_sites, metrics);
+  const BottleneckBucket* dominant = report.dominant();
+  ASSERT_NE(dominant, nullptr);
+  EXPECT_EQ(dominant->resource, BottleneckResource::kStall);
+  EXPECT_DOUBLE_EQ(dominant->queueing_ms, 9.0);
+  EXPECT_NE(report.Summary().find("fault-stall"), std::string::npos);
+}
+
+TEST(BottleneckTest, EmptyReportSaysSo) {
+  const BottleneckReport report = BuildBottleneck({}, ExecMetrics{});
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(report.dominant(), nullptr);
+  EXPECT_EQ(report.Summary(), "no attributed time");
+}
+
+TEST(BottleneckTest, AccumulatorFoldsAlignedAndSkipsMisaligned) {
+  const std::vector<SiteId> op_sites = {0, 1};
+  ExecMetrics aligned;
+  aligned.operator_actuals = {Actual(1.0, 0.0, 0.0), Actual(0.0, 6.0, 2.0)};
+  ExecMetrics misaligned;  // e.g. recovery re-planned: no actuals
+  ExecMetrics replanned;   // different shape than the submitted plan
+  replanned.operator_actuals = {Actual(1.0, 1.0, 1.0)};
+
+  BottleneckAccumulator acc;
+  acc.Add(op_sites, aligned);
+  acc.Add(op_sites, aligned);
+  acc.Add(op_sites, misaligned);
+  acc.Add(op_sites, replanned);
+  EXPECT_EQ(acc.queries(), 2);
+
+  BatchTotals totals;
+  totals.cpu_busy_ms[0] = 2.0;
+  totals.disk_busy_ms[1] = 5.0;
+  totals.network_busy_ms = 10.0;
+  const BottleneckReport report = acc.Finish(totals, /*window_ms=*/100.0);
+  EXPECT_EQ(report.queries, 2);
+  EXPECT_DOUBLE_EQ(report.response_ms, 100.0);
+  EXPECT_DOUBLE_EQ(report.attributed_ms, 18.0);
+  const BottleneckBucket* dominant = report.dominant();
+  ASSERT_NE(dominant, nullptr);
+  EXPECT_EQ(dominant->resource, BottleneckResource::kDisk);
+  EXPECT_DOUBLE_EQ(dominant->elapsed_ms, 12.0);
+  EXPECT_DOUBLE_EQ(dominant->service_ms, 5.0);
+  EXPECT_DOUBLE_EQ(dominant->queueing_ms, 7.0);
+}
+
+TEST(BottleneckTest, OperatorSitesWalksPlanInPreorder) {
+  Catalog catalog;
+  catalog.AddRelation("R0", 1000, 100);
+  catalog.PlaceRelation(0, ServerSite(0));
+  Plan plan(MakeDisplay(MakeScan(0, SiteAnnotation::kPrimaryCopy)));
+  BindSites(plan, catalog);
+  const std::vector<SiteId> sites = OperatorSites(plan);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], ClientSite(0));  // display at the home client
+  EXPECT_EQ(sites[1], ServerSite(0));  // scan at the primary copy
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -1,0 +1,192 @@
+// Integration tests of the utilization sampler against the execution
+// layer: attaching it must never change simulation results (the
+// non-perturbation contract of DESIGN.md §8), and the sampled rate
+// integrals must reconcile with the independently reported busy-time
+// totals (the busy-time-integral self-check).
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "exec/executor.h"
+#include "exec/metrics.h"
+#include "plan/binding.h"
+#include "sim/telemetry.h"
+#include "sim/trace.h"
+
+namespace dimsum {
+namespace {
+
+Catalog PaperCatalog(int relations, int servers, double cached = 0.0) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id =
+        catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    catalog.PlaceRelation(id, ServerSite(i % servers));
+    catalog.SetCachedFraction(id, cached);
+  }
+  return catalog;
+}
+
+QueryGraph ChainQuery(int n) {
+  std::vector<RelationId> rels;
+  for (int i = 0; i < n; ++i) rels.push_back(i);
+  return QueryGraph::Chain(std::move(rels));
+}
+
+/// Server-site scans feeding client joins: disks on both sides, the
+/// shared link, and CPU at every site.
+Plan ThreeWayPlan() {
+  std::unique_ptr<PlanNode> tree =
+      MakeScan(0, SiteAnnotation::kPrimaryCopy);
+  for (int i = 1; i < 3; ++i) {
+    tree = MakeJoin(MakeScan(i, SiteAnnotation::kPrimaryCopy),
+                    std::move(tree), SiteAnnotation::kConsumer);
+  }
+  return Plan(MakeDisplay(std::move(tree)));
+}
+
+struct TestSetup {
+  Catalog catalog = PaperCatalog(3, 2, /*cached=*/0.25);
+  QueryGraph query = ChainQuery(3);
+  Plan plan = ThreeWayPlan();
+  SystemConfig config;
+
+  TestSetup() {
+    config.num_servers = 2;
+    BindSites(plan, catalog);
+  }
+};
+
+TEST(TelemetryExecTest, SamplingDoesNotPerturbResults) {
+  TestSetup setup;
+  const ExecMetrics plain =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, setup.config);
+
+  sim::TelemetrySampler telemetry(5.0);
+  SystemConfig sampled = setup.config;
+  sampled.telemetry = &telemetry;
+  const ExecMetrics observed =
+      ExecutePlan(setup.plan, setup.catalog, setup.query, sampled);
+
+  EXPECT_TRUE(telemetry.finalized());
+  EXPECT_GT(telemetry.num_samples(), 0u);
+  EXPECT_GT(telemetry.num_series(), 0u);
+  // Bit-identical, not approximately equal: the sampler never schedules
+  // an event, so every measured quantity is exactly unchanged.
+  EXPECT_EQ(plain.response_ms, observed.response_ms);
+  EXPECT_EQ(plain.data_pages_sent, observed.data_pages_sent);
+  EXPECT_EQ(plain.messages, observed.messages);
+  EXPECT_EQ(plain.bytes_sent, observed.bytes_sent);
+  EXPECT_EQ(plain.network_busy_ms, observed.network_busy_ms);
+  EXPECT_EQ(plain.network_wait_ms, observed.network_wait_ms);
+  EXPECT_TRUE(plain.cpu_busy_ms == observed.cpu_busy_ms);
+  EXPECT_TRUE(plain.disk_busy_ms == observed.disk_busy_ms);
+  EXPECT_TRUE(plain.cpu_wait_ms == observed.cpu_wait_ms);
+  EXPECT_EQ(plain.disk.reads, observed.disk.reads);
+  EXPECT_EQ(plain.disk.cache_hits, observed.disk.cache_hits);
+  EXPECT_EQ(plain.disk.seek_ms, observed.disk.seek_ms);
+}
+
+TEST(TelemetryExecTest, BusyIntegralsMatchBatchTotals) {
+  // A contended batch (four copies of the query, staggered) so queueing
+  // and busy time accrue on every resource; the integral of each sampled
+  // utilization series must reconcile with the run's BatchTotals.
+  TestSetup setup;
+  std::vector<WorkloadQuery> batch;
+  for (int i = 0; i < 4; ++i) {
+    WorkloadQuery q;
+    q.plan = &setup.plan;
+    q.query = &setup.query;
+    q.start_ms = 20.0 * i;
+    batch.push_back(q);
+  }
+  sim::TelemetrySampler telemetry(7.0);
+  SystemConfig config = setup.config;
+  config.telemetry = &telemetry;
+  const ConcurrentResult result =
+      ExecuteConcurrent(batch, setup.catalog, config);
+  ASSERT_TRUE(telemetry.finalized());
+
+  auto expect_near = [](double integral, double total,
+                        const std::string& label) {
+    EXPECT_NEAR(integral, total, 1e-6 * std::max(1.0, total)) << label;
+  };
+  const int num_sites = 1 + setup.config.num_servers;
+  const int num_disks = std::max(1, setup.config.params.num_disks);
+  for (int s = 0; s < num_sites; ++s) {
+    const auto cpu = result.totals.cpu_busy_ms.find(s);
+    ASSERT_NE(cpu, result.totals.cpu_busy_ms.end());
+    expect_near(telemetry.RateIntegralMs(s, "cpu", "utilization"),
+                cpu->second, "cpu @ site " + std::to_string(s));
+    double disk_integral = 0.0;
+    for (int d = 0; d < num_disks; ++d) {
+      const std::string disk =
+          "disk" + std::to_string(s) + "." + std::to_string(d);
+      disk_integral += telemetry.RateIntegralMs(s, disk, "utilization");
+    }
+    const auto disk = result.totals.disk_busy_ms.find(s);
+    ASSERT_NE(disk, result.totals.disk_busy_ms.end());
+    expect_near(disk_integral, disk->second,
+                "disks @ site " + std::to_string(s));
+  }
+  expect_near(telemetry.RateIntegralMs(-1, "link", "utilization"),
+              result.totals.network_busy_ms, "shared link");
+  // The same identity holds for queueing intensity vs total wait time.
+  expect_near(telemetry.RateIntegralMs(-1, "link", "queueing"),
+              result.totals.network_wait_ms, "link queueing");
+}
+
+TEST(TelemetryExecTest, ExportsJsonAndCounterTracks) {
+  TestSetup setup;
+  sim::TelemetrySampler telemetry(5.0);
+  sim::TraceSink trace;
+  SystemConfig config = setup.config;
+  config.telemetry = &telemetry;
+  config.trace = &trace;
+  ExecutePlan(setup.plan, setup.catalog, setup.query, config);
+
+  std::ostringstream out;
+  telemetry.WriteJson(out);
+  std::string error;
+  const auto doc = JsonValue::Parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("schema")->string_value(), "dimsum.telemetry.v1");
+  const auto& series = doc->Find("series")->array_items();
+  ASSERT_FALSE(series.empty());
+  std::vector<std::string> resources;
+  for (const JsonValue& s : series) {
+    resources.push_back(s.Find("resource")->string_value());
+    EXPECT_EQ(s.Find("values")->array_items().size(),
+              telemetry.num_samples());
+  }
+  auto has = [&](const std::string& r) {
+    return std::find(resources.begin(), resources.end(), r) !=
+           resources.end();
+  };
+  EXPECT_TRUE(has("cpu"));
+  EXPECT_TRUE(has("disk0.0"));
+  EXPECT_TRUE(has("buffer_pool"));
+  EXPECT_TRUE(has("link"));
+
+  // Counter tracks were re-emitted into the trace alongside the spans.
+  std::ostringstream trace_out;
+  trace.WriteJson(trace_out);
+  const auto trace_doc = JsonValue::Parse(trace_out.str(), &error);
+  ASSERT_TRUE(trace_doc.has_value()) << error;
+  int telemetry_counters = 0;
+  for (const JsonValue& event :
+       trace_doc->Find("traceEvents")->array_items()) {
+    if (event.Find("ph")->string_value() != "C") continue;
+    const std::string& name = event.Find("name")->string_value();
+    if (name.find("telemetry") != std::string::npos) ++telemetry_counters;
+  }
+  EXPECT_GT(telemetry_counters, 0);
+}
+
+}  // namespace
+}  // namespace dimsum

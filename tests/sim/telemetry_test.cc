@@ -1,0 +1,158 @@
+// Unit tests for the virtual-time utilization sampler: boundary placement,
+// rate differencing of cumulative probes, gauge snapshots, the partial
+// final interval, the busy-time integral identity, interval invariance of
+// integrals, and the dimsum.telemetry.v1 JSON document.
+
+#include "sim/telemetry.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace dimsum::sim {
+namespace {
+
+TEST(TelemetryTest, SamplesBoundariesAndDifferencesCumulativeProbes) {
+  double total = 0.0;
+  int depth = 0;
+  TelemetrySampler sampler(10.0);
+  sampler.AddCumulative(0, 0, "cpu", "utilization", [&] { return total; });
+  sampler.AddGauge(0, 0, "cpu", "queue_depth",
+                   [&] { return static_cast<double>(depth); });
+
+  sampler.AdvanceTo(10.0);  // boundary 10: total still 0
+  total = 5.0;
+  depth = 3;
+  sampler.AdvanceTo(20.0);  // boundary 20: delta 5 over 10 ms
+  total = 8.0;
+  depth = 1;
+  sampler.AdvanceTo(34.0);  // crosses boundary 30: delta 3 over 10 ms
+  sampler.Finalize(34.0);   // partial tail (30, 34], no further busy time
+
+  EXPECT_TRUE(sampler.finalized());
+  EXPECT_EQ(sampler.num_series(), 2u);
+  ASSERT_EQ(sampler.num_samples(), 4u);
+  EXPECT_DOUBLE_EQ(sampler.end_ms(), 34.0);
+
+  std::ostringstream out;
+  sampler.WriteJson(out);
+  std::string error;
+  const auto doc = JsonValue::Parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const auto& times = doc->Find("times_ms")->array_items();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0].number_value(), 10.0);
+  EXPECT_DOUBLE_EQ(times[1].number_value(), 20.0);
+  EXPECT_DOUBLE_EQ(times[2].number_value(), 30.0);
+  EXPECT_DOUBLE_EQ(times[3].number_value(), 34.0);
+
+  const auto& series = doc->Find("series")->array_items();
+  ASSERT_EQ(series.size(), 2u);
+  const JsonValue& rate = series[0];
+  EXPECT_EQ(rate.Find("kind")->string_value(), "rate");
+  const auto& utilization = rate.Find("values")->array_items();
+  ASSERT_EQ(utilization.size(), 4u);
+  EXPECT_DOUBLE_EQ(utilization[0].number_value(), 0.0);
+  EXPECT_DOUBLE_EQ(utilization[1].number_value(), 0.5);
+  EXPECT_DOUBLE_EQ(utilization[2].number_value(), 0.3);
+  EXPECT_DOUBLE_EQ(utilization[3].number_value(), 0.0);
+
+  const JsonValue& gauge = series[1];
+  EXPECT_EQ(gauge.Find("kind")->string_value(), "gauge");
+  const auto& depths = gauge.Find("values")->array_items();
+  ASSERT_EQ(depths.size(), 4u);
+  EXPECT_DOUBLE_EQ(depths[0].number_value(), 0.0);
+  EXPECT_DOUBLE_EQ(depths[1].number_value(), 3.0);
+  EXPECT_DOUBLE_EQ(depths[2].number_value(), 1.0);
+  EXPECT_DOUBLE_EQ(depths[3].number_value(), 1.0);
+}
+
+TEST(TelemetryTest, RateIntegralEqualsCumulativeDelta) {
+  // The integral identity Sum(v_k * dt_k) == total(end) - total(0) holds
+  // exactly by construction, including over the partial final interval.
+  double total = 0.0;
+  TelemetrySampler sampler(10.0);
+  sampler.AddCumulative(2, 2, "disk2.0", "utilization",
+                        [&] { return total; });
+  sampler.AdvanceTo(10.0);
+  total = 5.0;
+  sampler.AdvanceTo(20.0);
+  total = 8.0;
+  sampler.AdvanceTo(31.5);
+  total = 9.25;
+  sampler.Finalize(33.0);
+  EXPECT_DOUBLE_EQ(sampler.RateIntegralMs(2, "disk2.0", "utilization"),
+                   9.25);
+}
+
+TEST(TelemetryTest, IntegralIsInvariantUnderSamplingInterval) {
+  // The same piecewise-constant busy history sampled at two different
+  // intervals yields the same integral (both equal the cumulative delta).
+  const std::vector<std::pair<double, double>> history = {
+      {4.0, 1.5}, {11.0, 3.0}, {18.5, 3.25}, {40.0, 12.0}, {55.0, 13.5}};
+  std::vector<double> integrals;
+  for (const double interval : {7.0, 10.0}) {
+    double total = 0.0;
+    TelemetrySampler sampler(interval);
+    sampler.AddCumulative(0, 0, "cpu", "utilization", [&] { return total; });
+    for (const auto& [time, value] : history) {
+      sampler.AdvanceTo(time);
+      total = value;
+    }
+    sampler.Finalize(60.0);
+    integrals.push_back(sampler.RateIntegralMs(0, "cpu", "utilization"));
+  }
+  EXPECT_DOUBLE_EQ(integrals[0], 13.5);
+  EXPECT_DOUBLE_EQ(integrals[0], integrals[1]);
+}
+
+TEST(TelemetryTest, FinalizeOnBoundaryEmitsNoPartialSample) {
+  double total = 0.0;
+  TelemetrySampler sampler(10.0);
+  sampler.AddCumulative(0, 0, "cpu", "utilization", [&] { return total; });
+  sampler.AdvanceTo(20.0);
+  sampler.Finalize(20.0);
+  EXPECT_EQ(sampler.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(sampler.end_ms(), 20.0);
+}
+
+TEST(TelemetryTest, JsonCarriesDocumentedSchema) {
+  double total = 0.0;
+  TelemetrySampler sampler(5.0);
+  sampler.AddCumulative(1, 1, "link", "utilization", [&] { return total; });
+  sampler.AddGauge(1, -1, "buffer_pool", "used_frames", [] { return 7.0; });
+  sampler.AdvanceTo(12.0);
+  total = 3.0;
+  sampler.Finalize(12.0);
+
+  std::ostringstream out;
+  sampler.WriteJson(out);
+  std::string error;
+  const auto doc = JsonValue::Parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("schema")->string_value(), "dimsum.telemetry.v1");
+  EXPECT_DOUBLE_EQ(doc->Find("interval_ms")->number_value(), 5.0);
+  EXPECT_DOUBLE_EQ(doc->Find("end_ms")->number_value(), 12.0);
+  EXPECT_EQ(doc->Find("num_samples")->number_value(),
+            static_cast<double>(sampler.num_samples()));
+  for (const JsonValue& series : doc->Find("series")->array_items()) {
+    ASSERT_NE(series.Find("pid"), nullptr);
+    ASSERT_NE(series.Find("site"), nullptr);
+    ASSERT_NE(series.Find("resource"), nullptr);
+    ASSERT_NE(series.Find("metric"), nullptr);
+    const std::string kind = series.Find("kind")->string_value();
+    EXPECT_TRUE(kind == "rate" || kind == "gauge");
+    EXPECT_EQ(series.Find("values")->array_items().size(),
+              sampler.num_samples());
+    if (kind == "rate") {
+      ASSERT_NE(series.Find("integral_ms"), nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dimsum::sim

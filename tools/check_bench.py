@@ -3,49 +3,63 @@
 
 Usage: check_bench.py FILE [FILE...]
 
-Asserts each file is well-formed JSON and, for known benchmark outputs,
-that every record carries the expected keys (so a refactor that silently
+Every BENCH_*.json is a document of the form
+
+    {"meta": {...}, "records": [...]}
+
+where meta is the common provenance header bench/harness.h stamps (schema,
+schema_version, git_rev, build_type, config_hash, threads) and records is
+the harness-specific series. This script asserts each file is well-formed
+JSON, carries a complete meta header, and -- for known benchmark outputs
+-- that every record has the expected keys (so a refactor that silently
 drops a series or renames a field fails CI instead of shipping an empty
-artifact). Unknown BENCH files only need to be well-formed, non-empty
-JSON. Exits non-zero with a message naming the first offending file.
+artifact). Unknown BENCH files only need a valid meta and non-empty
+records. Exits non-zero with a message naming the first offending file.
 """
 
 import json
 import os
 import sys
 
-# Required keys per known benchmark file (by basename). Records may carry
-# more; these must be present in every record.
+META_KEYS = {
+    "schema", "schema_version", "git_rev", "build_type", "config_hash",
+    "threads",
+}
+
+# Required record keys and expected meta schema per known benchmark file
+# (by basename). Records may carry more keys; these must all be present.
 SCHEMAS = {
-    "BENCH_faults.json": {
+    "BENCH_faults.json": ("dimsum.bench.faults.v1", {
         "policy", "mtbf_ms", "mttr_ms", "throughput_qps",
         "mean_response_ms", "retries", "reopts", "abort_rate",
-    },
-    "BENCH_multiclient.json": {
+    }),
+    "BENCH_multiclient.json": ("dimsum.bench.multiclient.v1", {
         "policy", "clients", "throughput_qps", "mean_response_ms",
         "response_ci90_ms",
-    },
-    "BENCH_optimizer.json": {"name", "threads", "wall_ms", "plans_per_sec"},
-    "BENCH_observability.json": {
+    }),
+    "BENCH_optimizer.json": ("dimsum.bench.optimizer.v1", {
         "name", "threads", "wall_ms", "plans_per_sec",
-    },
-    "BENCH_calibration.json": {
+    }),
+    "BENCH_observability.json": ("dimsum.bench.observability.v1", {
+        "name", "threads", "wall_ms", "plans_per_sec",
+    }),
+    "BENCH_calibration.json": ("dimsum.bench.calibration.v1", {
         "policy", "relations", "cached", "est_response_ms",
         "sim_response_ms", "response_rel_err", "est_total_ms",
         "sim_total_ms", "total_rel_err", "mean_op_rel_err",
         "max_op_rel_err",
-    },
-    "BENCH_kernel.json": {
+    }),
+    "BENCH_kernel.json": ("dimsum.bench.kernel.v1", {
         "scenario", "kernel", "events", "wall_ms", "events_per_sec",
         "speedup_vs_legacy", "peak_queue_depth", "calendar_resizes",
         "frame_pool_hit_rate",
-    },
-    "BENCH_openloop.json": {
+    }),
+    "BENCH_openloop.json": ("dimsum.bench.openloop.v1", {
         "policy", "arrival", "rate_qps", "clients", "offered_qps",
         "throughput_qps", "mean_response_ms", "response_ci90_ms",
         "mean_queue_wait_ms", "arrivals", "dispatched", "shed", "aborted",
-        "peak_in_flight", "peak_pending",
-    },
+        "peak_in_flight", "peak_pending", "bottleneck",
+    }),
 }
 
 METRICS_KEYS = {"counters", "gauges", "histograms"}
@@ -56,10 +70,28 @@ def fail(path, message):
     sys.exit(1)
 
 
+def check_meta(path, data, expected_schema):
+    if not isinstance(data, dict) or "meta" not in data:
+        fail(path, 'expected a {"meta": {...}, "records": [...]} document')
+    meta = data["meta"]
+    if not isinstance(meta, dict):
+        fail(path, "meta is not an object")
+    missing = META_KEYS - meta.keys()
+    if missing:
+        fail(path, f"meta is missing keys: {sorted(missing)}")
+    if expected_schema is not None and meta["schema"] != expected_schema:
+        fail(path, f"meta schema is {meta['schema']!r}, "
+                   f"expected {expected_schema!r}")
+    return meta
+
+
 def check_records(path, data, required):
-    if not isinstance(data, list) or not data:
-        fail(path, "expected a non-empty JSON array of records")
-    for i, record in enumerate(data):
+    records = data.get("records")
+    if not isinstance(records, list) or not records:
+        fail(path, "expected a non-empty records array")
+    if required is None:
+        return
+    for i, record in enumerate(records):
         if not isinstance(record, dict):
             fail(path, f"record {i} is not an object")
         missing = required - record.keys()
@@ -86,10 +118,10 @@ def check_file(path):
     base = os.path.basename(path)
     if base.endswith(".metrics.json"):
         check_metrics(path, data)
-    elif base in SCHEMAS:
-        check_records(path, data, SCHEMAS[base])
-    elif not data:
-        fail(path, "empty JSON document")
+    else:
+        schema, required = SCHEMAS.get(base, (None, None))
+        check_meta(path, data, schema)
+        check_records(path, data, required)
     print(f"check_bench: {path}: ok")
 
 

@@ -21,6 +21,7 @@
 #include "exec/metrics.h"
 #include "plan/printer.h"
 #include "sim/fault.h"
+#include "sim/telemetry.h"
 #include "sim/trace.h"
 #include "workload/benchmark.h"
 
@@ -55,7 +56,29 @@ struct CliOptions {
   /// DIMSUM_EXPLAIN environment variable is consulted.
   ExplainMode explain = ExplainMode::kOff;
   bool explain_set = false;
+  /// Telemetry sampling interval, virtual ms (0 = off). Only meaningful
+  /// when telemetry_set; otherwise DIMSUM_TELEMETRY is consulted.
+  double telemetry_interval_ms = 0.0;
+  bool telemetry_set = false;
+  /// Telemetry JSON output path; env fallback DIMSUM_TELEMETRY_OUT, then
+  /// "telemetry.json".
+  std::string telemetry_file;
 };
+
+/// Parses an --telemetry / DIMSUM_TELEMETRY value into a sampling interval
+/// in virtual ms: "" and "1" select the 10 ms default, "0" and "off"
+/// disable, and any positive number sets the interval directly. Returns
+/// nullopt on anything else so callers can reject it.
+std::optional<double> ParseTelemetryInterval(const std::string& value) {
+  if (value.empty() || value == "1") return 10.0;
+  if (value == "0" || value == "off") return 0.0;
+  char* end = nullptr;
+  const double interval = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !(interval > 0.0)) {
+    return std::nullopt;
+  }
+  return interval;
+}
 
 /// Env-var fallback for the observability outputs: the variable holds the
 /// output path; empty or "0" means disabled.
@@ -102,6 +125,17 @@ void PrintUsage() {
       "                           (human output moves to stderr); env\n"
       "                           fallback DIMSUM_EXPLAIN=1|text|json.\n"
       "                           Collection never perturbs the simulation\n"
+      "  --telemetry[=MS]         sample per-resource utilization, queue\n"
+      "                           depth, and buffer-pool occupancy every MS\n"
+      "                           virtual ms (no value or =1 selects the\n"
+      "                           10 ms default; =0|off disables; any other\n"
+      "                           positive number is the interval) and\n"
+      "                           write a dimsum.telemetry.v1 JSON;\n"
+      "                           sampling never perturbs the simulation;\n"
+      "                           env fallback DIMSUM_TELEMETRY=1|MS\n"
+      "  --telemetry-out=FILE     telemetry JSON path (default\n"
+      "                           telemetry.json); env fallback\n"
+      "                           DIMSUM_TELEMETRY_OUT\n"
       "  --faults=SPEC            inject faults; ';'-separated clauses:\n"
       "                           crash:site=S,at=T,for=D (one-shot) or\n"
       "                           crash:site=S,mtbf=M,mttr=R[,seed=N]\n"
@@ -171,6 +205,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->metrics_file = value;
     } else if (ParseFlag(arg, "faults", &value)) {
       options->faults_spec = value;
+    } else if (ParseFlag(arg, "telemetry-out", &value)) {
+      options->telemetry_file = value;
+    } else if (arg == "--telemetry" || ParseFlag(arg, "telemetry", &value)) {
+      const std::optional<double> interval = ParseTelemetryInterval(value);
+      if (!interval.has_value()) {
+        std::cerr << "invalid --telemetry interval: " << value
+                  << " (expected a positive virtual-ms period, or off)\n";
+        return false;
+      }
+      options->telemetry_interval_ms = *interval;
+      options->telemetry_set = true;
     } else if (arg == "--explain" || ParseFlag(arg, "explain", &value)) {
       const std::optional<ExplainMode> mode = ParseExplainMode(value);
       if (!mode.has_value()) {
@@ -218,6 +263,22 @@ int RunCli(const CliOptions& options) {
     }
     explain = *mode;
   }
+  double telemetry_interval_ms = 0.0;
+  if (options.telemetry_set) {
+    telemetry_interval_ms = options.telemetry_interval_ms;
+  } else if (const char* env = std::getenv("DIMSUM_TELEMETRY");
+             env != nullptr && env[0] != '\0') {
+    const std::optional<double> interval = ParseTelemetryInterval(env);
+    if (!interval.has_value()) {
+      std::cerr << "invalid DIMSUM_TELEMETRY value: " << env
+                << " (expected a positive virtual-ms period, or off)\n";
+      return 1;
+    }
+    telemetry_interval_ms = *interval;
+  }
+  std::string telemetry_file = options.telemetry_file;
+  if (telemetry_file.empty()) telemetry_file = EnvPath("DIMSUM_TELEMETRY_OUT");
+  if (telemetry_file.empty()) telemetry_file = "telemetry.json";
   // In JSON mode stdout carries exactly one dimsum.explain.v1 document, so
   // the human-readable report moves to stderr.
   std::ostream& txt =
@@ -245,6 +306,9 @@ int RunCli(const CliOptions& options) {
   }
   sim::TraceSink trace;
   if (!trace_file.empty()) config.trace = &trace;
+  sim::TelemetrySampler telemetry(
+      telemetry_interval_ms > 0.0 ? telemetry_interval_ms : 10.0);
+  if (telemetry_interval_ms > 0.0) config.telemetry = &telemetry;
   sim::FaultSchedule faults;
   if (!faults_spec.empty()) {
     faults = sim::ParseFaultSpec(faults_spec);
@@ -306,6 +370,17 @@ int RunCli(const CliOptions& options) {
                 << " events; open in https://ui.perfetto.dev)\n";
     } else {
       std::cerr << "cannot write trace file: " << trace_file << "\n";
+      return 1;
+    }
+  }
+  if (telemetry_interval_ms > 0.0) {
+    if (telemetry.WriteJsonFile(telemetry_file)) {
+      txt << (trace_file.empty() ? "\n" : "") << "telemetry: "
+          << telemetry_file << " (" << telemetry.num_series() << " series, "
+          << telemetry.num_samples() << " samples @ "
+          << Fmt(telemetry.interval_ms(), 1) << " ms)\n";
+    } else {
+      std::cerr << "cannot write telemetry file: " << telemetry_file << "\n";
       return 1;
     }
   }
