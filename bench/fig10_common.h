@@ -111,16 +111,17 @@ inline Fig10Point RunFig10Point(int servers, double selectivity,
     // Compile-time plans under the two placement assumptions.
     OptimizerConfig deep_opt = opt;
     deep_opt.require_linear = true;
-    Catalog centralized = AssumedCatalog(system.catalog(), workload.query,
-                                         PlacementAssumption::kCentralized);
+    Catalog centralized =
+        AssumedCatalog(system.catalog(), workload.query,
+                       PlacementAssumption::kCentralized, servers);
     CostModel central_model(centralized, config.params);
     OptimizeResult deep =
         CompilePlan(central_model, workload.query, deep_opt, rng);
     CanonicalizeDeep(deep.plan);
 
-    Catalog distributed = AssumedCatalog(
-        system.catalog(), workload.query,
-        PlacementAssumption::kFullyDistributed);
+    Catalog distributed =
+        AssumedCatalog(system.catalog(), workload.query,
+                       PlacementAssumption::kFullyDistributed, servers);
     CostModel dist_model(distributed, config.params);
     OptimizeResult bushy =
         CompilePlan(dist_model, workload.query, opt, rng);

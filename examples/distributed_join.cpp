@@ -46,8 +46,9 @@ int main() {
   opt_config.metric = OptimizeMetric::kResponseTime;
 
   // Compile against a fully-distributed assumption (bushy tendency).
-  Catalog assumed = AssumedCatalog(system.catalog(), workload.query,
-                                   PlacementAssumption::kFullyDistributed);
+  Catalog assumed =
+      AssumedCatalog(system.catalog(), workload.query,
+                     PlacementAssumption::kFullyDistributed, spec.num_servers);
   CostModel assumed_model(assumed, config.params);
   Rng opt_rng(99);
   OptimizeResult compiled =
@@ -57,7 +58,7 @@ int main() {
   for (RelationId id = 0; id < system.catalog().num_relations(); ++id) {
     const SiteId old_site = system.catalog().PrimarySite(id);
     const SiteId new_site = ServerSite(old_site % spec.num_servers);
-    system.mutable_catalog().PlaceRelation(id, new_site);
+    system.mutable_catalog().MoveRelation(id, new_site);
   }
   const CostModel migrated_model = system.MakeCostModel();
 

@@ -16,11 +16,14 @@ namespace dimsum {
 /// disk-cache state.
 ///
 /// Per the paper: the primary copy of each relation resides on a single
-/// server (no declustering, no replication); clients store no primary
-/// copies; client caching holds a contiguous prefix of each relation on a
-/// client's local disk. The paper models one client site; the catalog
-/// generalizes to `num_clients` client sites (sites 0..num_clients-1),
-/// each with its own per-relation cached fraction.
+/// server (no declustering); clients store no primary copies; client
+/// caching holds a contiguous prefix of each relation on a client's local
+/// disk. The paper models one client site; the catalog generalizes to
+/// `num_clients` client sites (sites 0..num_clients-1), each with its own
+/// per-relation cached fraction, and to multi-copy placement: a relation
+/// holds an ordered replica set of server sites. The first copy placed is
+/// the *primary* (the paper's single-copy behaviour falls out at
+/// replication degree 1); further PlaceRelation calls add replicas.
 class Catalog {
  public:
   explicit Catalog(int num_clients = 1) : num_clients_(num_clients) {
@@ -40,7 +43,7 @@ class Catalog {
     const RelationId id = static_cast<RelationId>(relations_.size());
     relations_.push_back(
         Relation{id, std::move(name), num_tuples, tuple_bytes});
-    primary_sites_.push_back(kUnboundSite);
+    replica_sites_.emplace_back();
     cached_fractions_.emplace_back(num_clients_, 0.0);
     return id;
   }
@@ -55,20 +58,61 @@ class Catalog {
     return relations_[id];
   }
 
-  /// Sets the server holding the primary copy. Must be a server site.
+  /// Places a copy of the relation on `server`. The first placement sets
+  /// the primary copy; subsequent placements add replicas (placing on a
+  /// site already holding a copy is a no-op). Must be a server site.
   void PlaceRelation(RelationId id, SiteId server) {
     DIMSUM_CHECK_GE(server, num_clients_)
-        << "site " << server << " is a client; primary copies live on servers";
+        << "site " << server << " is a client; copies live on servers";
     MutableEntry(id);
-    primary_sites_[id] = server;
+    for (const SiteId site : replica_sites_[id]) {
+      if (site == server) return;
+    }
+    replica_sites_[id].push_back(server);
+  }
+
+  /// Migrates the relation: drops every existing copy and leaves a single
+  /// primary copy on `server`.
+  void MoveRelation(RelationId id, SiteId server) {
+    DIMSUM_CHECK_GE(server, num_clients_)
+        << "site " << server << " is a client; copies live on servers";
+    MutableEntry(id);
+    replica_sites_[id].clear();
+    replica_sites_[id].push_back(server);
   }
 
   SiteId PrimarySite(RelationId id) const {
+    return ReplicaSites(id).front();
+  }
+
+  /// All server sites holding a copy, in placement order (primary first).
+  const std::vector<SiteId>& ReplicaSites(RelationId id) const {
     DIMSUM_CHECK_GE(id, 0);
     DIMSUM_CHECK_LT(id, num_relations());
-    DIMSUM_CHECK_NE(primary_sites_[id], kUnboundSite)
+    DIMSUM_CHECK(!replica_sites_[id].empty())
         << "relation " << id << " has not been placed";
-    return primary_sites_[id];
+    return replica_sites_[id];
+  }
+
+  int NumReplicas(RelationId id) const {
+    return static_cast<int>(ReplicaSites(id).size());
+  }
+
+  /// Site of the `index`-th copy. Indexes wrap modulo the replica count,
+  /// so a plan annotated under one replication degree stays bindable under
+  /// another (degree-1 catalogs always resolve to the primary).
+  SiteId ReplicaSite(RelationId id, int index) const {
+    const std::vector<SiteId>& copies = ReplicaSites(id);
+    DIMSUM_CHECK_GE(index, 0);
+    return copies[static_cast<std::size_t>(index) % copies.size()];
+  }
+
+  /// True when any relation holds more than one copy.
+  bool replicated() const {
+    for (const std::vector<SiteId>& copies : replica_sites_) {
+      if (copies.size() > 1) return true;
+    }
+    return false;
   }
 
   /// Sets the fraction [0,1] of the relation cached (contiguous prefix) on
@@ -120,7 +164,9 @@ class Catalog {
 
   int num_clients_;
   std::vector<Relation> relations_;
-  std::vector<SiteId> primary_sites_;
+  /// replica_sites_[relation]: server sites holding a copy, placement
+  /// order; front() is the primary. Empty until placed.
+  std::vector<std::vector<SiteId>> replica_sites_;
   /// cached_fractions_[relation][client].
   std::vector<std::vector<double>> cached_fractions_;
 };

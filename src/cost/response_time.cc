@@ -340,9 +340,9 @@ class Builder {
       return phase;
     }
     // Client scan: cached prefix from the client disk, the rest faulted in
-    // from the relation's server one page at a time, synchronously.
+    // from the scan's serving replica one page at a time, synchronously.
     const SiteId client = node.bound_site;
-    const SiteId server = catalog_.PrimarySite(node.relation);
+    const SiteId server = catalog_.ReplicaSite(node.relation, node.replica);
     const int64_t cached =
         catalog_.CachedPages(node.relation, client, params_.page_bytes);
     const int64_t faulted = pages - cached;

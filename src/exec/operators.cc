@@ -191,7 +191,8 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
 
   if (node.annotation == SiteAnnotation::kPrimaryCopy) {
     SiteRuntime& server = ctx.system.site(node.bound_site);
-    const DiskExtent extent = ctx.system.RelationExtent(node.relation);
+    const DiskExtent extent =
+        ctx.system.RelationExtent(node.bound_site, node.relation);
     for (int64_t i = 0; i < total_pages; ++i) {
       if (ctx.faults != nullptr) {
         const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
@@ -218,10 +219,12 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
       << "client-annotated scan bound to server site " << node.bound_site;
   const SiteId home = node.bound_site;
   SiteRuntime& client = ctx.system.site(home);
-  SiteRuntime& server = ctx.system.site(ctx.catalog.PrimarySite(node.relation));
+  SiteRuntime& server =
+      ctx.system.site(ctx.catalog.ReplicaSite(node.relation, node.replica));
   const int64_t cached =
       ctx.catalog.CachedPages(node.relation, home, ctx.params.page_bytes);
-  const DiskExtent server_extent = ctx.system.RelationExtent(node.relation);
+  const DiskExtent server_extent =
+      ctx.system.RelationExtent(server.id, node.relation);
   const double request_cpu = ctx.params.MsgCpuMs(ctx.params.fault_request_bytes);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
 

@@ -21,12 +21,17 @@ void ExecSystem::LoadData(const Catalog& catalog) {
   std::map<SiteId, int> next_disk;
   std::map<SiteId, int> next_cache_disk;
   for (RelationId id = 0; id < catalog.num_relations(); ++id) {
-    const SiteId server = catalog.PrimarySite(id);
-    DIMSUM_CHECK_LT(server, num_sites());
-    SiteRuntime& site_runtime = site(server);
     const int64_t pages = catalog.relation(id).Pages(page_bytes_);
-    const int disk = next_disk[server]++ % site_runtime.num_disks();
-    relation_extents_[id] = site_runtime.AllocateBase(disk, pages);
+    // Every replica site stores a full copy; placement order keeps the
+    // degree-1 allocation sequence identical to the single-copy layout.
+    for (const SiteId server : catalog.ReplicaSites(id)) {
+      DIMSUM_CHECK_LT(server, num_sites());
+      SiteRuntime& site_runtime = site(server);
+      const int disk = next_disk[server]++ % site_runtime.num_disks();
+      const DiskExtent extent = site_runtime.AllocateBase(disk, pages);
+      relation_extents_[{server, id}] = extent;
+      if (server == catalog.PrimarySite(id)) primary_extents_[id] = extent;
+    }
     for (SiteId c = 0; c < num_clients_; ++c) {
       const int64_t cached = catalog.CachedPages(id, c, page_bytes_);
       if (cached > 0) {

@@ -184,9 +184,14 @@ class ExecSystem {
     return site >= 0 && site < num_clients_;
   }
 
-  /// Extent of the relation's primary copy (on its server).
+  /// Extent of the relation's copy stored at `site` (must be one of the
+  /// loaded catalog's replica sites for the relation).
+  DiskExtent RelationExtent(SiteId site, RelationId id) const {
+    return relation_extents_.at({site, id});
+  }
+  /// Extent of the relation's primary copy (on its first replica site).
   DiskExtent RelationExtent(RelationId id) const {
-    return relation_extents_.at(id);
+    return primary_extents_.at(id);
   }
   /// Extent of the relation's cached prefix on `client` (only valid when
   /// the catalog caches a non-zero prefix there).
@@ -202,7 +207,9 @@ class ExecSystem {
   std::vector<std::unique_ptr<SiteRuntime>> sites_;
   sim::Network network_;
   int num_clients_;
-  std::map<RelationId, DiskExtent> relation_extents_;
+  /// One base extent per (replica site, relation) copy.
+  std::map<std::pair<SiteId, RelationId>, DiskExtent> relation_extents_;
+  std::map<RelationId, DiskExtent> primary_extents_;
   std::map<std::pair<SiteId, RelationId>, DiskExtent> cache_extents_;
   int page_bytes_;
 };

@@ -21,6 +21,9 @@ void AppendNode(std::string* out, const PlanNode* node) {
   out->push_back(static_cast<char>(node->type));
   out->push_back(static_cast<char>(node->annotation));
   AppendRaw(out, node->relation);
+  // The serving replica decides which server's disk a scan loads, so it is
+  // part of the cost-relevant identity.
+  AppendRaw(out, node->replica);
   // Operator parameters participate in cardinality estimates, so they are
   // part of the cost-relevant identity (encoded bitwise: the search only
   // ever copies these values, never recomputes them).

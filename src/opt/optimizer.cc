@@ -169,7 +169,8 @@ OptimizeResult TwoPhaseOptimizer::Anneal(Plan start, double start_cost,
 
 OptimizeResult TwoPhaseOptimizer::Optimize(const QueryGraph& query,
                                            Rng& rng) const {
-  const TransformConfig transform = config_.MakeTransformConfig();
+  TransformConfig transform = config_.MakeTransformConfig();
+  transform.catalog = &model_.catalog();
   const int starts = config_.enable_ii ? config_.ii_starts : 1;
 
   // Derive every random stream from the caller's generator *before*
@@ -248,6 +249,7 @@ OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
                                              Rng& rng) const {
   DIMSUM_CHECK(!start.empty());
   TransformConfig transform = config_.MakeTransformConfig();
+  transform.catalog = &model_.catalog();
   transform.join_order_moves = false;
   transform.allow_commute = false;
   const int attempts = config_.ii_starts;
@@ -274,7 +276,7 @@ OptimizeResult TwoPhaseOptimizer::SiteSelect(const Plan& start,
     Plan initial = start.Clone();
     // Attempt 0 refines the caller's annotations; later attempts restart
     // from random annotation assignments.
-    if (i > 0) RandomizeAnnotations(initial, transform.space, local);
+    if (i > 0) RandomizeAnnotations(initial, transform, local);
     auto& out = outcomes[static_cast<std::size_t>(i)];
     auto [local_min, local_cost] =
         ImproveToLocalMin(std::move(initial), query, transform, local,

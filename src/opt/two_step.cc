@@ -6,7 +6,8 @@
 namespace dimsum {
 
 Catalog AssumedCatalog(const Catalog& real, const QueryGraph& query,
-                       PlacementAssumption assumption) {
+                       PlacementAssumption assumption, int num_servers) {
+  DIMSUM_CHECK_GE(num_servers, 1);
   Catalog assumed(real.num_clients());
   // Recreate all relations with their real schemas (ids must match).
   for (RelationId id = 0; id < real.num_relations(); ++id) {
@@ -22,8 +23,11 @@ Catalog AssumedCatalog(const Catalog& real, const QueryGraph& query,
         assumed.PlaceRelation(id, ServerSite(0, real.num_clients()));
         break;
       case PlacementAssumption::kFullyDistributed:
-        assumed.PlaceRelation(id,
-                              ServerSite(server_index++, real.num_clients()));
+        // Round-robin over the *real* server count: with fewer servers
+        // than relations the assumption degrades to "as spread out as the
+        // system allows" instead of fabricating nonexistent sites.
+        assumed.PlaceRelation(
+            id, ServerSite(server_index++ % num_servers, real.num_clients()));
         break;
     }
   }

@@ -24,8 +24,11 @@ enum class PlacementAssumption {
 
 /// Builds a fictitious catalog realizing `assumption` for the relations of
 /// `query` (same schemas as in `real`, no client caching assumed).
+/// `num_servers` is the real system's server count: the fully-distributed
+/// assumption spreads relations round-robin over exactly those servers and
+/// never fabricates sites the run-time system does not have.
 Catalog AssumedCatalog(const Catalog& real, const QueryGraph& query,
-                       PlacementAssumption assumption);
+                       PlacementAssumption assumption, int num_servers);
 
 /// Compiles a plan for `query` under the assumed system state described by
 /// `assumed_model` (join ordering and site selection both happen at compile

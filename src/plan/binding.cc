@@ -21,7 +21,7 @@ int ResolvePass(PlanNode& node, SiteId parent_site, const Catalog& catalog,
     } else if (node.type == OpType::kScan) {
       node.bound_site = (node.annotation == SiteAnnotation::kClient)
                             ? client
-                            : catalog.PrimarySite(node.relation);
+                            : catalog.ReplicaSite(node.relation, node.replica);
       ++bound;
     } else if (IsUnaryOp(node.type)) {
       if (node.annotation == SiteAnnotation::kConsumer) {
@@ -101,12 +101,12 @@ std::vector<SiteId> BoundServerSites(const Plan& plan, const Catalog& catalog,
       sites.push_back(node.bound_site);
     }
     // A client-cached scan with a partial cache still faults the remaining
-    // pages in from the relation's primary copy.
+    // pages in from the scan's serving replica.
     if (node.type == OpType::kScan &&
         catalog.IsClientSite(node.bound_site) &&
         catalog.CachedPages(node.relation, node.bound_site, page_bytes) <
             catalog.relation(node.relation).Pages(page_bytes)) {
-      sites.push_back(catalog.PrimarySite(node.relation));
+      sites.push_back(catalog.ReplicaSite(node.relation, node.replica));
     }
   });
   std::sort(sites.begin(), sites.end());

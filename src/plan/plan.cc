@@ -34,6 +34,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   copy->type = type;
   copy->annotation = annotation;
   copy->relation = relation;
+  copy->replica = replica;
   copy->selectivity = selectivity;
   copy->width_factor = width_factor;
   copy->num_groups = num_groups;

@@ -19,6 +19,11 @@ struct PlanNode {
 
   /// For scans: the relation produced.
   RelationId relation = kInvalidRelation;
+  /// For scans: which copy of the relation serves this scan — an index
+  /// into Catalog::ReplicaSites (wrapping; 0 = primary). Selects the bound
+  /// site of primary-copy scans and the fault-in source of partially
+  /// cached client scans. Part of the optimizer's annotation space.
+  int32_t replica = 0;
   /// For selects: fraction of input tuples surviving the predicate.
   double selectivity = 1.0;
   /// For projects: fraction of the input tuple width kept.

@@ -8,7 +8,10 @@ namespace {
 void RenderNodeLine(const PlanNode& node, int depth, std::ostringstream& out) {
   for (int i = 0; i < depth; ++i) out << "  ";
   out << ToString(node.type);
-  if (node.type == OpType::kScan) out << " R" << node.relation;
+  if (node.type == OpType::kScan) {
+    out << " R" << node.relation;
+    if (node.replica != 0) out << " copy=" << node.replica;
+  }
   if (node.type == OpType::kSelect) out << " sel=" << node.selectivity;
   if (node.type == OpType::kProject) out << " width=" << node.width_factor;
   if (node.type == OpType::kAggregate) out << " groups=" << node.num_groups;

@@ -15,12 +15,14 @@ enum class MoveKind {
   kAssocRR,     // A (B C) -> (A C) B     [move 4]
   kCommute,     // A B -> B A             [extra, see TransformConfig]
   kAnnotation,  // change a node's site annotation [moves 5-7]
+  kReplica,     // re-point a scan at another copy [counted as move 7]
 };
 
 struct Candidate {
   int node_index;  // pre-order index
   MoveKind kind;
   SiteAnnotation annotation;  // for kAnnotation
+  int32_t replica = 0;        // for kReplica
 };
 
 /// Pre-order enumeration of owning slots (skips the display root, which is
@@ -65,6 +67,14 @@ std::vector<Candidate> EnumerateCandidates(Plan& plan,
         candidates.push_back({i, MoveKind::kAnnotation, annotation});
       }
     }
+    if (node.type == OpType::kScan && config.catalog != nullptr) {
+      const int copies = config.catalog->NumReplicas(node.relation);
+      for (int32_t r = 0; r < copies; ++r) {
+        if (r != node.replica) {
+          candidates.push_back({i, MoveKind::kReplica, {}, r});
+        }
+      }
+    }
   }
   return candidates;
 }
@@ -77,6 +87,9 @@ void ApplyMove(Plan& plan, const Candidate& candidate) {
   switch (candidate.kind) {
     case MoveKind::kAnnotation:
       node.annotation = candidate.annotation;
+      return;
+    case MoveKind::kReplica:
+      node.replica = candidate.replica;
       return;
     case MoveKind::kCommute:
       std::swap(node.left, node.right);
@@ -188,6 +201,16 @@ void RepairWellFormedness(Plan& plan, const PolicySpace& space, Rng& rng) {
   DIMSUM_CHECK(IsWellFormed(plan));
 }
 
+/// Draws a serving replica for a scan. Relations with a single copy never
+/// consume an RNG draw, so unreplicated catalogs leave every seed stream
+/// exactly as it was before replica choice existed.
+int32_t PickReplica(const Catalog* catalog, RelationId rel, Rng& rng) {
+  if (catalog == nullptr) return 0;
+  const int copies = catalog->NumReplicas(rel);
+  if (copies <= 1) return 0;
+  return static_cast<int32_t>(rng.UniformInt(0, copies - 1));
+}
+
 SiteAnnotation PickAnnotation(const PolicySpace& space, OpType type,
                               Rng& rng) {
   const auto& allowed = space.AllowedFor(type);
@@ -209,6 +232,8 @@ MoveType CandidateMoveType(const Candidate& candidate, const PlanNode& node) {
       if (node.type == OpType::kJoin) return MoveType::kJoinSite;
       if (node.type == OpType::kScan) return MoveType::kScanSite;
       return MoveType::kSelectSite;
+    case MoveKind::kReplica:
+      return MoveType::kScanSite;
   }
   DIMSUM_UNREACHABLE();
 }
@@ -258,6 +283,7 @@ Plan RandomPlan(const QueryGraph& query, const TransformConfig& config,
   std::vector<Component> forest;
   for (RelationId rel : query.relations) {
     auto leaf = MakeScan(rel, PickAnnotation(config.space, OpType::kScan, rng));
+    leaf->replica = PickReplica(config.catalog, rel, rng);
     const double selectivity = query.ScanSelectivity(rel);
     std::unique_ptr<PlanNode> tree = std::move(leaf);
     if (selectivity < 1.0) {
@@ -331,6 +357,18 @@ void RandomizeAnnotations(Plan& plan, const PolicySpace& space, Rng& rng) {
     node.annotation = PickAnnotation(space, node.type, rng);
   });
   RepairWellFormedness(plan, space, rng);
+}
+
+void RandomizeAnnotations(Plan& plan, const TransformConfig& config,
+                          Rng& rng) {
+  plan.ForEachMutable([&](PlanNode& node) {
+    if (node.type == OpType::kDisplay) return;
+    node.annotation = PickAnnotation(config.space, node.type, rng);
+    if (node.type == OpType::kScan) {
+      node.replica = PickReplica(config.catalog, node.relation, rng);
+    }
+  });
+  RepairWellFormedness(plan, config.space, rng);
 }
 
 int CountMoveCandidates(const Plan& plan, const TransformConfig& config) {

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "catalog/catalog.h"
 #include "common/rng.h"
 #include "plan/plan.h"
 #include "plan/policy.h"
@@ -36,6 +37,12 @@ struct TransformConfig {
   /// Constrain the search to linear (left-deep) join trees; used to obtain
   /// the "deep" compile-time plans of Section 5.2.
   bool require_linear = false;
+  /// When set, scans over relations with more than one copy gain replica-
+  /// choice moves (re-pointing a scan at another copy; counted as move 7,
+  /// the scan-site move) and random plans draw a random serving replica.
+  /// Null -- or an unreplicated catalog -- leaves the move set and every
+  /// RNG stream exactly as before (not owned; must outlive optimization).
+  const Catalog* catalog = nullptr;
 };
 
 /// The paper's numbered transformation moves (1-7) plus the extra
@@ -81,6 +88,12 @@ Plan RandomPlan(const QueryGraph& query, const TransformConfig& config,
 /// Re-draws every operator's annotation uniformly from the allowed sets and
 /// repairs two-node cycles. Join order is preserved.
 void RandomizeAnnotations(Plan& plan, const PolicySpace& space, Rng& rng);
+
+/// As above, and -- when `config.catalog` names a replicated catalog --
+/// also re-draws each scan's serving replica. Replica draws happen only
+/// for relations with more than one copy, so unreplicated runs consume
+/// exactly the same RNG stream as the PolicySpace overload.
+void RandomizeAnnotations(Plan& plan, const TransformConfig& config, Rng& rng);
 
 /// Number of distinct single-move neighbors of `plan` (used by tests and
 /// by the annealing schedule).

@@ -27,6 +27,22 @@ std::vector<RelationId> AllRelations(const WorkloadSpec& spec) {
   return rels;
 }
 
+/// Places `id` with its primary on `primary_server` plus
+/// `spec.replication_degree - 1` extra copies on the following servers in
+/// round-robin order.
+void PlaceReplicated(Catalog& catalog, const WorkloadSpec& spec,
+                     RelationId id, int primary_server) {
+  DIMSUM_CHECK_GE(spec.replication_degree, 1)
+      << "replication degree must be at least 1";
+  DIMSUM_CHECK_LE(spec.replication_degree, spec.num_servers)
+      << "cannot place more copies than there are servers";
+  for (int k = 0; k < spec.replication_degree; ++k) {
+    catalog.PlaceRelation(
+        id, ServerSite((primary_server + k) % spec.num_servers,
+                       spec.num_clients));
+  }
+}
+
 }  // namespace
 
 BenchmarkWorkload MakeChainWorkload(const WorkloadSpec& spec, Rng& rng) {
@@ -40,24 +56,23 @@ BenchmarkWorkload MakeChainWorkload(const WorkloadSpec& spec, Rng& rng) {
   std::vector<RelationId> order = AllRelations(spec);
   rng.Shuffle(order);
   for (int i = 0; i < spec.num_relations; ++i) {
-    const SiteId server =
+    const int primary =
         (i < spec.num_servers)
-            ? ServerSite(i, spec.num_clients)
-            : ServerSite(
-                  static_cast<int>(rng.UniformInt(0, spec.num_servers - 1)),
-                  spec.num_clients);
-    workload.catalog.PlaceRelation(order[i], server);
+            ? i
+            : static_cast<int>(rng.UniformInt(0, spec.num_servers - 1));
+    PlaceReplicated(workload.catalog, spec, order[i], primary);
   }
   workload.query = QueryGraph::Chain(AllRelations(spec), spec.selectivity);
   return workload;
 }
 
 BenchmarkWorkload MakeChainWorkloadRoundRobin(const WorkloadSpec& spec) {
+  DIMSUM_CHECK_GE(spec.num_relations, spec.num_servers)
+      << "each server must hold at least one relation";
   BenchmarkWorkload workload;
   workload.catalog = MakeRelations(spec);
   for (int i = 0; i < spec.num_relations; ++i) {
-    workload.catalog.PlaceRelation(
-        i, ServerSite(i % spec.num_servers, spec.num_clients));
+    PlaceReplicated(workload.catalog, spec, i, i % spec.num_servers);
   }
   workload.query = QueryGraph::Chain(AllRelations(spec), spec.selectivity);
   return workload;

@@ -36,6 +36,10 @@ struct WorkloadSpec {
   double selectivity = 1.0;
   int64_t tuples_per_relation = 10000;
   int tuple_bytes = 100;
+  /// Copies of every relation (1 = unreplicated). Extra copies go to the
+  /// servers following the primary in round-robin order, so degree
+  /// num_servers fully replicates. Must be in [1, num_servers].
+  int replication_degree = 1;
 };
 
 /// Builds the benchmark with relations placed *randomly* among the servers,

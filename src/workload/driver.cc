@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -18,6 +19,123 @@
 namespace dimsum {
 namespace {
 
+/// Submission-time replica selection shared by both drivers. Constructed
+/// only when a balancing policy is requested *and* the catalog is
+/// replicated; unreplicated or kFirstCopy runs never instantiate it, so
+/// their event and allocation sequences are untouched.
+///
+/// Balanced submissions are cached clones of the client's plan with each
+/// multi-copy scan re-pointed at the chosen replica and the clone re-bound
+/// for the client; a steady state therefore allocates nothing (the variant
+/// space is bounded by the product of replica counts). Single-copy scans
+/// always keep the plan's own replica annotation.
+class ReplicaBalancer {
+ public:
+  ReplicaBalancer(const Catalog& catalog, ReplicaPolicy policy,
+                  int page_bytes, int num_sites)
+      : catalog_(catalog),
+        policy_(policy),
+        page_bytes_(page_bytes),
+        round_robin_(static_cast<std::size_t>(catalog.num_relations()), 0),
+        outstanding_(static_cast<std::size_t>(num_sites), 0) {}
+
+  /// The plan to submit for this arrival: `base` with every multi-copy
+  /// scan's serving replica re-chosen per the policy. The returned plan is
+  /// owned here and outlives the run.
+  const Plan* Choose(const Plan& base, SiteId client) {
+    std::vector<int32_t> assignment;
+    base.ForEach([&](const PlanNode& node) {
+      if (node.type != OpType::kScan) return;
+      int32_t choice = node.replica;
+      const int copies = catalog_.NumReplicas(node.relation);
+      if (copies > 1) {
+        choice = policy_ == ReplicaPolicy::kRoundRobin
+                     ? NextRoundRobin(node.relation, copies)
+                     : LeastOutstanding(node.relation, copies);
+      }
+      assignment.push_back(choice);
+    });
+    auto [it, inserted] =
+        variants_.try_emplace({&base, std::move(assignment)});
+    if (inserted) {
+      const std::vector<int32_t>& chosen = it->first.second;
+      auto variant = std::make_unique<Plan>(base.Clone());
+      std::size_t scan = 0;
+      variant->ForEachMutable([&](PlanNode& node) {
+        if (node.type == OpType::kScan) node.replica = chosen[scan++];
+      });
+      BindSites(*variant, catalog_, client);
+      it->second = std::move(variant);
+    }
+    return it->second.get();
+  }
+
+  void OnSubmit(const Plan* plan) { Bump(plan, +1); }
+  void OnComplete(const Plan* plan) { Bump(plan, -1); }
+
+  /// Queries currently in flight that touch `site` (for telemetry).
+  int outstanding(SiteId site) const {
+    return outstanding_[static_cast<std::size_t>(site)];
+  }
+
+ private:
+  int32_t NextRoundRobin(RelationId rel, int copies) {
+    const int32_t r = round_robin_[static_cast<std::size_t>(rel)];
+    round_robin_[static_cast<std::size_t>(rel)] = (r + 1) % copies;
+    return r;
+  }
+
+  int32_t LeastOutstanding(RelationId rel, int copies) const {
+    // Ties break toward the lowest *server site*, not the lowest replica
+    // index: relations whose copy lists are rotations of each other then
+    // agree on the winning site, so a query's scans co-locate and the
+    // whole query lands on the least-loaded server (join-the-shortest-
+    // queue per query rather than per relation).
+    int32_t best = 0;
+    SiteId best_site = catalog_.ReplicaSite(rel, 0);
+    int best_load = outstanding(best_site);
+    for (int32_t r = 1; r < copies; ++r) {
+      const SiteId site = catalog_.ReplicaSite(rel, r);
+      const int load = outstanding(site);
+      if (load < best_load || (load == best_load && site < best_site)) {
+        best = r;
+        best_site = site;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  void Bump(const Plan* plan, int delta) {
+    auto [it, inserted] = plan_sites_.try_emplace(plan);
+    if (inserted) it->second = BoundServerSites(*plan, catalog_, page_bytes_);
+    for (const SiteId site : it->second) {
+      outstanding_[static_cast<std::size_t>(site)] += delta;
+    }
+  }
+
+  const Catalog& catalog_;
+  const ReplicaPolicy policy_;
+  const int page_bytes_;
+  std::vector<int32_t> round_robin_;       // per-relation rotation cursor
+  std::vector<int> outstanding_;           // per-site in-flight queries
+  std::map<std::pair<const Plan*, std::vector<int32_t>>,
+           std::unique_ptr<Plan>>
+      variants_;
+  std::map<const Plan*, std::vector<SiteId>> plan_sites_;
+};
+
+/// Creates a balancer when the (policy, catalog) pair calls for one.
+std::unique_ptr<ReplicaBalancer> MakeBalancer(const Catalog& catalog,
+                                              ReplicaPolicy policy,
+                                              int page_bytes, int num_sites) {
+  if (policy == ReplicaPolicy::kFirstCopy || !catalog.replicated()) {
+    return nullptr;
+  }
+  return std::make_unique<ReplicaBalancer>(catalog, policy, page_bytes,
+                                           num_sites);
+}
+
 /// Shared state of one run, referenced by every client coroutine. Lives in
 /// RunClosedLoop's frame, which outlives session.Run().
 struct RunState {
@@ -29,6 +147,13 @@ struct RunState {
   /// Owns plans produced by recovery re-optimization, so adopted plans
   /// stay alive for the queries still running on them.
   std::vector<std::unique_ptr<Plan>> replanned;
+  /// Non-null when a balancing policy is active (see ReplicaBalancer).
+  ReplicaBalancer* balancer = nullptr;
+  /// Plan each ticket is attributed against: the balanced variant when one
+  /// was submitted, otherwise the client's original plan (so recovery
+  /// re-planned tickets keep their pre-existing skip-on-misalignment
+  /// attribution behavior).
+  std::vector<const Plan*> submitted;
 };
 
 /// One closed-loop client: submit, await completion, think, repeat.
@@ -97,14 +222,24 @@ sim::Process ClientProcess(RunState& run, const ClientWorkload& work,
       }
     }
     const double submit_ms = sim.now();
-    const int ticket = run.session.Submit(*plan, *work.query);
+    // Load balancing rewrites as-planned submissions only; a recovery
+    // re-planned tree already chose its sites around the crash.
+    const Plan* to_submit = plan;
+    if (run.balancer != nullptr && plan == work.plan) {
+      to_submit = run.balancer->Choose(*plan, client);
+    }
+    const int ticket = run.session.Submit(*to_submit, *work.query);
+    if (run.balancer != nullptr) run.balancer->OnSubmit(to_submit);
     if (static_cast<int>(run.result->query_client.size()) <= ticket) {
       run.result->query_client.resize(ticket + 1, kUnboundSite);
       run.result->retries_per_query.resize(ticket + 1, 0);
+      run.submitted.resize(ticket + 1, nullptr);
     }
     run.result->query_client[ticket] = client;
     run.result->retries_per_query[ticket] = attempts;
+    run.submitted[ticket] = (to_submit != plan) ? to_submit : work.plan;
     co_await run.session.UntilDone(ticket);
+    if (run.balancer != nullptr) run.balancer->OnComplete(to_submit);
     run.result->completions.push_back(
         Completion{ticket, client, submit_ms, sim.now()});
   }
@@ -129,8 +264,11 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
   DriverResult result;
   ExecSession session(catalog, config, driver.seed);
   session.ExpectQueries(total);
-  RunState run{session, catalog, driver.retry, config.params.page_bytes,
-               &result, {}};
+  std::unique_ptr<ReplicaBalancer> balancer =
+      MakeBalancer(catalog, driver.replica_policy, config.params.page_bytes,
+                   config.num_sites());
+  RunState run{session,  catalog, driver.retry, config.params.page_bytes,
+               &result,  {},      balancer.get(), {}};
   Rng rng(driver.seed * 6364136223846793005ULL + 1442695040888963407ULL);
   for (int c = 0; c < num_clients; ++c) {
     const ClientWorkload& work = clients[c];
@@ -156,16 +294,17 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
   }
   result.makespan_ms = result.completions.back().complete_ms;
   if (config.collect_operator_actuals) {
-    // Attribute against each client's submitted plan; queries that ran a
+    // Attribute each ticket against the plan actually submitted for it
+    // (the balanced variant when one was chosen); queries that ran a
     // recovery re-planned tree are skipped by the accumulator (their
-    // actuals no longer align).
-    std::vector<std::vector<SiteId>> op_sites(num_clients);
-    for (int c = 0; c < num_clients; ++c) {
-      op_sites[c] = OperatorSites(*clients[c].plan);
-    }
+    // actuals no longer align with the client's plan).
+    std::map<const Plan*, std::vector<SiteId>> op_sites;
     BottleneckAccumulator acc;
     for (int t = 0; t < total; ++t) {
-      acc.Add(op_sites[result.query_client[t]], result.per_query[t]);
+      const Plan* p = run.submitted[t];
+      auto [it, inserted] = op_sites.try_emplace(p);
+      if (inserted) it->second = OperatorSites(*p);
+      acc.Add(it->second, result.per_query[t]);
     }
     result.bottleneck = acc.Finish(result.totals, result.makespan_ms);
   }
@@ -268,6 +407,10 @@ struct OpenLoopState {
   };
   std::deque<PendingArrival> pending;
   int in_flight = 0;
+  /// Non-null when a balancing policy is active (see ReplicaBalancer).
+  ReplicaBalancer* balancer = nullptr;
+  /// Plan actually submitted for each ticket (for bottleneck attribution).
+  std::vector<const Plan*> submitted;
 };
 
 sim::Process OpenLoopQuery(OpenLoopState& state, int client_index,
@@ -313,8 +456,18 @@ sim::Process OpenLoopQuery(OpenLoopState& state, int client_index,
   sim::Simulator& sim = state.session.sim();
   const ClientWorkload& work = state.clients[client_index];
   const double submit_ms = sim.now();
-  const int ticket = state.session.Submit(*work.plan, *work.query);
+  const Plan* to_submit =
+      state.balancer != nullptr
+          ? state.balancer->Choose(*work.plan, ClientSite(client_index))
+          : work.plan;
+  const int ticket = state.session.Submit(*to_submit, *work.query);
+  if (state.balancer != nullptr) state.balancer->OnSubmit(to_submit);
+  if (static_cast<int>(state.submitted.size()) <= ticket) {
+    state.submitted.resize(static_cast<std::size_t>(ticket) + 1, nullptr);
+  }
+  state.submitted[ticket] = to_submit;
   co_await state.session.UntilDone(ticket);
+  if (state.balancer != nullptr) state.balancer->OnComplete(to_submit);
   state.result->completions.push_back(OpenLoopCompletion{
       ticket, ClientSite(client_index), arrival_ms, submit_ms, sim.now()});
   ++state.result->completed;
@@ -448,7 +601,11 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
   // The shed count is only known at the end, so the session's completion
   // target grows dynamically with each Submit (no ExpectQueries).
   ExecSession session(catalog, config, openloop.seed);
-  OpenLoopState state{session, clients, openloop.admission, &result, {}, 0};
+  std::unique_ptr<ReplicaBalancer> balancer =
+      MakeBalancer(catalog, openloop.replica_policy, config.params.page_bytes,
+                   config.num_sites());
+  OpenLoopState state{session, clients, openloop.admission, &result,
+                      {},      0,       balancer.get(),     {}};
   if (config.telemetry != nullptr) {
     // Admission-control gauges ride the sampler's existing boundaries on
     // their own "driver" track (one past the network pid). Pure reads of
@@ -461,6 +618,17 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
     config.telemetry->AddGauge(
         driver_pid, kUnboundSite, "admission", "pending",
         [&state] { return static_cast<double>(state.pending.size()); });
+    if (state.balancer != nullptr) {
+      // Per-server in-flight gauges: the balancing policy's own view of
+      // server load, sampled on the same non-perturbing boundaries.
+      for (SiteId s = catalog.num_clients();
+           s < session.system().num_sites(); ++s) {
+        config.telemetry->AddGauge(
+            driver_pid, s, "replica", "outstanding", [&state, s] {
+              return static_cast<double>(state.balancer->outstanding(s));
+            });
+      }
+    }
     if (config.trace != nullptr) {
       config.trace->SetProcessName(driver_pid, "driver");
     }
@@ -487,13 +655,13 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
   result.makespan_ms =
       result.completions.empty() ? 0.0 : result.completions.back().complete_ms;
   if (config.collect_operator_actuals) {
-    std::vector<std::vector<SiteId>> op_sites(num_clients);
-    for (int c = 0; c < num_clients; ++c) {
-      op_sites[c] = OperatorSites(*clients[c].plan);
-    }
+    std::map<const Plan*, std::vector<SiteId>> op_sites;
     BottleneckAccumulator acc;
     for (const OpenLoopCompletion& c : result.completions) {
-      acc.Add(op_sites[c.client], result.per_query[c.ticket]);
+      const Plan* p = state.submitted[c.ticket];
+      auto [it, inserted] = op_sites.try_emplace(p);
+      if (inserted) it->second = OperatorSites(*p);
+      acc.Add(it->second, result.per_query[c.ticket]);
     }
     result.bottleneck = acc.Finish(result.totals, result.makespan_ms);
   }

@@ -54,6 +54,28 @@ struct RetryPolicy {
   bool reoptimize = true;
 };
 
+/// How the driver chooses among a relation's copies at submission time.
+/// Balancing applies only when the catalog is replicated (some relation
+/// has more than one copy); on unreplicated catalogs every policy takes
+/// exactly the kFirstCopy code path, so existing runs are bit-identical.
+enum class ReplicaPolicy {
+  /// Submit each plan exactly as bound: scans read the serving replicas the
+  /// optimizer chose (index 0, the primary, unless a replica move changed
+  /// it). The default.
+  kFirstCopy,
+  /// Rotate each multi-copy relation's scans over its replicas in placement
+  /// order, one step per submission (per-relation counters shared by all
+  /// clients).
+  kRoundRobin,
+  /// Point each multi-copy scan at the replica whose server currently has
+  /// the fewest in-flight queries touching it (ties break toward the
+  /// lowest server site, so co-placed relations agree on the winner and
+  /// whole queries co-locate). In-flight counts are per server site,
+  /// maintained at submit/complete instants in virtual time, so the choice
+  /// is deterministic.
+  kLeastOutstanding,
+};
+
 /// Parameters of a closed-loop multi-client run.
 struct DriverConfig {
   /// Completions each client contributes before retiring.
@@ -73,6 +95,10 @@ struct DriverConfig {
   /// Crash detection/retry behavior; only consulted when the SystemConfig
   /// carries a fault schedule.
   RetryPolicy retry;
+  /// Submission-time replica selection (see ReplicaPolicy). Balanced
+  /// submissions are rewritten copies of the client's plan; recovery
+  /// re-planned trees are submitted as-is.
+  ReplicaPolicy replica_policy = ReplicaPolicy::kFirstCopy;
 };
 
 /// One completed query, in global completion order.
@@ -223,6 +249,8 @@ struct OpenLoopConfig {
   /// Batch count for batch-means response-time estimation.
   int num_batches = 10;
   uint64_t seed = 0;
+  /// Submission-time replica selection (see ReplicaPolicy).
+  ReplicaPolicy replica_policy = ReplicaPolicy::kFirstCopy;
 };
 
 /// One completed open-loop query, in global completion order. Response

@@ -38,8 +38,38 @@ TEST(CatalogTest, PlacementRoundTrip) {
   const RelationId a = catalog.AddRelation("A", 10000, 100);
   catalog.PlaceRelation(a, ServerSite(0));
   EXPECT_EQ(catalog.PrimarySite(a), 1);
-  catalog.PlaceRelation(a, ServerSite(4));  // relations can migrate
+  catalog.MoveRelation(a, ServerSite(4));  // relations can migrate
   EXPECT_EQ(catalog.PrimarySite(a), 5);
+  EXPECT_EQ(catalog.NumReplicas(a), 1);  // a move leaves a single copy
+}
+
+TEST(CatalogTest, PlaceRelationAccumulatesReplicas) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  catalog.PlaceRelation(a, ServerSite(0));  // primary
+  catalog.PlaceRelation(a, ServerSite(2));  // second copy
+  catalog.PlaceRelation(a, ServerSite(2));  // idempotent per site
+  EXPECT_EQ(catalog.NumReplicas(a), 2);
+  EXPECT_EQ(catalog.PrimarySite(a), ServerSite(0));
+  EXPECT_EQ(catalog.ReplicaSite(a, 0), ServerSite(0));
+  EXPECT_EQ(catalog.ReplicaSite(a, 1), ServerSite(2));
+  // Replica indices wrap, so any annotation stays valid after a move.
+  EXPECT_EQ(catalog.ReplicaSite(a, 2), ServerSite(0));
+  EXPECT_EQ(catalog.ReplicaSites(a),
+            (std::vector<SiteId>{ServerSite(0), ServerSite(2)}));
+}
+
+TEST(CatalogTest, ReplicatedReportsMultiCopyRelations) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  const RelationId b = catalog.AddRelation("B", 10000, 100);
+  catalog.PlaceRelation(a, ServerSite(0));
+  catalog.PlaceRelation(b, ServerSite(1));
+  EXPECT_FALSE(catalog.replicated());
+  catalog.PlaceRelation(b, ServerSite(0));
+  EXPECT_TRUE(catalog.replicated());
+  catalog.MoveRelation(b, ServerSite(1));  // migration drops extra copies
+  EXPECT_FALSE(catalog.replicated());
 }
 
 TEST(CatalogTest, CachedFractionDefaultsToZero) {
@@ -138,6 +168,14 @@ TEST(CatalogDeathTest, ClientCannotHoldPrimaryCopies) {
   Catalog catalog;
   const RelationId a = catalog.AddRelation("A", 10000, 100);
   EXPECT_DEATH(catalog.PlaceRelation(a, kClientSite), "check failed");
+}
+
+TEST(CatalogDeathTest, ClientCannotHoldReplicas) {
+  Catalog catalog;
+  const RelationId a = catalog.AddRelation("A", 10000, 100);
+  catalog.PlaceRelation(a, ServerSite(0));
+  EXPECT_DEATH(catalog.PlaceRelation(a, kClientSite), "check failed");
+  EXPECT_DEATH(catalog.MoveRelation(a, kClientSite), "check failed");
 }
 
 }  // namespace

@@ -36,8 +36,9 @@ OptimizerConfig FastConfig(OptimizeMetric metric) {
 TEST(AssumedCatalogTest, CentralizedPutsEverythingOnOneServer) {
   Catalog real = PaperCatalog(4, 4);
   QueryGraph query = ChainQuery(4);
-  Catalog assumed =
-      AssumedCatalog(real, query, PlacementAssumption::kCentralized);
+  Catalog assumed = AssumedCatalog(real, query,
+                                   PlacementAssumption::kCentralized,
+                                   /*num_servers=*/4);
   for (RelationId id : query.relations) {
     EXPECT_EQ(assumed.PrimarySite(id), ServerSite(0));
     EXPECT_EQ(assumed.CachedFraction(id), 0.0);
@@ -45,13 +46,34 @@ TEST(AssumedCatalogTest, CentralizedPutsEverythingOnOneServer) {
 }
 
 TEST(AssumedCatalogTest, FullyDistributedSpreadsRelations) {
-  Catalog real = PaperCatalog(4, 2);
+  Catalog real = PaperCatalog(4, 4);
   QueryGraph query = ChainQuery(4);
-  Catalog assumed =
-      AssumedCatalog(real, query, PlacementAssumption::kFullyDistributed);
+  Catalog assumed = AssumedCatalog(real, query,
+                                   PlacementAssumption::kFullyDistributed,
+                                   /*num_servers=*/4);
   std::set<SiteId> sites;
   for (RelationId id : query.relations) sites.insert(assumed.PrimarySite(id));
   EXPECT_EQ(sites.size(), 4u);
+}
+
+// Regression: with fewer servers than relations, the fully-distributed
+// assumption used to fabricate sites past the real server count; it must
+// wrap instead, so every assumed placement is a real server site.
+TEST(AssumedCatalogTest, FullyDistributedNeverExceedsRealServerCount) {
+  constexpr int kServers = 2;
+  Catalog real = PaperCatalog(4, kServers);
+  QueryGraph query = ChainQuery(4);
+  Catalog assumed = AssumedCatalog(
+      real, query, PlacementAssumption::kFullyDistributed, kServers);
+  const int num_sites = real.num_clients() + kServers;
+  std::set<SiteId> sites;
+  for (RelationId id : query.relations) {
+    EXPECT_LT(assumed.PrimarySite(id), num_sites)
+        << "relation " << id << " placed on a fabricated site";
+    sites.insert(assumed.PrimarySite(id));
+  }
+  // Still as spread out as the system allows: both real servers used.
+  EXPECT_EQ(sites.size(), static_cast<std::size_t>(kServers));
 }
 
 TEST(TwoStepTest, StaticPlanRebindsAfterMigration) {
@@ -66,7 +88,7 @@ TEST(TwoStepTest, StaticPlanRebindsAfterMigration) {
   OptimizeResult compiled = CompilePlan(compile_model, query, config, rng);
 
   Catalog run_time = PaperCatalog(2, 1);
-  run_time.PlaceRelation(0, ServerSite(1));  // migration
+  run_time.MoveRelation(0, ServerSite(1));  // migration
   CostModel run_model(run_time, CostParams{});
   OptimizeResult rebound =
       EvaluateStatic(run_model, compiled.plan, query, OptimizeMetric::kPagesSent);
@@ -145,10 +167,10 @@ TEST(TwoStepTest, Figure9CommunicationRatios) {
 
   // Data migration: B,C @ S1; A,D @ S2.
   Catalog run_time = compile_time;
-  run_time.PlaceRelation(0, ServerSite(1));
-  run_time.PlaceRelation(1, ServerSite(0));
-  run_time.PlaceRelation(2, ServerSite(0));
-  run_time.PlaceRelation(3, ServerSite(1));
+  run_time.MoveRelation(0, ServerSite(1));
+  run_time.MoveRelation(1, ServerSite(0));
+  run_time.MoveRelation(2, ServerSite(0));
+  run_time.MoveRelation(3, ServerSite(1));
   CostModel run_model(run_time, CostParams{});
 
   OptimizeResult static_result =

@@ -118,9 +118,55 @@ TEST(BindingTest, RebindingAfterMigrationChangesSites) {
   BindSites(plan, catalog);
   EXPECT_EQ(plan.root()->left->bound_site, 1);
   // The relation migrates; logical annotations rebind to the new site.
-  catalog.PlaceRelation(0, ServerSite(1));
+  catalog.MoveRelation(0, ServerSite(1));
   BindSites(plan, catalog);
   EXPECT_EQ(plan.root()->left->bound_site, 2);
+}
+
+TEST(BindingTest, ScanBindsToItsServingReplica) {
+  Catalog catalog = MakeCatalog(2, 2);  // R0 primary -> site 1
+  catalog.PlaceRelation(0, ServerSite(1));  // second copy of R0 on site 2
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kInnerRel);
+  join->left->replica = 1;  // scan R0's second copy
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->left->left->bound_site, 2);  // scan R0 @ copy 1
+  EXPECT_EQ(plan.root()->left->bound_site, 2);        // join follows inner
+  // Replica 0 is the primary; re-binding follows the annotation.
+  plan.root()->left->left->replica = 0;
+  BindSites(plan, catalog);
+  EXPECT_EQ(plan.root()->left->left->bound_site, 1);
+}
+
+TEST(BindingTest, BoundServerSitesDeduplicatesReplicatedCatalogs) {
+  // Both relations fully replicated on both servers; a QS plan pointing
+  // both scans at the same server must report that site exactly once, and
+  // a partially cached client scan reports its serving replica.
+  Catalog catalog = MakeCatalog(2, 2);
+  catalog.PlaceRelation(0, ServerSite(1));
+  catalog.PlaceRelation(1, ServerSite(0));
+  auto join = MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                       MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                       SiteAnnotation::kInnerRel);
+  join->right->replica = 1;  // R1's second copy lives on site 1 too
+  Plan plan(MakeDisplay(std::move(join)));
+  BindSites(plan, catalog);
+  EXPECT_EQ(BoundServerSites(plan, catalog, 4096),
+            (std::vector<SiteId>{ServerSite(0)}));
+
+  // Half-cached client scan: the fault-in source is the serving replica.
+  catalog.SetCachedFraction(0, 0.5);
+  auto cached = MakeJoin(MakeScan(0, SiteAnnotation::kClient),
+                         MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                         SiteAnnotation::kConsumer);
+  cached->left->replica = 1;   // fault in from R0's copy on site 2
+  cached->right->replica = 1;  // R1's second copy on site 1
+  Plan cached_plan(MakeDisplay(std::move(cached)));
+  BindSites(cached_plan, catalog);
+  EXPECT_EQ(BoundServerSites(cached_plan, catalog, 4096),
+            (std::vector<SiteId>{ServerSite(0), ServerSite(1)}));
 }
 
 TEST(BindingDeathTest, IllFormedPlanRefusesToBind) {

@@ -190,6 +190,119 @@ TEST(MoveTest, CartesianProductsAreRejected) {
   }
 }
 
+Catalog ReplicatedCatalog(int relations, int servers, int degree) {
+  Catalog catalog;
+  for (int i = 0; i < relations; ++i) {
+    const RelationId id =
+        catalog.AddRelation("R" + std::to_string(i), 10000, 100);
+    for (int copy = 0; copy < degree; ++copy) {
+      catalog.PlaceRelation(id, ServerSite((i + copy) % servers));
+    }
+  }
+  return catalog;
+}
+
+TEST(MoveTest, UnreplicatedCatalogAddsNoReplicaMoves) {
+  QueryGraph query = QueryGraph::Chain({0, 1, 2});
+  Catalog single = ReplicatedCatalog(3, 2, /*degree=*/1);
+  TransformConfig config = ConfigFor(ShippingPolicy::kHybridShipping);
+  Rng rng(20);
+  Plan plan = RandomPlan(query, config, rng);
+  const int baseline = CountMoveCandidates(plan, config);
+  config.catalog = &single;
+  EXPECT_EQ(CountMoveCandidates(plan, config), baseline);
+}
+
+TEST(MoveTest, ReplicatedCatalogAddsOneMovePerAlternativeCopy) {
+  QueryGraph query = QueryGraph::Chain({0, 1, 2});
+  Catalog replicated = ReplicatedCatalog(3, 2, /*degree=*/2);
+  TransformConfig config = ConfigFor(ShippingPolicy::kHybridShipping);
+  Rng rng(21);
+  Plan plan = RandomPlan(query, config, rng);
+  plan.ForEachMutable([](PlanNode& node) { node.replica = 0; });
+  const int baseline = CountMoveCandidates(plan, config);
+  config.catalog = &replicated;
+  // Each of the three scans has exactly one alternative copy to re-point at.
+  EXPECT_EQ(CountMoveCandidates(plan, config), baseline + 3);
+}
+
+TEST(MoveTest, ReplicaMovesRepointScansWithinCopySet) {
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  Catalog replicated = ReplicatedCatalog(2, 2, /*degree=*/2);
+  TransformConfig config = ConfigFor(ShippingPolicy::kQueryShipping);
+  config.join_order_moves = false;
+  config.allow_commute = false;
+  config.catalog = &replicated;
+  Rng rng(22);
+  Plan plan = RandomPlan(query, config, rng);
+  const auto replicas = [](const Plan& p) {
+    std::vector<int32_t> r;
+    p.ForEach([&](const PlanNode& node) {
+      if (node.type == OpType::kScan) r.push_back(node.replica);
+    });
+    return r;
+  };
+  bool saw_alternative = false;
+  for (int step = 0; step < 200; ++step) {
+    const std::vector<int32_t> before = replicas(plan);
+    std::optional<MoveType> chosen;
+    auto next = TryRandomMove(plan, query, config, rng, &chosen);
+    if (!next.has_value()) continue;
+    plan = std::move(*next);
+    if (replicas(plan) != before) {
+      saw_alternative = true;
+      // Replica re-pointing is counted as move 7, the scan-site move.
+      EXPECT_EQ(chosen, MoveType::kScanSite);
+    }
+    plan.ForEach([&](const PlanNode& node) {
+      if (node.type != OpType::kScan) return;
+      EXPECT_GE(node.replica, 0);
+      EXPECT_LT(node.replica, replicated.NumReplicas(node.relation));
+    });
+  }
+  EXPECT_TRUE(saw_alternative) << "random walk never tried another copy";
+}
+
+TEST(RandomPlanTest, UnreplicatedCatalogLeavesRngStreamUntouched) {
+  // Degree-1 bit-identity: wiring a single-copy catalog into the transform
+  // config must not shift any random draw, so the generated plans match
+  // the null-catalog plans exactly, seed for seed.
+  QueryGraph query = QueryGraph::Chain({0, 1, 2, 3});
+  Catalog single = ReplicatedCatalog(4, 2, /*degree=*/1);
+  TransformConfig without = ConfigFor(ShippingPolicy::kHybridShipping);
+  TransformConfig with = without;
+  with.catalog = &single;
+  Rng rng_without(23);
+  Rng rng_with(23);
+  for (int i = 0; i < 25; ++i) {
+    Plan a = RandomPlan(query, without, rng_without);
+    Plan b = RandomPlan(query, with, rng_with);
+    ASSERT_EQ(PlanToString(a), PlanToString(b));
+    b.ForEach([](const PlanNode& node) { EXPECT_EQ(node.replica, 0); });
+  }
+}
+
+TEST(RandomizeAnnotationsTest, ReplicatedCatalogRedrawsScanReplicas) {
+  QueryGraph query = QueryGraph::Chain({0, 1, 2});
+  Catalog replicated = ReplicatedCatalog(3, 3, /*degree=*/3);
+  TransformConfig config = ConfigFor(ShippingPolicy::kHybridShipping);
+  config.catalog = &replicated;
+  Rng rng(24);
+  Plan plan = RandomPlan(query, config, rng);
+  std::set<int32_t> seen;
+  for (int i = 0; i < 60; ++i) {
+    RandomizeAnnotations(plan, config, rng);
+    ASSERT_TRUE(IsWellFormed(plan));
+    plan.ForEach([&](const PlanNode& node) {
+      if (node.type != OpType::kScan) return;
+      EXPECT_GE(node.replica, 0);
+      EXPECT_LT(node.replica, 3);
+      seen.insert(node.replica);
+    });
+  }
+  EXPECT_EQ(seen.size(), 3u) << "every copy should be drawn eventually";
+}
+
 TEST(RandomizeAnnotationsTest, StaysInSpaceAndWellFormed) {
   QueryGraph query = QueryGraph::Chain({0, 1, 2, 3, 4, 5});
   TransformConfig config = ConfigFor(ShippingPolicy::kHybridShipping);

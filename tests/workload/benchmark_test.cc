@@ -89,12 +89,59 @@ TEST(WorkloadTest, CompleteGraphAllJoinable) {
   EXPECT_EQ(w.query.edges.size(), 6u);
 }
 
+TEST(WorkloadTest, ReplicationDegreePlacesExtraCopiesRoundRobin) {
+  WorkloadSpec spec;
+  spec.num_relations = 4;
+  spec.num_servers = 4;
+  spec.replication_degree = 2;
+  BenchmarkWorkload w = MakeChainWorkloadRoundRobin(spec);
+  for (RelationId id = 0; id < 4; ++id) {
+    EXPECT_EQ(w.catalog.NumReplicas(id), 2);
+    EXPECT_EQ(w.catalog.PrimarySite(id), ServerSite(id % 4));
+    EXPECT_EQ(w.catalog.ReplicaSite(id, 1), ServerSite((id + 1) % 4));
+  }
+  EXPECT_TRUE(w.catalog.replicated());
+}
+
+TEST(WorkloadTest, FullReplicationPutsEveryRelationEverywhere) {
+  WorkloadSpec spec;
+  spec.num_relations = 3;
+  spec.num_servers = 2;
+  spec.replication_degree = 2;
+  Rng rng(7);
+  BenchmarkWorkload w = MakeChainWorkload(spec, rng);
+  for (RelationId id = 0; id < 3; ++id) {
+    EXPECT_EQ(w.catalog.NumReplicas(id), 2);
+    std::set<SiteId> copies(w.catalog.ReplicaSites(id).begin(),
+                            w.catalog.ReplicaSites(id).end());
+    EXPECT_EQ(copies.size(), 2u);
+  }
+}
+
 TEST(WorkloadDeathTest, MoreServersThanRelationsFails) {
   WorkloadSpec spec;
   spec.num_relations = 2;
   spec.num_servers = 3;
   Rng rng(1);
   EXPECT_DEATH(MakeChainWorkload(spec, rng), "at least one relation");
+}
+
+// Regression: the round-robin builder used to skip the guard its random
+// sibling has, silently leaving servers without relations.
+TEST(WorkloadDeathTest, RoundRobinMoreServersThanRelationsFails) {
+  WorkloadSpec spec;
+  spec.num_relations = 2;
+  spec.num_servers = 3;
+  EXPECT_DEATH(MakeChainWorkloadRoundRobin(spec), "at least one relation");
+}
+
+TEST(WorkloadDeathTest, ReplicationDegreeBeyondServersFails) {
+  WorkloadSpec spec;
+  spec.num_relations = 4;
+  spec.num_servers = 2;
+  spec.replication_degree = 3;
+  EXPECT_DEATH(MakeChainWorkloadRoundRobin(spec),
+               "more copies than there are servers");
 }
 
 }  // namespace

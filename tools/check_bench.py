@@ -60,6 +60,13 @@ SCHEMAS = {
         "mean_queue_wait_ms", "arrivals", "dispatched", "shed", "aborted",
         "peak_in_flight", "peak_pending", "bottleneck",
     }),
+    "BENCH_scaleout.json": ("dimsum.bench.scaleout.v1", {
+        "servers", "replicas", "policy", "arrival", "rate_qps", "clients",
+        "offered_qps", "throughput_qps", "mean_response_ms",
+        "response_ci90_ms", "mean_queue_wait_ms", "arrivals", "dispatched",
+        "shed", "aborted", "peak_in_flight", "peak_pending",
+        "server_disk_queueing_share", "bottleneck",
+    }),
 }
 
 METRICS_KEYS = {"counters", "gauges", "histograms"}

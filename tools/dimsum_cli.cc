@@ -24,6 +24,7 @@
 #include "sim/telemetry.h"
 #include "sim/trace.h"
 #include "workload/benchmark.h"
+#include "workload/driver.h"
 
 namespace dimsum {
 namespace {
@@ -33,6 +34,13 @@ struct CliOptions {
   OptimizeMetric metric = OptimizeMetric::kResponseTime;
   int relations = 2;
   int servers = 1;
+  /// Copies of every relation (round-robin on the servers after the
+  /// primary); degree > 1 opens the optimizer's replica-choice moves.
+  int replicas = 1;
+  /// Submission-time balancing policy. Single-query runs always submit
+  /// the plan as optimized; the flag is validated here and documented for
+  /// the driver-based harnesses (bench/ext_scaleout).
+  ReplicaPolicy replica_policy = ReplicaPolicy::kFirstCopy;
   double cached = 0.0;
   double selectivity = 1.0;
   double load = 0.0;
@@ -98,6 +106,16 @@ void PrintUsage() {
       "  --metric=pages|time|cost optimizer metric (default time)\n"
       "  --relations=N            chain-join width (default 2)\n"
       "  --servers=K              number of servers (default 1)\n"
+      "  --replicas=D             copies of every relation, 1..servers\n"
+      "                           (default 1); extra copies go round-robin\n"
+      "                           to the servers after the primary, and the\n"
+      "                           optimizer may scan any copy\n"
+      "  --replica-policy=first|rr|lo\n"
+      "                           submission-time replica balancing for\n"
+      "                           multi-query driver runs (first = as\n"
+      "                           planned, rr = round-robin, lo = least\n"
+      "                           outstanding); a single-query run always\n"
+      "                           submits the optimized plan unchanged\n"
       "  --cached=F               client-cached fraction 0..1 (default 0)\n"
       "  --selectivity=F          join selectivity factor (default 1.0)\n"
       "  --load=R                 external server disk load, req/s\n"
@@ -181,6 +199,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->relations = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "servers", &value)) {
       options->servers = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "replicas", &value)) {
+      options->replicas = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "replica-policy", &value)) {
+      if (value == "first") {
+        options->replica_policy = ReplicaPolicy::kFirstCopy;
+      } else if (value == "rr") {
+        options->replica_policy = ReplicaPolicy::kRoundRobin;
+      } else if (value == "lo") {
+        options->replica_policy = ReplicaPolicy::kLeastOutstanding;
+      } else {
+        std::cerr << "invalid --replica-policy: " << value
+                  << " (expected first, rr, or lo)\n";
+        return false;
+      }
     } else if (ParseFlag(arg, "cached", &value)) {
       options->cached = std::atof(value.c_str());
     } else if (ParseFlag(arg, "selectivity", &value)) {
@@ -236,6 +268,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::cerr << "invalid flag combination\n";
     return false;
   }
+  if (options->replicas < 1 || options->replicas > options->servers) {
+    std::cerr << "--replicas must be in [1, servers]\n";
+    return false;
+  }
   return true;
 }
 
@@ -286,6 +322,7 @@ int RunCli(const CliOptions& options) {
   WorkloadSpec spec;
   spec.num_relations = options.relations;
   spec.num_servers = options.servers;
+  spec.replication_degree = options.replicas;
   spec.cached_fraction = options.cached;
   spec.selectivity = options.selectivity;
   Rng rng(options.seed);
@@ -332,7 +369,16 @@ int RunCli(const CliOptions& options) {
             << " server(s), " << Fmt(options.cached * 100, 0)
             << "% cached, " << ToString(options.alloc) << " allocation, "
             << ToString(options.policy) << " minimizing "
-            << ToString(options.metric) << "\n\n";
+            << ToString(options.metric) << "\n";
+  if (options.replicas > 1) {
+    txt << "replication degree " << options.replicas
+        << " (optimizer may scan any copy)\n";
+  }
+  if (options.replica_policy != ReplicaPolicy::kFirstCopy) {
+    txt << "note: --replica-policy balances multi-query driver runs; this\n"
+           "single-query run submits the optimized plan unchanged\n";
+  }
+  txt << "\n";
   if (options.print_plan) {
     txt << PlanToString(result.optimize.plan) << "\n";
   }

@@ -45,6 +45,11 @@ GATES = {
         "deterministic": ["throughput_qps", "mean_response_ms"],
         "wallclock": [],
     },
+    "BENCH_scaleout.json": {
+        "key": ("servers", "replicas", "rate_qps"),
+        "deterministic": ["throughput_qps", "mean_response_ms"],
+        "wallclock": [],
+    },
     "BENCH_multiclient.json": {
         "key": ("policy", "clients"),
         "deterministic": ["throughput_qps", "mean_response_ms"],
