@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "plan/binding.h"
+#include "plan/shard.h"
+
 namespace dimsum {
 
 std::map<SiteId, double> ClientServerSystem::ServerDiskUtilization() const {
@@ -32,6 +35,15 @@ ClientServerSystem::RunResult ClientServerSystem::Run(
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   RunResult result;
   result.optimize = Optimize(query, policy, metric, rng, base);
+  // The optimizer searches logical plans; scans of sharded relations are
+  // expanded into bound per-shard fragments before execution, so the plan
+  // the caller sees (and the one executed) is the physical one. Unsharded
+  // catalogs skip this branch entirely.
+  if (NeedsShardExpansion(result.optimize.plan, catalog_)) {
+    Plan expanded = ExpandShards(result.optimize.plan, catalog_);
+    BindSites(expanded, catalog_, query.home_client);
+    result.optimize.plan = std::move(expanded);
+  }
   result.execute = Execute(result.optimize.plan, query, seed);
   return result;
 }

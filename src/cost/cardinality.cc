@@ -21,7 +21,13 @@ StreamStats Annotate(const PlanNode& node, const Catalog& catalog,
   switch (node.type) {
     case OpType::kScan: {
       const Relation& rel = catalog.relation(node.relation);
-      out.tuples = rel.num_tuples;
+      // Shard fragments and key-restricted scans emit the slice the
+      // catalog computes; a default scan (shard -1, key [0,1)) emits the
+      // whole relation.
+      out.tuples = catalog
+                       .ScanExtent(node.relation, node.shard, node.key_lo,
+                                   node.key_hi, params.page_bytes)
+                       .tuples;
       out.tuple_bytes = rel.tuple_bytes;
       break;
     }

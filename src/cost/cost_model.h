@@ -41,6 +41,8 @@ class CostModel {
         server_disk_load_(std::move(server_disk_load)) {}
 
   /// Cost of `plan` for `query` under `metric`. Binds sites in place.
+  /// Plans with logical scans of sharded relations are costed through
+  /// their physical shard expansion (the plan itself stays logical).
   double PlanCost(Plan& plan, const QueryGraph& query,
                   OptimizeMetric metric) const;
 
@@ -51,6 +53,10 @@ class CostModel {
   }
 
  private:
+  /// Evaluates an already-bound (or bindable-as-is) plan.
+  double CostBound(Plan& plan, const QueryGraph& query,
+                   OptimizeMetric metric) const;
+
   const Catalog& catalog_;
   CostParams params_;
   std::map<SiteId, double> server_disk_load_;

@@ -318,6 +318,13 @@ class Builder {
     return static_cast<int>(relation % NumDisks());
   }
 
+  /// Disk sub-index of a shard's extent: shards round-robin over a site's
+  /// arms starting at the relation's arm, matching ExecSystem::LoadData.
+  int ShardDiskSub(RelationId relation, int shard) const {
+    return static_cast<int>((relation + (shard > 0 ? shard : 0)) %
+                            NumDisks());
+  }
+
   /// Spreads temp (partition) I/O demand evenly over a site's disks.
   void AddTempSpread(int phase, SiteId site, double total_ms) {
     const int n = NumDisks();
@@ -328,23 +335,30 @@ class Builder {
 
   int BuildScan(const PlanNode& node) {
     const int phase = graph_.NewPhase();
+    // Pages this fragment reads: its shard's extent (or the whole
+    // relation when logical); zero when the key restriction is empty.
     const int64_t pages =
-        catalog_.relation(node.relation).Pages(params_.page_bytes);
+        catalog_
+            .ScanExtent(node.relation, node.shard, node.key_lo, node.key_hi,
+                        params_.page_bytes)
+            .pages;
     if (node.annotation == SiteAnnotation::kPrimaryCopy) {
       const SiteId server = node.bound_site;
-      UseScanDisk(phase, DiskOf(server, DiskSub(node.relation)),
+      UseScanDisk(phase, DiskOf(server, ShardDiskSub(node.relation, node.shard)),
                   static_cast<double>(pages) * params_.seq_page_ms *
                       LoadFactor(server));
       AddCpu(phase, server,
                       static_cast<double>(pages) * params_.DiskCpuMs());
       return phase;
     }
+    if (catalog_.sharded(node.relation)) return BuildClientShardedScan(node, phase);
     // Client scan: cached prefix from the client disk, the rest faulted in
     // from the scan's serving replica one page at a time, synchronously.
     const SiteId client = node.bound_site;
     const SiteId server = catalog_.ReplicaSite(node.relation, node.replica);
-    const int64_t cached =
-        catalog_.CachedPages(node.relation, client, params_.page_bytes);
+    const int64_t cached = std::min(
+        catalog_.CachedPages(node.relation, client, params_.page_bytes),
+        pages);
     const int64_t faulted = pages - cached;
     UseScanDisk(phase, DiskOf(client, DiskSub(node.relation)),
                 static_cast<double>(cached) * params_.seq_page_ms *
@@ -373,6 +387,38 @@ class Builder {
           f * (params_.WireMs(params_.fault_request_bytes) +
                params_.WireMs(params_.page_bytes)));
     }
+    return phase;
+  }
+
+  /// Client scan of a sharded relation: nothing is cached (the catalog
+  /// forbids caching sharded relations), so every shard's pages fault in
+  /// from that shard's serving copy one page at a time. The round trips
+  /// all serialize on one chain (the client blocks per page), but each
+  /// shard's disk demand lands on its own site, so the cost mirrors what
+  /// the executor simulates.
+  int BuildClientShardedScan(const PlanNode& node, int phase) {
+    const SiteId client = node.bound_site;
+    const double request_cpu = params_.MsgCpuMs(params_.fault_request_bytes);
+    const double page_cpu = params_.MsgCpuMs(params_.page_bytes);
+    const double wire_ms = params_.WireMs(params_.fault_request_bytes) +
+                           params_.WireMs(params_.page_bytes);
+    double chain_ms = 0.0;
+    for (int k = 0; k < catalog_.NumShards(node.relation); ++k) {
+      const double f = static_cast<double>(
+          catalog_.ShardPages(node.relation, k, params_.page_bytes));
+      if (f <= 0.0) continue;
+      const SiteId server = catalog_.ShardSite(node.relation, k, node.replica);
+      const double server_disk = params_.seq_page_ms * LoadFactor(server);
+      chain_ms += f * (request_cpu + request_cpu + params_.DiskCpuMs() +
+                       server_disk + page_cpu + page_cpu + wire_ms);
+      AddCpu(phase, client, f * (request_cpu + page_cpu));
+      AddCpu(phase, server,
+             f * (request_cpu + page_cpu + params_.DiskCpuMs()));
+      Use(phase, DiskOf(server, ShardDiskSub(node.relation, k)),
+          f * server_disk);
+      Use(phase, Net(), f * wire_ms);
+    }
+    Use(phase, Chain(next_chain_id_++), chain_ms);
     return phase;
   }
 

@@ -177,7 +177,6 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
                          PageChannel& out) {
   const Relation& rel = ctx.catalog.relation(node.relation);
   const int64_t tuples_per_page = rel.TuplesPerPage(ctx.params.page_bytes);
-  const int64_t total_pages = rel.Pages(ctx.params.page_bytes);
   const double disk_cpu = ctx.params.DiskCpuMs();
 
   auto tuples_on_page = [&](int64_t index) {
@@ -186,13 +185,37 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
         std::min(tuples_per_page, rel.num_tuples - before));
   };
 
+  // What this scan reads and emits. Unrestricted logical scans (shard -1,
+  // key [0,1)) read every page and emit per-page exact tuple counts, bit
+  // for bit as before sharding existed. Shard fragments read their
+  // shard's extent; key-restricted scans emit the restriction's tuples
+  // spread uniformly over the pages they read (reads stay page- and
+  // shard-granular, so a restriction never shrinks I/O by itself).
+  const bool fragment = node.shard >= 0 && ctx.catalog.sharded(node.relation);
+  const bool restricted =
+      fragment || node.key_lo != 0.0 || node.key_hi != 1.0;
+  const ScanSlice slice =
+      ctx.catalog.ScanExtent(node.relation, node.shard, node.key_lo,
+                             node.key_hi, ctx.params.page_bytes);
+  const int64_t total_pages = slice.pages;
+  const double uniform_tuples =
+      slice.pages > 0 ? static_cast<double>(slice.tuples) /
+                            static_cast<double>(slice.pages)
+                      : 0.0;
+  auto emit_on_page = [&](int64_t index) {
+    return restricted ? uniform_tuples : tuples_on_page(index);
+  };
+
   OpSpan span(ctx, node.bound_site, "scan " + rel.name);
   ActualProbe probe(ctx.sim, ctx.Actual(node));
 
   if (node.annotation == SiteAnnotation::kPrimaryCopy) {
     SiteRuntime& server = ctx.system.site(node.bound_site);
     const DiskExtent extent =
-        ctx.system.RelationExtent(node.bound_site, node.relation);
+        fragment
+            ? ctx.system.ShardExtent(node.bound_site, node.relation,
+                                     node.shard)
+            : ctx.system.RelationExtent(node.bound_site, node.relation);
     for (int64_t i = 0; i < total_pages; ++i) {
       if (ctx.faults != nullptr) {
         const double stalled = co_await AwaitSiteUp(ctx, node.bound_site);
@@ -205,7 +228,7 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
       t0 = probe.Mark();
       co_await server.disk(extent.disk).Read(extent.start + i);
       probe.Disk(t0);
-      co_await out.Put(Page{tuples_on_page(i)});
+      co_await out.Put(Page{emit_on_page(i)});
     }
     out.Close();
     probe.Finish(0, total_pages);
@@ -219,10 +242,88 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
       << "client-annotated scan bound to server site " << node.bound_site;
   const SiteId home = node.bound_site;
   SiteRuntime& client = ctx.system.site(home);
+
+  if (ctx.catalog.sharded(node.relation)) {
+    // Sharded relations are never client-cached: every shard's pages
+    // fault in from that shard's serving copy, shard by shard.
+    const double request_cpu =
+        ctx.params.MsgCpuMs(ctx.params.fault_request_bytes);
+    const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
+    int64_t read_pages = 0;
+    for (int k = 0; k < ctx.catalog.NumShards(node.relation); ++k) {
+      read_pages +=
+          ctx.catalog.ShardPages(node.relation, k, ctx.params.page_bytes);
+    }
+    const double shard_uniform =
+        read_pages > 0 ? static_cast<double>(slice.tuples) /
+                             static_cast<double>(read_pages)
+                       : 0.0;
+    int64_t faulted = 0;
+    for (int k = 0; k < ctx.catalog.NumShards(node.relation); ++k) {
+      SiteRuntime& server = ctx.system.site(
+          ctx.catalog.ShardSite(node.relation, k, node.replica));
+      const int64_t shard_pages =
+          ctx.catalog.ShardPages(node.relation, k, ctx.params.page_bytes);
+      if (shard_pages == 0) continue;
+      const DiskExtent extent =
+          ctx.system.ShardExtent(server.id, node.relation, k);
+      for (int64_t i = 0; i < shard_pages; ++i) {
+        ++faulted;
+        if (ctx.faults != nullptr) {
+          const double stalled = co_await AwaitSiteUp(ctx, server.id);
+          ctx.metrics.fault_stall_ms += stalled;
+          probe.Stall(stalled);
+        }
+        double t0 = probe.Mark();
+        co_await client.cpu.Use(request_cpu);
+        probe.Cpu(t0);
+        t0 = probe.Mark();
+        if (ctx.faults == nullptr) {
+          co_await ctx.system.network().Transfer(
+              ctx.params.fault_request_bytes);
+        } else {
+          co_await FaultyTransfer(ctx, ctx.params.fault_request_bytes);
+        }
+        probe.Net(t0);
+        t0 = probe.Mark();
+        co_await server.cpu.Use(request_cpu);
+        co_await server.cpu.Use(disk_cpu);
+        probe.Cpu(t0);
+        t0 = probe.Mark();
+        co_await server.disk(extent.disk).Read(extent.start + i);
+        probe.Disk(t0);
+        t0 = probe.Mark();
+        co_await server.cpu.Use(page_cpu);
+        probe.Cpu(t0);
+        t0 = probe.Mark();
+        if (ctx.faults == nullptr) {
+          co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+        } else {
+          co_await FaultyTransfer(ctx, ctx.params.page_bytes);
+        }
+        probe.Net(t0);
+        t0 = probe.Mark();
+        co_await client.cpu.Use(page_cpu);
+        probe.Cpu(t0);
+        ++ctx.metrics.data_pages_sent;
+        ctx.metrics.messages += 2;
+        ctx.metrics.bytes_sent +=
+            ctx.params.fault_request_bytes + ctx.params.page_bytes;
+        co_await out.Put(Page{shard_uniform});
+      }
+    }
+    out.Close();
+    probe.Finish(0, read_pages);
+    span.End({{"pages_out", static_cast<double>(read_pages)},
+              {"pages_faulted", static_cast<double>(faulted)}});
+    co_return;
+  }
+
   SiteRuntime& server =
       ctx.system.site(ctx.catalog.ReplicaSite(node.relation, node.replica));
-  const int64_t cached =
-      ctx.catalog.CachedPages(node.relation, home, ctx.params.page_bytes);
+  const int64_t cached = std::min(
+      ctx.catalog.CachedPages(node.relation, home, ctx.params.page_bytes),
+      total_pages);
   const DiskExtent server_extent =
       ctx.system.RelationExtent(server.id, node.relation);
   const double request_cpu = ctx.params.MsgCpuMs(ctx.params.fault_request_bytes);
@@ -283,7 +384,7 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
       ctx.metrics.bytes_sent +=
           ctx.params.fault_request_bytes + ctx.params.page_bytes;
     }
-    co_await out.Put(Page{tuples_on_page(i)});
+    co_await out.Put(Page{emit_on_page(i)});
   }
   out.Close();
   probe.Finish(0, total_pages);

@@ -22,6 +22,30 @@ void ExecSystem::LoadData(const Catalog& catalog) {
   std::map<SiteId, int> next_cache_disk;
   for (RelationId id = 0; id < catalog.num_relations(); ++id) {
     const int64_t pages = catalog.relation(id).Pages(page_bytes_);
+    if (catalog.sharded(id)) {
+      // Sharded relations store per-shard extents (every copy of every
+      // shard) on a fixed disk arm, (relation + shard) % num_disks, and
+      // never touch the whole-copy round-robin counters -- so adding a
+      // sharded relation leaves unsharded relations' allocation sequence
+      // bit-identical.
+      for (int k = 0; k < catalog.NumShards(id); ++k) {
+        const int64_t shard_pages = catalog.ShardPages(id, k, page_bytes_);
+        for (int r = 0; r < catalog.ShardReplication(id); ++r) {
+          const SiteId server = catalog.ShardSite(id, k, r);
+          DIMSUM_CHECK_LT(server, num_sites());
+          SiteRuntime& site_runtime = site(server);
+          const int disk =
+              static_cast<int>((id + k) % site_runtime.num_disks());
+          auto [it, inserted] = shard_extents_.emplace(
+              std::make_tuple(server, id, k),
+              DiskExtent{});
+          if (inserted) {
+            it->second = site_runtime.AllocateBase(disk, shard_pages);
+          }
+        }
+      }
+      continue;
+    }
     // Every replica site stores a full copy; placement order keeps the
     // degree-1 allocation sequence identical to the single-copy layout.
     for (const SiteId server : catalog.ReplicaSites(id)) {

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -193,6 +194,11 @@ class ExecSystem {
   DiskExtent RelationExtent(RelationId id) const {
     return primary_extents_.at(id);
   }
+  /// Extent of the copy of shard `shard` of a sharded relation stored at
+  /// `site` (must hold one per the loaded catalog's shard map).
+  DiskExtent ShardExtent(SiteId site, RelationId id, int shard) const {
+    return shard_extents_.at(std::make_tuple(site, id, shard));
+  }
   /// Extent of the relation's cached prefix on `client` (only valid when
   /// the catalog caches a non-zero prefix there).
   DiskExtent CacheExtent(SiteId client, RelationId id) const {
@@ -209,6 +215,9 @@ class ExecSystem {
   int num_clients_;
   /// One base extent per (replica site, relation) copy.
   std::map<std::pair<SiteId, RelationId>, DiskExtent> relation_extents_;
+  /// One base extent per (site, relation, shard) copy of sharded
+  /// relations.
+  std::map<std::tuple<SiteId, RelationId, int>, DiskExtent> shard_extents_;
   std::map<RelationId, DiskExtent> primary_extents_;
   std::map<std::pair<SiteId, RelationId>, DiskExtent> cache_extents_;
   int page_bytes_;

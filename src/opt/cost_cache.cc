@@ -24,6 +24,11 @@ void AppendNode(std::string* out, const PlanNode* node) {
   // The serving replica decides which server's disk a scan loads, so it is
   // part of the cost-relevant identity.
   AppendRaw(out, node->replica);
+  // Shard fragment identity and the pushed-down key range decide which
+  // pages a scan reads and how many tuples it emits.
+  AppendRaw(out, node->shard);
+  AppendRaw(out, node->key_lo);
+  AppendRaw(out, node->key_hi);
   // Operator parameters participate in cardinality estimates, so they are
   // part of the cost-relevant identity (encoded bitwise: the search only
   // ever copies these values, never recomputes them).

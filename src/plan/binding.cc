@@ -19,9 +19,18 @@ int ResolvePass(PlanNode& node, SiteId parent_site, const Catalog& catalog,
       node.bound_site = client;
       ++bound;
     } else if (node.type == OpType::kScan) {
-      node.bound_site = (node.annotation == SiteAnnotation::kClient)
-                            ? client
-                            : catalog.ReplicaSite(node.relation, node.replica);
+      if (node.annotation == SiteAnnotation::kClient) {
+        node.bound_site = client;
+      } else if (catalog.sharded(node.relation)) {
+        // Shard fragments bind to their shard's serving copy. A logical
+        // (shard < 0) scan binds to shard 0's site as a representative so
+        // the optimizer can bind-and-cost unexpanded plans; ExpandShards
+        // assigns the real per-shard sites before execution.
+        node.bound_site = catalog.ShardSite(
+            node.relation, node.shard >= 0 ? node.shard : 0, node.replica);
+      } else {
+        node.bound_site = catalog.ReplicaSite(node.relation, node.replica);
+      }
       ++bound;
     } else if (IsUnaryOp(node.type)) {
       if (node.annotation == SiteAnnotation::kConsumer) {
@@ -100,13 +109,29 @@ std::vector<SiteId> BoundServerSites(const Plan& plan, const Catalog& catalog,
     if (!catalog.IsClientSite(node.bound_site)) {
       sites.push_back(node.bound_site);
     }
-    // A client-cached scan with a partial cache still faults the remaining
-    // pages in from the scan's serving replica.
+    // A logical (unexpanded) server scan of a sharded relation stands for
+    // fragments on every shard's serving copy.
     if (node.type == OpType::kScan &&
-        catalog.IsClientSite(node.bound_site) &&
-        catalog.CachedPages(node.relation, node.bound_site, page_bytes) <
-            catalog.relation(node.relation).Pages(page_bytes)) {
-      sites.push_back(catalog.ReplicaSite(node.relation, node.replica));
+        node.annotation == SiteAnnotation::kPrimaryCopy && node.shard < 0 &&
+        catalog.sharded(node.relation)) {
+      for (int k = 0; k < catalog.NumShards(node.relation); ++k) {
+        sites.push_back(catalog.ShardSite(node.relation, k, node.replica));
+      }
+    }
+    // A client-cached scan with a partial cache still faults the remaining
+    // pages in from the scan's serving replica — or, for a sharded
+    // relation (never client-cached), from every shard's serving copy.
+    if (node.type == OpType::kScan && catalog.IsClientSite(node.bound_site)) {
+      if (catalog.sharded(node.relation)) {
+        for (int k = 0; k < catalog.NumShards(node.relation); ++k) {
+          sites.push_back(
+              catalog.ShardSite(node.relation, k, node.replica));
+        }
+      } else if (catalog.CachedPages(node.relation, node.bound_site,
+                                     page_bytes) <
+                 catalog.relation(node.relation).Pages(page_bytes)) {
+        sites.push_back(catalog.ReplicaSite(node.relation, node.replica));
+      }
     }
   });
   std::sort(sites.begin(), sites.end());

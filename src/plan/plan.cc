@@ -35,6 +35,9 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   copy->annotation = annotation;
   copy->relation = relation;
   copy->replica = replica;
+  copy->shard = shard;
+  copy->key_lo = key_lo;
+  copy->key_hi = key_hi;
   copy->selectivity = selectivity;
   copy->width_factor = width_factor;
   copy->num_groups = num_groups;

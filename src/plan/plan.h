@@ -24,6 +24,16 @@ struct PlanNode {
   /// site of primary-copy scans and the fault-in source of partially
   /// cached client scans. Part of the optimizer's annotation space.
   int32_t replica = 0;
+  /// For scans of sharded relations: which shard this fragment reads
+  /// (index into Catalog::ShardSites). -1 = logical whole-relation scan;
+  /// ExpandShards rewrites those into per-shard fragments post-optimize.
+  int32_t shard = -1;
+  /// For scans: pushed-down shard-key restriction as a fraction of the
+  /// key domain, half-open [key_lo, key_hi). [0, 1) scans everything;
+  /// key_lo == key_hi is an empty scan. Drives partition pruning and the
+  /// tuples a fragment emits (reads stay shard-granular).
+  double key_lo = 0.0;
+  double key_hi = 1.0;
   /// For selects: fraction of input tuples surviving the predicate.
   double selectivity = 1.0;
   /// For projects: fraction of the input tuple width kept.

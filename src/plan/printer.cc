@@ -11,6 +11,10 @@ void RenderNodeLine(const PlanNode& node, int depth, std::ostringstream& out) {
   if (node.type == OpType::kScan) {
     out << " R" << node.relation;
     if (node.replica != 0) out << " copy=" << node.replica;
+    if (node.shard >= 0) out << " shard=" << node.shard;
+    if (node.key_lo != 0.0 || node.key_hi != 1.0) {
+      out << " key=[" << node.key_lo << "," << node.key_hi << ")";
+    }
   }
   if (node.type == OpType::kSelect) out << " sel=" << node.selectivity;
   if (node.type == OpType::kProject) out << " width=" << node.width_factor;

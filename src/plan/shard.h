@@ -1,0 +1,40 @@
+#ifndef DIMSUM_PLAN_SHARD_H_
+#define DIMSUM_PLAN_SHARD_H_
+
+#include "catalog/catalog.h"
+#include "plan/plan.h"
+
+namespace dimsum {
+
+/// True when `plan` still contains a logical (shard < 0) primary-copy
+/// scan of a sharded relation — i.e. ExpandShards would change it.
+/// Client-annotated scans of sharded relations are not expanded: they
+/// run at the client and fault pages in shard by shard from the owners.
+bool NeedsShardExpansion(const Plan& plan, const Catalog& catalog);
+
+/// Rewrites every logical primary-copy scan of a sharded relation into a
+/// left-deep chain of unions over per-shard scan fragments (shard = k,
+/// same replica index, the scan's key range carried through), and pushes
+/// any producer-annotated select/project chain sitting directly above the
+/// scan into each fragment so per-partition filters run where the pages
+/// live. The unions are annotated kInnerRel: each binds to the site of
+/// its left (first-fragment) input, so the merge is pure dataflow and
+/// never creates an annotation cycle with a consumer parent.
+///
+/// Partition pruning: under the range scheme a shard is kept only when
+/// its tuple extent intersects the scan's key restriction; hash shards
+/// never prune (every shard may hold matches). When every shard is
+/// pruned the scan collapses to a single empty fragment on shard 0
+/// (key_lo == key_hi), which reads nothing and emits nothing.
+///
+/// This runs strictly AFTER optimization: plan legality (MatchesQuery)
+/// requires each relation scanned exactly once, so the optimizer only
+/// ever sees logical plans, and expansion is a pure post-pass. Returns
+/// an unbound plan (callers re-run BindSites); a plan with no sharded
+/// logical scans comes back as an unbound clone, byte-identical in
+/// structure.
+Plan ExpandShards(const Plan& plan, const Catalog& catalog);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_PLAN_SHARD_H_

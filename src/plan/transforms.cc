@@ -68,7 +68,10 @@ std::vector<Candidate> EnumerateCandidates(Plan& plan,
       }
     }
     if (node.type == OpType::kScan && config.catalog != nullptr) {
-      const int copies = config.catalog->NumReplicas(node.relation);
+      // Copies a scan can be re-pointed at: whole-relation replicas, or
+      // the per-shard replication degree of a sharded relation (the
+      // shard-placement move; same move-7 gating).
+      const int copies = config.catalog->ScanCopies(node.relation);
       for (int32_t r = 0; r < copies; ++r) {
         if (r != node.replica) {
           candidates.push_back({i, MoveKind::kReplica, {}, r});
@@ -206,7 +209,7 @@ void RepairWellFormedness(Plan& plan, const PolicySpace& space, Rng& rng) {
 /// exactly as it was before replica choice existed.
 int32_t PickReplica(const Catalog* catalog, RelationId rel, Rng& rng) {
   if (catalog == nullptr) return 0;
-  const int copies = catalog->NumReplicas(rel);
+  const int copies = catalog->ScanCopies(rel);
   if (copies <= 1) return 0;
   return static_cast<int32_t>(rng.UniformInt(0, copies - 1));
 }

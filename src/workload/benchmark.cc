@@ -29,11 +29,27 @@ std::vector<RelationId> AllRelations(const WorkloadSpec& spec) {
 
 /// Places `id` with its primary on `primary_server` plus
 /// `spec.replication_degree - 1` extra copies on the following servers in
-/// round-robin order.
+/// round-robin order. With `spec.shards > 1` the relation is instead
+/// sharded over `shards` servers starting at the primary, with
+/// `replication_degree` copies of each shard (chained declustering).
 void PlaceReplicated(Catalog& catalog, const WorkloadSpec& spec,
                      RelationId id, int primary_server) {
   DIMSUM_CHECK_GE(spec.replication_degree, 1)
       << "replication degree must be at least 1";
+  if (spec.shards > 1) {
+    DIMSUM_CHECK_LE(spec.shards, spec.num_servers)
+        << "cannot spread shards over more servers than exist";
+    DIMSUM_CHECK_LE(spec.replication_degree, spec.shards)
+        << "per-shard copies cannot exceed the shard count";
+    std::vector<SiteId> sites;
+    for (int k = 0; k < spec.shards; ++k) {
+      sites.push_back(ServerSite((primary_server + k) % spec.num_servers,
+                                 spec.num_clients));
+    }
+    catalog.ShardRelation(id, std::move(sites), spec.shard_scheme,
+                          spec.replication_degree);
+    return;
+  }
   DIMSUM_CHECK_LE(spec.replication_degree, spec.num_servers)
       << "cannot place more copies than there are servers";
   for (int k = 0; k < spec.replication_degree; ++k) {

@@ -38,8 +38,19 @@ struct WorkloadSpec {
   int tuple_bytes = 100;
   /// Copies of every relation (1 = unreplicated). Extra copies go to the
   /// servers following the primary in round-robin order, so degree
-  /// num_servers fully replicates. Must be in [1, num_servers].
+  /// num_servers fully replicates. Must be in [1, num_servers]. With
+  /// `shards > 1` this instead sets the per-shard copy count (chained
+  /// declustering); it must then be in [1, shards].
   int replication_degree = 1;
+  /// Horizontal shards per relation (1 = whole-relation placement). With
+  /// K > 1 every relation is split into K shards dealt to K distinct
+  /// servers starting at the relation's primary (requires
+  /// shards <= num_servers and cached_fraction == 0 /
+  /// fully_cached_relations == 0: sharding and client caching are
+  /// mutually exclusive).
+  int shards = 1;
+  /// Partitioning scheme used when `shards > 1`.
+  ShardScheme shard_scheme = ShardScheme::kRange;
 };
 
 /// Builds the benchmark with relations placed *randomly* among the servers,

@@ -20,15 +20,18 @@ namespace dimsum {
 namespace {
 
 /// Submission-time replica selection shared by both drivers. Constructed
-/// only when a balancing policy is requested *and* the catalog is
-/// replicated; unreplicated or kFirstCopy runs never instantiate it, so
-/// their event and allocation sequences are untouched.
+/// only when a balancing policy is requested *and* the catalog holds
+/// multiple copies of something (whole-relation replicas or shard copies);
+/// single-copy or kFirstCopy runs never instantiate it, so their event and
+/// allocation sequences are untouched.
 ///
 /// Balanced submissions are cached clones of the client's plan with each
 /// multi-copy scan re-pointed at the chosen replica and the clone re-bound
 /// for the client; a steady state therefore allocates nothing (the variant
 /// space is bounded by the product of replica counts). Single-copy scans
-/// always keep the plan's own replica annotation.
+/// always keep the plan's own replica annotation. Shard fragments choose
+/// among their shard's copies (ShardSite), so a replicated sharded
+/// relation balances per shard, not per relation.
 class ReplicaBalancer {
  public:
   ReplicaBalancer(const Catalog& catalog, ReplicaPolicy policy,
@@ -37,7 +40,8 @@ class ReplicaBalancer {
         policy_(policy),
         page_bytes_(page_bytes),
         round_robin_(static_cast<std::size_t>(catalog.num_relations()), 0),
-        outstanding_(static_cast<std::size_t>(num_sites), 0) {}
+        outstanding_(static_cast<std::size_t>(num_sites), 0),
+        ewma_ms_(static_cast<std::size_t>(num_sites), 0.0) {}
 
   /// The plan to submit for this arrival: `base` with every multi-copy
   /// scan's serving replica re-chosen per the policy. The returned plan is
@@ -47,11 +51,11 @@ class ReplicaBalancer {
     base.ForEach([&](const PlanNode& node) {
       if (node.type != OpType::kScan) return;
       int32_t choice = node.replica;
-      const int copies = catalog_.NumReplicas(node.relation);
+      const int copies = catalog_.ScanCopies(node.relation);
       if (copies > 1) {
         choice = policy_ == ReplicaPolicy::kRoundRobin
                      ? NextRoundRobin(node.relation, copies)
-                     : LeastOutstanding(node.relation, copies);
+                     : LeastOutstanding(node.relation, node.shard, copies);
       }
       assignment.push_back(choice);
     });
@@ -71,7 +75,22 @@ class ReplicaBalancer {
   }
 
   void OnSubmit(const Plan* plan) { Bump(plan, +1); }
-  void OnComplete(const Plan* plan) { Bump(plan, -1); }
+
+  /// Completion hook: releases the in-flight counts and folds the
+  /// query's response time into each touched server's EWMA estimate.
+  void OnComplete(const Plan* plan, double response_ms) {
+    Bump(plan, -1);
+    const auto it = plan_sites_.find(plan);
+    DIMSUM_CHECK(it != plan_sites_.end());
+    for (const SiteId site : it->second) {
+      double& est = ewma_ms_[static_cast<std::size_t>(site)];
+      // Seed with the first observation, then decay (alpha = 0.2). A
+      // never-observed site keeps est == 0, which Score treats as a
+      // neutral multiplier -- cold state ranks exactly like raw counts.
+      est = est > 0.0 ? kEwmaAlpha * response_ms + (1.0 - kEwmaAlpha) * est
+                      : response_ms;
+    }
+  }
 
   /// Queries currently in flight that touch `site` (for telemetry).
   int outstanding(SiteId site) const {
@@ -79,28 +98,62 @@ class ReplicaBalancer {
   }
 
  private:
+  static constexpr double kEwmaAlpha = 0.2;
+
+  /// Serving site of copy `replica` of a scan: the shard's copy chain for
+  /// shard fragments (and shard 0's for a logical sharded scan), the
+  /// replica list otherwise.
+  SiteId CopySite(RelationId rel, int32_t shard, int32_t replica) const {
+    if (catalog_.sharded(rel)) {
+      return catalog_.ShardSite(rel, shard >= 0 ? shard : 0, replica);
+    }
+    return catalog_.ReplicaSite(rel, replica);
+  }
+
   int32_t NextRoundRobin(RelationId rel, int copies) {
     const int32_t r = round_robin_[static_cast<std::size_t>(rel)];
     round_robin_[static_cast<std::size_t>(rel)] = (r + 1) % copies;
     return r;
   }
 
-  int32_t LeastOutstanding(RelationId rel, int copies) const {
-    // Ties break toward the lowest *server site*, not the lowest replica
-    // index: relations whose copy lists are rotations of each other then
-    // agree on the winning site, so a query's scans co-locate and the
-    // whole query lands on the least-loaded server (join-the-shortest-
-    // queue per query rather than per relation).
+  int32_t LeastOutstanding(RelationId rel, int32_t shard, int copies) const {
+    // Rank candidates lexicographically: live queue depth (in-flight
+    // queries touching the site) first, the site's decayed response-time
+    // estimate second, lowest server site last. Queue depth stays the
+    // primary signal because whole-query response times are recency-
+    // confounded: under a building backlog later completions always
+    // report longer responses, so a site avoided for a while keeps a
+    // frozen (and eventually flattering) estimate -- weighting the count
+    // *by* the estimate lets that staleness override live queue state and
+    // herds submissions. Depth ties are where the count is uninformative,
+    // and there the EWMA steers toward the site that has actually been
+    // completing faster (unobserved sites rank as estimate 0, i.e. are
+    // preferred -- which also makes a cold balancer rank exactly like the
+    // raw-count policy).
+    //
+    // Residual ties break toward the lowest *server site*, not the lowest
+    // replica index: relations whose copy lists are rotations of each
+    // other then agree on the winning site, so a query's scans co-locate
+    // and the whole query lands on the least-loaded server (join-the-
+    // shortest-queue per query rather than per relation). The estimate is
+    // per site, so co-location survives the EWMA tie-break too.
+    const auto ewma = [&](SiteId site) {
+      return ewma_ms_[static_cast<std::size_t>(site)];
+    };
     int32_t best = 0;
-    SiteId best_site = catalog_.ReplicaSite(rel, 0);
-    int best_load = outstanding(best_site);
+    SiteId best_site = CopySite(rel, shard, 0);
     for (int32_t r = 1; r < copies; ++r) {
-      const SiteId site = catalog_.ReplicaSite(rel, r);
+      const SiteId site = CopySite(rel, shard, r);
       const int load = outstanding(site);
-      if (load < best_load || (load == best_load && site < best_site)) {
+      const int best_load = outstanding(best_site);
+      const bool wins =
+          load < best_load ||
+          (load == best_load &&
+           (ewma(site) < ewma(best_site) ||
+            (ewma(site) == ewma(best_site) && site < best_site)));
+      if (wins) {
         best = r;
         best_site = site;
-        best_load = load;
       }
     }
     return best;
@@ -119,17 +172,28 @@ class ReplicaBalancer {
   const int page_bytes_;
   std::vector<int32_t> round_robin_;       // per-relation rotation cursor
   std::vector<int> outstanding_;           // per-site in-flight queries
+  std::vector<double> ewma_ms_;            // per-site response-time EWMA
   std::map<std::pair<const Plan*, std::vector<int32_t>>,
            std::unique_ptr<Plan>>
       variants_;
   std::map<const Plan*, std::vector<SiteId>> plan_sites_;
 };
 
+/// True when some sharded relation keeps more than one copy per shard
+/// (chained declustering), giving a balancing policy a real choice.
+bool HasBalancedShards(const Catalog& catalog) {
+  for (RelationId id = 0; id < catalog.num_relations(); ++id) {
+    if (catalog.sharded(id) && catalog.ShardReplication(id) > 1) return true;
+  }
+  return false;
+}
+
 /// Creates a balancer when the (policy, catalog) pair calls for one.
 std::unique_ptr<ReplicaBalancer> MakeBalancer(const Catalog& catalog,
                                               ReplicaPolicy policy,
                                               int page_bytes, int num_sites) {
-  if (policy == ReplicaPolicy::kFirstCopy || !catalog.replicated()) {
+  if (policy == ReplicaPolicy::kFirstCopy ||
+      (!catalog.replicated() && !HasBalancedShards(catalog))) {
     return nullptr;
   }
   return std::make_unique<ReplicaBalancer>(catalog, policy, page_bytes,
@@ -239,7 +303,9 @@ sim::Process ClientProcess(RunState& run, const ClientWorkload& work,
     run.result->retries_per_query[ticket] = attempts;
     run.submitted[ticket] = (to_submit != plan) ? to_submit : work.plan;
     co_await run.session.UntilDone(ticket);
-    if (run.balancer != nullptr) run.balancer->OnComplete(to_submit);
+    if (run.balancer != nullptr) {
+      run.balancer->OnComplete(to_submit, sim.now() - submit_ms);
+    }
     run.result->completions.push_back(
         Completion{ticket, client, submit_ms, sim.now()});
   }
@@ -467,7 +533,9 @@ sim::Process OpenLoopQuery(OpenLoopState& state, int client_index,
   }
   state.submitted[ticket] = to_submit;
   co_await state.session.UntilDone(ticket);
-  if (state.balancer != nullptr) state.balancer->OnComplete(to_submit);
+  if (state.balancer != nullptr) {
+    state.balancer->OnComplete(to_submit, sim.now() - submit_ms);
+  }
   state.result->completions.push_back(OpenLoopCompletion{
       ticket, ClientSite(client_index), arrival_ms, submit_ms, sim.now()});
   ++state.result->completed;

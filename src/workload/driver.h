@@ -68,11 +68,17 @@ enum class ReplicaPolicy {
   /// clients).
   kRoundRobin,
   /// Point each multi-copy scan at the replica whose server currently has
-  /// the fewest in-flight queries touching it (ties break toward the
-  /// lowest server site, so co-placed relations agree on the winner and
-  /// whole queries co-locate). In-flight counts are per server site,
-  /// maintained at submit/complete instants in virtual time, so the choice
-  /// is deterministic.
+  /// the least queueing exposure, ranked lexicographically: fewest
+  /// in-flight queries touching the site first, then -- only to order
+  /// depth ties -- the site's decayed (EWMA, alpha 0.2) estimate of the
+  /// response time of queries that touched it, then the lowest server
+  /// site. Unobserved sites carry a zero estimate, so cold starts rank
+  /// exactly like raw in-flight counts, and the final site-id tie-break
+  /// keeps co-placed relations agreeing on the winner so whole queries
+  /// co-locate. Counts and estimates update at submit/complete instants
+  /// in virtual time, so the choice is deterministic. Shard fragments
+  /// choose among their shard's copies (chained declustering), balancing
+  /// per shard.
   kLeastOutstanding,
 };
 

@@ -1,0 +1,197 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "plan/binding.h"
+#include "plan/plan.h"
+#include "plan/shard.h"
+
+namespace dimsum {
+namespace {
+
+constexpr int kPageBytes = 4096;
+
+/// One client, `servers` servers, one 10,000 x 100 B relation (250 pages)
+/// sharded over all servers.
+Catalog ShardedCatalog(int servers, ShardScheme scheme, int replication = 1) {
+  Catalog catalog(1);
+  catalog.AddRelation("R0", 10000, 100);
+  std::vector<SiteId> sites;
+  for (int s = 0; s < servers; ++s) sites.push_back(ServerSite(s, 1));
+  catalog.ShardRelation(0, std::move(sites), scheme, replication);
+  return catalog;
+}
+
+Plan RestrictedScan(double key_lo, double key_hi) {
+  Plan plan(MakeDisplay(MakeScan(0, SiteAnnotation::kPrimaryCopy)));
+  plan.ForEachMutable([&](PlanNode& node) {
+    if (node.type == OpType::kScan) {
+      node.key_lo = key_lo;
+      node.key_hi = key_hi;
+    }
+  });
+  return plan;
+}
+
+std::vector<int32_t> ScanShards(const Plan& plan) {
+  std::vector<int32_t> shards;
+  plan.ForEach([&](const PlanNode& node) {
+    if (node.type == OpType::kScan) shards.push_back(node.shard);
+  });
+  return shards;
+}
+
+TEST(ShardCatalogTest, ExtentsPartitionTheRelation) {
+  // Integer shard boundaries floor(k*N/K): contiguous, exhaustive, and
+  // NOT the llround of the fractional boundary (N=10000, K=3:
+  // floor(10000/3) = 3333 but llround(3333.33) = 3333, while
+  // floor(20000/3) = 6666 vs llround(6666.67) = 6667 -- the extents are
+  // the ground truth fragments must clip against).
+  Catalog catalog = ShardedCatalog(3, ShardScheme::kRange);
+  EXPECT_TRUE(catalog.sharded());
+  EXPECT_TRUE(catalog.sharded(0));
+  EXPECT_EQ(catalog.NumShards(0), 3);
+  EXPECT_EQ(catalog.ShardFirstTuple(0, 0), 0);
+  EXPECT_EQ(catalog.ShardFirstTuple(0, 1), 3333);
+  EXPECT_EQ(catalog.ShardFirstTuple(0, 2), 6666);
+  EXPECT_EQ(catalog.ShardFirstTuple(0, 3), 10000);
+  int64_t total_tuples = 0;
+  int64_t total_pages = 0;
+  for (int k = 0; k < 3; ++k) {
+    total_tuples += catalog.ShardNumTuples(0, k);
+    total_pages += catalog.ShardPages(0, k, kPageBytes);
+  }
+  EXPECT_EQ(total_tuples, 10000);
+  // Per-shard page counts are ceilings, so they may exceed the whole
+  // relation's 250 pages in aggregate but never by more than one page
+  // per shard.
+  EXPECT_GE(total_pages, catalog.relation(0).Pages(kPageBytes));
+  EXPECT_LE(total_pages, catalog.relation(0).Pages(kPageBytes) + 3);
+}
+
+TEST(ShardCatalogTest, ScanExtentClipsExactly) {
+  Catalog catalog = ShardedCatalog(3, ShardScheme::kRange);
+  // Unsharded view (shard = -1) of the full key range reproduces the
+  // legacy whole-relation figures.
+  const ScanSlice whole = catalog.ScanExtent(0, -1, 0.0, 1.0, kPageBytes);
+  EXPECT_EQ(whole.pages, 250);
+  EXPECT_EQ(whole.tuples, 10000);
+  // A restriction covering shard 1 exactly: [3333, 6666) in tuple space.
+  const ScanSlice mid = catalog.ScanExtent(0, 1, 0.3333, 0.6666, kPageBytes);
+  EXPECT_EQ(mid.pages, catalog.ShardPages(0, 1, kPageBytes));
+  EXPECT_EQ(mid.tuples, 3333);
+  // The same interval intersects nothing of shard 2 ([6666, 10000)).
+  EXPECT_EQ(catalog.ScanExtent(0, 2, 0.3333, 0.6666, kPageBytes).tuples, 0);
+  // Empty restriction: no pages, no tuples, regardless of shard.
+  const ScanSlice empty = catalog.ScanExtent(0, 1, 0.5, 0.5, kPageBytes);
+  EXPECT_EQ(empty.pages, 0);
+  EXPECT_EQ(empty.tuples, 0);
+}
+
+TEST(ShardCatalogTest, ShardReplicaComposition) {
+  // Chained declustering: copy r of shard k lives at sites[(k + r) % K].
+  Catalog catalog = ShardedCatalog(4, ShardScheme::kRange, /*replication=*/2);
+  EXPECT_EQ(catalog.ShardReplication(0), 2);
+  EXPECT_EQ(catalog.ScanCopies(0), 2);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(catalog.ShardSite(0, k, 0), ServerSite(k % 4, 1));
+    EXPECT_EQ(catalog.ShardSite(0, k, 1), ServerSite((k + 1) % 4, 1));
+  }
+  // Replica indexes past the replication degree wrap instead of walking
+  // to sites that hold no copy.
+  EXPECT_EQ(catalog.ShardSite(0, 0, 2), catalog.ShardSite(0, 0, 0));
+}
+
+TEST(ShardExpansionTest, BoundaryPredicatePrunesToExactShards) {
+  // N=10000, K=4: shard boundaries at tuples 2500/5000/7500, i.e. key
+  // fractions 0.25/0.5/0.75 land exactly on them. [0.25, 0.5) must keep
+  // shard 1 alone -- not leak into shard 0 or 2 through rounding.
+  Catalog catalog = ShardedCatalog(4, ShardScheme::kRange);
+  Plan logical = RestrictedScan(0.25, 0.5);
+  ASSERT_TRUE(NeedsShardExpansion(logical, catalog));
+  Plan expanded = ExpandShards(logical, catalog);
+  EXPECT_EQ(ScanShards(expanded), std::vector<int32_t>{1});
+  // Widening past the boundary by one tuple's width pulls in shard 2.
+  Plan wider = RestrictedScan(0.25, 0.5 + 1.0 / 10000.0);
+  EXPECT_EQ(ScanShards(ExpandShards(wider, catalog)),
+            (std::vector<int32_t>{1, 2}));
+  // Expanded fragments carry the ORIGINAL restriction; the extents clip.
+  ExpandShards(logical, catalog).ForEach([](const PlanNode& node) {
+    if (node.type == OpType::kScan) {
+      EXPECT_EQ(node.key_lo, 0.25);
+      EXPECT_EQ(node.key_hi, 0.5);
+    }
+  });
+}
+
+TEST(ShardExpansionTest, HashNeverPrunesAndSingleShardIsTrivial) {
+  // Hash placement scatters the key range over every shard, so a range
+  // restriction keeps all of them.
+  Catalog hashed = ShardedCatalog(4, ShardScheme::kHash);
+  EXPECT_EQ(ScanShards(ExpandShards(RestrictedScan(0.25, 0.5), hashed)),
+            (std::vector<int32_t>{0, 1, 2, 3}));
+  // Each hash shard emits its proportional slice of the restriction.
+  EXPECT_EQ(hashed.ScanExtent(0, 1, 0.25, 0.5, kPageBytes).tuples,
+            llround(0.25 * hashed.ShardNumTuples(0, 1)));
+  // A 1-shard hash catalog is sharded in name only: one fragment covering
+  // everything, no union.
+  Catalog single = ShardedCatalog(1, ShardScheme::kHash);
+  EXPECT_EQ(single.NumShards(0), 1);
+  Plan expanded = ExpandShards(RestrictedScan(0.0, 1.0), single);
+  EXPECT_EQ(ScanShards(expanded), std::vector<int32_t>{0});
+  bool has_union = false;
+  expanded.ForEach([&](const PlanNode& node) {
+    if (node.type == OpType::kUnion) has_union = true;
+  });
+  EXPECT_FALSE(has_union);
+}
+
+TEST(ShardExpansionTest, AllShardsPrunedYieldsEmptyScan) {
+  // An empty restriction (key_hi <= key_lo) keeps nothing; the expansion
+  // degenerates to one fragment whose collapsed range reads zero pages,
+  // so the plan still type-checks and executes (emitting no tuples).
+  Catalog catalog = ShardedCatalog(4, ShardScheme::kRange);
+  Plan expanded = ExpandShards(RestrictedScan(0.5, 0.5), catalog);
+  const std::vector<int32_t> shards = ScanShards(expanded);
+  ASSERT_EQ(shards.size(), 1u);
+  expanded.ForEach([&](const PlanNode& node) {
+    if (node.type != OpType::kScan) return;
+    EXPECT_EQ(node.key_lo, node.key_hi);
+    EXPECT_EQ(catalog
+                  .ScanExtent(node.relation, node.shard, node.key_lo,
+                              node.key_hi, kPageBytes)
+                  .pages,
+              0);
+  });
+}
+
+TEST(ShardExpansionTest, BindingAssignsEachFragmentItsShardSite) {
+  Catalog catalog = ShardedCatalog(3, ShardScheme::kRange);
+  // A logical sharded scan binds to shard 0's site as a representative,
+  // so the optimizer can bind-and-cost unexpanded plans.
+  Plan logical = RestrictedScan(0.0, 1.0);
+  BindSites(logical, catalog, ClientSite(0));
+  logical.ForEach([&](const PlanNode& node) {
+    if (node.type == OpType::kScan) {
+      EXPECT_EQ(node.bound_site, catalog.ShardSite(0, 0));
+    }
+  });
+  // Expanded fragments bind to their own shard's serving site.
+  Plan expanded = ExpandShards(logical, catalog);
+  BindSites(expanded, catalog, ClientSite(0));
+  expanded.ForEach([&](const PlanNode& node) {
+    if (node.type == OpType::kScan) {
+      EXPECT_EQ(node.bound_site, catalog.ShardSite(0, node.shard));
+    }
+  });
+  // Unsharded plans never need expansion.
+  Catalog plain(1);
+  plain.AddRelation("R0", 10000, 100);
+  plain.PlaceRelation(0, ServerSite(0, 1));
+  EXPECT_FALSE(NeedsShardExpansion(RestrictedScan(0.0, 1.0), plain));
+}
+
+}  // namespace
+}  // namespace dimsum

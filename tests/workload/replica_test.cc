@@ -176,6 +176,65 @@ TEST(ReplicaPolicyTest, BalancedRunsDeterministicAcrossEventQueueKinds) {
   ExpectBitIdentical(a, b);
 }
 
+TEST(ReplicaPolicyTest, ColdTiesBreakTowardLowestServerSite) {
+  // Regression for the least-outstanding ranking: with every queue empty
+  // and no response-time history, the tie must break to the LOWEST server
+  // site -- not the primary. Place the primaries on server 1 and the
+  // copies on server 0: a cold balanced submission picks server 0 (the
+  // replica), while first-copy submission picks server 1.
+  Catalog catalog(1);
+  for (int i = 0; i < 2; ++i) {
+    catalog.AddRelation("R" + std::to_string(i), 4000, 100);
+    catalog.PlaceRelation(i, ServerSite(1, 1));  // primary on server 1
+    catalog.PlaceRelation(i, ServerSite(0, 1));  // copy on server 0
+  }
+  SystemConfig config;
+  config.num_clients = 1;
+  config.num_servers = 2;
+  QueryGraph query = QueryGraph::Chain({0, 1});
+  query.home_client = ClientSite(0);
+  Plan plan(MakeDisplay(MakeJoin(MakeScan(0, SiteAnnotation::kPrimaryCopy),
+                                 MakeScan(1, SiteAnnotation::kPrimaryCopy),
+                                 SiteAnnotation::kInnerRel)));
+  BindSites(plan, catalog, ClientSite(0));
+  std::vector<ClientWorkload> clients{ClientWorkload{&plan, &query}};
+  DriverConfig driver = BalancedDriver(ReplicaPolicy::kLeastOutstanding);
+  driver.queries_per_client = 1;  // one cold submission, no history
+
+  const DriverResult lo = RunClosedLoop(clients, catalog, config, driver);
+  driver.replica_policy = ReplicaPolicy::kFirstCopy;
+  const DriverResult first = RunClosedLoop(clients, catalog, config, driver);
+  const auto disk_busy = [](const DriverResult& r, SiteId site) {
+    return r.totals.disk_busy_ms.contains(site) ? r.totals.disk_busy_ms.at(site)
+                                                : 0.0;
+  };
+  EXPECT_GT(disk_busy(lo, ServerSite(0, 1)), 0.0);
+  EXPECT_EQ(disk_busy(lo, ServerSite(1, 1)), 0.0);
+  EXPECT_EQ(disk_busy(first, ServerSite(0, 1)), 0.0);
+  EXPECT_GT(disk_busy(first, ServerSite(1, 1)), 0.0);
+}
+
+TEST(ReplicaPolicyTest, ResponseEwmaSteersDepthTiesToFasterServer) {
+  // One client submitting serially: every submission sees empty queues, so
+  // raw counts alone would send ALL queries to the lowest site. Make
+  // server 0 CPU-starved; after one slow query lands there, its decayed
+  // response estimate keeps losing depth ties to server 1, so the fast
+  // server ends up doing most of the disk work.
+  Workload w = JoinWorkload(1, /*servers=*/2, /*degree=*/2);
+  w.config.params.site_mips[ServerSite(0, 1)] = 5.0;  // 10x slower CPU
+  DriverConfig driver = BalancedDriver(ReplicaPolicy::kLeastOutstanding);
+  driver.queries_per_client = 6;
+
+  const DriverResult lo = RunClosedLoop(w.clients, w.catalog, w.config, driver);
+  const auto disk_busy = [](const DriverResult& r, SiteId site) {
+    return r.totals.disk_busy_ms.contains(site) ? r.totals.disk_busy_ms.at(site)
+                                                : 0.0;
+  };
+  EXPECT_GT(disk_busy(lo, ServerSite(0, 1)), 0.0);  // the one cold probe
+  EXPECT_GT(disk_busy(lo, ServerSite(1, 1)),
+            disk_busy(lo, ServerSite(0, 1)));
+}
+
 TEST(ReplicaPolicyTest, OpenLoopBalancedRunsAreDeterministic) {
   Workload w = JoinWorkload(4, /*servers=*/2, /*degree=*/2);
   OpenLoopConfig openloop;

@@ -67,6 +67,13 @@ SCHEMAS = {
         "shed", "aborted", "peak_in_flight", "peak_pending",
         "server_disk_queueing_share", "bottleneck",
     }),
+    "BENCH_sharding.json": ("dimsum.bench.sharding.v1", {
+        "mode", "servers", "shards", "replicas", "policy", "arrival",
+        "rate_qps", "clients", "offered_qps", "throughput_qps",
+        "mean_response_ms", "response_ci90_ms", "mean_queue_wait_ms",
+        "arrivals", "dispatched", "shed", "aborted", "peak_in_flight",
+        "peak_pending", "server_disk_queueing_share", "bottleneck",
+    }),
 }
 
 METRICS_KEYS = {"counters", "gauges", "histograms"}

@@ -41,6 +41,11 @@ struct CliOptions {
   /// the plan as optimized; the flag is validated here and documented for
   /// the driver-based harnesses (bench/ext_scaleout).
   ReplicaPolicy replica_policy = ReplicaPolicy::kFirstCopy;
+  /// Horizontal shards per relation (1 = whole-relation placement). K > 1
+  /// deals each relation's K shards to K distinct servers and expands
+  /// scans into per-shard fragments merged by a union.
+  int shards = 1;
+  ShardScheme shard_scheme = ShardScheme::kRange;
   double cached = 0.0;
   double selectivity = 1.0;
   double load = 0.0;
@@ -116,6 +121,19 @@ void PrintUsage() {
       "                           planned, rr = round-robin, lo = least\n"
       "                           outstanding); a single-query run always\n"
       "                           submits the optimized plan unchanged\n"
+      "  --shards=K               horizontal shards per relation, 1..servers\n"
+      "                           (default 1 = whole-relation placement);\n"
+      "                           K > 1 deals each relation's shards to K\n"
+      "                           distinct servers and expands scans into\n"
+      "                           per-shard fragments merged by a union;\n"
+      "                           requires --cached=0, and --replicas then\n"
+      "                           sets per-shard copies (chained\n"
+      "                           declustering), 1..shards\n"
+      "  --shard-scheme=range|hash\n"
+      "                           partitioning scheme under --shards\n"
+      "                           (default range; range shards prune on\n"
+      "                           key-restricted scans, hash shards never\n"
+      "                           prune)\n"
       "  --cached=F               client-cached fraction 0..1 (default 0)\n"
       "  --selectivity=F          join selectivity factor (default 1.0)\n"
       "  --load=R                 external server disk load, req/s\n"
@@ -213,6 +231,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                   << " (expected first, rr, or lo)\n";
         return false;
       }
+    } else if (ParseFlag(arg, "shards", &value)) {
+      options->shards = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "shard-scheme", &value)) {
+      if (value == "range") {
+        options->shard_scheme = ShardScheme::kRange;
+      } else if (value == "hash") {
+        options->shard_scheme = ShardScheme::kHash;
+      } else {
+        std::cerr << "invalid --shard-scheme: " << value
+                  << " (expected range or hash)\n";
+        return false;
+      }
     } else if (ParseFlag(arg, "cached", &value)) {
       options->cached = std::atof(value.c_str());
     } else if (ParseFlag(arg, "selectivity", &value)) {
@@ -268,7 +298,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::cerr << "invalid flag combination\n";
     return false;
   }
-  if (options->replicas < 1 || options->replicas > options->servers) {
+  if (options->shards < 1 || options->shards > options->servers) {
+    std::cerr << "--shards must be in [1, servers]\n";
+    return false;
+  }
+  if (options->shards > 1) {
+    if (options->cached != 0.0) {
+      std::cerr << "--shards requires --cached=0 (sharding and client "
+                   "caching are mutually exclusive)\n";
+      return false;
+    }
+    if (options->replicas < 1 || options->replicas > options->shards) {
+      std::cerr << "--replicas must be in [1, shards] under --shards\n";
+      return false;
+    }
+  } else if (options->replicas < 1 || options->replicas > options->servers) {
     std::cerr << "--replicas must be in [1, servers]\n";
     return false;
   }
@@ -323,6 +367,8 @@ int RunCli(const CliOptions& options) {
   spec.num_relations = options.relations;
   spec.num_servers = options.servers;
   spec.replication_degree = options.replicas;
+  spec.shards = options.shards;
+  spec.shard_scheme = options.shard_scheme;
   spec.cached_fraction = options.cached;
   spec.selectivity = options.selectivity;
   Rng rng(options.seed);
@@ -370,7 +416,15 @@ int RunCli(const CliOptions& options) {
             << "% cached, " << ToString(options.alloc) << " allocation, "
             << ToString(options.policy) << " minimizing "
             << ToString(options.metric) << "\n";
-  if (options.replicas > 1) {
+  if (options.shards > 1) {
+    txt << options.shards << "-way "
+        << (options.shard_scheme == ShardScheme::kRange ? "range" : "hash")
+        << " sharding";
+    if (options.replicas > 1) {
+      txt << ", " << options.replicas << " copies per shard";
+    }
+    txt << " (scans expand into per-shard fragments)\n";
+  } else if (options.replicas > 1) {
     txt << "replication degree " << options.replicas
         << " (optimizer may scan any copy)\n";
   }

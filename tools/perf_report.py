@@ -50,6 +50,11 @@ GATES = {
         "deterministic": ["throughput_qps", "mean_response_ms"],
         "wallclock": [],
     },
+    "BENCH_sharding.json": {
+        "key": ("mode", "servers", "rate_qps"),
+        "deterministic": ["throughput_qps", "mean_response_ms"],
+        "wallclock": [],
+    },
     "BENCH_multiclient.json": {
         "key": ("policy", "clients"),
         "deterministic": ["throughput_qps", "mean_response_ms"],
