@@ -1,0 +1,340 @@
+// Extension: tail-latency observatory. Mean response time hides what the
+// tail is made of: at the open-loop knee the p99 query and the p50 query
+// run the *same plan* on the same cluster, so the entire gap between them
+// must live in queueing somewhere -- admission, a server disk, the CPU, or
+// the wire. The per-query critical-path decomposition (core/critical_path)
+// makes that checkable: every completed query carries named segments that
+// tile its response time exactly, so differencing the mean segment profile
+// of the p99 band against the p50 band attributes the gap to named causes.
+//
+// The sweep crosses arrival rate lambda with the submission-time replica
+// policy on a fixed sharded+replicated cluster (4 range shards, 2 chained
+// copies per shard, 4 servers): first-copy (no balancing), round-robin,
+// and least-outstanding. Every query is a cold-cache width-1/4 key-
+// restricted scan, rotated per client. Expected shape: the p99-p50 gap is
+// small at low lambda and explodes at the knee, where the composition diff
+// names the culprit (admission wait and server disk queueing, not service).
+//
+// Writes BENCH_taillat.json (per-cell percentile bands + explained share)
+// and BENCH_taillat.querylog.jsonl (the per-query wide events of each
+// policy's top-lambda cell, for tools/tail_report.py). Pass --smoke for
+// the reduced CI sweep. Exits non-zero if, at the top lambda of any
+// policy, named (non-untracked) critical-path segments fail to explain at
+// least 80% of the p99-band vs p50-band response gap -- the acceptance
+// gate that the decomposition actually accounts for the tail.
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "core/report.h"
+#include "exec/runtime.h"
+#include "plan/binding.h"
+#include "plan/plan.h"
+#include "plan/query.h"
+#include "plan/shard.h"
+#include "workload/driver.h"
+#include "workload/querylog.h"
+
+using namespace dimsum;
+
+namespace {
+
+constexpr int kNumClients = 1000;
+constexpr int kServers = 4;    // range shards (one per server)
+constexpr int kCopies = 2;     // chained-declustered copies per shard
+constexpr double kMinGapMs = 1.0;
+constexpr double kRequiredShare = 0.8;
+
+struct PolicyChoice {
+  ReplicaPolicy policy;
+  const char* label;  // short label used in records and the bench JSON
+};
+
+const PolicyChoice kPolicies[] = {
+    {ReplicaPolicy::kFirstCopy, "first"},
+    {ReplicaPolicy::kRoundRobin, "rr"},
+    {ReplicaPolicy::kLeastOutstanding, "lo"},
+};
+
+/// Band statistics of one cell's completed queries: the p50 band is the
+/// middle decile of the response distribution, the p99 band the top 1%
+/// (at least one query). The gap between band means is then attributed by
+/// differencing the mean per-segment-label profile of the two bands;
+/// `explained_ms` sums the positive deltas of named (non-untracked)
+/// labels. Because segments tile response time exactly, the full signed
+/// delta sum equals the gap, so the share only falls short of 1 by
+/// whatever the tail spends in untracked time (or shifts between labels).
+struct TailStats {
+  int completed = 0;
+  double p50_ms = 0.0;       // mean of the p50 band
+  double p99_ms = 0.0;       // mean of the p99 band
+  double gap_ms = 0.0;       // p99_ms - p50_ms
+  double explained_ms = 0.0; // sum of positive named-label deltas
+  double explained_share = 0.0;
+  std::string top_label;     // largest named contributor
+  double top_delta_ms = 0.0;
+};
+
+/// Mean per-label segment milliseconds over records[first, last).
+std::map<std::string, double> MeanSegmentProfile(
+    const std::vector<const QueryLogRecord*>& records, std::size_t first,
+    std::size_t last) {
+  std::map<std::string, double> profile;
+  for (std::size_t i = first; i < last; ++i) {
+    for (const PathSegment& segment : records[i]->path.segments) {
+      profile[segment.Label()] += segment.ms;
+    }
+  }
+  const double n = static_cast<double>(last - first);
+  for (auto& [label, ms] : profile) ms /= n;
+  return profile;
+}
+
+TailStats ComputeTailStats(const std::vector<QueryLogRecord>& log) {
+  TailStats stats;
+  std::vector<const QueryLogRecord*> ok;
+  for (const QueryLogRecord& record : log) {
+    if (record.outcome == "ok") ok.push_back(&record);
+  }
+  stats.completed = static_cast<int>(ok.size());
+  if (ok.size() < 20) return stats;
+  std::sort(ok.begin(), ok.end(),
+            [](const QueryLogRecord* a, const QueryLogRecord* b) {
+              return a->response_ms < b->response_ms;
+            });
+  const std::size_t n = ok.size();
+  const std::size_t p50_lo = static_cast<std::size_t>(0.45 * n);
+  const std::size_t p50_hi = std::max(p50_lo + 1,
+                                      static_cast<std::size_t>(0.55 * n));
+  const std::size_t p99_lo =
+      std::min(n - 1, static_cast<std::size_t>(0.99 * n));
+  auto band_mean = [&](std::size_t lo, std::size_t hi) {
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += ok[i]->response_ms;
+    return sum / static_cast<double>(hi - lo);
+  };
+  stats.p50_ms = band_mean(p50_lo, p50_hi);
+  stats.p99_ms = band_mean(p99_lo, n);
+  stats.gap_ms = stats.p99_ms - stats.p50_ms;
+  const std::map<std::string, double> base =
+      MeanSegmentProfile(ok, p50_lo, p50_hi);
+  const std::map<std::string, double> tail = MeanSegmentProfile(ok, p99_lo, n);
+  for (const auto& [label, tail_ms] : tail) {
+    if (label == "untracked") continue;
+    const auto it = base.find(label);
+    const double delta = tail_ms - (it != base.end() ? it->second : 0.0);
+    if (delta <= 0.0) continue;
+    stats.explained_ms += delta;
+    if (delta > stats.top_delta_ms) {
+      stats.top_delta_ms = delta;
+      stats.top_label = label;
+    }
+  }
+  if (stats.gap_ms > 0.0) {
+    stats.explained_share = stats.explained_ms / stats.gap_ms;
+  }
+  return stats;
+}
+
+struct Point {
+  std::string policy;
+  double rate_qps = 0.0;
+  OpenLoopResult result;
+  TailStats tail;
+};
+
+/// Runs one (policy, lambda) cell on the fixed cluster: Poisson arrivals
+/// round-robin over kNumClients clients, each a cold width-1/4 range scan
+/// pruned to one shard, with the policy balancing across the 2 chained
+/// copies of that shard. Query-log collection is on, so every arrival
+/// yields a wide event with its critical-path decomposition.
+Point RunConfig(const PolicyChoice& choice, double rate_qps,
+                double duration_ms, int warmup) {
+  Catalog catalog(kNumClients);
+  catalog.AddRelation("R0", 4000, 100);
+  std::vector<SiteId> sites;
+  for (int s = 0; s < kServers; ++s) {
+    sites.push_back(ServerSite(s, kNumClients));
+  }
+  catalog.ShardRelation(0, std::move(sites), ShardScheme::kRange, kCopies);
+  SystemConfig config;
+  config.num_clients = kNumClients;
+  config.num_servers = kServers;
+  config.params.num_disks = 2;
+  config.params.buf_alloc = BufAlloc::kMaximum;
+  config.collect_histograms = MetricsRegistry::Global().enabled();
+
+  std::vector<Plan> plans;
+  std::vector<QueryGraph> queries;
+  plans.reserve(kNumClients);
+  queries.reserve(kNumClients);
+  for (int c = 0; c < kNumClients; ++c) {
+    queries.push_back(QueryGraph::Chain({0}));
+    queries.back().home_client = ClientSite(c);
+    Plan logical(MakeDisplay(MakeScan(0, SiteAnnotation::kPrimaryCopy)));
+    const double lo = static_cast<double>(c % kServers) / kServers;
+    logical.ForEachMutable([&](PlanNode& node) {
+      if (node.type == OpType::kScan) {
+        node.key_lo = lo;
+        node.key_hi = lo + 1.0 / kServers;
+      }
+    });
+    plans.emplace_back(NeedsShardExpansion(logical, catalog)
+                           ? ExpandShards(logical, catalog)
+                           : std::move(logical));
+    BindSites(plans.back(), catalog, ClientSite(c));
+  }
+  std::vector<ClientWorkload> clients;
+  clients.reserve(kNumClients);
+  for (int c = 0; c < kNumClients; ++c) {
+    clients.push_back(ClientWorkload{&plans[c], &queries[c]});
+  }
+
+  OpenLoopConfig openloop;
+  openloop.arrival.kind = ArrivalKind::kPoisson;
+  openloop.arrival.rate_per_sec = rate_qps;
+  openloop.admission.max_in_flight = 128;
+  openloop.admission.max_pending = 512;
+  openloop.duration_ms = duration_ms;
+  openloop.warmup_completions = warmup;
+  openloop.num_batches = 8;
+  openloop.seed = 42;
+  openloop.replica_policy = choice.policy;
+  openloop.collect_query_log = true;
+  openloop.policy_label = choice.label;
+
+  Point point;
+  point.policy = choice.label;
+  point.rate_qps = rate_qps;
+  point.result = RunOpenLoop(clients, catalog, config, openloop);
+  point.tail = ComputeTailStats(point.result.query_log);
+  return point;
+}
+
+/// BENCH_taillat.json: one record per (policy, lambda) cell with the band
+/// means and the explained share of the tail gap.
+void WriteJson(const std::string& path, const bench::BenchMeta& meta,
+               const std::vector<Point>& points) {
+  std::ofstream out(path);
+  out << "{\"meta\": " << bench::BenchMetaJson(meta) << ",\n \"records\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const OpenLoopResult& r = p.result;
+    out << "  {\"policy\": \"" << p.policy
+        << "\", \"rate_qps\": " << p.rate_qps
+        << ", \"clients\": " << kNumClients << ", \"shards\": " << kServers
+        << ", \"replicas\": " << kCopies << ", \"arrival\": \"poisson\""
+        << ", \"offered_qps\": " << r.offered_qps
+        << ", \"throughput_qps\": " << r.throughput_qps
+        << ", \"mean_response_ms\": " << r.mean_response_ms
+        << ", \"completed\": " << p.tail.completed
+        << ", \"shed\": " << r.shed << ", \"aborted\": " << r.aborted
+        << ", \"p50_band_ms\": " << p.tail.p50_ms
+        << ", \"p99_band_ms\": " << p.tail.p99_ms
+        << ", \"gap_ms\": " << p.tail.gap_ms
+        << ", \"explained_ms\": " << p.tail.explained_ms
+        << ", \"explained_share\": " << p.tail.explained_share
+        << ", \"top_label\": \"" << p.tail.top_label
+        << "\", \"top_delta_ms\": " << p.tail.top_delta_ms << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  if (MetricsRegistry::Global().enabled()) {
+    MetricsRegistry::Global().WriteJsonFile("BENCH_taillat.metrics.json");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ApplyThreadFlag(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{40.0, 200.0}
+            : std::vector<double>{40.0, 120.0, 200.0};
+  const double duration_ms = smoke ? 5'000.0 : 30'000.0;
+  const int warmup = smoke ? 5 : 20;
+  const double top = rates.back();
+
+  std::cout << "==== Extension: tail-latency observatory, " << kNumClients
+            << " clients ====\n"
+            << kServers << " range shards x " << kCopies
+            << " chained copies; cold width-1/" << kServers
+            << " key-restricted scans under\nPoisson arrivals; per-query "
+               "critical paths decompose the p99-p50 gap into\nnamed "
+               "segments (admission, disk/cpu/net queueing vs service).\n\n";
+
+  std::vector<Point> points;
+  std::vector<QueryLogRecord> top_log;
+  ReportTable table({"policy", "lambda", "offered", "done qps", "p50 [ms]",
+                     "p99 [ms]", "gap", "explained", "top segment"});
+  for (const PolicyChoice& choice : kPolicies) {
+    for (double rate : rates) {
+      Point p = RunConfig(choice, rate, duration_ms, warmup);
+      const OpenLoopResult& r = p.result;
+      table.AddRow({p.policy, Fmt(rate, 0), Fmt(r.offered_qps),
+                    Fmt(r.throughput_qps), Fmt(p.tail.p50_ms, 0),
+                    Fmt(p.tail.p99_ms, 0), Fmt(p.tail.gap_ms, 0),
+                    p.tail.gap_ms > 0.0
+                        ? Fmt(p.tail.explained_share * 100.0, 1) + " %"
+                        : "-",
+                    p.tail.top_label.empty() ? "-" : p.tail.top_label});
+      if (rate == top) {
+        top_log.insert(top_log.end(), r.query_log.begin(),
+                       r.query_log.end());
+      }
+      points.push_back(std::move(p));
+    }
+  }
+  table.Print(std::cout);
+
+  // Acceptance gate: at each policy's top-lambda cell -- past the knee,
+  // where the tail is queueing-dominated -- the named segment deltas must
+  // explain at least 80% of the p99-band vs p50-band gap. Cells whose gap
+  // is under 1 ms carry no tail signal and are skipped (the decomposition
+  // still tiles response time; there is just nothing to attribute).
+  bool pass = true;
+  std::cout << "\nTail attribution at lambda=" << Fmt(top, 0) << " q/s:\n";
+  for (const Point& p : points) {
+    if (p.rate_qps != top) continue;
+    if (p.tail.completed < 20 || p.tail.gap_ms < kMinGapMs) {
+      std::cout << "  " << p.policy << ": gap " << Fmt(p.tail.gap_ms)
+                << " ms -- too small to attribute, skipped.\n";
+      continue;
+    }
+    const bool ok = p.tail.explained_share >= kRequiredShare;
+    std::cout << "  " << p.policy << ": gap " << Fmt(p.tail.gap_ms, 0)
+              << " ms, named segments explain "
+              << Fmt(p.tail.explained_share * 100.0, 1) << " % (top: "
+              << p.tail.top_label << " +" << Fmt(p.tail.top_delta_ms, 0)
+              << " ms) -- " << (ok ? "explained." : "FAIL: below 80%.")
+              << "\n";
+    pass = pass && ok;
+  }
+
+  std::string config_text = std::string("taillat, 1000 clients, ") +
+                            (smoke ? "smoke" : "full") +
+                            ", 4 range shards x2 copies, policies "
+                            "first/rr/lo";
+  WriteJson("BENCH_taillat.json",
+            bench::MakeBenchMeta("dimsum.bench.taillat.v1", config_text),
+            points);
+  WriteQueryLogFile("BENCH_taillat.querylog.jsonl", top_log);
+  std::cout << "\nWrote BENCH_taillat.json and BENCH_taillat.querylog.jsonl ("
+            << top_log.size() << " records)\n";
+  if (!pass) {
+    std::cout << "\nFAIL: the critical-path decomposition left more than "
+                 "20% of the tail gap unexplained.\n";
+    return 1;
+  }
+  return 0;
+}

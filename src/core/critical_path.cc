@@ -1,0 +1,204 @@
+#include "core/critical_path.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace dimsum {
+namespace {
+
+/// Time comparisons tolerate double accumulation noise well below any
+/// simulated duration (instruction times are ~1e-5 ms).
+constexpr double kEps = 1e-9;
+
+PathKind ToPathKind(sim::SpanKind kind) {
+  switch (kind) {
+    case sim::SpanKind::kCpu:
+      return PathKind::kCpu;
+    case sim::SpanKind::kDisk:
+      return PathKind::kDisk;
+    case sim::SpanKind::kNet:
+      return PathKind::kNet;
+    case sim::SpanKind::kMemory:
+      return PathKind::kMemory;
+    case sim::SpanKind::kFaultStall:
+      return PathKind::kFaultStall;
+    case sim::SpanKind::kChannel:
+      break;  // causal edge, never a segment kind
+  }
+  DIMSUM_UNREACHABLE() << "channel spans are hops, not segments";
+}
+
+/// Accumulates folded segments keyed by (kind, queueing, site).
+class SegmentFold {
+ public:
+  void Add(PathKind kind, bool queueing, SiteId site, double ms) {
+    if (ms <= 0.0) return;
+    folded_[std::make_tuple(static_cast<int>(kind), queueing, site)] += ms;
+  }
+
+  std::vector<PathSegment> Finish() const {
+    std::vector<PathSegment> segments;
+    segments.reserve(folded_.size());
+    for (const auto& [key, ms] : folded_) {
+      segments.push_back(PathSegment{static_cast<PathKind>(std::get<0>(key)),
+                                     std::get<1>(key), std::get<2>(key), ms});
+    }
+    return segments;
+  }
+
+ private:
+  // Ordered map: segment output order is deterministic by construction.
+  std::map<std::tuple<int, bool, SiteId>, double> folded_;
+};
+
+}  // namespace
+
+const char* PathKindName(PathKind kind) {
+  switch (kind) {
+    case PathKind::kCpu:
+      return "cpu";
+    case PathKind::kDisk:
+      return "disk";
+    case PathKind::kNet:
+      return "net";
+    case PathKind::kMemory:
+      return "memory";
+    case PathKind::kFaultStall:
+      return "fault";
+    case PathKind::kAdmission:
+      return "admission";
+    case PathKind::kUntracked:
+      return "untracked";
+  }
+  DIMSUM_UNREACHABLE();
+}
+
+std::string PathSegment::Label() const {
+  std::string label = PathKindName(kind);
+  if (kind == PathKind::kCpu || kind == PathKind::kDisk ||
+      kind == PathKind::kNet) {
+    label += queueing ? ".queueing" : ".service";
+  }
+  if (site != kUnboundSite) label += "@" + std::to_string(site);
+  return label;
+}
+
+double CriticalPath::SumMs() const {
+  double sum = 0.0;
+  for (const PathSegment& segment : segments) sum += segment.ms;
+  return sum;
+}
+
+CriticalPath ExtractCriticalPath(const sim::QuerySpans& spans) {
+  CriticalPath path;
+  path.total_ms = spans.complete_ms - spans.start_ms;
+  SegmentFold fold;
+
+  const std::vector<std::vector<const sim::Span*>> by_op = SpansByOp(spans);
+  // Backward cursor per timeline: the walk's time never increases, so a
+  // span skipped once (begin >= cursor) can never become a candidate.
+  std::vector<size_t> next(by_op.size());
+  for (size_t op = 0; op < by_op.size(); ++op) next[op] = by_op[op].size();
+
+  auto untracked = [&](double from, double to) {
+    fold.Add(PathKind::kUntracked, false, kUnboundSite, to - from);
+    path.untracked_ms += std::max(0.0, to - from);
+  };
+
+  double t = spans.complete_ms;
+  int op = spans.root_op;
+  // Zero-progress hop backstop: the wait-for graph at a fixed instant is
+  // acyclic, so consecutive channel hops are bounded by the timeline
+  // count; anything past that indicates corrupt peer edges.
+  const int max_hops = static_cast<int>(by_op.size()) + 1;
+  int hops = 0;
+  while (t > spans.start_ms + kEps) {
+    if (op < 0 || op >= static_cast<int>(by_op.size())) {
+      untracked(spans.start_ms, t);
+      break;
+    }
+    const std::vector<const sim::Span*>& timeline = by_op[op];
+    size_t j = next[op];
+    while (j > 0 && timeline[j - 1]->begin_ms >= t - kEps) --j;
+    next[op] = j;
+    if (j == 0) {
+      // Nothing recorded on this timeline before t.
+      untracked(spans.start_ms, t);
+      break;
+    }
+    const sim::Span& span = *timeline[j - 1];
+    if (span.end_ms < t - kEps) {
+      // Gap between the cursor and the last recorded activity.
+      untracked(span.end_ms, t);
+      t = span.end_ms;
+      continue;
+    }
+    if (span.kind == sim::SpanKind::kChannel) {
+      if (span.peer_op < 0 || ++hops > max_hops) {
+        untracked(span.begin_ms, t);
+        t = span.begin_ms;
+        hops = 0;
+        continue;
+      }
+      op = span.peer_op;  // blocked on the peer: continue on its timeline
+      continue;
+    }
+    hops = 0;
+    const double begin = std::max(span.begin_ms, spans.start_ms);
+    const double window = t - begin;
+    const double service = std::min(span.service_ms, window);
+    const PathKind kind = ToPathKind(span.kind);
+    if (kind == PathKind::kCpu || kind == PathKind::kDisk ||
+        kind == PathKind::kNet) {
+      fold.Add(kind, /*queueing=*/false, span.site, service);
+      fold.Add(kind, /*queueing=*/true, span.site, window - service);
+    } else {
+      // Memory waits are queueing by definition; fault stalls are their
+      // own class.
+      fold.Add(kind, kind == PathKind::kMemory, span.site, window);
+    }
+    t = begin;
+  }
+
+  path.segments = fold.Finish();
+  return path;
+}
+
+bool ReconcilesWithActuals(const CriticalPath& path, const ExecMetrics& metrics,
+                           double tol_ms) {
+  if (metrics.operator_actuals.empty()) return true;
+  double cpu = 0.0, disk = 0.0, net = 0.0, fault = 0.0;
+  for (const PathSegment& segment : path.segments) {
+    switch (segment.kind) {
+      case PathKind::kCpu:
+        cpu += segment.ms;
+        break;
+      case PathKind::kDisk:
+        disk += segment.ms;
+        break;
+      case PathKind::kNet:
+        net += segment.ms;
+        break;
+      case PathKind::kFaultStall:
+        fault += segment.ms;
+        break;
+      case PathKind::kMemory:
+      case PathKind::kAdmission:
+      case PathKind::kUntracked:
+        break;  // no aggregate counterpart
+    }
+  }
+  double cpu_elapsed = 0.0, disk_elapsed = 0.0, net_elapsed = 0.0;
+  for (const OperatorActual& actual : metrics.operator_actuals) {
+    cpu_elapsed += actual.cpu_ms;
+    disk_elapsed += actual.disk_ms;
+    net_elapsed += actual.net_ms;
+  }
+  return cpu <= cpu_elapsed + tol_ms && disk <= disk_elapsed + tol_ms &&
+         net <= net_elapsed + tol_ms && fault <= metrics.fault_stall_ms + tol_ms;
+}
+
+}  // namespace dimsum

@@ -1,0 +1,96 @@
+#ifndef DIMSUM_CORE_CRITICAL_PATH_H_
+#define DIMSUM_CORE_CRITICAL_PATH_H_
+
+// Per-query critical-path extraction over the causal span sets captured by
+// the executor (SystemConfig::collect_spans; sim/span.h).
+//
+// The walk starts at the query's completion instant on the display
+// timeline and moves backward in virtual time. At each step the span
+// covering the cursor explains the interval back to its begin: resource
+// spans split into a service tail (the request occupied the resource) and
+// a queueing head (it waited behind other users); memory-acquisition and
+// fault-stall spans count whole; channel-wait spans are causal edges -- the
+// blocked operator was waiting for its peer, so the walk hops to the
+// peer's timeline at the same instant and continues there (the wait-for
+// graph at any fixed instant is acyclic: an operator blocks on at most one
+// channel end, Put-waits point downstream and Get-waits upstream). Gaps no
+// span covers become "untracked" (expected ~0).
+//
+// By construction the emitted segments tile [start_ms, complete_ms]
+// exactly, so their sum equals the response time to floating-point
+// accumulation error (tests assert 1e-6). Unlike the aggregate bottleneck
+// attribution (core/bottleneck.h), which sums overlapping per-operator
+// elapsed times, these segments are disjoint wall-clock intervals -- the
+// one chain of waits that determined the response time.
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "exec/metrics.h"
+#include "sim/span.h"
+
+namespace dimsum {
+
+/// Segment classification on the critical path. kAdmission is emitted by
+/// the workload layer for open-loop arrival -> submission delay (admission
+/// queueing happens before the executor sees the query, so the span walk
+/// itself never produces it); kUntracked covers gaps.
+enum class PathKind : uint8_t {
+  kCpu = 0,
+  kDisk,
+  kNet,
+  kMemory,
+  kFaultStall,
+  kAdmission,
+  kUntracked,
+};
+
+/// "cpu", "disk", "net", "memory", "fault", "admission", or "untracked".
+const char* PathKindName(PathKind kind);
+
+/// One folded (kind, queueing-vs-service, site) bucket of critical-path
+/// time. `site` is kUnboundSite for the shared link, untracked gaps, and
+/// admission delay. Memory, fault, admission, and untracked segments are
+/// never split, so they carry queueing = true, true, true, false
+/// respectively.
+struct PathSegment {
+  PathKind kind = PathKind::kUntracked;
+  bool queueing = false;
+  SiteId site = kUnboundSite;
+  double ms = 0.0;
+
+  /// Stable label, e.g. "disk.queueing@1", "net.service", "untracked".
+  std::string Label() const;
+};
+
+/// Critical path of one query: disjoint wall-clock segments folded by
+/// (kind, queueing, site), sorted by that key (deterministic).
+struct CriticalPath {
+  /// complete_ms - start_ms of the walked span set.
+  double total_ms = 0.0;
+  /// Sum of untracked segments (gaps), ms.
+  double untracked_ms = 0.0;
+  std::vector<PathSegment> segments;
+
+  /// Sum of all segments, ms (== total_ms up to accumulation error).
+  double SumMs() const;
+};
+
+/// Walks the span set backward from completion and returns the folded
+/// critical path. Requires a completed query's spans (complete_ms set).
+CriticalPath ExtractCriticalPath(const sim::QuerySpans& spans);
+
+/// Checks the critical path against the same run's aggregate attribution:
+/// the path's cpu/disk/net time is a chain of disjoint sub-intervals of
+/// operator resource-await windows, so per resource class it can never
+/// exceed the summed per-operator elapsed time EXPLAIN ANALYZE collects
+/// (exec/metrics.h), and its fault segments can never exceed the query's
+/// fault_stall_ms. `tol_ms` absorbs accumulation error. Vacuously true
+/// when the metrics carry no operator actuals.
+bool ReconcilesWithActuals(const CriticalPath& path, const ExecMetrics& metrics,
+                           double tol_ms = 1e-6);
+
+}  // namespace dimsum
+
+#endif  // DIMSUM_CORE_CRITICAL_PATH_H_

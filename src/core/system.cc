@@ -44,7 +44,8 @@ ClientServerSystem::RunResult ClientServerSystem::Run(
     BindSites(expanded, catalog_, query.home_client);
     result.optimize.plan = std::move(expanded);
   }
-  result.execute = Execute(result.optimize.plan, query, seed);
+  result.execute = Execute(result.optimize.plan, query, seed,
+                           config_.collect_spans ? &result.spans : nullptr);
   return result;
 }
 

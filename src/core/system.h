@@ -52,15 +52,21 @@ class ClientServerSystem {
                           OptimizeMetric metric, Rng& rng,
                           const OptimizerConfig* base = nullptr) const;
 
-  /// Executes a bound plan on the detailed simulator.
+  /// Executes a bound plan on the detailed simulator. When the config has
+  /// collect_spans set and `spans_out` is non-null, the query's causal span
+  /// tree is copied there.
   ExecMetrics Execute(const Plan& plan, const QueryGraph& query,
-                      uint64_t seed = 0) const {
-    return ExecutePlan(plan, catalog_, query, config_, seed);
+                      uint64_t seed = 0,
+                      sim::QuerySpans* spans_out = nullptr) const {
+    return ExecutePlan(plan, catalog_, query, config_, seed, spans_out);
   }
 
   struct RunResult {
     OptimizeResult optimize;
     ExecMetrics execute;
+    /// Causal span tree of the execution; populated only when the system
+    /// config has collect_spans set (empty otherwise).
+    sim::QuerySpans spans;
   };
 
   /// Optimizes and then executes the query.

@@ -38,9 +38,18 @@ struct ExecSession::QueryState {
   PlanStats stats;
   ExecMetrics metrics;
   std::unique_ptr<ExecContext> ctx;
-  /// Pre-order plan-node ids for EXPLAIN actuals; populated only when
-  /// SystemConfig::collect_operator_actuals is set.
+  /// Pre-order plan-node ids for EXPLAIN actuals; populated when the
+  /// session collects operator actuals or spans (spans reuse the numbering
+  /// as their timeline ids).
   std::unordered_map<const PlanNode*, int> op_ids;
+  /// Causal span set (SystemConfig::collect_spans only). Owned here, not
+  /// by ExecMetrics, so metrics stay bit-identical with capture on or off.
+  std::unique_ptr<sim::QuerySpans> spans;
+  /// Channel endpoint registry for span capture: channel address ->
+  /// (producer timeline, consumer timeline). Net operator pairs get
+  /// synthetic timelines past the plan-node ids.
+  std::unordered_map<const void*, std::pair<int, int>> channel_ends;
+  int next_span_op = 0;
   double start_ms = 0.0;
   bool done = false;
   std::vector<std::coroutine_handle<>> waiters;
@@ -98,16 +107,25 @@ int ExecSession::Submit(const Plan& plan, const QueryGraph& query) {
   state->ctx->start_ms = state->start_ms;
   state->ctx->faults = fault_state_.get();
   state->ctx->fault_tolerance = &config_.fault_tolerance;
-  if (config_.collect_operator_actuals) {
+  if (config_.collect_operator_actuals || config_.collect_spans) {
     int next_id = 0;
     plan.ForEach(
         [&](const PlanNode& node) { state->op_ids.emplace(&node, next_id++); });
     state->metrics.operator_actuals.resize(next_id);
     state->ctx->op_ids = &state->op_ids;
+    if (config_.collect_spans) {
+      state->spans = std::make_unique<sim::QuerySpans>();
+      state->spans->start_ms = state->start_ms;
+      state->spans->root_op = 0;  // pre-order: the display root
+      state->next_span_op = next_id;
+      state->ctx->spans = state->spans.get();
+      state->ctx->channel_ends = &state->channel_ends;
+    }
   }
   QueryState* raw = state.get();
   state->ctx->on_done = [this, raw] {
     raw->done = true;
+    if (raw->spans != nullptr) raw->spans->complete_ms = sim_.now();
     ++completed_;
     if (completed_ >= expected_) all_done_ = true;
     // Waiters resume at the completion time, after the display process
@@ -117,6 +135,7 @@ int ExecSession::Submit(const Plan& plan, const QueryGraph& query) {
   };
   queries_.push_back(std::move(state));
   PageChannel& result = BuildNode(*raw, *plan.root()->left, *plan.root());
+  if (raw->spans != nullptr) raw->spans->num_ops = raw->next_span_op;
   sim_.Spawn(DisplayProcess(*raw->ctx, *plan.root(), result));
   return ticket;
 }
@@ -136,6 +155,12 @@ double ExecSession::StartMs(int ticket) const {
   DIMSUM_CHECK_GE(ticket, 0);
   DIMSUM_CHECK_LT(ticket, submitted());
   return queries_[ticket]->start_ms;
+}
+
+const sim::QuerySpans* ExecSession::Spans(int ticket) const {
+  DIMSUM_CHECK_GE(ticket, 0);
+  DIMSUM_CHECK_LT(ticket, submitted());
+  return queries_[ticket]->spans.get();
 }
 
 void ExecSession::AddWaiter(int ticket, std::coroutine_handle<> handle) {
@@ -401,15 +426,40 @@ PageChannel& ExecSession::BuildNode(QueryState& state, const PlanNode& node,
     case OpType::kDisplay:
       DIMSUM_UNREACHABLE() << "display is handled by Submit()";
   }
-  if (node.bound_site == consumer.bound_site) return out;
+  const bool spans_on = state.spans != nullptr;
+  if (node.bound_site == consumer.bound_site) {
+    if (spans_on) {
+      state.channel_ends.emplace(
+          &out, std::make_pair(state.op_ids.at(&node),
+                               state.op_ids.at(&consumer)));
+    }
+    return out;
+  }
   // Crossing edge: insert the network operator pair. Its time is
   // attributed to the consuming operator's EXPLAIN record, matching the
-  // estimator's accounting of shipped edges.
+  // estimator's accounting of shipped edges. For span capture, each half
+  // gets its own synthetic timeline past the plan-node ids, so the
+  // producer -> send -> recv -> consumer chain carries causal edges.
   PageChannel& wire = NewChannel();
   PageChannel& delivered = NewChannel();
   OperatorActual* actual = ctx.Actual(consumer);
-  sim_.Spawn(NetSendProcess(ctx, node.bound_site, out, wire, actual));
-  sim_.Spawn(NetRecvProcess(ctx, consumer.bound_site, wire, delivered, actual));
+  int send_op = -1, recv_op = -1;
+  // One flow-id block per crossing edge (4096 pages before ids recycle);
+  // ids are session counters, never pointers, so traces are deterministic.
+  const uint64_t flow_base = ++next_flow_base_ << 12;
+  if (spans_on) {
+    send_op = state.next_span_op++;
+    recv_op = state.next_span_op++;
+    state.channel_ends.emplace(
+        &out, std::make_pair(state.op_ids.at(&node), send_op));
+    state.channel_ends.emplace(&wire, std::make_pair(send_op, recv_op));
+    state.channel_ends.emplace(
+        &delivered, std::make_pair(recv_op, state.op_ids.at(&consumer)));
+  }
+  sim_.Spawn(NetSendProcess(ctx, node.bound_site, out, wire, actual, send_op,
+                            flow_base));
+  sim_.Spawn(NetRecvProcess(ctx, consumer.bound_site, wire, delivered, actual,
+                            recv_op, flow_base));
   return delivered;
 }
 
@@ -433,9 +483,12 @@ SiteId ResolveHomeClient(const WorkloadQuery& wq) {
 
 ExecMetrics ExecutePlan(const Plan& plan, const Catalog& catalog,
                         const QueryGraph& query, const SystemConfig& config,
-                        uint64_t seed) {
+                        uint64_t seed, sim::QuerySpans* spans_out) {
   std::vector<WorkloadQuery> batch{WorkloadQuery{&plan, &query}};
   ConcurrentResult result = ExecuteConcurrent(batch, catalog, config, seed);
+  if (spans_out != nullptr && !result.spans.empty()) {
+    *spans_out = std::move(result.spans.front());
+  }
   // Single-query compatibility: fold the run's system-wide totals back into
   // the one query's metrics, so callers see the complete resource picture in
   // one ExecMetrics (as they did when only one query could run).
@@ -488,6 +541,11 @@ ConcurrentResult ExecuteConcurrent(const std::vector<WorkloadQuery>& batch,
     result.makespan_ms = std::max(
         result.makespan_ms, session.StartMs(tickets[q]) + metrics.response_ms);
     result.per_query.push_back(metrics);
+    if (config.collect_spans) {
+      const sim::QuerySpans* spans = session.Spans(tickets[q]);
+      DIMSUM_CHECK(spans != nullptr);
+      result.spans.push_back(*spans);
+    }
   }
   return result;
 }

@@ -26,9 +26,13 @@ namespace dimsum {
 ///
 /// `seed` controls the load generators' randomness; query execution itself
 /// is deterministic.
+///
+/// With SystemConfig::collect_spans set, `spans_out` (optional) receives
+/// the query's causal span set for critical-path extraction.
 ExecMetrics ExecutePlan(const Plan& plan, const Catalog& catalog,
                         const QueryGraph& query, const SystemConfig& config,
-                        uint64_t seed = 0);
+                        uint64_t seed = 0,
+                        sim::QuerySpans* spans_out = nullptr);
 
 /// One query of a concurrent batch.
 struct WorkloadQuery {
@@ -80,6 +84,9 @@ struct ConcurrentResult {
   std::vector<ExecMetrics> per_query;
   /// Whole-run resource totals (shared cluster state).
   BatchTotals totals;
+  /// Per-query causal span sets, parallel to `per_query`; filled only when
+  /// SystemConfig::collect_spans is set.
+  std::vector<sim::QuerySpans> spans;
   /// Time until the last query completes (submission-relative starts
   /// included).
   double makespan_ms = 0.0;
@@ -140,6 +147,9 @@ class ExecSession {
   const ExecMetrics& Metrics(int ticket) const;
   /// Submission time of the query, ms.
   double StartMs(int ticket) const;
+  /// Causal span set of a completed query, or null when the session does
+  /// not collect spans (SystemConfig::collect_spans).
+  const sim::QuerySpans* Spans(int ticket) const;
 
   /// Awaitable completion of a submitted query, for coroutine processes
   /// running inside this session's simulation.
@@ -202,6 +212,9 @@ class ExecSession {
   bool load_generators_started_ = false;
   std::vector<std::unique_ptr<QueryState>> queries_;
   std::vector<std::unique_ptr<PageChannel>> channels_;
+  /// Session-wide counter seeding the Perfetto flow ids of each network
+  /// operator pair (one id block per crossing edge; deterministic).
+  uint64_t next_flow_base_ = 0;
 };
 
 }  // namespace dimsum

@@ -48,6 +48,17 @@ class OpSpan {
     }
   }
 
+  /// One end of a Perfetto flow arrow on this operator's track; used by the
+  /// net pair to link a page's send to its receipt across sites.
+  void Flow(bool start, uint64_t id) {
+    if (trace_ == nullptr) return;
+    if (start) {
+      trace_->FlowStart(pid_, tid_, "page", "channel", sim_.now(), id);
+    } else {
+      trace_->FlowEnd(pid_, tid_, "page", "channel", sim_.now(), id);
+    }
+  }
+
  private:
   sim::Simulator& sim_;
   sim::TraceSink* trace_;
@@ -58,34 +69,83 @@ class OpSpan {
 };
 
 /// Accumulates one operator's elapsed virtual time at each resource class
-/// into its EXPLAIN record. Every method is a pure read of the simulation
-/// clock plus double accumulation -- never a simulation event -- and a
-/// no-op when no record is attached, so collection cannot perturb event
-/// ordering (results are bit-identical with it on or off). The elapsed
-/// time between Mark() and the accumulate call includes queueing behind
-/// the awaited resource; that is intentional (see OperatorActual).
+/// into its EXPLAIN record, and (when span capture is on) records each
+/// Mark()..accumulate window as a causal span on the operator's timeline
+/// (sim/span.h). Every method is a pure read of the simulation clock plus
+/// memory writes -- never a simulation event -- and a no-op when neither
+/// record is attached, so collection cannot perturb event ordering
+/// (results are bit-identical with it on or off). The elapsed time between
+/// Mark() and the accumulate call includes queueing behind the awaited
+/// resource; that is intentional (see OperatorActual). The queueing vs
+/// service split inside a window comes from the ReqStats out-pointer
+/// (Req()) threaded into the awaited resource call(s): service accumulates
+/// across the window's requests and the remainder is queueing.
 class ActualProbe {
  public:
   /// `owns_span` is false for the net operator pair, which accumulates
   /// into its consumer's record without claiming its start/end times.
-  ActualProbe(sim::Simulator& sim, OperatorActual* act, bool owns_span = true)
-      : sim_(sim), act_(act) {
+  /// `site` is the default site spans are attributed to (the remote-read
+  /// paths override it per call); `span_op` the process's span timeline id
+  /// (-1 disables span capture for this probe).
+  ActualProbe(ExecContext& ctx, OperatorActual* act, SiteId site, int span_op,
+              bool owns_span = true)
+      : sim_(ctx.sim),
+        act_(act),
+        spans_(span_op >= 0 ? ctx.spans : nullptr),
+        ends_(ctx.channel_ends),
+        site_(site),
+        op_(span_op) {
     if (act_ != nullptr && owns_span) act_->start_ms = sim_.now();
   }
 
-  double Mark() const { return act_ != nullptr ? sim_.now() : 0.0; }
-  void Cpu(double t0) {
-    if (act_ != nullptr) act_->cpu_ms += sim_.now() - t0;
+  double Mark() {
+    if (act_ == nullptr && spans_ == nullptr) return 0.0;
+    req_ = {};
+    return sim_.now();
   }
-  void Disk(double t0) {
-    if (act_ != nullptr) act_->disk_ms += sim_.now() - t0;
+  /// Request-stats out-pointer for the resource request(s) awaited inside
+  /// the current Mark() window; null when span capture is off.
+  sim::ReqStats* Req() { return spans_ != nullptr ? &req_ : nullptr; }
+
+  void Cpu(double t0) { CpuAt(t0, site_); }
+  void CpuAt(double t0, SiteId site) {
+    const double now = sim_.now();
+    if (act_ != nullptr) act_->cpu_ms += now - t0;
+    Record(sim::SpanKind::kCpu, t0, now, site);
+  }
+  void Disk(double t0) { DiskAt(t0, site_); }
+  void DiskAt(double t0, SiteId site) {
+    const double now = sim_.now();
+    if (act_ != nullptr) act_->disk_ms += now - t0;
+    Record(sim::SpanKind::kDisk, t0, now, site);
   }
   void Net(double t0) {
-    if (act_ != nullptr) act_->net_ms += sim_.now() - t0;
+    const double now = sim_.now();
+    if (act_ != nullptr) act_->net_ms += now - t0;
+    Record(sim::SpanKind::kNet, t0, now, /*site=*/-1);
   }
   void Stall(double ms) {
     if (act_ != nullptr) act_->stall_ms += ms;
+    if (spans_ != nullptr && ms > 0.0) {
+      const double now = sim_.now();
+      spans_->spans.push_back(
+          {op_, now - ms, now, sim::SpanKind::kFaultStall, 0.0, site_, -1});
+    }
   }
+  /// Records the wait for buffer-pool frames acquired over [t0, now].
+  void MemoryWait(double t0) {
+    if (spans_ == nullptr) return;
+    const double now = sim_.now();
+    if (now > t0) {
+      spans_->spans.push_back(
+          {op_, t0, now, sim::SpanKind::kMemory, 0.0, site_, -1});
+    }
+  }
+  /// Records the time blocked on a channel Put since `t0` (causal edge to
+  /// the channel's consumer) / Get (edge to the producer).
+  void PutWait(double t0, const PageChannel& ch) { Chan(t0, ch, true); }
+  void GetWait(double t0, const PageChannel& ch) { Chan(t0, ch, false); }
+
   void Finish(int64_t pages_in, int64_t pages_out) {
     if (act_ == nullptr) return;
     act_->pages_in = pages_in;
@@ -94,8 +154,33 @@ class ActualProbe {
   }
 
  private:
+  void Record(sim::SpanKind kind, double t0, double now, SiteId site) {
+    if (spans_ == nullptr || now <= t0) return;
+    spans_->spans.push_back(
+        {op_, t0, now, kind, req_.service_ms, site, -1});
+  }
+  void Chan(double t0, const PageChannel& ch, bool put) {
+    if (spans_ == nullptr) return;
+    const double now = sim_.now();
+    if (now <= t0) return;
+    int peer = -1;
+    if (ends_ != nullptr) {
+      auto it = ends_->find(static_cast<const void*>(&ch));
+      if (it != ends_->end()) {
+        peer = put ? it->second.second : it->second.first;
+      }
+    }
+    spans_->spans.push_back(
+        {op_, t0, now, sim::SpanKind::kChannel, 0.0, /*site=*/-1, peer});
+  }
+
   sim::Simulator& sim_;
   OperatorActual* act_;
+  sim::QuerySpans* spans_;
+  const std::unordered_map<const void*, std::pair<int, int>>* ends_;
+  SiteId site_;
+  int op_;
+  sim::ReqStats req_{};
 };
 
 /// Emits all complete pages accumulated in `acc`, charging the move cost of
@@ -106,10 +191,12 @@ sim::Task<int64_t> EmitFullPages(SiteRuntime& site, OutputAccumulator& acc,
   int64_t pages = 0;
   while (acc.HasFullPage()) {
     Page page = acc.PopFullPage();
-    const double t0 = probe.Mark();
-    co_await site.cpu.Use(move_ms_per_tuple * page.tuples);
+    double t0 = probe.Mark();
+    co_await site.cpu.Use(move_ms_per_tuple * page.tuples, probe.Req());
     probe.Cpu(t0);
+    t0 = probe.Mark();
     co_await out.Put(page);
+    probe.PutWait(t0, out);
     ++pages;
   }
   co_return pages;
@@ -122,10 +209,12 @@ sim::Task<int64_t> EmitRemainder(SiteRuntime& site, OutputAccumulator& acc,
       co_await EmitFullPages(site, acc, move_ms_per_tuple, out, probe);
   if (acc.HasRemainder()) {
     Page page = acc.PopRemainder();
-    const double t0 = probe.Mark();
-    co_await site.cpu.Use(move_ms_per_tuple * page.tuples);
+    double t0 = probe.Mark();
+    co_await site.cpu.Use(move_ms_per_tuple * page.tuples, probe.Req());
     probe.Cpu(t0);
+    t0 = probe.Mark();
     co_await out.Put(page);
+    probe.PutWait(t0, out);
     ++pages;
   }
   co_return pages;
@@ -153,13 +242,14 @@ sim::Task<double> AwaitSiteUp(ExecContext& ctx, SiteId site) {
 /// outside a drop window. Delay windows stretch the time on the wire.
 /// Retransmissions are counted into the query's metrics; the network's own
 /// message/byte totals include them too (they really crossed the wire).
-sim::Task<void> FaultyTransfer(ExecContext& ctx, int64_t bytes) {
+sim::Task<void> FaultyTransfer(ExecContext& ctx, int64_t bytes,
+                               sim::ReqStats* stats = nullptr) {
   const FaultTolerance& tolerance = *ctx.fault_tolerance;
   double timeout_ms = tolerance.retransmit_timeout_ms;
   while (true) {
     const bool dropped = ctx.faults->LinkDropping(ctx.sim.now());
     const double factor = ctx.faults->LinkDelayFactor(ctx.sim.now());
-    co_await ctx.system.network().Transfer(bytes, factor);
+    co_await ctx.system.network().Transfer(bytes, factor, stats);
     if (!dropped) co_return;
     ++ctx.metrics.retransmits;
     ctx.metrics.retransmitted_bytes += bytes;
@@ -207,7 +297,7 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
   };
 
   OpSpan span(ctx, node.bound_site, "scan " + rel.name);
-  ActualProbe probe(ctx.sim, ctx.Actual(node));
+  ActualProbe probe(ctx, ctx.Actual(node), node.bound_site, ctx.SpanOp(node));
 
   if (node.annotation == SiteAnnotation::kPrimaryCopy) {
     SiteRuntime& server = ctx.system.site(node.bound_site);
@@ -223,12 +313,14 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
         probe.Stall(stalled);
       }
       double t0 = probe.Mark();
-      co_await server.cpu.Use(disk_cpu);
+      co_await server.cpu.Use(disk_cpu, probe.Req());
       probe.Cpu(t0);
       t0 = probe.Mark();
-      co_await server.disk(extent.disk).Read(extent.start + i);
+      co_await server.disk(extent.disk).Read(extent.start + i, probe.Req());
       probe.Disk(t0);
+      t0 = probe.Mark();
       co_await out.Put(Page{emit_on_page(i)});
+      probe.PutWait(t0, out);
     }
     out.Close();
     probe.Finish(0, total_pages);
@@ -275,41 +367,45 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
           probe.Stall(stalled);
         }
         double t0 = probe.Mark();
-        co_await client.cpu.Use(request_cpu);
+        co_await client.cpu.Use(request_cpu, probe.Req());
         probe.Cpu(t0);
         t0 = probe.Mark();
         if (ctx.faults == nullptr) {
           co_await ctx.system.network().Transfer(
-              ctx.params.fault_request_bytes);
+              ctx.params.fault_request_bytes, 1.0, probe.Req());
         } else {
-          co_await FaultyTransfer(ctx, ctx.params.fault_request_bytes);
+          co_await FaultyTransfer(ctx, ctx.params.fault_request_bytes,
+                                  probe.Req());
         }
         probe.Net(t0);
         t0 = probe.Mark();
-        co_await server.cpu.Use(request_cpu);
-        co_await server.cpu.Use(disk_cpu);
-        probe.Cpu(t0);
+        co_await server.cpu.Use(request_cpu, probe.Req());
+        co_await server.cpu.Use(disk_cpu, probe.Req());
+        probe.CpuAt(t0, server.id);
         t0 = probe.Mark();
-        co_await server.disk(extent.disk).Read(extent.start + i);
-        probe.Disk(t0);
+        co_await server.disk(extent.disk).Read(extent.start + i, probe.Req());
+        probe.DiskAt(t0, server.id);
         t0 = probe.Mark();
-        co_await server.cpu.Use(page_cpu);
-        probe.Cpu(t0);
+        co_await server.cpu.Use(page_cpu, probe.Req());
+        probe.CpuAt(t0, server.id);
         t0 = probe.Mark();
         if (ctx.faults == nullptr) {
-          co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+          co_await ctx.system.network().Transfer(ctx.params.page_bytes, 1.0,
+                                                 probe.Req());
         } else {
-          co_await FaultyTransfer(ctx, ctx.params.page_bytes);
+          co_await FaultyTransfer(ctx, ctx.params.page_bytes, probe.Req());
         }
         probe.Net(t0);
         t0 = probe.Mark();
-        co_await client.cpu.Use(page_cpu);
+        co_await client.cpu.Use(page_cpu, probe.Req());
         probe.Cpu(t0);
         ++ctx.metrics.data_pages_sent;
         ctx.metrics.messages += 2;
         ctx.metrics.bytes_sent +=
             ctx.params.fault_request_bytes + ctx.params.page_bytes;
+        t0 = probe.Mark();
         co_await out.Put(Page{shard_uniform});
+        probe.PutWait(t0, out);
       }
     }
     out.Close();
@@ -335,10 +431,11 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
       const DiskExtent cache_extent =
           ctx.system.CacheExtent(home, node.relation);
       double t0 = probe.Mark();
-      co_await client.cpu.Use(disk_cpu);
+      co_await client.cpu.Use(disk_cpu, probe.Req());
       probe.Cpu(t0);
       t0 = probe.Mark();
-      co_await client.disk(cache_extent.disk).Read(cache_extent.start + i);
+      co_await client.disk(cache_extent.disk)
+          .Read(cache_extent.start + i, probe.Req());
       probe.Disk(t0);
     } else {
       ++faulted;
@@ -350,41 +447,47 @@ sim::Process ScanProcess(ExecContext& ctx, const PlanNode& node,
         probe.Stall(stalled);
       }
       double t0 = probe.Mark();
-      co_await client.cpu.Use(request_cpu);
+      co_await client.cpu.Use(request_cpu, probe.Req());
       probe.Cpu(t0);
       t0 = probe.Mark();
       if (ctx.faults == nullptr) {
-        co_await ctx.system.network().Transfer(ctx.params.fault_request_bytes);
+        co_await ctx.system.network().Transfer(ctx.params.fault_request_bytes,
+                                               1.0, probe.Req());
       } else {
-        co_await FaultyTransfer(ctx, ctx.params.fault_request_bytes);
+        co_await FaultyTransfer(ctx, ctx.params.fault_request_bytes,
+                                probe.Req());
       }
       probe.Net(t0);
       t0 = probe.Mark();
-      co_await server.cpu.Use(request_cpu);
-      co_await server.cpu.Use(disk_cpu);
-      probe.Cpu(t0);
+      co_await server.cpu.Use(request_cpu, probe.Req());
+      co_await server.cpu.Use(disk_cpu, probe.Req());
+      probe.CpuAt(t0, server.id);
       t0 = probe.Mark();
-      co_await server.disk(server_extent.disk).Read(server_extent.start + i);
-      probe.Disk(t0);
+      co_await server.disk(server_extent.disk)
+          .Read(server_extent.start + i, probe.Req());
+      probe.DiskAt(t0, server.id);
       t0 = probe.Mark();
-      co_await server.cpu.Use(page_cpu);
-      probe.Cpu(t0);
+      co_await server.cpu.Use(page_cpu, probe.Req());
+      probe.CpuAt(t0, server.id);
       t0 = probe.Mark();
       if (ctx.faults == nullptr) {
-        co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+        co_await ctx.system.network().Transfer(ctx.params.page_bytes, 1.0,
+                                               probe.Req());
       } else {
-        co_await FaultyTransfer(ctx, ctx.params.page_bytes);
+        co_await FaultyTransfer(ctx, ctx.params.page_bytes, probe.Req());
       }
       probe.Net(t0);
       t0 = probe.Mark();
-      co_await client.cpu.Use(page_cpu);
+      co_await client.cpu.Use(page_cpu, probe.Req());
       probe.Cpu(t0);
       ++ctx.metrics.data_pages_sent;
       ctx.metrics.messages += 2;
       ctx.metrics.bytes_sent +=
           ctx.params.fault_request_bytes + ctx.params.page_bytes;
     }
+    const double tq = probe.Mark();
     co_await out.Put(Page{emit_on_page(i)});
+    probe.PutWait(tq, out);
   }
   out.Close();
   probe.Finish(0, total_pages);
@@ -402,14 +505,16 @@ sim::Process SelectProcess(ExecContext& ctx, const PlanNode& node,
   const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   OpSpan span(ctx, node.bound_site, "select");
-  ActualProbe probe(ctx.sim, ctx.Actual(node));
+  ActualProbe probe(ctx, ctx.Actual(node), node.bound_site, ctx.SpanOp(node));
   int64_t pages_in = 0, pages_out = 0;
   while (true) {
+    double t0 = probe.Mark();
     std::optional<Page> page = co_await in.Get();
+    probe.GetWait(t0, in);
     if (!page.has_value()) break;
     ++pages_in;
-    const double t0 = probe.Mark();
-    co_await site.cpu.Use(compare * page->tuples);
+    t0 = probe.Mark();
+    co_await site.cpu.Use(compare * page->tuples, probe.Req());
     probe.Cpu(t0);
     acc.Add(page->tuples * node.selectivity);
     pages_out += co_await EmitFullPages(site, acc, move, out, probe);
@@ -430,10 +535,12 @@ sim::Process ProjectProcess(ExecContext& ctx, const PlanNode& node,
   OutputAccumulator acc(tuples_per_page);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   OpSpan span(ctx, node.bound_site, "project");
-  ActualProbe probe(ctx.sim, ctx.Actual(node));
+  ActualProbe probe(ctx, ctx.Actual(node), node.bound_site, ctx.SpanOp(node));
   int64_t pages_in = 0, pages_out = 0;
   while (true) {
+    const double t0 = probe.Mark();
     std::optional<Page> page = co_await in.Get();
+    probe.GetWait(t0, in);
     if (!page.has_value()) break;
     ++pages_in;
     acc.Add(page->tuples);
@@ -453,15 +560,17 @@ sim::Process AggregateProcess(ExecContext& ctx, const PlanNode& node,
   const double hash = ctx.params.InstrMs(ctx.params.hash_inst);
   const double compare = ctx.params.InstrMs(ctx.params.compare_inst);
   OpSpan span(ctx, node.bound_site, "aggregate");
-  ActualProbe probe(ctx.sim, ctx.Actual(node));
+  ActualProbe probe(ctx, ctx.Actual(node), node.bound_site, ctx.SpanOp(node));
   int64_t pages_in = 0;
   // Blocking phase: hash every input tuple into the group table.
   while (true) {
+    double t0 = probe.Mark();
     std::optional<Page> page = co_await in.Get();
+    probe.GetWait(t0, in);
     if (!page.has_value()) break;
     ++pages_in;
-    const double t0 = probe.Mark();
-    co_await site.cpu.Use((hash + compare) * page->tuples);
+    t0 = probe.Mark();
+    co_await site.cpu.Use((hash + compare) * page->tuples, probe.Req());
     probe.Cpu(t0);
   }
   // Emit the groups.
@@ -498,9 +607,11 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
                           static_cast<double>(std::max<int64_t>(
                               in_stats.pages, 1))))))
              : std::max<int64_t>(1, in_stats.pages);
+  const double mem_t0 = ctx.sim.now();
   co_await site.memory.Acquire(frames);
   OpSpan span(ctx, node.bound_site, "sort");
-  ActualProbe probe(ctx.sim, ctx.Actual(node));
+  ActualProbe probe(ctx, ctx.Actual(node), node.bound_site, ctx.SpanOp(node));
+  probe.MemoryWait(mem_t0);
   int64_t pages_in = 0, pages_out = 0;
 
   DiskExtent runs{};
@@ -511,11 +622,13 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
   // Run-generation phase: consume the input, sort, spill runs.
   const double run_start = span.now();
   while (true) {
+    double t0 = probe.Mark();
     std::optional<Page> page = co_await in.Get();
+    probe.GetWait(t0, in);
     if (!page.has_value()) break;
     ++pages_in;
-    double t0 = probe.Mark();
-    co_await site.cpu.Use(compare * log_n * page->tuples);
+    t0 = probe.Mark();
+    co_await site.cpu.Use(compare * log_n * page->tuples, probe.Req());
     probe.Cpu(t0);
     if (spills) {
       if (ctx.faults != nullptr) {
@@ -524,7 +637,7 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
         probe.Stall(stalled);
       }
       t0 = probe.Mark();
-      co_await site.cpu.Use(disk_cpu);
+      co_await site.cpu.Use(disk_cpu, probe.Req());
       probe.Cpu(t0);
       t0 = probe.Mark();
       co_await site.disk(runs.disk).Write(runs.start + run_pages++);
@@ -552,10 +665,10 @@ sim::Process SortProcess(ExecContext& ctx, const PlanNode& node,
         probe.Stall(stalled);
       }
       double t0 = probe.Mark();
-      co_await site.cpu.Use(disk_cpu);
+      co_await site.cpu.Use(disk_cpu, probe.Req());
       probe.Cpu(t0);
       t0 = probe.Mark();
-      co_await site.disk(runs.disk).Read(runs.start + i);
+      co_await site.disk(runs.disk).Read(runs.start + i, probe.Req());
       probe.Disk(t0);
       acc.Add(static_cast<double>(out_stats.tuples) /
               std::max<int64_t>(run_pages, 1));
@@ -580,17 +693,21 @@ sim::Process UnionProcess(ExecContext& ctx, const PlanNode& node,
   const StreamStats& out_stats = ctx.stats.at(&node);
   const double move = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   OpSpan span(ctx, node.bound_site, "union");
-  ActualProbe probe(ctx.sim, ctx.Actual(node));
+  ActualProbe probe(ctx, ctx.Actual(node), node.bound_site, ctx.SpanOp(node));
   int64_t pages = 0;
   for (PageChannel* input : {&left, &right}) {
     while (true) {
+      double t0 = probe.Mark();
       std::optional<Page> page = co_await input->Get();
+      probe.GetWait(t0, *input);
       if (!page.has_value()) break;
       ++pages;
-      const double t0 = probe.Mark();
-      co_await site.cpu.Use(move * page->tuples);
+      t0 = probe.Mark();
+      co_await site.cpu.Use(move * page->tuples, probe.Req());
       probe.Cpu(t0);
+      t0 = probe.Mark();
       co_await out.Put(*page);
+      probe.PutWait(t0, out);
     }
   }
   out.Close();
@@ -615,9 +732,11 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
   const double move_out = ctx.params.MoveTupleMs(out_stats.tuple_bytes);
   const double disk_cpu = ctx.params.DiskCpuMs();
 
+  const double mem_t0 = ctx.sim.now();
   co_await site.memory.Acquire(hj.memory_frames);
   OpSpan span(ctx, node.bound_site, "join");
-  ActualProbe probe(ctx.sim, ctx.Actual(node));
+  ActualProbe probe(ctx, ctx.Actual(node), node.bound_site, ctx.SpanOp(node));
+  probe.MemoryWait(mem_t0);
   int64_t pages_in = 0, pages_out = 0;
 
   // Temp extents: one per partition and side, so partition writes hop
@@ -643,11 +762,13 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
   double spill_acc = 0.0;  // fractional pages destined for temp storage
   int next_partition = 0;
   while (true) {
+    double t0 = probe.Mark();
     std::optional<Page> page = co_await inner.Get();
+    probe.GetWait(t0, inner);
     if (!page.has_value()) break;
     ++pages_in;
-    double t0 = probe.Mark();
-    co_await site.cpu.Use((hash + move_in) * page->tuples);
+    t0 = probe.Mark();
+    co_await site.cpu.Use((hash + move_in) * page->tuples, probe.Req());
     probe.Cpu(t0);
     if (!hj.in_memory()) {
       spill_acc += hj.spill_fraction;
@@ -661,7 +782,7 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
           probe.Stall(stalled);
         }
         t0 = probe.Mark();
-        co_await site.cpu.Use(disk_cpu);
+        co_await site.cpu.Use(disk_cpu, probe.Req());
         probe.Cpu(t0);
         t0 = probe.Mark();
         co_await site.disk(inner_extent[p].disk)
@@ -694,11 +815,13 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
   spill_acc = 0.0;
   next_partition = 0;
   while (true) {
+    double t0 = probe.Mark();
     std::optional<Page> page = co_await outer.Get();
+    probe.GetWait(t0, outer);
     if (!page.has_value()) break;
     ++pages_in;
-    double t0 = probe.Mark();
-    co_await site.cpu.Use((hash + compare) * page->tuples);
+    t0 = probe.Mark();
+    co_await site.cpu.Use((hash + compare) * page->tuples, probe.Req());
     probe.Cpu(t0);
     acc.Add(page->tuples * resident_out_per_outer_tuple);
     pages_out += co_await EmitFullPages(site, acc, move_out, out, probe);
@@ -714,7 +837,7 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
           probe.Stall(stalled);
         }
         t0 = probe.Mark();
-        co_await site.cpu.Use(disk_cpu);
+        co_await site.cpu.Use(disk_cpu, probe.Req());
         probe.Cpu(t0);
         t0 = probe.Mark();
         co_await site.disk(outer_extent[p].disk)
@@ -750,14 +873,16 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
           probe.Stall(stalled);
         }
         t0 = probe.Mark();
-        co_await site.cpu.Use(disk_cpu);
+        co_await site.cpu.Use(disk_cpu, probe.Req());
         probe.Cpu(t0);
         t0 = probe.Mark();
-        co_await site.disk(inner_extent[p].disk).Read(inner_extent[p].start + i);
+        co_await site.disk(inner_extent[p].disk)
+            .Read(inner_extent[p].start + i, probe.Req());
         probe.Disk(t0);
         t0 = probe.Mark();
         co_await site.cpu.Use((hash + move_in) *
-                              static_cast<double>(inner_tpp));
+                                  static_cast<double>(inner_tpp),
+                              probe.Req());
         probe.Cpu(t0);
       }
       // Probe with the spilled outer partition.
@@ -768,14 +893,16 @@ sim::Process HashJoinProcess(ExecContext& ctx, const PlanNode& node,
           probe.Stall(stalled);
         }
         t0 = probe.Mark();
-        co_await site.cpu.Use(disk_cpu);
+        co_await site.cpu.Use(disk_cpu, probe.Req());
         probe.Cpu(t0);
         t0 = probe.Mark();
-        co_await site.disk(outer_extent[p].disk).Read(outer_extent[p].start + i);
+        co_await site.disk(outer_extent[p].disk)
+            .Read(outer_extent[p].start + i, probe.Req());
         probe.Disk(t0);
         t0 = probe.Mark();
         co_await site.cpu.Use((hash + compare) *
-                              static_cast<double>(outer_tpp));
+                                  static_cast<double>(outer_tpp),
+                              probe.Req());
         probe.Cpu(t0);
       }
       acc.Add(spilled_out_total / partitions);
@@ -798,14 +925,16 @@ sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
   SiteRuntime& client = ctx.system.site(node.bound_site);
   const double display = ctx.params.InstrMs(ctx.params.display_inst);
   OpSpan span(ctx, node.bound_site, "display");
-  ActualProbe probe(ctx.sim, ctx.Actual(node));
+  ActualProbe probe(ctx, ctx.Actual(node), node.bound_site, ctx.SpanOp(node));
   int64_t pages = 0;
   while (true) {
+    double t0 = probe.Mark();
     std::optional<Page> page = co_await in.Get();
+    probe.GetWait(t0, in);
     if (!page.has_value()) break;
     ++pages;
-    const double t0 = probe.Mark();
-    co_await client.cpu.Use(display * page->tuples);
+    t0 = probe.Mark();
+    co_await client.cpu.Use(display * page->tuples, probe.Req());
     probe.Cpu(t0);
   }
   probe.Finish(pages, 0);
@@ -820,14 +949,18 @@ sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
 }
 
 sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
-                            PageChannel& wire, OperatorActual* actual) {
+                            PageChannel& wire, OperatorActual* actual,
+                            int span_op, uint64_t flow_base) {
   SiteRuntime& site = ctx.system.site(from);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
   OpSpan span(ctx, from, "ship-send");
-  ActualProbe probe(ctx.sim, actual, /*owns_span=*/false);
+  ActualProbe probe(ctx, actual, from, span_op, /*owns_span=*/false);
   int64_t pages = 0;
+  uint64_t flow_seq = 0;
   while (true) {
+    double t0 = probe.Mark();
     std::optional<Page> page = co_await in.Get();
+    probe.GetWait(t0, in);
     if (!page.has_value()) break;
     ++pages;
     if (ctx.faults != nullptr) {
@@ -835,45 +968,58 @@ sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
       ctx.metrics.fault_stall_ms += stalled;
       probe.Stall(stalled);
     }
-    double t0 = probe.Mark();
-    co_await site.cpu.Use(page_cpu);
+    t0 = probe.Mark();
+    co_await site.cpu.Use(page_cpu, probe.Req());
     probe.Cpu(t0);
     t0 = probe.Mark();
     if (ctx.faults == nullptr) {
-      co_await ctx.system.network().Transfer(ctx.params.page_bytes);
+      co_await ctx.system.network().Transfer(ctx.params.page_bytes, 1.0,
+                                             probe.Req());
     } else {
-      co_await FaultyTransfer(ctx, ctx.params.page_bytes);
+      co_await FaultyTransfer(ctx, ctx.params.page_bytes, probe.Req());
     }
     probe.Net(t0);
     ++ctx.metrics.data_pages_sent;
     ++ctx.metrics.messages;
     ctx.metrics.bytes_sent += ctx.params.page_bytes;
+    span.Flow(true, flow_base + flow_seq++);
+    t0 = probe.Mark();
     co_await wire.Put(*page);
+    probe.PutWait(t0, wire);
   }
   wire.Close();
   span.End({{"pages_out", static_cast<double>(pages)}});
 }
 
 sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
-                            PageChannel& out, OperatorActual* actual) {
+                            PageChannel& out, OperatorActual* actual,
+                            int span_op, uint64_t flow_base) {
   SiteRuntime& site = ctx.system.site(to);
   const double page_cpu = ctx.params.MsgCpuMs(ctx.params.page_bytes);
   OpSpan span(ctx, to, "ship-recv");
-  ActualProbe probe(ctx.sim, actual, /*owns_span=*/false);
+  ActualProbe probe(ctx, actual, to, span_op, /*owns_span=*/false);
   int64_t pages = 0;
+  uint64_t flow_seq = 0;
   while (true) {
+    double t0 = probe.Mark();
     std::optional<Page> page = co_await wire.Get();
+    probe.GetWait(t0, wire);
     if (!page.has_value()) break;
     ++pages;
+    // Pages cross the wire in FIFO order, so the n-th receipt pairs with
+    // the n-th send on this channel.
+    span.Flow(false, flow_base + flow_seq++);
     if (ctx.faults != nullptr) {
       const double stalled = co_await AwaitSiteUp(ctx, to);
       ctx.metrics.fault_stall_ms += stalled;
       probe.Stall(stalled);
     }
-    const double t0 = probe.Mark();
-    co_await site.cpu.Use(page_cpu);
+    t0 = probe.Mark();
+    co_await site.cpu.Use(page_cpu, probe.Req());
     probe.Cpu(t0);
+    t0 = probe.Mark();
     co_await out.Put(*page);
+    probe.PutWait(t0, out);
   }
   out.Close();
   span.End({{"pages_in", static_cast<double>(pages)}});

@@ -14,6 +14,7 @@
 #include "exec/runtime.h"
 #include "plan/plan.h"
 #include "sim/channel.h"
+#include "sim/span.h"
 #include "sim/task.h"
 
 namespace dimsum {
@@ -62,6 +63,21 @@ struct ExecContext {
   OperatorActual* Actual(const PlanNode& node) const {
     return op_ids != nullptr ? &metrics.operator_actuals[op_ids->at(&node)]
                              : nullptr;
+  }
+
+  /// Per-query causal span set (null = capture off; see sim/span.h). Owned
+  /// by the session's per-query state, never by ExecMetrics, so metrics
+  /// stay bit-identical with capture on or off.
+  sim::QuerySpans* spans = nullptr;
+  /// Channel endpoint registry for span capture: channel address ->
+  /// (producer timeline id, consumer timeline id). Built by the executor
+  /// alongside the operator pipeline; null when capture is off.
+  const std::unordered_map<const void*, std::pair<int, int>>* channel_ends =
+      nullptr;
+
+  /// The operator's span-timeline id, or -1 when capture is off.
+  int SpanOp(const PlanNode& node) const {
+    return spans != nullptr && op_ids != nullptr ? op_ids->at(&node) : -1;
   }
 };
 
@@ -121,14 +137,19 @@ sim::Process DisplayProcess(ExecContext& ctx, const PlanNode& node,
 /// channels the producer stays about one page ahead of its consumer.
 /// `actual` (optional) is the consuming operator's EXPLAIN record; ship
 /// CPU and wire time accumulate there, mirroring the estimator.
+/// `span_op` is the send process's own span timeline (synthetic id past the
+/// plan operators; -1 when capture is off) and `flow_base` seeds the ids of
+/// the Perfetto flow arrows linking this sender's pages to the receiver.
 sim::Process NetSendProcess(ExecContext& ctx, SiteId from, PageChannel& in,
                             PageChannel& wire,
-                            OperatorActual* actual = nullptr);
+                            OperatorActual* actual = nullptr,
+                            int span_op = -1, uint64_t flow_base = 0);
 
 /// Receiving half: charges receive CPU at `to` and forwards the page.
 sim::Process NetRecvProcess(ExecContext& ctx, SiteId to, PageChannel& wire,
                             PageChannel& out,
-                            OperatorActual* actual = nullptr);
+                            OperatorActual* actual = nullptr,
+                            int span_op = -1, uint64_t flow_base = 0);
 
 /// External load: open-loop Poisson random single-page reads against a
 /// server's disks (the paper's model of additional clients), winding down

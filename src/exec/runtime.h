@@ -75,6 +75,14 @@ struct SystemConfig {
   /// clock reads and accumulation only -- so results are bit-identical
   /// with this on or off (asserted by tests).
   bool collect_operator_actuals = false;
+  /// Collect per-query causal spans (resource queueing/service splits,
+  /// channel waits, fault stalls) into ExecSession per-ticket span sets for
+  /// critical-path extraction (core/critical_path.h). Implies the pre-order
+  /// operator numbering of collect_operator_actuals. Pure observation --
+  /// clock reads and memory writes at existing handoff points -- so
+  /// results are bit-identical with this on or off (asserted by tests; see
+  /// DESIGN.md §9).
+  bool collect_spans = false;
   /// When non-null, the executor attaches this virtual-time utilization
   /// sampler to its simulator and registers per-site CPU/disk/link and
   /// buffer-pool probes (not owned; must outlive the execution). Sampling

@@ -30,7 +30,8 @@ void Disk::ResetStats() {
   max_queue_depth_ = 0;
 }
 
-void Disk::SubmitRead(int64_t block, std::coroutine_handle<> handle) {
+void Disk::SubmitRead(int64_t block, std::coroutine_handle<> handle,
+                      ReqStats* stats) {
   DIMSUM_CHECK_GE(block, 0);
   DIMSUM_CHECK_LT(block, params_.total_pages());
   ++reads_;
@@ -39,6 +40,11 @@ void Disk::SubmitRead(int64_t block, std::coroutine_handle<> handle) {
     // Controller cache hit: served without the arm.
     ++cache_hits_;
     const double wait = std::max(0.0, it->second - sim_.now());
+    if (stats != nullptr) {
+      stats->wait_ms += wait;
+      stats->service_ms +=
+          params_.transfer_ms() + params_.controller_overhead_ms;
+    }
     if (TraceSink* trace = sim_.trace()) {
       trace->Instant(trace_pid_, trace_tid_, "cache-hit", "disk", sim_.now(),
                      {{"block", static_cast<double>(block)},
@@ -50,7 +56,7 @@ void Disk::SubmitRead(int64_t block, std::coroutine_handle<> handle) {
         handle);
     return;
   }
-  EnqueueArm(ArmRequest{block, /*is_write=*/false, handle, sim_.now()});
+  EnqueueArm(ArmRequest{block, /*is_write=*/false, handle, sim_.now(), stats});
 }
 
 void Disk::SubmitWrite(int64_t block) {
@@ -115,6 +121,10 @@ void Disk::DispatchArm() {
   wait_ms_ += sim_.now() - arm_current_.enqueue_time;
   arm_service_ = ArmServiceTime(arm_current_.block);
   const double total = arm_service_.total();
+  if (arm_current_.stats != nullptr) {
+    arm_current_.stats->wait_ms += sim_.now() - arm_current_.enqueue_time;
+    arm_current_.stats->service_ms += total;
+  }
   busy_ms_ += total;
   seek_ms_ += arm_service_.seek;
   rotate_ms_ += arm_service_.rotate;

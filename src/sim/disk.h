@@ -10,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "sim/simulator.h"
+#include "sim/span.h"
 
 namespace dimsum::sim {
 
@@ -68,17 +69,23 @@ class Disk {
   const DiskParams& params() const { return params_; }
 
   /// Reads one page; resumes the caller when the data is available.
-  auto Read(int64_t block) {
+  /// `stats`, when non-null, receives the request's queueing/service split
+  /// (cache hits count the residual prefetch wait as queueing and the
+  /// transfer + controller overhead as service); written with plain memory
+  /// stores at the existing submit/dispatch points, never perturbing event
+  /// timing.
+  auto Read(int64_t block, ReqStats* stats = nullptr) {
     struct Awaiter {
       Disk& disk;
       int64_t block;
+      ReqStats* stats;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        disk.SubmitRead(block, h);
+        disk.SubmitRead(block, h, stats);
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{*this, block};
+    return Awaiter{*this, block, stats};
   }
 
   /// Write-behind page write: completes as soon as the request is accepted
@@ -166,6 +173,7 @@ class Disk {
     bool is_write;
     std::coroutine_handle<> handle;  // null for writes
     double enqueue_time;
+    ReqStats* stats = nullptr;  // optional caller-owned split out-param
   };
   struct WriteWaiter {
     std::coroutine_handle<> handle;
@@ -181,7 +189,8 @@ class Disk {
     double total() const { return seek + rotate + transfer + overhead; }
   };
 
-  void SubmitRead(int64_t block, std::coroutine_handle<> handle);
+  void SubmitRead(int64_t block, std::coroutine_handle<> handle,
+                  ReqStats* stats);
   void SubmitWrite(int64_t block);
   void EnqueueArm(ArmRequest request);
   void DispatchArm();

@@ -25,11 +25,13 @@ class Network {
   /// Occupies the link for the message's time-on-the-wire. `time_factor`
   /// stretches the transfer (fault injection's latency spikes); the
   /// default of 1.0 is exact multiplication, so healthy runs are
-  /// bit-identical to the factor-free model.
-  auto Transfer(int64_t bytes, double time_factor = 1.0) {
+  /// bit-identical to the factor-free model. `stats`, when non-null,
+  /// receives the message's queueing/wire-time split (see Resource::Use).
+  auto Transfer(int64_t bytes, double time_factor = 1.0,
+                ReqStats* stats = nullptr) {
     ++messages_;
     bytes_sent_ += bytes;
-    return link_.Use(TransferTimeMs(bytes) * time_factor);
+    return link_.Use(TransferTimeMs(bytes) * time_factor, stats);
   }
 
   double bandwidth_mbps() const { return bandwidth_mbps_; }

@@ -4,8 +4,9 @@
 
 namespace dimsum::sim {
 
-void Resource::Enqueue(std::coroutine_handle<> handle, double service_ms) {
-  queue_.push_back(Request{handle, service_ms, sim_.now()});
+void Resource::Enqueue(std::coroutine_handle<> handle, double service_ms,
+                       ReqStats* stats) {
+  queue_.push_back(Request{handle, service_ms, sim_.now(), stats});
   ++total_requests_;
   Dispatch();
 }
@@ -23,6 +24,10 @@ void Resource::Dispatch() {
   wait_ms_ += in_service_wait_;
   busy_ms_ += in_service_.service_ms;
   if (wait_hist_ != nullptr) wait_hist_->Add(in_service_wait_);
+  if (in_service_.stats != nullptr) {
+    in_service_.stats->wait_ms += in_service_wait_;
+    in_service_.stats->service_ms += in_service_.service_ms;
+  }
   sim_.Call(in_service_.service_ms, [this] {
     busy_ = false;
     if (TraceSink* trace = sim_.trace()) {

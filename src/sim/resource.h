@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "sim/simulator.h"
+#include "sim/span.h"
 
 namespace dimsum::sim {
 
@@ -26,18 +27,23 @@ class Resource {
   const std::string& name() const { return name_; }
   double service_scale() const { return service_scale_; }
 
-  auto Use(double service_ms) {
+  /// `stats`, when non-null, receives this request's queueing/service split
+  /// (written additively at dispatch with plain memory stores -- never
+  /// perturbs event timing). Requests short-circuited by the zero-service
+  /// fast path write nothing: they neither queue nor suspend.
+  auto Use(double service_ms, ReqStats* stats = nullptr) {
     service_ms *= service_scale_;
     struct Awaiter {
       Resource& resource;
       double service_ms;
+      ReqStats* stats;
       bool await_ready() const noexcept { return service_ms <= 0.0; }
       void await_suspend(std::coroutine_handle<> h) {
-        resource.Enqueue(h, service_ms);
+        resource.Enqueue(h, service_ms, stats);
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{*this, service_ms};
+    return Awaiter{*this, service_ms, stats};
   }
 
   // --- statistics -------------------------------------------------------
@@ -75,9 +81,11 @@ class Resource {
     std::coroutine_handle<> handle;
     double service_ms;
     double enqueue_time;
+    ReqStats* stats = nullptr;  ///< optional caller-owned split out-param
   };
 
-  void Enqueue(std::coroutine_handle<> handle, double service_ms);
+  void Enqueue(std::coroutine_handle<> handle, double service_ms,
+               ReqStats* stats);
   void Dispatch();
 
   Simulator& sim_;

@@ -1,0 +1,16 @@
+#include "sim/span.h"
+
+namespace dimsum::sim {
+
+std::vector<std::vector<const Span*>> SpansByOp(const QuerySpans& q) {
+  std::vector<std::vector<const Span*>> by_op(
+      static_cast<std::size_t>(q.num_ops > 0 ? q.num_ops : 0));
+  for (const Span& span : q.spans) {
+    if (span.op >= 0 && span.op < q.num_ops) {
+      by_op[static_cast<std::size_t>(span.op)].push_back(&span);
+    }
+  }
+  return by_op;
+}
+
+}  // namespace dimsum::sim

@@ -1,0 +1,68 @@
+#ifndef DIMSUM_SIM_SPAN_H_
+#define DIMSUM_SIM_SPAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dimsum::sim {
+
+/// Out-parameter a caller threads into Resource::Use / Disk::Read /
+/// Network::Transfer to learn how one request's elapsed time split into
+/// queueing and service. The primitives write it ADDITIVELY with plain
+/// memory stores at their existing dispatch points, so threading a ReqStats
+/// through never changes event timing -- the non-perturbation contract
+/// (DESIGN.md §8/§9). Additive accumulation lets one probe window cover a
+/// multi-request sequence (e.g. a retransmit loop issuing several
+/// transfers): service sums across requests and the remainder of the
+/// window is queueing.
+struct ReqStats {
+  double wait_ms = 0.0;     ///< time queued before service began
+  double service_ms = 0.0;  ///< pure (scaled) service time
+};
+
+/// What a span's interval was spent on.
+enum class SpanKind : uint8_t {
+  kCpu = 0,     ///< CPU acquisition (queueing + service)
+  kDisk,        ///< disk read/write acquisition (cache hits included)
+  kNet,         ///< network transfer (queueing + wire time + retransmits)
+  kMemory,      ///< waiting for buffer-pool frames
+  kChannel,     ///< blocked on a pipeline channel Put/Get (wake edge to peer)
+  kFaultStall,  ///< stalled waiting for a crashed site to restart
+};
+
+/// One contiguous virtual-time interval attributed to an operator timeline.
+/// An operator process is serial, so the spans of one timeline never
+/// overlap; together they cover every instant the operator was blocked
+/// (between co_awaits no virtual time passes).
+struct Span {
+  int op = -1;              ///< owning timeline: pre-order plan-operator id,
+                            ///< or a synthetic id for a net send/recv process
+  double begin_ms = 0.0;
+  double end_ms = 0.0;
+  SpanKind kind = SpanKind::kCpu;
+  double service_ms = 0.0;  ///< trailing part of the interval that was pure
+                            ///< service; the leading remainder is queueing
+  int site = -1;            ///< site owning the resource (-1: network / none)
+  int peer_op = -1;         ///< kChannel only: the timeline on the other end
+                            ///< of the channel (the causal wake edge)
+};
+
+/// Every span recorded for one query, plus the envelope the critical-path
+/// walk needs. Owned by the executor's per-query state, NOT by ExecMetrics,
+/// so the metrics struct stays bit-identical with capture on or off.
+struct QuerySpans {
+  double start_ms = 0.0;     ///< submit instant (operator processes spawn here)
+  double complete_ms = 0.0;  ///< display-operator completion instant
+  int root_op = 0;           ///< the display operator's timeline id
+  int num_ops = 0;           ///< total timelines (plan ops + synthetic net ops)
+  std::vector<Span> spans;   ///< recording order; per-timeline sorted, disjoint
+};
+
+/// Buckets `q.spans` by owning timeline, preserving recording order (which
+/// per timeline is begin-sorted, since processes are serial). Spans with an
+/// out-of-range op id are dropped.
+std::vector<std::vector<const Span*>> SpansByOp(const QuerySpans& q);
+
+}  // namespace dimsum::sim
+
+#endif  // DIMSUM_SIM_SPAN_H_

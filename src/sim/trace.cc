@@ -38,6 +38,20 @@ void TraceSink::CounterSample(int pid, std::string name, double ts_ms,
                           nullptr, series, value, {}});
 }
 
+void TraceSink::FlowStart(int pid, int tid, std::string name,
+                          const char* category, double ts_ms,
+                          uint64_t flow_id) {
+  events_.push_back(Event{'s', pid, tid, ts_ms, 0.0, std::move(name),
+                          category, nullptr, 0.0, {}, flow_id});
+}
+
+void TraceSink::FlowEnd(int pid, int tid, std::string name,
+                        const char* category, double ts_ms,
+                        uint64_t flow_id) {
+  events_.push_back(Event{'f', pid, tid, ts_ms, 0.0, std::move(name),
+                          category, nullptr, 0.0, {}, flow_id});
+}
+
 namespace {
 
 /// Virtual milliseconds -> trace microseconds.
@@ -59,6 +73,12 @@ void TraceSink::WriteEvent(std::ostream& out, const Event& event) const {
   }
   if (event.phase == 'i') {
     out << ", \"s\": \"t\"";  // instant scope: thread
+  }
+  if (event.phase == 's' || event.phase == 'f') {
+    out << ", \"id\": " << event.flow_id;
+    // Bind the finish end to its enclosing slice so the viewer draws the
+    // arrow into the consumer's span rather than the next slice.
+    if (event.phase == 'f') out << ", \"bp\": \"e\"";
   }
   if (event.phase == 'C') {
     out << ", \"args\": {\"" << JsonEscape(event.series) << "\": ";

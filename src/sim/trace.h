@@ -53,6 +53,14 @@ class TraceSink {
   /// A sampled counter series (rendered as a graph row in the viewer).
   void CounterSample(int pid, std::string name, double ts_ms,
                      const char* series, double value);
+  /// One end of a flow arrow linking two tracks (Perfetto draws an arrow
+  /// from the 's' event to the 'f' event with the same `flow_id`). Used to
+  /// make channel producer->consumer handoffs visible as causal edges.
+  /// The enclosing slice on the same track binds the arrow endpoint.
+  void FlowStart(int pid, int tid, std::string name, const char* category,
+                 double ts_ms, uint64_t flow_id);
+  void FlowEnd(int pid, int tid, std::string name, const char* category,
+               double ts_ms, uint64_t flow_id);
 
   std::size_t num_events() const { return events_.size(); }
 
@@ -66,7 +74,8 @@ class TraceSink {
 
  private:
   struct Event {
-    char phase;        // 'X' complete, 'i' instant, 'C' counter
+    char phase;        // 'X' complete, 'i' instant, 'C' counter,
+                       // 's'/'f' flow start/finish
     int pid;
     int tid;
     double ts_ms;
@@ -76,6 +85,7 @@ class TraceSink {
     const char* series;    // 'C' only
     double value;          // 'C' only
     std::vector<Arg> args;
+    uint64_t flow_id = 0;  // 's'/'f' only
   };
 
   void WriteEvent(std::ostream& out, const Event& event) const;

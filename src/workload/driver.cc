@@ -11,13 +11,63 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "core/bottleneck.h"
+#include "core/critical_path.h"
+#include "opt/cost_cache.h"
 #include "opt/two_step.h"
 #include "plan/binding.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
 
 namespace dimsum {
+
+const char* ToString(ReplicaPolicy policy) {
+  switch (policy) {
+    case ReplicaPolicy::kFirstCopy:
+      return "first-copy";
+    case ReplicaPolicy::kRoundRobin:
+      return "round-robin";
+    case ReplicaPolicy::kLeastOutstanding:
+      return "least-outstanding";
+  }
+  DIMSUM_UNREACHABLE();
+}
+
 namespace {
+
+/// Memoizes plan signature hashes and server fan-outs per submitted plan
+/// while building query-log records (plans repeat across tickets).
+class PlanLogCache {
+ public:
+  PlanLogCache(const Catalog& catalog, int page_bytes)
+      : catalog_(catalog), page_bytes_(page_bytes) {}
+
+  uint64_t Signature(const Plan& plan) {
+    auto [it, inserted] = signatures_.try_emplace(&plan, 0);
+    if (inserted) it->second = HashPlanSignature(PlanSignature(plan));
+    return it->second;
+  }
+  const std::vector<SiteId>& Fanout(const Plan& plan) {
+    auto [it, inserted] = fanouts_.try_emplace(&plan);
+    if (inserted) it->second = BoundServerSites(plan, catalog_, page_bytes_);
+    return it->second;
+  }
+
+ private:
+  const Catalog& catalog_;
+  const int page_bytes_;
+  std::map<const Plan*, uint64_t> signatures_;
+  std::map<const Plan*, std::vector<SiteId>> fanouts_;
+};
+
+/// Folds a query's per-operator elapsed totals into its record.
+void FillResourceTotals(const ExecMetrics& metrics, QueryLogRecord& record) {
+  for (const OperatorActual& actual : metrics.operator_actuals) {
+    record.cpu_elapsed_ms += actual.cpu_ms;
+    record.disk_elapsed_ms += actual.disk_ms;
+    record.net_elapsed_ms += actual.net_ms;
+    record.stall_elapsed_ms += actual.stall_ms;
+  }
+}
 
 /// Submission-time replica selection shared by both drivers. Constructed
 /// only when a balancing policy is requested *and* the catalog holds
@@ -218,6 +268,10 @@ struct RunState {
   /// re-planned tickets keep their pre-existing skip-on-misalignment
   /// attribution behavior).
   std::vector<const Plan*> submitted;
+  /// Per-ticket issue instants (the client started trying, before crash
+  /// retries) and the aborted attempts that preceded the submission.
+  std::vector<double> issue_ms;
+  std::vector<std::vector<QueryLogAttempt>> attempts;
 };
 
 /// One closed-loop client: submit, await completion, think, repeat.
@@ -234,11 +288,18 @@ sim::Process ClientProcess(RunState& run, const ClientWorkload& work,
     if (i > 0 && think_mean_ms > 0.0) {
       co_await sim.Delay(rng.Exponential(think_mean_ms));
     }
+    const double issue_ms = sim.now();
+    std::vector<QueryLogAttempt> attempt_log;
     int attempts = 0;
     sim::FaultState* faults = run.session.faults();
     if (faults != nullptr) {
       double backoff_ms = run.retry.backoff_base_ms;
       while (true) {
+        // The previous attempt's wait ran until this re-check instant.
+        if (!attempt_log.empty() && attempt_log.back().wait_ms == 0.0) {
+          attempt_log.back().wait_ms =
+              sim.now() - attempt_log.back().start_ms;
+        }
         std::vector<SiteId> down;
         for (const SiteId site :
              BoundServerSites(*plan, run.catalog, run.page_bytes)) {
@@ -248,6 +309,7 @@ sim::Process ClientProcess(RunState& run, const ClientWorkload& work,
         // The submission attempt times out against the crashed site.
         ++attempts;
         ++run.result->total_retries;
+        attempt_log.push_back(QueryLogAttempt{sim.now(), 0.0, false});
         co_await sim.Delay(run.retry.detect_timeout_ms);
         if (run.retry.reoptimize && work.reopt_model != nullptr &&
             work.reopt_config != nullptr) {
@@ -257,6 +319,7 @@ sim::Process ClientProcess(RunState& run, const ClientWorkload& work,
           OptimizeResult selected = TwoStepSiteSelection(
               *work.reopt_model, *work.plan, *work.query, reopt, opt_rng);
           ++run.result->total_reopts;
+          attempt_log.back().reoptimized = true;
           auto candidate = std::make_unique<Plan>(std::move(selected.plan));
           BindSites(*candidate, run.catalog, client);
           bool avoids_down = true;
@@ -298,10 +361,14 @@ sim::Process ClientProcess(RunState& run, const ClientWorkload& work,
       run.result->query_client.resize(ticket + 1, kUnboundSite);
       run.result->retries_per_query.resize(ticket + 1, 0);
       run.submitted.resize(ticket + 1, nullptr);
+      run.issue_ms.resize(ticket + 1, 0.0);
+      run.attempts.resize(ticket + 1);
     }
     run.result->query_client[ticket] = client;
     run.result->retries_per_query[ticket] = attempts;
     run.submitted[ticket] = (to_submit != plan) ? to_submit : work.plan;
+    run.issue_ms[ticket] = issue_ms;
+    run.attempts[ticket] = std::move(attempt_log);
     co_await run.session.UntilDone(ticket);
     if (run.balancer != nullptr) {
       run.balancer->OnComplete(to_submit, sim.now() - submit_ms);
@@ -328,7 +395,14 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
       << "warmup must leave at least one measured completion";
 
   DriverResult result;
-  ExecSession session(catalog, config, driver.seed);
+  // Query logging needs spans and actuals; both are pure observation, so
+  // forcing them on the session's config copy leaves results bit-identical.
+  SystemConfig session_config = config;
+  if (driver.collect_query_log) {
+    session_config.collect_spans = true;
+    session_config.collect_operator_actuals = true;
+  }
+  ExecSession session(catalog, session_config, driver.seed);
   session.ExpectQueries(total);
   std::unique_ptr<ReplicaBalancer> balancer =
       MakeBalancer(catalog, driver.replica_policy, config.params.page_bytes,
@@ -359,7 +433,7 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
     result.retransmits += session.Metrics(t).retransmits;
   }
   result.makespan_ms = result.completions.back().complete_ms;
-  if (config.collect_operator_actuals) {
+  if (session_config.collect_operator_actuals) {
     // Attribute each ticket against the plan actually submitted for it
     // (the balanced variant when one was chosen); queries that ran a
     // recovery re-planned tree are skipped by the accumulator (their
@@ -373,6 +447,32 @@ DriverResult RunClosedLoop(const std::vector<ClientWorkload>& clients,
       acc.Add(it->second, result.per_query[t]);
     }
     result.bottleneck = acc.Finish(result.totals, result.makespan_ms);
+  }
+  if (driver.collect_query_log) {
+    const std::string policy = driver.policy_label.empty()
+                                   ? ToString(driver.replica_policy)
+                                   : driver.policy_label;
+    PlanLogCache plans(catalog, config.params.page_bytes);
+    result.query_log.reserve(total);
+    for (const Completion& c : result.completions) {
+      QueryLogRecord record;
+      record.policy = policy;
+      record.ticket = c.ticket;
+      record.client = c.client;
+      const Plan& plan = *run.submitted[c.ticket];
+      record.plan_signature = plans.Signature(plan);
+      record.fanout = plans.Fanout(plan);
+      record.issue_ms = run.issue_ms[c.ticket];
+      record.submit_ms = c.submit_ms;
+      record.complete_ms = c.complete_ms;
+      record.response_ms = c.complete_ms - c.submit_ms;
+      record.attempts = run.attempts[c.ticket];
+      FillResourceTotals(result.per_query[c.ticket], record);
+      const sim::QuerySpans* spans = session.Spans(c.ticket);
+      DIMSUM_CHECK(spans != nullptr);
+      record.path = ExtractCriticalPath(*spans);
+      result.query_log.push_back(std::move(record));
+    }
   }
   result.abort_rate =
       static_cast<double>(result.total_retries) /
@@ -477,6 +577,17 @@ struct OpenLoopState {
   ReplicaBalancer* balancer = nullptr;
   /// Plan actually submitted for each ticket (for bottleneck attribution).
   std::vector<const Plan*> submitted;
+
+  /// Query-log collection (OpenLoopConfig::collect_query_log): arrivals
+  /// turned away, recorded at their rejection instants.
+  bool collect_log = false;
+  struct Rejected {
+    double arrival_ms;
+    double reject_ms;
+    SiteId client;
+  };
+  std::vector<Rejected> aborted_log;
+  std::vector<Rejected> shed_log;
 };
 
 sim::Process OpenLoopQuery(OpenLoopState& state, int client_index,
@@ -512,6 +623,9 @@ void OpenLoopAdmit(OpenLoopState& state, int client_index) {
     return;
   }
   ++state.result->shed;
+  if (state.collect_log) {
+    state.shed_log.push_back({now, now, ClientSite(client_index)});
+  }
 }
 
 /// One open-loop query: submit, await completion, record, then hand the
@@ -548,6 +662,10 @@ sim::Process OpenLoopQuery(OpenLoopState& state, int client_index,
     if (ac.abort_wait_ms > 0.0 &&
         sim.now() - next.arrival_ms > ac.abort_wait_ms) {
       ++state.result->aborted;
+      if (state.collect_log) {
+        state.aborted_log.push_back(
+            {next.arrival_ms, sim.now(), ClientSite(next.client_index)});
+      }
       continue;
     }
     OpenLoopDispatch(state, next.client_index, next.arrival_ms);
@@ -667,13 +785,21 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
 
   OpenLoopResult result;
   // The shed count is only known at the end, so the session's completion
-  // target grows dynamically with each Submit (no ExpectQueries).
-  ExecSession session(catalog, config, openloop.seed);
+  // target grows dynamically with each Submit (no ExpectQueries). Query
+  // logging needs spans and actuals; both are pure observation, so forcing
+  // them on the session's config copy leaves results bit-identical.
+  SystemConfig session_config = config;
+  if (openloop.collect_query_log) {
+    session_config.collect_spans = true;
+    session_config.collect_operator_actuals = true;
+  }
+  ExecSession session(catalog, session_config, openloop.seed);
   std::unique_ptr<ReplicaBalancer> balancer =
       MakeBalancer(catalog, openloop.replica_policy, config.params.page_bytes,
                    config.num_sites());
   OpenLoopState state{session, clients, openloop.admission, &result,
                       {},      0,       balancer.get(),     {}};
+  state.collect_log = openloop.collect_query_log;
   if (config.telemetry != nullptr) {
     // Admission-control gauges ride the sampler's existing boundaries on
     // their own "driver" track (one past the network pid). Pure reads of
@@ -713,6 +839,12 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
   // Pending arrivals that never got a slot before the run drained count as
   // aborted (they were admitted but never executed).
   result.aborted += static_cast<int64_t>(state.pending.size());
+  if (state.collect_log) {
+    for (const OpenLoopState::PendingArrival& p : state.pending) {
+      state.aborted_log.push_back(
+          {p.arrival_ms, session.sim().now(), ClientSite(p.client_index)});
+    }
+  }
 
   result.totals = session.Totals();
   const int total = session.submitted();
@@ -722,7 +854,7 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
   }
   result.makespan_ms =
       result.completions.empty() ? 0.0 : result.completions.back().complete_ms;
-  if (config.collect_operator_actuals) {
+  if (session_config.collect_operator_actuals) {
     std::map<const Plan*, std::vector<SiteId>> op_sites;
     BottleneckAccumulator acc;
     for (const OpenLoopCompletion& c : result.completions) {
@@ -732,6 +864,66 @@ OpenLoopResult RunOpenLoop(const std::vector<ClientWorkload>& clients,
       acc.Add(it->second, result.per_query[c.ticket]);
     }
     result.bottleneck = acc.Finish(result.totals, result.makespan_ms);
+  }
+  if (openloop.collect_query_log) {
+    const std::string policy = openloop.policy_label.empty()
+                                   ? ToString(openloop.replica_policy)
+                                   : openloop.policy_label;
+    PlanLogCache plans(catalog, config.params.page_bytes);
+    result.query_log.reserve(result.completions.size() +
+                             state.aborted_log.size() +
+                             state.shed_log.size());
+    for (const OpenLoopCompletion& c : result.completions) {
+      QueryLogRecord record;
+      record.policy = policy;
+      record.ticket = c.ticket;
+      record.client = c.client;
+      const Plan& plan = *state.submitted[c.ticket];
+      record.plan_signature = plans.Signature(plan);
+      record.fanout = plans.Fanout(plan);
+      record.issue_ms = c.arrival_ms;
+      record.submit_ms = c.submit_ms;
+      record.complete_ms = c.complete_ms;
+      record.response_ms = c.complete_ms - c.arrival_ms;
+      FillResourceTotals(result.per_query[c.ticket], record);
+      const sim::QuerySpans* spans = session.Spans(c.ticket);
+      DIMSUM_CHECK(spans != nullptr);
+      record.path = ExtractCriticalPath(*spans);
+      // The admission wait (arrival -> dispatch) precedes execution; with
+      // it the segments tile [arrival, complete], so they sum to the
+      // open-loop response time.
+      if (c.submit_ms > c.arrival_ms) {
+        record.path.segments.insert(
+            record.path.segments.begin(),
+            PathSegment{PathKind::kAdmission, true, kUnboundSite,
+                        c.submit_ms - c.arrival_ms});
+      }
+      record.path.total_ms = record.response_ms;
+      result.query_log.push_back(std::move(record));
+    }
+    auto rejected = [&](const OpenLoopState::Rejected& r,
+                        const char* outcome) {
+      QueryLogRecord record;
+      record.policy = policy;
+      record.client = r.client;
+      record.outcome = outcome;
+      record.issue_ms = r.arrival_ms;
+      record.submit_ms = r.reject_ms;
+      record.complete_ms = r.reject_ms;
+      record.response_ms = r.reject_ms - r.arrival_ms;
+      record.path.total_ms = record.response_ms;
+      if (record.response_ms > 0.0) {
+        record.path.segments.push_back(PathSegment{
+            PathKind::kAdmission, true, kUnboundSite, record.response_ms});
+      }
+      result.query_log.push_back(std::move(record));
+    };
+    for (const OpenLoopState::Rejected& r : state.aborted_log) {
+      rejected(r, "aborted");
+    }
+    for (const OpenLoopState::Rejected& r : state.shed_log) {
+      rejected(r, "shed");
+    }
   }
   result.offered_qps = result.arrivals / openloop.duration_ms * 1000.0;
   result.processed_events = session.sim().processed_events();

@@ -13,6 +13,7 @@
 #include "exec/runtime.h"
 #include "plan/plan.h"
 #include "plan/query.h"
+#include "workload/querylog.h"
 
 namespace dimsum {
 
@@ -82,6 +83,9 @@ enum class ReplicaPolicy {
   kLeastOutstanding,
 };
 
+/// "first-copy", "round-robin", or "least-outstanding".
+const char* ToString(ReplicaPolicy policy);
+
 /// Parameters of a closed-loop multi-client run.
 struct DriverConfig {
   /// Completions each client contributes before retiring.
@@ -105,6 +109,14 @@ struct DriverConfig {
   /// submissions are rewritten copies of the client's plan; recovery
   /// re-planned trees are submitted as-is.
   ReplicaPolicy replica_policy = ReplicaPolicy::kFirstCopy;
+  /// Emit one wide-event record per query (DriverResult::query_log,
+  /// workload/querylog.h). Forces span and actuals collection on the run's
+  /// SystemConfig copy -- both are pure observation, so simulation results
+  /// are unchanged (bit-identical; asserted by tests).
+  bool collect_query_log = false;
+  /// Policy label stamped into query-log records; empty uses
+  /// ToString(replica_policy).
+  std::string policy_label;
 };
 
 /// One completed query, in global completion order.
@@ -133,6 +145,10 @@ struct DriverResult {
   /// a recovery re-planned tree are skipped (their actuals no longer align
   /// with the submitted plan).
   BottleneckReport bottleneck;
+  /// Wide-event records in global completion order; populated only when
+  /// DriverConfig::collect_query_log is set. response_ms runs from submit
+  /// (the closed loop's metric); crash retries are surfaced per attempt.
+  std::vector<QueryLogRecord> query_log;
 
   // --- Steady-state estimates over the post-warmup window ---
   /// End of the warmup window: completion time of the last discarded
@@ -257,6 +273,15 @@ struct OpenLoopConfig {
   uint64_t seed = 0;
   /// Submission-time replica selection (see ReplicaPolicy).
   ReplicaPolicy replica_policy = ReplicaPolicy::kFirstCopy;
+  /// Emit one wide-event record per arrival (OpenLoopResult::query_log):
+  /// completed queries carry their critical path plus an "admission"
+  /// segment for the arrival -> dispatch wait; aborted and shed arrivals
+  /// get records too. Forces span and actuals collection (pure
+  /// observation; results bit-identical).
+  bool collect_query_log = false;
+  /// Policy label stamped into query-log records; empty uses
+  /// ToString(replica_policy).
+  std::string policy_label;
 };
 
 /// One completed open-loop query, in global completion order. Response
@@ -294,6 +319,11 @@ struct OpenLoopResult {
   /// SystemConfig set collect_operator_actuals: names the dominant
   /// (resource, site, queueing-vs-service) triple of the whole run.
   BottleneckReport bottleneck;
+  /// Wide-event records, populated only when
+  /// OpenLoopConfig::collect_query_log is set: completed queries first (in
+  /// completion order, response measured from arrival), then aborted
+  /// arrivals, then shed arrivals (each in event order).
+  std::vector<QueryLogRecord> query_log;
 
   // --- Steady-state estimates over the post-warmup window ---
   double warmup_end_ms = 0.0;

@@ -1,0 +1,292 @@
+// Wide-event query log: both drivers must emit one well-formed
+// dimsum.querylog.v1 record per query whose critical-path segments sum to
+// the query's response time, collection must never perturb the run, the
+// serialization must be byte-stable, and the edge cases -- admission
+// waits, shed/aborted arrivals, crash retries, all-pruned shard plans --
+// must all yield coherent records.
+
+#include "workload/querylog.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "plan/binding.h"
+#include "plan/plan.h"
+#include "plan/shard.h"
+#include "sim/fault.h"
+#include "workload/driver.h"
+
+namespace dimsum {
+namespace {
+
+constexpr int kClients = 4;
+
+Catalog OneServerCatalog(int relations = 1) {
+  Catalog catalog(kClients);
+  for (int i = 0; i < relations; ++i) {
+    catalog.AddRelation("R" + std::to_string(i), 2000, 100);
+    catalog.PlaceRelation(i, ServerSite(0, kClients));
+  }
+  return catalog;
+}
+
+struct Workload {
+  Catalog catalog;
+  SystemConfig config;
+  std::vector<Plan> plans;
+  std::vector<QueryGraph> queries;
+  std::vector<ClientWorkload> clients;
+
+  explicit Workload(Catalog cat) : catalog(std::move(cat)) {
+    config.num_clients = kClients;
+    config.num_servers = 1;
+    config.params.buf_alloc = BufAlloc::kMaximum;
+  }
+
+  void AddScanClients() {
+    plans.reserve(kClients);
+    queries.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      queries.push_back(QueryGraph::Chain({0}));
+      queries.back().home_client = ClientSite(c);
+      plans.emplace_back(
+          MakeDisplay(MakeScan(0, SiteAnnotation::kPrimaryCopy)));
+      BindSites(plans.back(), catalog, ClientSite(c));
+    }
+    for (int c = 0; c < kClients; ++c) {
+      clients.push_back(ClientWorkload{&plans[c], &queries[c]});
+    }
+  }
+};
+
+DriverConfig ClosedConfig(bool log) {
+  DriverConfig driver;
+  driver.queries_per_client = 3;
+  driver.think_time_mean_ms = 200.0;
+  driver.warmup_queries = 0;
+  driver.seed = 11;
+  driver.collect_query_log = log;
+  return driver;
+}
+
+double SegmentSum(const QueryLogRecord& record) {
+  double sum = 0.0;
+  for (const PathSegment& s : record.path.segments) sum += s.ms;
+  return sum;
+}
+
+void ExpectWellFormed(const QueryLogRecord& record) {
+  std::string error;
+  const auto doc = JsonValue::Parse(QueryLogJson(record), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("schema")->string_value(), "dimsum.querylog.v1");
+  EXPECT_EQ(doc->Find("plan_signature")->string_value().size(), 16u);
+  EXPECT_EQ(doc->Find("critical_path")->Find("segments")->array_items().size(),
+            record.path.segments.size());
+}
+
+TEST(QueryLogTest, ClosedLoopEmitsOneCoherentRecordPerCompletion) {
+  Workload w(OneServerCatalog());
+  w.AddScanClients();
+  const DriverResult result =
+      RunClosedLoop(w.clients, w.catalog, w.config, ClosedConfig(true));
+  ASSERT_EQ(result.query_log.size(), result.completions.size());
+  for (std::size_t i = 0; i < result.query_log.size(); ++i) {
+    const QueryLogRecord& record = result.query_log[i];
+    const Completion& c = result.completions[i];
+    EXPECT_EQ(record.outcome, "ok");
+    EXPECT_EQ(record.ticket, c.ticket);
+    EXPECT_EQ(record.client, c.client);
+    EXPECT_EQ(record.policy, "first-copy");
+    EXPECT_NE(record.plan_signature, 0u);
+    EXPECT_EQ(record.fanout, std::vector<SiteId>{ServerSite(0, kClients)});
+    EXPECT_NEAR(record.response_ms, c.complete_ms - c.submit_ms, 1e-12);
+    EXPECT_NEAR(record.path.total_ms, record.response_ms, 1e-9);
+    EXPECT_NEAR(SegmentSum(record), record.response_ms, 1e-6);
+    EXPECT_GT(record.disk_elapsed_ms + record.cpu_elapsed_ms, 0.0);
+    EXPECT_TRUE(record.attempts.empty());  // healthy run: no retries
+    ExpectWellFormed(record);
+  }
+}
+
+TEST(QueryLogTest, CollectionDoesNotPerturbTheRun) {
+  Workload w(OneServerCatalog());
+  w.AddScanClients();
+  const DriverResult off =
+      RunClosedLoop(w.clients, w.catalog, w.config, ClosedConfig(false));
+  const DriverResult on =
+      RunClosedLoop(w.clients, w.catalog, w.config, ClosedConfig(true));
+  EXPECT_TRUE(off.query_log.empty());
+  ASSERT_EQ(off.completions.size(), on.completions.size());
+  for (std::size_t i = 0; i < off.completions.size(); ++i) {
+    EXPECT_EQ(off.completions[i].ticket, on.completions[i].ticket);
+    EXPECT_EQ(off.completions[i].submit_ms, on.completions[i].submit_ms);
+    EXPECT_EQ(off.completions[i].complete_ms, on.completions[i].complete_ms);
+  }
+  EXPECT_EQ(off.makespan_ms, on.makespan_ms);
+  EXPECT_EQ(off.throughput_qps, on.throughput_qps);
+  EXPECT_EQ(off.mean_response_ms, on.mean_response_ms);
+}
+
+TEST(QueryLogTest, SerializationIsByteStableAcrossIdenticalRuns) {
+  Workload w(OneServerCatalog());
+  w.AddScanClients();
+  const DriverResult a =
+      RunClosedLoop(w.clients, w.catalog, w.config, ClosedConfig(true));
+  const DriverResult b =
+      RunClosedLoop(w.clients, w.catalog, w.config, ClosedConfig(true));
+  ASSERT_EQ(a.query_log.size(), b.query_log.size());
+  for (std::size_t i = 0; i < a.query_log.size(); ++i) {
+    EXPECT_EQ(QueryLogJson(a.query_log[i]), QueryLogJson(b.query_log[i]));
+  }
+}
+
+OpenLoopConfig OpenConfig(double rate_qps) {
+  OpenLoopConfig openloop;
+  openloop.arrival.kind = ArrivalKind::kPoisson;
+  openloop.arrival.rate_per_sec = rate_qps;
+  openloop.duration_ms = 4'000.0;
+  openloop.num_batches = 2;
+  openloop.seed = 7;
+  openloop.collect_query_log = true;
+  return openloop;
+}
+
+TEST(QueryLogTest, OpenLoopSurfacesAdmissionWaitAsASegment) {
+  Workload w(OneServerCatalog());
+  w.AddScanClients();
+  OpenLoopConfig openloop = OpenConfig(20.0);
+  openloop.admission.max_in_flight = 1;  // force a pending queue
+  openloop.admission.max_pending = 100000;
+  const OpenLoopResult result =
+      RunOpenLoop(w.clients, w.catalog, w.config, openloop);
+  ASSERT_GT(result.completed, 0);
+  int with_admission = 0;
+  for (const QueryLogRecord& record : result.query_log) {
+    if (record.outcome != "ok") continue;
+    // Open-loop response runs from the arrival instant.
+    EXPECT_NEAR(record.response_ms, record.complete_ms - record.issue_ms,
+                1e-12);
+    EXPECT_NEAR(SegmentSum(record), record.response_ms, 1e-6);
+    if (!record.path.segments.empty() &&
+        record.path.segments.front().kind == PathKind::kAdmission) {
+      ++with_admission;
+      EXPECT_TRUE(record.path.segments.front().queueing);
+      EXPECT_NEAR(record.path.segments.front().ms,
+                  record.submit_ms - record.issue_ms, 1e-9);
+    }
+    ExpectWellFormed(record);
+  }
+  EXPECT_GT(with_admission, 0);
+}
+
+TEST(QueryLogTest, OpenLoopRecordsShedAndAbortedArrivals) {
+  Workload w(OneServerCatalog());
+  w.AddScanClients();
+  OpenLoopConfig openloop = OpenConfig(200.0);
+  openloop.admission.max_in_flight = 1;
+  openloop.admission.max_pending = 3;
+  openloop.admission.abort_wait_ms = 1.0;
+  const OpenLoopResult result =
+      RunOpenLoop(w.clients, w.catalog, w.config, openloop);
+  EXPECT_GT(result.shed, 0);
+  EXPECT_GT(result.aborted, 0);
+  EXPECT_EQ(static_cast<int64_t>(result.query_log.size()),
+            result.completed + result.aborted + result.shed);
+  int64_t shed = 0, aborted = 0;
+  for (const QueryLogRecord& record : result.query_log) {
+    if (record.outcome == "ok") continue;
+    if (record.outcome == "shed") ++shed;
+    if (record.outcome == "aborted") ++aborted;
+    // Rejected arrivals never submitted a plan: no signature, no fanout,
+    // and their whole (possibly zero) lifetime is admission queueing.
+    EXPECT_EQ(record.plan_signature, 0u);
+    EXPECT_TRUE(record.fanout.empty());
+    EXPECT_LE(record.path.segments.size(), 1u);
+    EXPECT_NEAR(SegmentSum(record), record.response_ms, 1e-9);
+    ExpectWellFormed(record);
+  }
+  EXPECT_EQ(shed, result.shed);
+  EXPECT_EQ(aborted, result.aborted);
+}
+
+TEST(QueryLogTest, CrashRetriesSurfaceAsAttempts) {
+  Workload w(OneServerCatalog());
+  w.AddScanClients();
+  // The server is down at the first submission instant, so every client's
+  // first attempt times out and retries.
+  const std::string spec =
+      "crash:site=" + std::to_string(ServerSite(0, kClients)) +
+      ",at=0,for=2000";
+  sim::FaultSchedule faults = sim::ParseFaultSpec(spec);
+  w.config.faults = &faults;
+  DriverConfig driver = ClosedConfig(true);
+  driver.queries_per_client = 1;
+  const DriverResult result =
+      RunClosedLoop(w.clients, w.catalog, w.config, driver);
+  EXPECT_GT(result.total_retries, 0);
+  int with_attempts = 0;
+  for (const QueryLogRecord& record : result.query_log) {
+    if (record.attempts.empty()) continue;
+    ++with_attempts;
+    for (const QueryLogAttempt& attempt : record.attempts) {
+      EXPECT_GE(attempt.start_ms, record.issue_ms);
+      EXPECT_GT(attempt.wait_ms, 0.0);
+      EXPECT_LE(attempt.start_ms + attempt.wait_ms, record.submit_ms + 1e-9);
+    }
+    // Response still runs from the successful submission.
+    EXPECT_NEAR(record.response_ms, record.complete_ms - record.submit_ms,
+                1e-12);
+    EXPECT_NEAR(SegmentSum(record), record.response_ms, 1e-6);
+    ExpectWellFormed(record);
+  }
+  EXPECT_GT(with_attempts, 0);
+}
+
+TEST(QueryLogTest, AllPrunedShardScanStillYieldsACoherentRecord) {
+  Catalog catalog(kClients);
+  catalog.AddRelation("R0", 2000, 100);
+  catalog.ShardRelation(
+      0, {ServerSite(0, kClients), ServerSite(0, kClients) + 1},
+      ShardScheme::kRange);
+  Workload w(std::move(catalog));
+  w.config.num_servers = 2;
+  w.plans.reserve(kClients);
+  w.queries.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    w.queries.push_back(QueryGraph::Chain({0}));
+    w.queries.back().home_client = ClientSite(c);
+    Plan logical(MakeDisplay(MakeScan(0, SiteAnnotation::kPrimaryCopy)));
+    // Empty key restriction: every shard is pruned and the expansion
+    // keeps one empty fragment.
+    logical.ForEachMutable([](PlanNode& node) {
+      if (node.type == OpType::kScan) {
+        node.key_lo = 0.5;
+        node.key_hi = 0.5;
+      }
+    });
+    w.plans.emplace_back(ExpandShards(logical, w.catalog));
+    BindSites(w.plans.back(), w.catalog, ClientSite(c));
+  }
+  for (int c = 0; c < kClients; ++c) {
+    w.clients.push_back(ClientWorkload{&w.plans[c], &w.queries[c]});
+  }
+  DriverConfig driver = ClosedConfig(true);
+  driver.queries_per_client = 1;
+  const DriverResult result =
+      RunClosedLoop(w.clients, w.catalog, w.config, driver);
+  ASSERT_EQ(result.query_log.size(), result.completions.size());
+  for (const QueryLogRecord& record : result.query_log) {
+    EXPECT_EQ(record.outcome, "ok");
+    EXPECT_NE(record.plan_signature, 0u);
+    EXPECT_NEAR(SegmentSum(record), record.response_ms, 1e-6);
+    ExpectWellFormed(record);
+  }
+}
+
+}  // namespace
+}  // namespace dimsum

@@ -74,6 +74,12 @@ SCHEMAS = {
         "arrivals", "dispatched", "shed", "aborted", "peak_in_flight",
         "peak_pending", "server_disk_queueing_share", "bottleneck",
     }),
+    "BENCH_taillat.json": ("dimsum.bench.taillat.v1", {
+        "policy", "rate_qps", "clients", "shards", "replicas", "arrival",
+        "offered_qps", "throughput_qps", "mean_response_ms", "completed",
+        "shed", "aborted", "p50_band_ms", "p99_band_ms", "gap_ms",
+        "explained_ms", "explained_share", "top_label", "top_delta_ms",
+    }),
 }
 
 METRICS_KEYS = {"counters", "gauges", "histograms"}

@@ -15,6 +15,7 @@
 #   openloop       open-loop arrival driver smoke
 #   scaleout       replica scale-out sweep + monotonicity assert
 #   sharding       sharding-vs-replication acceptance + unsharded CLI diff
+#   taillat        tail-latency observatory sweep + attribution gate
 #   queue-diff     calendar-vs-heap event queue bitwise output diff
 #   check          validate every BENCH_*.json artifact structure
 #   perf           gate BENCH_*.json against committed baselines
@@ -178,6 +179,34 @@ suite_sharding() {
     --shard-scheme=hash > /dev/null
 }
 
+suite_taillat() {
+  # ext_taillat exits non-zero unless the per-query critical-path
+  # decomposition explains >= 80% of the p99-p50 gap at the top arrival
+  # rate for every replica policy -- the attribution gate itself.
+  DIMSUM_METRICS=BENCH_taillat.metrics.json ./bench/ext_taillat --smoke
+  python3 -c "import json; json.load(open('BENCH_taillat.json'))"
+  python3 -c "import json; json.load(open('BENCH_taillat.metrics.json'))"
+  # The same gate, recomputed independently from the raw query log by the
+  # offline report.
+  python3 "$REPO_ROOT/tools/tail_report.py" --assert-share 0.8 \
+    BENCH_taillat.querylog.jsonl | summary
+  # Query-log capture must not perturb the run: CLI output is identical
+  # with and without --query-log (modulo the one status line), and the
+  # record itself is bitwise invariant under the event-queue kind.
+  ./tools/dimsum_cli --policy=hy --metric=time --relations=6 --servers=3 \
+    --cached=0.25 > cli.nolog.txt
+  ./tools/dimsum_cli --policy=hy --metric=time --relations=6 --servers=3 \
+    --cached=0.25 --query-log=ql.calendar.jsonl > cli.log.txt
+  diff cli.nolog.txt \
+    <(grep -v '^query log:' cli.log.txt | sed -e '${/^$/d}')
+  echo "CLI output identical with and without --query-log"
+  DIMSUM_EVENT_QUEUE=heap ./tools/dimsum_cli --policy=hy --metric=time \
+    --relations=6 --servers=3 --cached=0.25 \
+    --query-log=ql.heap.jsonl > /dev/null
+  diff ql.calendar.jsonl ql.heap.jsonl
+  echo "query-log record bitwise identical across event-queue kinds"
+}
+
 suite_queue_diff() {
   # The two event-queue implementations must order the entire simulation
   # identically: Figure 8 output is compared bitwise.
@@ -194,7 +223,8 @@ suite_check() {
     BENCH_calibration.json BENCH_kernel.json \
     BENCH_openloop.json BENCH_openloop.metrics.json \
     BENCH_scaleout.json BENCH_scaleout.metrics.json \
-    BENCH_sharding.json BENCH_sharding.metrics.json
+    BENCH_sharding.json BENCH_sharding.metrics.json \
+    BENCH_taillat.json BENCH_taillat.metrics.json
 }
 
 suite_perf() {
@@ -208,14 +238,14 @@ suite_perf() {
     BENCH_optimizer.json BENCH_observability.json \
     BENCH_calibration.json BENCH_multiclient.json \
     BENCH_faults.json BENCH_kernel.json BENCH_openloop.json \
-    BENCH_scaleout.json BENCH_sharding.json | summary
+    BENCH_scaleout.json BENCH_sharding.json BENCH_taillat.json | summary
 }
 
 ALL_SUITES=(threads observability explain multiclient faults kernel
-            openloop scaleout sharding queue-diff check perf)
+            openloop scaleout sharding taillat queue-diff check perf)
 
 usage() {
-  sed -n '2,28p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,29p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 suites=()

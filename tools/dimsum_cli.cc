@@ -15,16 +15,20 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "core/critical_path.h"
 #include "core/report.h"
 #include "core/system.h"
 #include "cost/response_time.h"
 #include "exec/metrics.h"
+#include "opt/cost_cache.h"
+#include "plan/binding.h"
 #include "plan/printer.h"
 #include "sim/fault.h"
 #include "sim/telemetry.h"
 #include "sim/trace.h"
 #include "workload/benchmark.h"
 #include "workload/driver.h"
+#include "workload/querylog.h"
 
 namespace dimsum {
 namespace {
@@ -62,6 +66,10 @@ struct CliOptions {
   /// Metrics snapshot JSON output path ("" = no metrics). Falls back to
   /// the DIMSUM_METRICS environment variable.
   std::string metrics_file;
+  /// Wide-event query-log JSONL output path ("" = no log). Falls back to
+  /// the DIMSUM_QUERY_LOG environment variable. The single-query run emits
+  /// one dimsum.querylog.v1 record with the critical-path decomposition.
+  std::string query_log_file;
   /// Fault-injection spec ("" = healthy). Falls back to the DIMSUM_FAULTS
   /// environment variable. See sim/fault.h for the grammar.
   std::string faults_spec;
@@ -153,6 +161,12 @@ void PrintUsage() {
       "  --metrics=FILE           write a metrics snapshot JSON (optimizer\n"
       "                           move counters, disk/network histograms);\n"
       "                           env fallback DIMSUM_METRICS\n"
+      "  --query-log=FILE         write one dimsum.querylog.v1 JSON record\n"
+      "                           for the query: plan signature, server\n"
+      "                           fan-out, per-resource split, and the\n"
+      "                           critical-path decomposition of response\n"
+      "                           time; collection never perturbs the\n"
+      "                           simulation; env fallback DIMSUM_QUERY_LOG\n"
       "  --explain[=text|json]    EXPLAIN ANALYZE: per-operator estimated\n"
       "                           vs simulated cost attribution. text\n"
       "                           (default) appends an annotated plan tree\n"
@@ -265,6 +279,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->trace_file = value;
     } else if (ParseFlag(arg, "metrics", &value)) {
       options->metrics_file = value;
+    } else if (arg == "--query-log" || ParseFlag(arg, "query-log", &value)) {
+      if (value.empty()) {
+        std::cerr << "--query-log requires a file path\n";
+        return false;
+      }
+      options->query_log_file = value;
     } else if (ParseFlag(arg, "faults", &value)) {
       options->faults_spec = value;
     } else if (ParseFlag(arg, "telemetry-out", &value)) {
@@ -330,6 +350,9 @@ int RunCli(const CliOptions& options) {
   const std::string faults_spec = !options.faults_spec.empty()
                                       ? options.faults_spec
                                       : EnvPath("DIMSUM_FAULTS");
+  const std::string query_log_file = !options.query_log_file.empty()
+                                         ? options.query_log_file
+                                         : EnvPath("DIMSUM_QUERY_LOG");
   ExplainMode explain = ExplainMode::kOff;
   if (options.explain_set) {
     explain = options.explain;
@@ -406,6 +429,12 @@ int RunCli(const CliOptions& options) {
     // clock reads never schedule a simulation event.
     config.collect_operator_actuals = true;
     config.collect_histograms = true;
+  }
+  if (!query_log_file.empty()) {
+    // Span capture and operator actuals are both pure observation (clock
+    // reads and memory writes only), so the run stays bit-identical.
+    config.collect_spans = true;
+    config.collect_operator_actuals = true;
   }
   ClientServerSystem system(std::move(workload.catalog), config);
   auto result = system.Run(workload.query, options.policy, options.metric,
@@ -493,6 +522,35 @@ int RunCli(const CliOptions& options) {
                 << metrics_file << "\n";
     } else {
       std::cerr << "cannot write metrics file: " << metrics_file << "\n";
+      return 1;
+    }
+  }
+  if (!query_log_file.empty()) {
+    QueryLogRecord record;
+    record.policy = ToString(options.replica_policy);
+    record.ticket = 0;
+    record.client = workload.query.home_client;
+    record.plan_signature =
+        HashPlanSignature(PlanSignature(result.optimize.plan));
+    record.fanout = BoundServerSites(result.optimize.plan, system.catalog(),
+                                     system.config().params.page_bytes);
+    record.issue_ms = 0.0;
+    record.submit_ms = 0.0;
+    record.complete_ms = result.execute.response_ms;
+    record.response_ms = result.execute.response_ms;
+    for (const OperatorActual& actual : result.execute.operator_actuals) {
+      record.cpu_elapsed_ms += actual.cpu_ms;
+      record.disk_elapsed_ms += actual.disk_ms;
+      record.net_elapsed_ms += actual.net_ms;
+      record.stall_elapsed_ms += actual.stall_ms;
+    }
+    record.path = ExtractCriticalPath(result.spans);
+    if (WriteQueryLogFile(query_log_file, {record})) {
+      txt << (trace_file.empty() && metrics_file.empty() ? "\n" : "")
+          << "query log: " << query_log_file << " ("
+          << record.path.segments.size() << " critical-path segments)\n";
+    } else {
+      std::cerr << "cannot write query log file: " << query_log_file << "\n";
       return 1;
     }
   }

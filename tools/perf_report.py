@@ -55,6 +55,11 @@ GATES = {
         "deterministic": ["throughput_qps", "mean_response_ms"],
         "wallclock": [],
     },
+    "BENCH_taillat.json": {
+        "key": ("policy", "rate_qps"),
+        "deterministic": ["throughput_qps", "mean_response_ms"],
+        "wallclock": [],
+    },
     "BENCH_multiclient.json": {
         "key": ("policy", "clients"),
         "deterministic": ["throughput_qps", "mean_response_ms"],

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Tail-latency observatory: explain the p99 from a dimsum query log.
+
+Usage: tail_report.py [--assert-share S] [--policy NAME] LOG.jsonl [...]
+
+Input is one or more dimsum.querylog.v1 JSONL files (bench/ext_taillat
+writes one; dimsum_cli --query-log writes single records). Every completed
+record carries its critical-path decomposition: named segments (cpu/disk/
+net x queueing/service per site, memory, fault-stall, admission) that tile
+the query's response time exactly. That makes the tail mechanically
+explainable: this script groups records by replica policy and, per group,
+
+  1. prints the response-time percentile ladder of completed queries
+     (p10/p50/p90/p99/max) plus the aborted/shed counts, and
+  2. diffs the mean per-segment composition of the p99 band (top 1% of
+     responses) against the p50 band (middle decile), attributing the
+     p99-vs-p50 gap to named segments.
+
+Because segments sum to response time, the signed per-label deltas sum to
+the gap exactly; the *explained share* reported is the sum of positive
+deltas of named (non-"untracked") labels over the gap. With
+--assert-share S the script exits non-zero when any group with a
+meaningful gap (>= 1 ms, >= 20 completions) explains less than S of it --
+the CI gate that the decomposition accounts for the tail.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+MIN_GAP_MS = 1.0
+MIN_COMPLETED = 20
+MAX_ROWS = 14
+
+
+def load_records(paths):
+    records = []
+    for path in paths:
+        with open(path) as f:
+            for i, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise ValueError(f"{path}:{i}: malformed JSON: {e}")
+                if record.get("schema") != "dimsum.querylog.v1":
+                    raise ValueError(
+                        f"{path}:{i}: not a dimsum.querylog.v1 record")
+                records.append(record)
+    return records
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def segment_profile(records):
+    """Mean milliseconds per critical-path label over the records."""
+    profile = defaultdict(float)
+    for record in records:
+        for segment in record["critical_path"]["segments"]:
+            profile[segment["label"]] += segment["ms"]
+    return {label: ms / len(records) for label, ms in profile.items()}
+
+
+def analyze_group(policy, records):
+    ok = sorted((r for r in records if r["outcome"] == "ok"),
+                key=lambda r: r["response_ms"])
+    aborted = sum(1 for r in records if r["outcome"] == "aborted")
+    shed = sum(1 for r in records if r["outcome"] == "shed")
+    print(f"== policy {policy}: {len(ok)} completed, "
+          f"{aborted} aborted, {shed} shed ==")
+    if not ok:
+        print("  (no completed queries)\n")
+        return None
+    responses = [r["response_ms"] for r in ok]
+    ladder = [(f"p{int(q * 100)}", percentile(responses, q))
+              for q in (0.10, 0.50, 0.90, 0.99)]
+    ladder.append(("max", responses[-1]))
+    print("  response ms: " +
+          "  ".join(f"{name}={ms:.1f}" for name, ms in ladder))
+    if len(ok) < MIN_COMPLETED:
+        print(f"  fewer than {MIN_COMPLETED} completions; "
+              "skipping composition diff\n")
+        return None
+
+    n = len(ok)
+    p50_band = ok[int(0.45 * n):max(int(0.45 * n) + 1, int(0.55 * n))]
+    p99_band = ok[min(n - 1, int(0.99 * n)):]
+    p50_mean = sum(r["response_ms"] for r in p50_band) / len(p50_band)
+    p99_mean = sum(r["response_ms"] for r in p99_band) / len(p99_band)
+    gap = p99_mean - p50_mean
+    base = segment_profile(p50_band)
+    tail = segment_profile(p99_band)
+
+    print(f"  p50 band {p50_mean:.1f} ms ({len(p50_band)} queries) vs "
+          f"p99 band {p99_mean:.1f} ms ({len(p99_band)} queries): "
+          f"gap {gap:.1f} ms")
+    deltas = sorted(
+        ((label, tail.get(label, 0.0) - base.get(label, 0.0))
+         for label in set(base) | set(tail)),
+        key=lambda kv: -abs(kv[1]))
+    explained = 0.0
+    print(f"  {'segment':<22} {'p50 ms':>10} {'p99 ms':>10} "
+          f"{'delta':>10} {'of gap':>8}")
+    shown = 0
+    rest_delta = 0.0
+    rest_labels = 0
+    for label, delta in deltas:
+        if label != "untracked" and delta > 0:
+            explained += delta
+        if abs(delta) < 1e-9 and tail.get(label, 0.0) < 1e-9:
+            continue
+        # The long tail of per-site slivers adds noise, not signal; fold
+        # everything past the top rows into one remainder line.
+        if shown >= MAX_ROWS:
+            rest_delta += delta
+            rest_labels += 1
+            continue
+        shown += 1
+        share = delta / gap if gap > 0 else 0.0
+        print(f"  {label:<22} {base.get(label, 0.0):>10.1f} "
+              f"{tail.get(label, 0.0):>10.1f} {delta:>+10.1f} "
+              f"{share:>+7.1%}")
+    if rest_labels:
+        share = rest_delta / gap if gap > 0 else 0.0
+        print(f"  {f'({rest_labels} more labels)':<22} {'':>10} {'':>10} "
+              f"{rest_delta:>+10.1f} {share:>+7.1%}")
+    share = explained / gap if gap > 0 else 0.0
+    print(f"  named segments explain {explained:.1f} ms of the "
+          f"{gap:.1f} ms gap ({share:.1%})\n")
+    return gap, share
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Explain the p99 from a dimsum.querylog.v1 JSONL")
+    parser.add_argument("--assert-share", type=float, default=None,
+                        metavar="S",
+                        help="exit non-zero when named segments explain "
+                             "less than S (0..1) of any meaningful gap")
+    parser.add_argument("--policy", default=None,
+                        help="restrict the report to one policy label")
+    parser.add_argument("logs", nargs="+")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        records = load_records(args.logs)
+    except (OSError, ValueError) as e:
+        print(f"tail_report: {e}", file=sys.stderr)
+        return 2
+    if not records:
+        print("tail_report: no records", file=sys.stderr)
+        return 2
+
+    groups = defaultdict(list)
+    for record in records:
+        groups[record["policy"]].append(record)
+
+    failed = []
+    for policy in sorted(groups):
+        if args.policy is not None and policy != args.policy:
+            continue
+        result = analyze_group(policy, groups[policy])
+        if args.assert_share is not None and result is not None:
+            gap, share = result
+            if gap >= MIN_GAP_MS and share < args.assert_share:
+                failed.append((policy, gap, share))
+
+    if failed:
+        for policy, gap, share in failed:
+            print(f"tail_report: FAIL: policy {policy} explains only "
+                  f"{share:.1%} of its {gap:.1f} ms gap "
+                  f"(required {args.assert_share:.0%})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        sys.exit(0)  # e.g. piped into head

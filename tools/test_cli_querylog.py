@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Integration test for dimsum_cli --query-log.
+
+Covers the query-log contract:
+  * --query-log=FILE writes exactly one dimsum.querylog.v1 JSONL record
+    with plan signature, fan-out, resource totals, and a critical-path
+    decomposition whose segments sum to the response time;
+  * collection is non-perturbing: the run's stdout is bit-identical with
+    and without the flag (modulo the one "query log:" status line), and
+    byte-identical under --explain=json (the notice moves to stderr);
+  * a bare --query-log (no path) is rejected with a diagnostic;
+  * the DIMSUM_QUERY_LOG env var mirrors the flag ("" and "0" disable);
+  * the record is invariant under DIMSUM_THREADS and DIMSUM_EVENT_QUEUE.
+
+Usage: test_cli_querylog.py <path-to-dimsum_cli>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CLI = os.path.abspath(sys.argv[1])
+BASE = ["--policy=hy", "--relations=4", "--servers=2", "--cached=0.25"]
+failures = []
+
+
+def run(args, env=None, check=True, cwd=None):
+    full_env = dict(os.environ)
+    full_env.pop("DIMSUM_QUERY_LOG", None)
+    if env:
+        full_env.update(env)
+    proc = subprocess.run(
+        [CLI] + args, capture_output=True, text=True, env=full_env, cwd=cwd
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"{args} exited {proc.returncode}\nstderr: {proc.stderr}"
+        )
+    return proc
+
+
+def expect(cond, label):
+    if cond:
+        print(f"PASS {label}")
+    else:
+        failures.append(label)
+        print(f"FAIL {label}")
+
+
+def load_record(path):
+    with open(path) as f:
+        lines = [line for line in f.read().splitlines() if line]
+    if len(lines) != 1:
+        raise AssertionError(f"{path}: expected 1 record, got {len(lines)}")
+    return json.loads(lines[0])
+
+
+def querylog_suffix_only(extra):
+    """True if `extra` is nothing but the query-log status line."""
+    lines = [line for line in extra.splitlines() if line]
+    return len(lines) == 1 and lines[0].startswith("query log:")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "ql.jsonl")
+
+        # One well-formed record.
+        proc = run(BASE + [f"--query-log={out}"])
+        expect("query log:" in proc.stdout, "flag: status line on stdout")
+        record = load_record(out)
+        expect(record["schema"] == "dimsum.querylog.v1", "json: schema tag")
+        expect(record["outcome"] == "ok", "json: outcome ok")
+        expect(len(record["plan_signature"]) == 16,
+               "json: 16-hex-digit plan signature")
+        expect(record["fanout"] and
+               all(isinstance(s, int) for s in record["fanout"]),
+               "json: server fan-out present")
+        expect(record["response_ms"] > 0, "json: positive response")
+        path = record["critical_path"]
+        seg_sum = sum(s["ms"] for s in path["segments"])
+        expect(abs(seg_sum - record["response_ms"]) < 1e-6,
+               "json: segments sum to response within 1e-6")
+        expect(abs(path["total_ms"] - record["response_ms"]) < 1e-6,
+               "json: path total matches response")
+        labels = {s["label"] for s in path["segments"]}
+        expect(any(l.startswith("disk.") for l in labels)
+               and any(l.startswith("cpu.") for l in labels),
+               "json: cpu and disk segments named")
+        expect(all(s["ms"] > 0 for s in path["segments"]),
+               "json: no zero-length segments")
+        expect(record["resources"]["disk_ms"] > 0,
+               "json: resource totals populated")
+
+        # Bare --query-log (no path) is rejected, as is =.
+        for args in (["--query-log"], ["--query-log="]):
+            proc = run(BASE + args, check=False)
+            expect(proc.returncode != 0,
+                   f"reject: {args[0]} exits nonzero")
+            expect("query-log" in proc.stderr,
+                   f"reject: diagnostic names flag for {args[0]}")
+
+        # Env var mirrors the flag; "" and "0" disable.
+        env_out = os.path.join(tmp, "env.jsonl")
+        run(BASE, env={"DIMSUM_QUERY_LOG": env_out})
+        expect(load_record(env_out)["schema"] == "dimsum.querylog.v1",
+               "env: DIMSUM_QUERY_LOG honored")
+        for value in ("", "0"):
+            off_out = os.path.join(tmp, "off.jsonl")
+            if os.path.exists(off_out):
+                os.unlink(off_out)
+            run(BASE, env={"DIMSUM_QUERY_LOG": value}, cwd=tmp)
+            expect(not os.path.exists(off_out),
+                   f"env: DIMSUM_QUERY_LOG={value!r} writes no file")
+
+        # Non-perturbation: stdout identical with and without the log,
+        # modulo the appended status line.
+        plain = run(BASE)
+        logged = run(BASE + [f"--query-log={out}"])
+        expect(logged.stdout.startswith(plain.stdout.rstrip("\n"))
+               and querylog_suffix_only(
+                   logged.stdout[len(plain.stdout.rstrip("\n")):]),
+               "non-perturbing: stdout bit-identical modulo status line")
+
+        # Stdout purity under --explain=json: stdout carries exactly the
+        # explain document either way (the query-log notice is on stderr).
+        plain_json = run(BASE + ["--explain=json"])
+        logged_json = run(BASE + ["--explain=json", f"--query-log={out}"])
+        expect(plain_json.stdout == logged_json.stdout,
+               "explain=json: stdout byte-identical with query log on")
+        doc = json.loads(logged_json.stdout)
+        expect(doc["schema"] == "dimsum.explain.v1",
+               "explain=json: stdout is the explain document")
+
+        # Determinism: record invariant under threads and event queue.
+        one = os.path.join(tmp, "one.jsonl")
+        many = os.path.join(tmp, "many.jsonl")
+        heap = os.path.join(tmp, "heap.jsonl")
+        run(BASE + [f"--query-log={one}"], env={"DIMSUM_THREADS": "1"})
+        run(BASE + [f"--query-log={many}"], env={"DIMSUM_THREADS": "4"})
+        run(BASE + [f"--query-log={heap}"],
+            env={"DIMSUM_EVENT_QUEUE": "heap"})
+        with open(one) as f1, open(many) as f2, open(heap) as f3:
+            a, b, c = f1.read(), f2.read(), f3.read()
+        expect(a == b, "determinism: invariant under threads")
+        expect(a == c, "determinism: invariant under event queue kind")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed: {failures}")
+        return 1
+    print("\nall query-log CLI checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
